@@ -1,0 +1,66 @@
+"""E4 — dense circuits: where the RDBMS loses.
+
+The paper reports the flip side of the capacity result: on *dense* circuits
+the RDBMS approach performed ~14% worse than the conventional method.  This
+harness times the equal-superposition and QFT workloads (states with all 2^n
+amplitudes nonzero) on the RDBMS backends and the dense state-vector
+simulator.
+
+Expected shape: the state-vector simulator is the fastest method on these
+workloads and the relational backends are slower (by a modest factor on
+SQLite/memdb at laptop scale — the paper's 14% figure is engine- and
+scale-specific); peak memory is comparable because the relational table also
+holds all 2^n rows.
+"""
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.bench import BenchmarkRunner, timing_table, win_counts
+from repro.circuits import qft_on_basis_state, superposition_circuit
+from repro.simulators import StatevectorSimulator
+
+from conftest import emit
+
+_METHODS = {
+    "sqlite": lambda: SQLiteBackend(),
+    "memdb": lambda: MemDBBackend(),
+    "statevector": lambda: StatevectorSimulator(),
+}
+_WORKLOADS = {
+    "superposition": lambda n: superposition_circuit(n),
+    "qft": lambda n: qft_on_basis_state(n, (1 << n) - 1),
+}
+
+
+@pytest.mark.parametrize("method", sorted(_METHODS), ids=str)
+@pytest.mark.parametrize("workload", sorted(_WORKLOADS), ids=str)
+@pytest.mark.parametrize("num_qubits", [8, 10])
+def test_dense_workload_timing(benchmark, method, workload, num_qubits):
+    """Per-method wall time on dense workloads (the paper's dense comparison)."""
+    circuit = _WORKLOADS[workload](num_qubits)
+    factory = _METHODS[method]
+    benchmark.group = f"dense-{workload}-{num_qubits}q"
+
+    result = benchmark(lambda: factory().run(circuit))
+
+    assert result.state.num_nonzero == 1 << num_qubits
+
+
+def test_dense_winner_report(benchmark, results_dir):
+    """Summarize who wins on dense circuits (expected: the dense state vector)."""
+    runner = BenchmarkRunner(methods=_METHODS)
+    records = benchmark.pedantic(
+        lambda: runner.run_suite(["superposition", "qft"], sizes=[8, 10]),
+        rounds=1,
+        iterations=1,
+    )
+    wins = win_counts(records)
+    table = timing_table(records, "superposition") + "\n\n" + timing_table(records, "qft")
+    emit("E4 — dense circuits: wall time per method (seconds)", table)
+    emit("E4 — fastest method counts", str(wins))
+    (results_dir / "e4_dense.txt").write_text(table + f"\n\nwins: {wins}\n")
+
+    assert all(record.status == "ok" for record in records)
+    # Shape check: the dense state-vector simulator wins the majority of dense points.
+    assert wins.get("statevector", 0) >= max(wins.get("sqlite", 0), wins.get("memdb", 0))

@@ -1,0 +1,61 @@
+"""E1 — Fig. 2 running example: the 3-qubit GHZ circuit as SQL.
+
+Regenerates the tables of Fig. 2 (initial state T0, gate tables H and CX,
+intermediate states T1/T2 and final state T3) and times the end-to-end SQL
+execution of the running example on both RDBMS backends in both execution
+modes.
+"""
+
+import math
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.circuits import ghz_circuit
+from repro.core import standard_gate
+from repro.output import format_amplitude_table
+from repro.sql import translate_circuit
+from repro.sql.gate_tables import GateTableRegistry
+
+from conftest import emit
+
+_SQRT2 = 1 / math.sqrt(2)
+_EXPECTED_FINAL = [(0, pytest.approx(_SQRT2), 0.0), (7, pytest.approx(_SQRT2), 0.0)]
+
+
+@pytest.mark.parametrize("backend_cls", [SQLiteBackend, MemDBBackend], ids=["sqlite", "memdb"])
+@pytest.mark.parametrize("mode", ["cte", "materialized"])
+def test_fig2_ghz3_execution(benchmark, backend_cls, mode):
+    """Time the full Fig. 2 pipeline (translate + execute) and pin its output."""
+    circuit = ghz_circuit(3)
+    backend = backend_cls(mode=mode)
+
+    result = benchmark(lambda: backend.run(circuit))
+
+    assert result.state.to_rows() == _EXPECTED_FINAL
+
+
+def test_fig2_tables_report(benchmark):
+    """Reproduce the figure's tables (T0, H, CX, generated SQL, final T3)."""
+    circuit = ghz_circuit(3)
+    translation = translate_circuit(circuit, dialect="sqlite")
+
+    result = benchmark(lambda: SQLiteBackend().run(circuit))
+
+    registry = GateTableRegistry()
+    h_rows = registry.register(standard_gate("h")).rows
+    cx_rows = registry.register(standard_gate("cx")).rows
+    emit(
+        "Fig. 2b — relational tables",
+        "T0 (initial state |000>):\n  (s, r, i) = "
+        + str(translation.initial_rows)
+        + "\nH gate table (in_s, out_s, r, i):\n  "
+        + "\n  ".join(str(row) for row in h_rows)
+        + "\nCX gate table (in_s, out_s, r, i):\n  "
+        + "\n  ".join(str(row) for row in cx_rows),
+    )
+    emit("Fig. 2c — generated SQL", translation.cte_query())
+    emit("Fig. 2c — final output state T3", format_amplitude_table(result.state))
+
+    assert cx_rows == [(0, 0, 1.0, 0.0), (1, 3, 1.0, 0.0), (2, 2, 1.0, 0.0), (3, 1, 1.0, 0.0)]
+    assert result.state.to_rows() == _EXPECTED_FINAL

@@ -1,0 +1,66 @@
+"""E6 — demo scenario 2: simulation-method benchmarking.
+
+Runs the two benchmark circuits of the demo (GHZ preparation and the equal
+superposition of all states) across every simulation approach in the
+Simulation Layer — SQLite, the embedded columnar engine, dense state vector,
+sparse hash map, MPS and decision diagrams — and reports execution time and
+memory, verifying all methods agree.
+
+Expected shape: on GHZ (sparse) the relational/sparse/DD/MPS methods keep
+tiny states and scale past the dense simulator; on the equal superposition
+(dense) the dense state vector is the fastest and every sparse-aware
+representation degenerates to 2^n entries (except MPS, which stays small
+because the state is a product state).
+"""
+
+import pytest
+
+from repro.bench import BenchmarkRunner, default_method_factories, memory_table, timing_table
+from repro.circuits import ghz_circuit, superposition_circuit
+
+from conftest import emit
+
+_FACTORIES = default_method_factories()
+_WORKLOADS = {"ghz": ghz_circuit, "superposition": superposition_circuit}
+
+
+@pytest.mark.parametrize("method", sorted(_FACTORIES), ids=str)
+@pytest.mark.parametrize("workload", sorted(_WORKLOADS), ids=str)
+def test_method_timing(benchmark, method, workload):
+    """Wall time of every method on the two demo workloads (10 qubits)."""
+    circuit = _WORKLOADS[workload](10)
+    factory = _FACTORIES[method]
+    benchmark.group = f"{workload}-10q"
+
+    result = benchmark(lambda: factory().run(circuit))
+
+    expected_nonzero = 2 if workload == "ghz" else 1 << 10
+    assert result.state.num_nonzero == expected_nonzero
+
+
+def test_method_comparison_report(benchmark, results_dir):
+    """The full cross-method comparison table (time and memory) with verification."""
+    runner = BenchmarkRunner()  # all six methods, verified against the state vector
+    records = benchmark.pedantic(
+        lambda: runner.run_suite(["ghz", "superposition"], sizes=[6, 8, 10]),
+        rounds=1,
+        iterations=1,
+    )
+
+    body = []
+    for workload in ("ghz", "superposition"):
+        body.append(f"--- {workload}: wall time (s) ---\n" + timing_table(records, workload))
+        body.append(f"--- {workload}: peak state bytes ---\n" + memory_table(records, workload))
+    report = "\n\n".join(body)
+    emit("E6 — simulation method comparison", report)
+    (results_dir / "e6_method_comparison.txt").write_text(report)
+
+    assert all(record.status == "ok" for record in records)
+    assert all(record.extra.get("matches_reference", True) for record in records)
+
+    # Shape checks: sparse-aware methods keep GHZ tiny; dense methods pay 2^n.
+    ghz10 = {r.method: r for r in records if r.workload == "ghz" and r.num_qubits == 10}
+    assert ghz10["sqlite"].peak_state_rows == 2
+    assert ghz10["statevector"].peak_state_rows == 1 << 10
+    sup10 = {r.method: r for r in records if r.workload == "superposition" and r.num_qubits == 10}
+    assert sup10["sqlite"].peak_state_rows == 1 << 10

@@ -1,0 +1,63 @@
+"""E5 — demo scenario 1: the parity-check algorithm.
+
+Times the quantum parity check (load bitstring, CX-accumulate onto an
+ancilla) across backends for growing bitstring lengths, and verifies the
+answer against the classical parity.  Because every gate is a permutation,
+the relational state is a single row at every step — the extreme sparse case.
+
+Expected shape: RDBMS cost grows linearly with the bitstring length (one
+pipeline stage per gate, one row per state), while the dense state vector
+pays 2^n amplitudes regardless.
+"""
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.bench import BenchmarkRunner, timing_table
+from repro.circuits import expected_parity, parity_check_circuit
+from repro.simulators import SparseSimulator, StatevectorSimulator
+
+from conftest import emit
+
+_METHODS = {
+    "sqlite": lambda: SQLiteBackend(mode="materialized"),
+    "memdb": lambda: MemDBBackend(mode="materialized"),
+    "sparse": lambda: SparseSimulator(),
+    "statevector": lambda: StatevectorSimulator(),
+}
+_BITSTRINGS = {6: "101101", 10: "1011010011", 14: "10110100111010"}
+
+
+@pytest.mark.parametrize("method", sorted(_METHODS), ids=str)
+@pytest.mark.parametrize("length", sorted(_BITSTRINGS), ids=lambda n: f"{n}bits")
+def test_parity_check_timing(benchmark, method, length):
+    """Wall time of the parity-check circuit per method and input length."""
+    bits = _BITSTRINGS[length]
+    circuit = parity_check_circuit(bits, measure=False)
+    factory = _METHODS[method]
+    benchmark.group = f"parity-{length}bits"
+
+    result = benchmark(lambda: factory().run(circuit))
+
+    ancilla = circuit.num_qubits - 1
+    index = next(iter(result.state))
+    assert (index >> ancilla) & 1 == expected_parity(bits)
+
+
+def test_parity_report(benchmark, results_dir):
+    """Comparison table across methods and lengths, plus row-count evidence of sparsity."""
+    runner = BenchmarkRunner(methods=_METHODS, reference="statevector")
+    records = benchmark.pedantic(
+        lambda: runner.run_workload("parity", sizes=[7, 11, 15]),
+        rounds=1,
+        iterations=1,
+    )
+    table = timing_table(records, "parity")
+    emit("E5 — parity check: wall time per method (seconds)", table)
+    (results_dir / "e5_parity.txt").write_text(table)
+
+    assert all(record.status == "ok" for record in records)
+    rdbms_rows = [r.peak_state_rows for r in records if r.method in ("sqlite", "memdb")]
+    dense_rows = [r.peak_state_rows for r in records if r.method == "statevector"]
+    assert max(rdbms_rows) == 1
+    assert min(dense_rows) >= 2 ** 7

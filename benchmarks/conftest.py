@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one experiment from DESIGN.md
+(the per-experiment index maps experiment ids to modules).  Benchmarks are
+written against ``pytest-benchmark``: run them with
+
+    pytest benchmarks/ --benchmark-only
+
+Comparison tables in the paper's format are printed to stdout (pass ``-s`` to
+see them live) and the raw records are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where bench harnesses drop their CSV/JSON outputs.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-style table (visible with ``pytest -s`` and in captured logs)."""
+    print(f"\n===== {title} =====\n{body}\n")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Demo scenario 3 — Educational Exploration of Quantum Computing Concepts.
+
+Uses the GHZ state as a case study for superposition and entanglement:
+watch the relational state evolve gate by gate (through SQL), inspect
+single-qubit Bloch vectors, quantify entanglement, and look at measurement
+outcomes — the interactive walk-through of the paper's third scenario, in
+terminal form.
+
+Run with:  python examples/education_ghz.py [num_qubits]
+"""
+
+import sys
+
+from repro import SQLiteBackend
+from repro.circuits import ghz_circuit
+from repro.output import (
+    SparseState,
+    bloch_text,
+    bloch_vector,
+    entanglement_entropy,
+    format_amplitude_table,
+    histogram,
+    sample_counts,
+)
+from repro.simulators import StatevectorSimulator
+
+
+def main(num_qubits: int = 3) -> None:
+    circuit = ghz_circuit(num_qubits)
+    print(f"GHZ preparation on {num_qubits} qubits:")
+    print(circuit.draw())
+    print()
+
+    # Step-by-step evolution: run prefixes of the circuit through the RDBMS.
+    print("State evolution, one SQL pipeline stage at a time:")
+    backend = SQLiteBackend()
+    for step in range(len(circuit.gates) + 1):
+        prefix = ghz_circuit(num_qubits)
+        prefix._instructions = prefix.instructions[:step]  # noqa: SLF001 - demo-only truncation
+        state = backend.run(prefix).state if step else SparseState.zero_state(num_qubits)
+        gate = "initial |0...0>" if step == 0 else f"after gate {step} ({circuit.gates[step - 1].name})"
+        rows = ", ".join(f"|{format(s, f'0{num_qubits}b')}>: {r:+.3f}" for s, r, _i in state.to_rows())
+        print(f"  {gate:<28} {rows}")
+    print()
+
+    final_state = backend.run(circuit).state
+    print("Final state table:")
+    print(format_amplitude_table(final_state))
+    print()
+
+    # Superposition: the first Hadamard creates it; entanglement: the CX chain spreads it.
+    print("Single-qubit Bloch views (the educational visualization):")
+    plus_state = StatevectorSimulator().run(ghz_circuit(1)).state
+    print(f"  qubit 0 right after H     : {bloch_text(bloch_vector(plus_state, 0))}")
+    for qubit in range(num_qubits):
+        print(f"  qubit {qubit} in the GHZ state  : {bloch_text(bloch_vector(final_state, qubit))}")
+    print()
+
+    print("Entanglement entropy across cuts (1.0 bit = maximally entangled):")
+    for cut in range(1, num_qubits):
+        entropy = entanglement_entropy(final_state, list(range(cut)))
+        print(f"  qubits [0..{cut - 1}] vs rest : {entropy:.3f} bits")
+    print()
+
+    print("Measurement outcomes (2048 shots) — only the two correlated bitstrings appear:")
+    print(histogram(sample_counts(final_state, shots=2048, seed=5)))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

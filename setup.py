@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so editable installs work in fully offline
+environments (no `wheel` package available for PEP 660 editable wheels).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""Qymera reproduction: simulating quantum circuits with RDBMSs.
+
+This package reproduces the system described in *"Qymera: Simulating Quantum
+Circuits using RDBMS"* (SIGMOD-Companion 2025): quantum circuits are
+translated into SQL programs over relational state/gate tables and executed
+by off-the-shelf database engines, alongside conventional simulation methods
+(state vector, sparse map, MPS, decision diagrams) and a benchmarking suite
+to compare them.
+
+Quickstart::
+
+    from repro import QuantumCircuit, SQLiteBackend, translate_circuit
+
+    qc = QuantumCircuit(3)
+    qc.h(0).cx(0, 1).cx(1, 2)            # a GHZ circuit (Fig. 2 of the paper)
+    print(translate_circuit(qc, dialect="sqlite").cte_query())
+    result = SQLiteBackend().run(qc)
+    print(result.state.to_rows())          # [(0, 0.7071.., 0.0), (7, 0.7071.., 0.0)]
+"""
+
+from .backends import (
+    DuckDBBackend,
+    MemDatabase,
+    MemDBBackend,
+    SQLiteBackend,
+    available_backends,
+    duckdb_available,
+)
+from .bench import BenchmarkRunner, MemoryBudget, ParameterSweep, Workload, get_workload
+from .core import (
+    CircuitDag,
+    CircuitGridBuilder,
+    Gate,
+    Instruction,
+    Parameter,
+    ParameterExpression,
+    ParameterVector,
+    QuantumCircuit,
+    build_circuit,
+    standard_gate,
+    unitary_gate,
+)
+from .errors import (
+    BackendError,
+    BackendUnavailableError,
+    BenchmarkError,
+    CircuitError,
+    CircuitFormatError,
+    GateError,
+    ParameterError,
+    QymeraError,
+    ResourceLimitExceeded,
+    SimulationError,
+    SQLExecutionError,
+    SQLParseError,
+    TranslationError,
+)
+from .io import dumps_qasm, dumps_circuit, load_circuit, load_qasm, loads_circuit, loads_qasm, loads_quil
+from .output import SimulationResult, SparseState, sample_counts, state_fidelity, states_agree
+from .service import QymeraSession
+from .simulators import (
+    DecisionDiagramSimulator,
+    MPSSimulator,
+    SparseSimulator,
+    StatevectorSimulator,
+    available_simulators,
+)
+from .sql import SQLTranslation, SQLTranslator, translate_circuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DuckDBBackend",
+    "MemDatabase",
+    "MemDBBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "duckdb_available",
+    "BenchmarkRunner",
+    "MemoryBudget",
+    "ParameterSweep",
+    "Workload",
+    "get_workload",
+    "CircuitDag",
+    "CircuitGridBuilder",
+    "Gate",
+    "Instruction",
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "QuantumCircuit",
+    "build_circuit",
+    "standard_gate",
+    "unitary_gate",
+    "BackendError",
+    "BackendUnavailableError",
+    "BenchmarkError",
+    "CircuitError",
+    "CircuitFormatError",
+    "GateError",
+    "ParameterError",
+    "QymeraError",
+    "ResourceLimitExceeded",
+    "SimulationError",
+    "SQLExecutionError",
+    "SQLParseError",
+    "TranslationError",
+    "dumps_qasm",
+    "dumps_circuit",
+    "load_circuit",
+    "load_qasm",
+    "loads_circuit",
+    "loads_qasm",
+    "loads_quil",
+    "SimulationResult",
+    "SparseState",
+    "sample_counts",
+    "state_fidelity",
+    "states_agree",
+    "QymeraSession",
+    "DecisionDiagramSimulator",
+    "MPSSimulator",
+    "SparseSimulator",
+    "StatevectorSimulator",
+    "available_simulators",
+    "SQLTranslation",
+    "SQLTranslator",
+    "translate_circuit",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""RDBMS execution backends (the SQL half of the Simulation Layer)."""
+
+from .base import MODE_CTE, MODE_MATERIALIZED, ROW_BYTES, RelationalBackend
+from .duckdb_backend import DuckDBBackend, duckdb_available
+from .memdb.engine import MemDatabase
+from .memdb_backend import MemDBBackend
+from .sqlite_backend import SQLiteBackend
+
+__all__ = [
+    "MODE_CTE",
+    "MODE_MATERIALIZED",
+    "ROW_BYTES",
+    "RelationalBackend",
+    "DuckDBBackend",
+    "duckdb_available",
+    "MemDatabase",
+    "MemDBBackend",
+    "SQLiteBackend",
+]
+
+
+def available_backends() -> dict[str, type]:
+    """Mapping of backend name to class for every backend usable in this environment."""
+    backends: dict[str, type] = {"sqlite": SQLiteBackend, "memdb": MemDBBackend}
+    if duckdb_available():
+        backends["duckdb"] = DuckDBBackend
+    return backends

@@ -1,0 +1,205 @@
+"""Shared machinery of the RDBMS execution backends (the Simulation Layer).
+
+A relational backend is "just another simulator" from the caller's point of
+view: it implements :class:`~repro.simulators.base.BaseSimulator`, so results
+carry the same metadata and plug into the same benchmarking framework as the
+state-vector / MPS / DD baselines.  Internally it
+
+1. asks the Translation Layer for the relational program of the circuit,
+2. creates the gate tables and the initial state table ``T0``,
+3. executes the program either as one CTE query (Fig. 2c) or step by step
+   in materialized mode (out-of-core; per-step row statistics and pruning),
+4. reads the final state table back into a :class:`SparseState`.
+
+Concrete subclasses only provide connection management and raw statement
+execution for their engine (SQLite, DuckDB, memdb).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..errors import BackendError, ResourceLimitExceeded
+from ..output.result import SparseState
+from ..simulators.base import BaseSimulator, EvolutionStats
+from ..sql.dialect import Dialect
+from ..sql.translator import SQLTranslation, SQLTranslator
+
+#: Bytes per state-table row: s BIGINT + r DOUBLE + i DOUBLE.
+ROW_BYTES = 24
+
+#: Supported execution modes.
+MODE_CTE = "cte"
+MODE_MATERIALIZED = "materialized"
+
+
+class RelationalBackend(BaseSimulator):
+    """Base class for SQL-executing simulators.
+
+    Parameters
+    ----------
+    mode:
+        ``"cte"`` runs the whole circuit as a single WITH-query (the paper's
+        Fig. 2c shape, letting the engine's optimizer pipeline all gates);
+        ``"materialized"`` creates one state table per gate, enabling
+        out-of-core execution, per-step statistics and pruning.
+    prune_epsilon:
+        Drop rows whose probability mass is at or below this threshold after
+        every materialized step (ignored in CTE mode).
+    fuse / max_fused_qubits:
+        Enable the gate-fusion optimizer of the Translation Layer.
+    keep_intermediate:
+        In materialized mode, keep every ``T{k}`` table instead of dropping
+        the predecessor (useful for inspecting intermediate states, as in the
+        paper's educational scenario).
+    max_state_bytes:
+        Budget on the relational state size (rows * 24 bytes); exceeded
+        intermediate states raise :class:`ResourceLimitExceeded`.  Only
+        enforced per-step in materialized mode.
+    """
+
+    #: Dialect of the concrete engine; set by subclasses.
+    dialect: Dialect
+
+    def __init__(
+        self,
+        mode: str = MODE_CTE,
+        prune_epsilon: float | None = None,
+        fuse: bool = False,
+        max_fused_qubits: int = 2,
+        keep_intermediate: bool = False,
+        max_state_bytes: int | None = None,
+        prune_atol: float = 1e-12,
+    ) -> None:
+        super().__init__(max_state_bytes=max_state_bytes, prune_atol=prune_atol)
+        if mode not in (MODE_CTE, MODE_MATERIALIZED):
+            raise BackendError(f"unknown execution mode {mode!r}; expected 'cte' or 'materialized'")
+        self.mode = mode
+        self.prune_epsilon = prune_epsilon
+        self.fuse = fuse
+        self.max_fused_qubits = max_fused_qubits
+        self.keep_intermediate = keep_intermediate
+
+    # ------------------------------------------------------- engine contract
+
+    @abstractmethod
+    def _connect(self) -> None:
+        """Open a fresh connection / database for one simulation run."""
+
+    @abstractmethod
+    def _disconnect(self) -> None:
+        """Close the connection and release resources."""
+
+    @abstractmethod
+    def _execute(self, sql: str) -> None:
+        """Execute a statement, discarding any result."""
+
+    @abstractmethod
+    def _fetch(self, sql: str) -> list[tuple]:
+        """Execute a query and return all rows."""
+
+    def _table_row_count(self, table: str) -> int:
+        """Row count of a state table (used for per-step statistics)."""
+        rows = self._fetch(f"SELECT COUNT(*) FROM {table}")
+        return int(rows[0][0]) if rows else 0
+
+    # --------------------------------------------------------------- running
+
+    def translator(self) -> SQLTranslator:
+        """The translator configured to this backend's dialect and options."""
+        return SQLTranslator(
+            dialect=self.dialect,
+            prune_epsilon=self.prune_epsilon,
+            fuse=self.fuse,
+            max_fused_qubits=self.max_fused_qubits,
+        )
+
+    def translate(self, circuit: QuantumCircuit, initial_state: SparseState | None = None) -> SQLTranslation:
+        """Translate a circuit without executing it (for inspection / reports)."""
+        return self.translator().translate(circuit, initial_state=initial_state)
+
+    def _evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        translation = self.translate(circuit, initial_state=initial_state)
+        self._connect()
+        try:
+            rows = self._execute_translation(translation, stats)
+        finally:
+            self._disconnect()
+        stats.extras["sql"] = {
+            "mode": self.mode,
+            "dialect": self.dialect.name,
+            **translation.describe(),
+        }
+        return SparseState.from_rows(translation.num_qubits, rows)
+
+    def _execute_translation(self, translation: SQLTranslation, stats: EvolutionStats) -> list[tuple]:
+        for statement in translation.setup_statements():
+            self._execute(statement)
+        initial_rows = len(translation.initial_rows)
+        stats.observe(initial_rows, ROW_BYTES * initial_rows)
+
+        if self.mode == MODE_CTE:
+            rows = self._fetch(translation.cte_query(pretty=False))
+            stats.observe(len(rows), ROW_BYTES * len(rows))
+            self._check_budget(ROW_BYTES * len(rows), "final state")
+            return [(int(s), float(r), float(i)) for s, r, i in rows]
+
+        # Materialized mode: run step by step, recording row counts.
+        step_rows: list[int] = []
+        for item in translation.materialized_statements(keep_intermediate=self.keep_intermediate):
+            self._execute(item["sql"])
+            if item["kind"] == "create":
+                count = self._table_row_count(item["table"])
+                step_rows.append(count)
+                estimate = ROW_BYTES * count
+                stats.observe(count, estimate)
+                self._check_budget(estimate, f"state table {item['table']}")
+        stats.extras["step_rows"] = step_rows
+        rows = self._fetch(translation.final_select())
+        return [(int(s), float(r), float(i)) for s, r, i in rows]
+
+    # ------------------------------------------------------------- utilities
+
+    def execute_analysis_query(self, circuit: QuantumCircuit, query_builder, *args) -> list[tuple]:
+        """Run the circuit, then an Output-Layer query against the final state table.
+
+        ``query_builder`` is one of the functions in :mod:`repro.sql.queries`
+        taking the final table name as its first argument (plus ``*args``).
+        The whole pipeline — simulation and analysis — runs inside the RDBMS.
+        """
+        translation = self.translate(circuit)
+        self._connect()
+        try:
+            for statement in translation.setup_statements():
+                self._execute(statement)
+            for item in translation.materialized_statements(keep_intermediate=self.keep_intermediate):
+                self._execute(item["sql"])
+            return self._fetch(query_builder(translation.final_table, *args))
+        finally:
+            self._disconnect()
+
+    def run_script(self, statements: Sequence[str]) -> list[tuple]:
+        """Execute arbitrary statements on a fresh connection (last result returned)."""
+        self._connect()
+        try:
+            result: list[tuple] = []
+            for statement in statements[:-1]:
+                self._execute(statement)
+            if statements:
+                result = self._fetch(statements[-1])
+            return result
+        finally:
+            self._disconnect()
+
+    def capacity_rows(self) -> int | None:
+        """How many state rows fit in the configured byte budget (None = unlimited)."""
+        if self.max_state_bytes is None:
+            return None
+        return self.max_state_bytes // ROW_BYTES

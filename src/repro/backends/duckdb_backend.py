@@ -1,0 +1,96 @@
+"""Optional DuckDB execution backend.
+
+The paper's Simulation Layer supports DuckDB 1.1; this backend runs the same
+translated SQL on DuckDB *when the package is installed*.  In the offline
+reproduction environment DuckDB is unavailable, so importing this module is
+safe but constructing the backend raises
+:class:`~repro.errors.BackendUnavailableError` with a pointer to the embedded
+columnar substitute (:class:`~repro.backends.memdb_backend.MemDBBackend`).
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+
+from ..errors import BackendError, BackendUnavailableError
+from ..sql.dialect import DUCKDB
+from .base import MODE_CTE, RelationalBackend
+
+
+def duckdb_available() -> bool:
+    """True if the ``duckdb`` package can be imported."""
+    return importlib.util.find_spec("duckdb") is not None
+
+
+class DuckDBBackend(RelationalBackend):
+    """Runs translated circuits on DuckDB (requires the ``duckdb`` package)."""
+
+    name = "duckdb"
+    dialect = DUCKDB
+
+    def __init__(
+        self,
+        mode: str = MODE_CTE,
+        database_path: str | None = None,
+        prune_epsilon: float | None = None,
+        fuse: bool = False,
+        max_fused_qubits: int = 2,
+        keep_intermediate: bool = False,
+        max_state_bytes: int | None = None,
+        prune_atol: float = 1e-12,
+        memory_limit: str | None = None,
+    ) -> None:
+        if not duckdb_available():
+            raise BackendUnavailableError(
+                "the 'duckdb' package is not installed; use MemDBBackend (the embedded "
+                "columnar engine) or install duckdb>=1.1 to enable this backend"
+            )
+        super().__init__(
+            mode=mode,
+            prune_epsilon=prune_epsilon,
+            fuse=fuse,
+            max_fused_qubits=max_fused_qubits,
+            keep_intermediate=keep_intermediate,
+            max_state_bytes=max_state_bytes,
+            prune_atol=prune_atol,
+        )
+        self.database_path = database_path
+        self.memory_limit = memory_limit
+        self._connection = None
+
+    # ------------------------------------------------------------ connection
+
+    def _connect(self) -> None:
+        duckdb = importlib.import_module("duckdb")
+        target = self.database_path if self.database_path is not None else ":memory:"
+        try:
+            self._connection = duckdb.connect(target)
+            if self.memory_limit:
+                self._connection.execute(f"SET memory_limit = '{self.memory_limit}'")
+        except Exception as exc:  # duckdb raises its own exception types
+            raise BackendError(f"could not open DuckDB database {target!r}: {exc}") from exc
+
+    def _disconnect(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # --------------------------------------------------------------- execute
+
+    def _require_connection(self):
+        if self._connection is None:
+            raise BackendError("DuckDB backend is not connected")
+        return self._connection
+
+    def _execute(self, sql: str) -> None:
+        try:
+            self._require_connection().execute(sql)
+        except Exception as exc:
+            raise BackendError(f"DuckDB error for statement {sql[:120]!r}: {exc}") from exc
+
+    def _fetch(self, sql: str) -> list[tuple]:
+        try:
+            return self._require_connection().execute(sql).fetchall()
+        except Exception as exc:
+            raise BackendError(f"DuckDB error for query {sql[:120]!r}: {exc}") from exc

@@ -1,0 +1,9 @@
+"""Embedded columnar SQL engine (numpy-vectorized DuckDB substitute)."""
+
+from .engine import MemDatabase
+from .executor import QueryResult
+from .parser import parse_one, parse_sql
+from .table import Table
+from .tokenizer import Token, tokenize
+
+__all__ = ["MemDatabase", "QueryResult", "parse_one", "parse_sql", "Table", "Token", "tokenize"]

@@ -1,0 +1,233 @@
+"""Abstract syntax tree nodes for the embedded columnar engine.
+
+The node classes are small frozen dataclasses; the parser builds them and the
+executor pattern-matches on their types.  Expressions and statements are kept
+deliberately close to the SQL grammar so the executor's behaviour is easy to
+audit against the statements the translator generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A numeric, string or NULL literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A column reference, optionally qualified with a table name/alias."""
+
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """The lookup key used by the executor's frames."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` projection (optionally ``table.*``)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator: ``-x``, ``+x``, ``~x``, ``NOT x``."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator over two sub-expressions."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A function or aggregate call, e.g. ``SUM(expr)`` or ``COUNT(*)``."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+    is_star: bool = False
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value [...] ELSE default END``."""
+
+    conditions: tuple[Expression, ...]
+    results: tuple[Expression, ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    operand: Expression
+    values: tuple[Expression, ...]
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: an expression plus an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableSource:
+    """A table (or CTE) appearing in FROM/JOIN, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """Name under which the table's columns are visible."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """An INNER/LEFT join with its ON condition."""
+
+    source: TableSource
+    condition: Expression
+    kind: str = "inner"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement (possibly a CTE body)."""
+
+    items: tuple[SelectItem, ...]
+    source: Optional[TableSource] = None
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CommonTableExpression:
+    """One ``name AS (SELECT ...)`` entry of a WITH clause."""
+
+    name: str
+    query: Select
+
+
+@dataclass(frozen=True)
+class WithSelect:
+    """``WITH cte [, cte ...] SELECT ...``."""
+
+    ctes: tuple[CommonTableExpression, ...]
+    query: Select
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """One column of a CREATE TABLE statement."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE [TEMP] TABLE name (col type [NOT NULL], ...)``."""
+
+    name: str
+    columns: tuple[ColumnDefinition, ...]
+    temporary: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableAs:
+    """``CREATE [TEMP] TABLE name AS <select>``."""
+
+    name: str
+    query: Select | WithSelect
+    temporary: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO name (cols) VALUES (...), (...)``."""
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM name [WHERE expr]``."""
+
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+Statement = (
+    Select | WithSelect | CreateTable | CreateTableAs | Insert | Delete | DropTable
+)

@@ -1,0 +1,173 @@
+"""The embedded columnar database: catalog plus statement dispatch.
+
+:class:`MemDatabase` is the top-level object backends talk to.  It keeps the
+table catalog, parses incoming SQL, and routes each statement to the
+vectorized executor.  The API is intentionally DB-API-ish (``execute`` returns
+an object with ``columns`` and ``rows``) so the RDBMS backend wrappers can
+treat SQLite, DuckDB and memdb uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SQLExecutionError
+from .ast_nodes import (
+    CreateTable,
+    CreateTableAs,
+    Delete,
+    DropTable,
+    Expression,
+    Insert,
+    Literal,
+    Select,
+    Statement,
+    UnaryOp,
+    WithSelect,
+)
+from .executor import ExpressionEvaluator, QueryResult, SelectExecutor
+from .parser import parse_sql
+from .table import Table, dtype_for_sql_type
+
+
+def _literal_value(expression: Expression) -> object:
+    """Evaluate a literal (or signed literal) appearing in INSERT ... VALUES."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, UnaryOp) and isinstance(expression.operand, Literal):
+        value = expression.operand.value
+        if expression.operator == "-":
+            return -value  # type: ignore[operator]
+        if expression.operator == "+":
+            return value
+    raise SQLExecutionError("INSERT ... VALUES only accepts literal values")
+
+
+class MemDatabase:
+    """An in-memory columnar SQL database (the offline DuckDB substitute)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------- catalogue
+
+    def table_names(self) -> list[str]:
+        """Names of all stored tables."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """True if the table exists."""
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        """Direct access to a stored table (read-only use expected)."""
+        if name not in self._tables:
+            raise SQLExecutionError(f"no such table: {name}")
+        return self._tables[name]
+
+    def row_count(self, name: str) -> int:
+        """Row count of a table."""
+        return self.table(name).num_rows
+
+    def estimated_bytes(self, name: str | None = None) -> int:
+        """Approximate bytes held by one table (or the whole catalog)."""
+        if name is not None:
+            return self.table(name).estimated_bytes()
+        return sum(table.estimated_bytes() for table in self._tables.values())
+
+    def clear(self) -> None:
+        """Drop every table."""
+        self._tables.clear()
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute a SQL script; returns the result of the last statement."""
+        statements = parse_sql(sql)
+        result = QueryResult([], [])
+        for statement in statements:
+            result = self._execute_statement(statement)
+        return result
+
+    def executemany(self, statements: list[str]) -> list[QueryResult]:
+        """Execute several scripts, returning one result per script."""
+        return [self.execute(sql) for sql in statements]
+
+    def _execute_statement(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, (Select, WithSelect)):
+            return self._run_query(statement)
+        if isinstance(statement, CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, CreateTableAs):
+            return self._create_table_as(statement)
+        if isinstance(statement, Insert):
+            return self._insert(statement)
+        if isinstance(statement, Delete):
+            return self._delete(statement)
+        if isinstance(statement, DropTable):
+            return self._drop(statement)
+        raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # --------------------------------------------------------------- handlers
+
+    def _run_query(self, statement: Select | WithSelect) -> QueryResult:
+        executor = SelectExecutor(self._tables)
+        names, columns = executor.execute(statement)
+        length = len(next(iter(columns.values()))) if columns else 0
+        rows = []
+        materialized = [columns[name] for name in names]
+        for index in range(length):
+            rows.append(tuple(self._to_python(column[index]) for column in materialized))
+        return QueryResult(list(names), rows)
+
+    @staticmethod
+    def _to_python(value):
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, np.bool_):
+            return bool(value)
+        return value
+
+    def _create_table(self, statement: CreateTable) -> QueryResult:
+        if statement.name in self._tables:
+            raise SQLExecutionError(f"table {statement.name!r} already exists")
+        column_types = [(column.name, column.type_name) for column in statement.columns]
+        self._tables[statement.name] = Table.empty(statement.name, column_types)
+        return QueryResult([], [], rowcount=0)
+
+    def _create_table_as(self, statement: CreateTableAs) -> QueryResult:
+        if statement.name in self._tables:
+            raise SQLExecutionError(f"table {statement.name!r} already exists")
+        executor = SelectExecutor(self._tables)
+        names, columns = executor.execute(statement.query)
+        self._tables[statement.name] = Table(statement.name, {name: columns[name] for name in names})
+        return QueryResult([], [], rowcount=self._tables[statement.name].num_rows)
+
+    def _insert(self, statement: Insert) -> QueryResult:
+        table = self.table(statement.table)
+        rows = [tuple(_literal_value(value) for value in row) for row in statement.rows]
+        inserted = table.append_rows(statement.columns, rows)
+        return QueryResult([], [], rowcount=inserted)
+
+    def _delete(self, statement: Delete) -> QueryResult:
+        table = self.table(statement.table)
+        if statement.where is None:
+            deleted = table.num_rows
+            mask = np.ones(table.num_rows, dtype=bool)
+        else:
+            frame = table.frame(table.name)
+            evaluator = ExpressionEvaluator(frame, table.num_rows)
+            mask = evaluator.evaluate(statement.where).astype(bool)
+            deleted = int(mask.sum())
+        table.delete_where(mask)
+        return QueryResult([], [], rowcount=deleted)
+
+    def _drop(self, statement: DropTable) -> QueryResult:
+        if statement.name not in self._tables:
+            if statement.if_exists:
+                return QueryResult([], [], rowcount=0)
+            raise SQLExecutionError(f"no such table: {statement.name}")
+        del self._tables[statement.name]
+        return QueryResult([], [], rowcount=0)

@@ -1,0 +1,499 @@
+"""Recursive-descent SQL parser for the embedded columnar engine.
+
+Grammar (informal)::
+
+    statement   := select | with_select | create_table | create_table_as
+                 | insert | delete | drop
+    select      := SELECT [DISTINCT] items FROM source join* [WHERE expr]
+                   [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT n]
+    expr        := or_expr with the usual precedence chain
+                   (OR < AND < NOT < comparison < bitwise or < bitwise and
+                    < shifts < additive < multiplicative < unary)
+
+Operator precedence follows SQLite, which is what the translation layer's
+generated expressions (bitwise masks inside comparisons) rely on.
+"""
+
+from __future__ import annotations
+
+from ...errors import SQLParseError
+from .ast_nodes import (
+    BinaryOp,
+    CaseExpression,
+    ColumnDefinition,
+    ColumnRef,
+    CommonTableExpression,
+    CreateTable,
+    CreateTableAs,
+    Delete,
+    DropTable,
+    Expression,
+    FunctionCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableSource,
+    UnaryOp,
+    WithSelect,
+)
+from .tokenizer import END, IDENTIFIER, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING, Token, tokenize
+
+#: Aggregate function names recognized by the executor.
+AGGREGATE_FUNCTIONS = {"sum", "count", "min", "max", "avg", "total"}
+
+
+class Parser:
+    """Parses one SQL statement from a token stream."""
+
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._position = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != END:
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        return self._peek().matches(kind, text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, text):
+            expectation = text or kind
+            raise SQLParseError(
+                f"expected {expectation!r} but found {token.text!r} at offset {token.position} in: {self._sql[:120]}..."
+            )
+        return self._advance()
+
+    def at_end(self) -> bool:
+        """True when all meaningful tokens have been consumed."""
+        return self._check(END)
+
+    # ------------------------------------------------------------ statements
+
+    def parse_statement(self) -> Statement:
+        """Parse a single statement (semicolons are handled by the engine)."""
+        if self._check(KEYWORD, "with"):
+            return self._parse_with_select()
+        if self._check(KEYWORD, "select"):
+            return self._parse_select()
+        if self._check(KEYWORD, "create"):
+            return self._parse_create()
+        if self._check(KEYWORD, "insert"):
+            return self._parse_insert()
+        if self._check(KEYWORD, "delete"):
+            return self._parse_delete()
+        if self._check(KEYWORD, "drop"):
+            return self._parse_drop()
+        token = self._peek()
+        raise SQLParseError(f"unsupported statement starting with {token.text!r}")
+
+    def _parse_with_select(self) -> WithSelect:
+        self._expect(KEYWORD, "with")
+        ctes: list[CommonTableExpression] = []
+        while True:
+            name = self._expect(IDENTIFIER).text
+            self._expect(KEYWORD, "as")
+            self._expect(PUNCT, "(")
+            query = self._parse_select()
+            self._expect(PUNCT, ")")
+            ctes.append(CommonTableExpression(name, query))
+            if not self._accept(PUNCT, ","):
+                break
+        query = self._parse_select()
+        return WithSelect(tuple(ctes), query)
+
+    def _parse_select(self) -> Select:
+        self._expect(KEYWORD, "select")
+        distinct = bool(self._accept(KEYWORD, "distinct"))
+        items = [self._parse_select_item()]
+        while self._accept(PUNCT, ","):
+            items.append(self._parse_select_item())
+
+        source: TableSource | None = None
+        joins: list[Join] = []
+        if self._accept(KEYWORD, "from"):
+            source = self._parse_table_source()
+            while True:
+                kind = None
+                if self._check(KEYWORD, "join"):
+                    self._advance()
+                    kind = "inner"
+                elif self._check(KEYWORD, "inner") and self._peek(1).matches(KEYWORD, "join"):
+                    self._advance()
+                    self._advance()
+                    kind = "inner"
+                elif self._check(KEYWORD, "left"):
+                    self._advance()
+                    self._expect(KEYWORD, "join")
+                    kind = "left"
+                else:
+                    break
+                join_source = self._parse_table_source()
+                self._expect(KEYWORD, "on")
+                condition = self._parse_expression()
+                joins.append(Join(join_source, condition, kind))
+
+        where = None
+        if self._accept(KEYWORD, "where"):
+            where = self._parse_expression()
+
+        group_by: list[Expression] = []
+        if self._check(KEYWORD, "group"):
+            self._advance()
+            self._expect(KEYWORD, "by")
+            group_by.append(self._parse_expression())
+            while self._accept(PUNCT, ","):
+                group_by.append(self._parse_expression())
+
+        having = None
+        if self._accept(KEYWORD, "having"):
+            having = self._parse_expression()
+
+        order_by: list[OrderItem] = []
+        if self._check(KEYWORD, "order"):
+            self._advance()
+            self._expect(KEYWORD, "by")
+            order_by.append(self._parse_order_item())
+            while self._accept(PUNCT, ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept(KEYWORD, "limit"):
+            token = self._expect(NUMBER)
+            limit = int(float(token.text))
+
+        return Select(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._check(OPERATOR, "*"):
+            self._advance()
+            return SelectItem(Star())
+        # table.* projection
+        if (
+            self._check(IDENTIFIER)
+            and self._peek(1).matches(PUNCT, ".")
+            and self._peek(2).matches(OPERATOR, "*")
+        ):
+            table = self._advance().text
+            self._advance()
+            self._advance()
+            return SelectItem(Star(table=table))
+        expression = self._parse_expression()
+        alias = None
+        if self._accept(KEYWORD, "as"):
+            alias = self._expect(IDENTIFIER).text
+        elif self._check(IDENTIFIER):
+            alias = self._advance().text
+        return SelectItem(expression, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._accept(KEYWORD, "desc"):
+            descending = True
+        elif self._accept(KEYWORD, "asc"):
+            descending = False
+        return OrderItem(expression, descending)
+
+    def _parse_table_source(self) -> TableSource:
+        name = self._expect(IDENTIFIER).text
+        alias = None
+        if self._accept(KEYWORD, "as"):
+            alias = self._expect(IDENTIFIER).text
+        elif self._check(IDENTIFIER):
+            alias = self._advance().text
+        return TableSource(name, alias)
+
+    def _parse_create(self) -> Statement:
+        self._expect(KEYWORD, "create")
+        temporary = bool(self._accept(KEYWORD, "temp") or self._accept(KEYWORD, "temporary"))
+        self._expect(KEYWORD, "table")
+        name = self._expect(IDENTIFIER).text
+        if self._accept(KEYWORD, "as"):
+            if self._check(KEYWORD, "with"):
+                query: Select | WithSelect = self._parse_with_select()
+            else:
+                query = self._parse_select()
+            return CreateTableAs(name, query, temporary)
+        self._expect(PUNCT, "(")
+        columns: list[ColumnDefinition] = []
+        while True:
+            column_name = self._expect(IDENTIFIER).text
+            type_name = self._expect(IDENTIFIER).text
+            not_null = False
+            while True:
+                if self._accept(KEYWORD, "not"):
+                    self._expect(KEYWORD, "null")
+                    not_null = True
+                elif self._accept(KEYWORD, "primary"):
+                    self._expect(KEYWORD, "key")
+                else:
+                    break
+            columns.append(ColumnDefinition(column_name, type_name.upper(), not_null))
+            if not self._accept(PUNCT, ","):
+                break
+        self._expect(PUNCT, ")")
+        return CreateTable(name, tuple(columns), temporary)
+
+    def _parse_insert(self) -> Insert:
+        self._expect(KEYWORD, "insert")
+        self._expect(KEYWORD, "into")
+        table = self._expect(IDENTIFIER).text
+        columns: list[str] = []
+        if self._accept(PUNCT, "("):
+            columns.append(self._expect(IDENTIFIER).text)
+            while self._accept(PUNCT, ","):
+                columns.append(self._expect(IDENTIFIER).text)
+            self._expect(PUNCT, ")")
+        self._expect(KEYWORD, "values")
+        rows: list[tuple[Expression, ...]] = []
+        while True:
+            self._expect(PUNCT, "(")
+            values = [self._parse_expression()]
+            while self._accept(PUNCT, ","):
+                values.append(self._parse_expression())
+            self._expect(PUNCT, ")")
+            rows.append(tuple(values))
+            if not self._accept(PUNCT, ","):
+                break
+        return Insert(table, tuple(columns), tuple(rows))
+
+    def _parse_delete(self) -> Delete:
+        self._expect(KEYWORD, "delete")
+        self._expect(KEYWORD, "from")
+        table = self._expect(IDENTIFIER).text
+        where = None
+        if self._accept(KEYWORD, "where"):
+            where = self._parse_expression()
+        return Delete(table, where)
+
+    def _parse_drop(self) -> DropTable:
+        self._expect(KEYWORD, "drop")
+        self._expect(KEYWORD, "table")
+        if_exists = False
+        if self._accept(KEYWORD, "if"):
+            self._expect(KEYWORD, "exists")
+            if_exists = True
+        name = self._expect(IDENTIFIER).text
+        return DropTable(name, if_exists)
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._check(KEYWORD, "or"):
+            self._advance()
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._check(KEYWORD, "and"):
+            self._advance()
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._check(KEYWORD, "not"):
+            self._advance()
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_bitor()
+        while True:
+            if self._check(OPERATOR) and self._peek().text in ("=", "<", ">", "<=", ">=", "<>", "!="):
+                operator = self._advance().text
+                operator = "!=" if operator == "<>" else operator
+                left = BinaryOp(operator, left, self._parse_bitor())
+                continue
+            if self._check(KEYWORD, "is"):
+                self._advance()
+                negated = bool(self._accept(KEYWORD, "not"))
+                self._expect(KEYWORD, "null")
+                left = IsNull(left, negated)
+                continue
+            if self._check(KEYWORD, "in") or (
+                self._check(KEYWORD, "not") and self._peek(1).matches(KEYWORD, "in")
+            ):
+                negated = False
+                if self._check(KEYWORD, "not"):
+                    self._advance()
+                    negated = True
+                self._advance()  # IN
+                self._expect(PUNCT, "(")
+                values = [self._parse_expression()]
+                while self._accept(PUNCT, ","):
+                    values.append(self._parse_expression())
+                self._expect(PUNCT, ")")
+                left = InList(left, tuple(values), negated)
+                continue
+            return left
+
+    def _parse_bitor(self) -> Expression:
+        left = self._parse_bitand()
+        while self._check(OPERATOR, "|"):
+            self._advance()
+            left = BinaryOp("|", left, self._parse_bitand())
+        return left
+
+    def _parse_bitand(self) -> Expression:
+        left = self._parse_shift()
+        while self._check(OPERATOR, "&"):
+            self._advance()
+            left = BinaryOp("&", left, self._parse_shift())
+        return left
+
+    def _parse_shift(self) -> Expression:
+        left = self._parse_additive()
+        while self._check(OPERATOR) and self._peek().text in ("<<", ">>"):
+            operator = self._advance().text
+            left = BinaryOp(operator, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._check(OPERATOR) and self._peek().text in ("+", "-", "||"):
+            operator = self._advance().text
+            left = BinaryOp(operator, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self._check(OPERATOR) and self._peek().text in ("*", "/", "%"):
+            operator = self._advance().text
+            left = BinaryOp(operator, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._check(OPERATOR) and self._peek().text in ("-", "+", "~"):
+            operator = self._advance().text
+            return UnaryOp(operator, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+
+        if token.kind == NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text.lower():
+                return Literal(float(text))
+            return Literal(int(text))
+
+        if token.kind == STRING:
+            self._advance()
+            return Literal(token.text)
+
+        if token.matches(KEYWORD, "null"):
+            self._advance()
+            return Literal(None)
+
+        if token.matches(KEYWORD, "case"):
+            return self._parse_case()
+
+        if token.matches(PUNCT, "("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect(PUNCT, ")")
+            return expression
+
+        if token.kind == IDENTIFIER:
+            # Function call?
+            if self._peek(1).matches(PUNCT, "("):
+                name = self._advance().text
+                self._advance()  # (
+                distinct = bool(self._accept(KEYWORD, "distinct"))
+                if self._check(OPERATOR, "*"):
+                    self._advance()
+                    self._expect(PUNCT, ")")
+                    return FunctionCall(name.lower(), (), is_star=True, distinct=distinct)
+                arguments: list[Expression] = []
+                if not self._check(PUNCT, ")"):
+                    arguments.append(self._parse_expression())
+                    while self._accept(PUNCT, ","):
+                        arguments.append(self._parse_expression())
+                self._expect(PUNCT, ")")
+                return FunctionCall(name.lower(), tuple(arguments), distinct=distinct)
+            # Qualified or bare column reference.
+            name = self._advance().text
+            if self._accept(PUNCT, "."):
+                column = self._expect(IDENTIFIER).text
+                return ColumnRef(column, table=name)
+            return ColumnRef(name)
+
+        raise SQLParseError(f"unexpected token {token.text!r} at offset {token.position}")
+
+    def _parse_case(self) -> CaseExpression:
+        self._expect(KEYWORD, "case")
+        conditions: list[Expression] = []
+        results: list[Expression] = []
+        while self._accept(KEYWORD, "when"):
+            conditions.append(self._parse_expression())
+            self._expect(KEYWORD, "then")
+            results.append(self._parse_expression())
+        default = None
+        if self._accept(KEYWORD, "else"):
+            default = self._parse_expression()
+        self._expect(KEYWORD, "end")
+        if not conditions:
+            raise SQLParseError("CASE expression needs at least one WHEN branch")
+        return CaseExpression(tuple(conditions), tuple(results), default)
+
+
+def parse_sql(sql: str) -> list[Statement]:
+    """Parse a SQL script (one or more ;-separated statements)."""
+    tokens = tokenize(sql)
+    statements: list[Statement] = []
+    parser = Parser(tokens, sql)
+    while not parser.at_end():
+        statements.append(parser.parse_statement())
+        while parser._accept(PUNCT, ";"):
+            pass
+    if not statements:
+        raise SQLParseError("empty SQL statement")
+    return statements
+
+
+def parse_one(sql: str) -> Statement:
+    """Parse exactly one statement, raising if the script contains several."""
+    statements = parse_sql(sql)
+    if len(statements) != 1:
+        raise SQLParseError(f"expected one statement, found {len(statements)}")
+    return statements[0]

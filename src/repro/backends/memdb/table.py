@@ -1,0 +1,158 @@
+"""Columnar table storage for the embedded engine.
+
+A :class:`Table` stores each column as a numpy array (int64 for integer
+types, float64 for reals, object for strings), which is what makes the
+engine "columnar and vectorized" in the DuckDB sense: every operator works
+on whole column vectors instead of Python rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ...errors import SQLExecutionError
+
+#: SQL type names mapped to numpy dtypes.
+_TYPE_MAP = {
+    "INTEGER": np.int64,
+    "INT": np.int64,
+    "BIGINT": np.int64,
+    "SMALLINT": np.int64,
+    "REAL": np.float64,
+    "DOUBLE": np.float64,
+    "FLOAT": np.float64,
+    "NUMERIC": np.float64,
+    "TEXT": object,
+    "VARCHAR": object,
+    "STRING": object,
+}
+
+
+def dtype_for_sql_type(type_name: str) -> type:
+    """numpy dtype for a declared SQL column type (defaults to float64)."""
+    return _TYPE_MAP.get(type_name.upper(), np.float64)
+
+
+class Table:
+    """A named collection of equally-long numpy columns."""
+
+    __slots__ = ("name", "_columns", "_dtypes")
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        self.name = name
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SQLExecutionError(f"table {name!r}: column lengths differ ({lengths})")
+        self._columns = {column: np.asarray(values) for column, values in columns.items()}
+        self._dtypes = {column: values.dtype for column, values in self._columns.items()}
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def empty(cls, name: str, column_types: Sequence[tuple[str, str]]) -> "Table":
+        """An empty table with declared column types."""
+        columns = {
+            column: np.empty(0, dtype=dtype_for_sql_type(type_name))
+            for column, type_name in column_types
+        }
+        return cls(name, columns)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self._columns.keys())
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        if not self._columns:
+            return 0
+        first = next(iter(self._columns.values()))
+        return int(len(first))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The numpy array backing one column."""
+        if name not in self._columns:
+            raise SQLExecutionError(f"table {self.name!r} has no column {name!r}")
+        return self._columns[name]
+
+    def has_column(self, name: str) -> bool:
+        """True if the column exists."""
+        return name in self._columns
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size of the column data."""
+        return int(sum(values.nbytes for values in self._columns.values()))
+
+    # --------------------------------------------------------------- mutation
+
+    def append_rows(self, column_order: Sequence[str], rows: Iterable[Sequence[object]]) -> int:
+        """Append literal rows (INSERT ... VALUES); returns the number of rows added."""
+        rows = list(rows)
+        if not rows:
+            return 0
+        order = list(column_order) if column_order else self.column_names
+        missing = [column for column in order if column not in self._columns]
+        if missing:
+            raise SQLExecutionError(f"table {self.name!r} has no column(s) {missing}")
+        if set(order) != set(self.column_names):
+            raise SQLExecutionError(
+                f"INSERT must provide all columns of {self.name!r} ({self.column_names}); got {order}"
+            )
+        for row in rows:
+            if len(row) != len(order):
+                raise SQLExecutionError(
+                    f"INSERT row has {len(row)} values for {len(order)} columns in {self.name!r}"
+                )
+        by_column: dict[str, list[object]] = {column: [] for column in order}
+        for row in rows:
+            for column, value in zip(order, row):
+                by_column[column].append(value)
+        for column in self.column_names:
+            existing = self._columns[column]
+            new_values = np.asarray(by_column[column], dtype=existing.dtype if existing.dtype != object else object)
+            self._columns[column] = np.concatenate([existing, new_values]) if existing.size else new_values.astype(existing.dtype, copy=False)
+        return len(rows)
+
+    def delete_where(self, mask: np.ndarray) -> int:
+        """Delete the rows where ``mask`` is true; returns the number deleted."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_rows:
+            raise SQLExecutionError("DELETE mask length does not match the table")
+        keep = ~mask
+        deleted = int(mask.sum())
+        for column in self.column_names:
+            self._columns[column] = self._columns[column][keep]
+        return deleted
+
+    # ----------------------------------------------------------------- views
+
+    def frame(self, binding: str | None = None) -> dict[str, np.ndarray]:
+        """Column dictionary keyed by both qualified and bare names."""
+        binding = binding or self.name
+        frame: dict[str, np.ndarray] = {}
+        for column, values in self._columns.items():
+            frame[f"{binding}.{column}"] = values
+            frame.setdefault(column, values)
+        return frame
+
+    def rows(self) -> list[tuple]:
+        """Materialize all rows as Python tuples (column order preserved)."""
+        columns = [self._columns[name] for name in self.column_names]
+        return [tuple(column[index].item() if hasattr(column[index], "item") else column[index] for column in columns) for index in range(self.num_rows)]
+
+    def copy(self, name: str | None = None) -> "Table":
+        """A deep copy (used when a CTE result must not alias a stored table)."""
+        return Table(name or self.name, {column: values.copy() for column, values in self._columns.items()})
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={self.column_names}, rows={self.num_rows})"

@@ -1,0 +1,76 @@
+"""Execution backend wrapping the embedded columnar engine.
+
+This backend plays the role DuckDB plays in the paper: a vectorized,
+columnar, analytical engine executing the generated SQL.  Because DuckDB
+cannot be installed in the offline reproduction environment, the engine is
+implemented from scratch in :mod:`repro.backends.memdb`; when a real DuckDB
+is available, :class:`repro.backends.duckdb_backend.DuckDBBackend` runs the
+identical SQL unchanged.
+"""
+
+from __future__ import annotations
+
+from ..errors import BackendError
+from ..sql.dialect import MEMDB
+from .base import MODE_CTE, RelationalBackend
+from .memdb.engine import MemDatabase
+
+
+class MemDBBackend(RelationalBackend):
+    """Runs translated circuits on the embedded columnar SQL engine."""
+
+    name = "memdb"
+    dialect = MEMDB
+
+    def __init__(
+        self,
+        mode: str = MODE_CTE,
+        prune_epsilon: float | None = None,
+        fuse: bool = False,
+        max_fused_qubits: int = 2,
+        keep_intermediate: bool = False,
+        max_state_bytes: int | None = None,
+        prune_atol: float = 1e-12,
+    ) -> None:
+        super().__init__(
+            mode=mode,
+            prune_epsilon=prune_epsilon,
+            fuse=fuse,
+            max_fused_qubits=max_fused_qubits,
+            keep_intermediate=keep_intermediate,
+            max_state_bytes=max_state_bytes,
+            prune_atol=prune_atol,
+        )
+        self._database: MemDatabase | None = None
+
+    # ------------------------------------------------------------ connection
+
+    def _connect(self) -> None:
+        self._database = MemDatabase()
+
+    def _disconnect(self) -> None:
+        if self._database is not None:
+            self._database.clear()
+        self._database = None
+
+    def _require_database(self) -> MemDatabase:
+        if self._database is None:
+            raise BackendError("memdb backend is not connected")
+        return self._database
+
+    # --------------------------------------------------------------- execute
+
+    def _execute(self, sql: str) -> None:
+        self._require_database().execute(sql)
+
+    def _fetch(self, sql: str) -> list[tuple]:
+        return list(self._require_database().execute(sql).rows)
+
+    def _table_row_count(self, table: str) -> int:
+        # Cheaper than COUNT(*): the catalog already knows the row count.
+        return self._require_database().row_count(table)
+
+    @property
+    def database(self) -> MemDatabase | None:
+        """The underlying engine instance (only valid while connected)."""
+        return self._database

@@ -1,0 +1,122 @@
+"""Benchmark records and timing metrics.
+
+Every benchmark run produces a flat list of :class:`BenchmarkRecord` rows —
+one per (workload, size, method) combination — holding the performance
+metrics the paper's Output Layer displays: execution time, memory usage of
+the state representation, and success/failure status (a method that exceeds
+its memory budget records ``status="out_of_memory"`` instead of aborting the
+whole comparison).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import BenchmarkError
+
+#: Run status values.
+STATUS_OK = "ok"
+STATUS_OOM = "out_of_memory"
+STATUS_ERROR = "error"
+STATUS_SKIPPED = "skipped"
+
+
+@dataclass
+class BenchmarkRecord:
+    """One benchmark measurement."""
+
+    workload: str
+    num_qubits: int
+    method: str
+    status: str = STATUS_OK
+    wall_time_s: float = 0.0
+    peak_state_rows: int = 0
+    peak_state_bytes: int = 0
+    final_nonzero: int = 0
+    num_gates: int = 0
+    error: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat dictionary for CSV/JSON export."""
+        row = {
+            "workload": self.workload,
+            "num_qubits": self.num_qubits,
+            "method": self.method,
+            "status": self.status,
+            "wall_time_s": self.wall_time_s,
+            "peak_state_rows": self.peak_state_rows,
+            "peak_state_bytes": self.peak_state_bytes,
+            "final_nonzero": self.final_nonzero,
+            "num_gates": self.num_gates,
+            "error": self.error,
+        }
+        row.update({f"extra_{key}": value for key, value in self.extra.items()})
+        return row
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the run completed within its budgets."""
+        return self.status == STATUS_OK
+
+
+@dataclass
+class TimingStats:
+    """Aggregate of repeated timing measurements."""
+
+    samples: list[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.samples) if len(self.samples) > 1 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "median_s": self.median,
+            "stdev_s": self.stdev,
+            "repeats": len(self.samples),
+        }
+
+
+def time_callable(function: Callable[[], object], repeats: int = 3, warmup: int = 0) -> TimingStats:
+    """Time a zero-argument callable ``repeats`` times (after ``warmup`` calls)."""
+    if repeats < 1:
+        raise BenchmarkError("repeats must be at least 1")
+    for _round in range(warmup):
+        function()
+    samples: list[float] = []
+    for _round in range(repeats):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return TimingStats(samples)
+
+
+def speedup(baseline: Sequence[BenchmarkRecord], candidate: Sequence[BenchmarkRecord]) -> dict[tuple[str, int], float]:
+    """Per-(workload, size) speedup of ``candidate`` over ``baseline`` (time ratio)."""
+    base_index = {(record.workload, record.num_qubits): record for record in baseline if record.succeeded}
+    ratios: dict[tuple[str, int], float] = {}
+    for record in candidate:
+        key = (record.workload, record.num_qubits)
+        reference = base_index.get(key)
+        if reference is None or not record.succeeded or record.wall_time_s <= 0:
+            continue
+        ratios[key] = reference.wall_time_s / record.wall_time_s
+    return ratios

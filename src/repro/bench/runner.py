@@ -1,0 +1,176 @@
+"""The benchmark runner: execute workloads across simulation methods.
+
+This is the programmatic form of the paper's "benchmarking suite for
+systematically comparing RDBMS performance against alternative simulators on
+a wide range of circuit inputs": a :class:`BenchmarkRunner` is configured
+with methods (backends and simulators), workloads and qubit counts, runs the
+cross product, verifies results against a reference method and collects
+:class:`~repro.bench.metrics.BenchmarkRecord` rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..backends import MemDBBackend, SQLiteBackend
+from ..core.circuit import QuantumCircuit
+from ..errors import BenchmarkError, QymeraError, ResourceLimitExceeded
+from ..output.analysis import states_agree
+from ..output.result import SimulationResult
+from ..simulators import (
+    DecisionDiagramSimulator,
+    MPSSimulator,
+    SparseSimulator,
+    StatevectorSimulator,
+)
+from .metrics import STATUS_ERROR, STATUS_OK, STATUS_OOM, STATUS_SKIPPED, BenchmarkRecord
+from .workloads import Workload, get_workload
+
+#: Factory type: builds a fresh simulator/backend for one run.
+MethodFactory = Callable[[], object]
+
+
+def default_method_factories(max_state_bytes: int | None = None) -> dict[str, MethodFactory]:
+    """The standard method set: both RDBMS backends plus all baseline simulators."""
+    return {
+        "sqlite": lambda: SQLiteBackend(mode="materialized", max_state_bytes=max_state_bytes),
+        "memdb": lambda: MemDBBackend(mode="materialized", max_state_bytes=max_state_bytes),
+        "statevector": lambda: StatevectorSimulator(max_state_bytes=max_state_bytes),
+        "sparse": lambda: SparseSimulator(max_state_bytes=max_state_bytes),
+        "mps": lambda: MPSSimulator(max_state_bytes=max_state_bytes),
+        "dd": lambda: DecisionDiagramSimulator(max_state_bytes=max_state_bytes),
+    }
+
+
+class BenchmarkRunner:
+    """Runs (workload x size x method) combinations and records metrics.
+
+    Parameters
+    ----------
+    methods:
+        Mapping of method name to a zero-argument factory returning a fresh
+        simulator or backend for every run (so per-run state never leaks).
+    reference:
+        Name of the method whose result is used for correctness checking
+        (default ``statevector`` when present).  Verification is skipped for
+        sizes where the reference itself fails or is absent.
+    verify:
+        Whether to cross-check every successful result against the reference.
+    """
+
+    def __init__(
+        self,
+        methods: Mapping[str, MethodFactory] | None = None,
+        reference: str | None = "statevector",
+        verify: bool = True,
+    ) -> None:
+        self.methods = dict(methods) if methods is not None else default_method_factories()
+        if not self.methods:
+            raise BenchmarkError("at least one method is required")
+        self.reference = reference if reference in self.methods else None
+        self.verify = verify and self.reference is not None
+
+    # ----------------------------------------------------------------- running
+
+    def run_circuit(self, circuit: QuantumCircuit, workload_name: str = "") -> list[BenchmarkRecord]:
+        """Run one concrete circuit through every configured method."""
+        records: list[BenchmarkRecord] = []
+        results: dict[str, SimulationResult] = {}
+        for method_name, factory in self.methods.items():
+            record = BenchmarkRecord(
+                workload=workload_name or circuit.name,
+                num_qubits=circuit.num_qubits,
+                method=method_name,
+                num_gates=circuit.size(),
+            )
+            try:
+                simulator = factory()
+                result = simulator.run(circuit)
+            except ResourceLimitExceeded as exc:
+                record.status = STATUS_OOM
+                record.error = str(exc)
+            except QymeraError as exc:
+                record.status = STATUS_ERROR
+                record.error = str(exc)
+            else:
+                results[method_name] = result
+                record.status = STATUS_OK
+                record.wall_time_s = result.wall_time_s
+                record.peak_state_rows = result.peak_state_rows
+                record.peak_state_bytes = result.peak_state_bytes
+                record.final_nonzero = result.state.num_nonzero
+                for key in ("max_bond_dimension", "unique_nodes"):
+                    if key in result.metadata:
+                        record.extra[key] = result.metadata[key]
+            records.append(record)
+
+        if self.verify and self.reference in results:
+            reference_state = results[self.reference].state
+            for record in records:
+                if record.method == self.reference or record.status != STATUS_OK:
+                    continue
+                agrees = states_agree(reference_state, results[record.method].state, atol=1e-6)
+                record.extra["matches_reference"] = bool(agrees)
+                if not agrees:
+                    record.status = STATUS_ERROR
+                    record.error = "result differs from the reference method"
+        return records
+
+    def run_workload(self, workload: Workload | str, sizes: Sequence[int]) -> list[BenchmarkRecord]:
+        """Run a named workload at several qubit counts."""
+        workload = get_workload(workload) if isinstance(workload, str) else workload
+        records: list[BenchmarkRecord] = []
+        for num_qubits in sizes:
+            try:
+                circuit = workload.build(num_qubits)
+            except QymeraError as exc:
+                for method_name in self.methods:
+                    records.append(
+                        BenchmarkRecord(
+                            workload=workload.name,
+                            num_qubits=num_qubits,
+                            method=method_name,
+                            status=STATUS_SKIPPED,
+                            error=f"workload construction failed: {exc}",
+                        )
+                    )
+                continue
+            records.extend(self.run_circuit(circuit, workload_name=workload.name))
+        return records
+
+    def run_suite(self, workloads: Iterable[Workload | str], sizes: Sequence[int]) -> list[BenchmarkRecord]:
+        """Run several workloads over the same size sweep."""
+        records: list[BenchmarkRecord] = []
+        for workload in workloads:
+            records.extend(self.run_workload(workload, sizes))
+        return records
+
+    # ------------------------------------------------------------ capacity
+
+    def max_simulable_qubits(
+        self,
+        workload: Workload | str,
+        max_state_bytes: int,
+        candidate_sizes: Sequence[int],
+    ) -> dict[str, int]:
+        """Largest workload size each method completes under a byte budget.
+
+        This is the experiment behind the paper's "k x more qubits under a
+        fixed memory limit" claim: every method gets the same budget, the
+        workload is swept upward, and the largest successful width is
+        recorded (0 if even the smallest size fails).
+        """
+        workload = get_workload(workload) if isinstance(workload, str) else workload
+        best: dict[str, int] = {name: 0 for name in self.methods}
+        for num_qubits in sorted(candidate_sizes):
+            circuit = workload.build(num_qubits)
+            for method_name, factory in self.methods.items():
+                simulator = factory()
+                if getattr(simulator, "max_state_bytes", None) is None:
+                    simulator.max_state_bytes = max_state_bytes
+                try:
+                    simulator.run(circuit)
+                except QymeraError:
+                    continue
+                best[method_name] = max(best[method_name], num_qubits)
+        return best

@@ -1,0 +1,117 @@
+"""Parameter-space sweeps over parameterized circuit families.
+
+Sec. 3.3: "Researchers can define families of circuits with varying
+parameters, and Qymera automates simulation across the parameter space."
+A :class:`ParameterSweep` couples a circuit-family factory with a grid of
+parameter assignments; :meth:`run` simulates every grid point on the chosen
+method and collects per-point metrics plus a user-supplied observable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..errors import BenchmarkError, QymeraError
+from ..output.result import SimulationResult
+
+#: A point in parameter space: name -> value.
+ParameterPoint = dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """Result of one grid point."""
+
+    point: ParameterPoint
+    status: str
+    wall_time_s: float = 0.0
+    nonzero_amplitudes: int = 0
+    observable: float | None = None
+    error: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        row = {f"param_{name}": value for name, value in self.point.items()}
+        row.update(
+            {
+                "status": self.status,
+                "wall_time_s": self.wall_time_s,
+                "nonzero_amplitudes": self.nonzero_amplitudes,
+                "observable": self.observable,
+                "error": self.error,
+            }
+        )
+        return row
+
+
+def grid(points: Mapping[str, Sequence[float]]) -> list[ParameterPoint]:
+    """Cartesian product of per-parameter value lists."""
+    if not points:
+        raise BenchmarkError("parameter grid must not be empty")
+    names = list(points)
+    combinations = itertools.product(*(points[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+class ParameterSweep:
+    """Automated simulation of a circuit family across a parameter grid.
+
+    Parameters
+    ----------
+    family:
+        Callable mapping a parameter point to a bound :class:`QuantumCircuit`
+        (typically a closure around ``bind_parameters``).
+    method_factory:
+        Zero-argument factory producing a fresh simulator/backend per point.
+    observable:
+        Optional callable mapping a :class:`SimulationResult` to a float
+        (e.g. a MaxCut expectation value); stored per point.
+    """
+
+    def __init__(
+        self,
+        family: Callable[[ParameterPoint], QuantumCircuit],
+        method_factory: Callable[[], object],
+        observable: Callable[[SimulationResult], float] | None = None,
+    ) -> None:
+        self.family = family
+        self.method_factory = method_factory
+        self.observable = observable
+
+    def run(self, points: Sequence[ParameterPoint]) -> list[SweepResult]:
+        """Simulate every parameter point, never aborting the sweep on failures."""
+        if not points:
+            raise BenchmarkError("no parameter points to sweep")
+        results: list[SweepResult] = []
+        for point in points:
+            try:
+                circuit = self.family(dict(point))
+                simulator = self.method_factory()
+                outcome = simulator.run(circuit)
+            except QymeraError as exc:
+                results.append(SweepResult(point=dict(point), status="error", error=str(exc)))
+                continue
+            value = None
+            if self.observable is not None:
+                value = float(self.observable(outcome))
+            results.append(
+                SweepResult(
+                    point=dict(point),
+                    status="ok",
+                    wall_time_s=outcome.wall_time_s,
+                    nonzero_amplitudes=outcome.state.num_nonzero,
+                    observable=value,
+                    extra={"method": outcome.method},
+                )
+            )
+        return results
+
+    def best_point(self, results: Sequence[SweepResult], maximize: bool = True) -> SweepResult:
+        """The grid point with the best observable value."""
+        scored = [result for result in results if result.status == "ok" and result.observable is not None]
+        if not scored:
+            raise BenchmarkError("no successful sweep points with an observable")
+        return max(scored, key=lambda r: r.observable) if maximize else min(scored, key=lambda r: r.observable)

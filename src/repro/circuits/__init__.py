@@ -1,0 +1,88 @@
+"""Standard circuit families used by the demos, tests and benchmarks."""
+
+from .ansatz import ansatz_parameter_count, bound_ansatz, hardware_efficient_ansatz
+from .bell import BELL_LABELS, bell_circuit, bell_expected_amplitudes
+from .ghz import ghz_circuit, ghz_expected_amplitudes, ghz_with_measurement
+from .grover import (
+    diffusion_operator,
+    grover_circuit,
+    grover_success_probability,
+    optimal_grover_iterations,
+    phase_oracle,
+)
+from .oracles import (
+    bernstein_vazirani_circuit,
+    bernstein_vazirani_expected_index,
+    deutsch_jozsa_circuit,
+    deutsch_jozsa_is_constant,
+)
+from .parity import (
+    expected_parity,
+    parity_check_circuit,
+    parity_expected_basis_state,
+    superposed_parity_circuit,
+)
+from .qaoa import (
+    complete_graph,
+    maxcut_cut_value,
+    maxcut_expected_value,
+    qaoa_maxcut_circuit,
+    ring_graph,
+)
+from .phase_estimation import (
+    expected_phase_index,
+    phase_estimation_circuit,
+    phase_estimation_success_probability,
+)
+from .qft import qft_circuit, qft_expected_amplitudes, qft_on_basis_state
+from .random_circuits import random_circuit, random_dense_circuit, random_sparse_circuit
+from .superposition import (
+    dense_phase_circuit,
+    superposition_circuit,
+    superposition_expected_amplitudes,
+)
+from .wstate import w_state_circuit, w_state_expected_amplitudes
+
+__all__ = [
+    "ansatz_parameter_count",
+    "bound_ansatz",
+    "hardware_efficient_ansatz",
+    "BELL_LABELS",
+    "bell_circuit",
+    "bell_expected_amplitudes",
+    "ghz_circuit",
+    "ghz_expected_amplitudes",
+    "ghz_with_measurement",
+    "diffusion_operator",
+    "grover_circuit",
+    "grover_success_probability",
+    "optimal_grover_iterations",
+    "phase_oracle",
+    "bernstein_vazirani_circuit",
+    "bernstein_vazirani_expected_index",
+    "deutsch_jozsa_circuit",
+    "deutsch_jozsa_is_constant",
+    "expected_phase_index",
+    "phase_estimation_circuit",
+    "phase_estimation_success_probability",
+    "expected_parity",
+    "parity_check_circuit",
+    "parity_expected_basis_state",
+    "superposed_parity_circuit",
+    "complete_graph",
+    "maxcut_cut_value",
+    "maxcut_expected_value",
+    "qaoa_maxcut_circuit",
+    "ring_graph",
+    "qft_circuit",
+    "qft_expected_amplitudes",
+    "qft_on_basis_state",
+    "random_circuit",
+    "random_dense_circuit",
+    "random_sparse_circuit",
+    "dense_phase_circuit",
+    "superposition_circuit",
+    "superposition_expected_amplitudes",
+    "w_state_circuit",
+    "w_state_expected_amplitudes",
+]

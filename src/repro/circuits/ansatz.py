@@ -1,0 +1,95 @@
+"""Hardware-efficient variational ansatz circuits.
+
+These layered RY/RZ + entangler circuits are the other standard
+parameterized family (VQE-style).  They are useful both for parameter-space
+sweeps and as tunable-density workloads: with small angles the state stays
+concentrated, with generic angles it becomes dense quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.parameters import Parameter, ParameterValue
+from ..errors import CircuitError
+
+#: Supported entanglement layouts.
+ENTANGLEMENT_PATTERNS = ("linear", "circular", "full")
+
+
+def _entangler_pairs(num_qubits: int, pattern: str) -> list[tuple[int, int]]:
+    if pattern == "linear":
+        return [(qubit, qubit + 1) for qubit in range(num_qubits - 1)]
+    if pattern == "circular":
+        pairs = [(qubit, qubit + 1) for qubit in range(num_qubits - 1)]
+        if num_qubits > 2:
+            pairs.append((num_qubits - 1, 0))
+        return pairs
+    if pattern == "full":
+        return [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    raise CircuitError(f"unknown entanglement pattern {pattern!r}; expected one of {ENTANGLEMENT_PATTERNS}")
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    reps: int = 1,
+    entanglement: str = "linear",
+    parameter_prefix: str = "theta",
+    rotation_gates: Sequence[str] = ("ry", "rz"),
+) -> QuantumCircuit:
+    """Layered rotation + CX-entangler ansatz.
+
+    Each repetition applies the chosen single-qubit rotation gates to every
+    qubit (one fresh parameter per gate) followed by a CX entangling layer;
+    a final rotation layer closes the circuit.  The total parameter count is
+    ``num_qubits * len(rotation_gates) * (reps + 1)``.
+    """
+    if num_qubits < 1:
+        raise CircuitError("ansatz needs at least one qubit")
+    if reps < 0:
+        raise CircuitError("ansatz repetitions must be non-negative")
+    for gate_name in rotation_gates:
+        if gate_name not in ("rx", "ry", "rz", "p"):
+            raise CircuitError(f"unsupported rotation gate {gate_name!r}")
+
+    circuit = QuantumCircuit(num_qubits, name=f"ansatz_{num_qubits}_r{reps}_{entanglement}")
+    pairs = _entangler_pairs(num_qubits, entanglement) if num_qubits > 1 else []
+    counter = 0
+
+    def rotation_layer() -> None:
+        nonlocal counter
+        for qubit in range(num_qubits):
+            for gate_name in rotation_gates:
+                parameter = Parameter(f"{parameter_prefix}[{counter}]")
+                getattr(circuit, gate_name)(parameter, qubit)
+                counter += 1
+
+    rotation_layer()
+    for _rep in range(reps):
+        for control, target in pairs:
+            circuit.cx(control, target)
+        rotation_layer()
+    return circuit
+
+
+def bound_ansatz(
+    num_qubits: int,
+    values: Sequence[float],
+    reps: int = 1,
+    entanglement: str = "linear",
+    rotation_gates: Sequence[str] = ("ry", "rz"),
+) -> QuantumCircuit:
+    """A hardware-efficient ansatz with all parameters bound to ``values``."""
+    ansatz = hardware_efficient_ansatz(
+        num_qubits, reps=reps, entanglement=entanglement, rotation_gates=rotation_gates
+    )
+    parameters = sorted(ansatz.parameters, key=lambda parameter: int(parameter.name.split("[")[1][:-1]))
+    if len(values) != len(parameters):
+        raise CircuitError(f"ansatz has {len(parameters)} parameters, got {len(values)} values")
+    return ansatz.bind_parameters({parameter: float(value) for parameter, value in zip(parameters, values)})
+
+
+def ansatz_parameter_count(num_qubits: int, reps: int = 1, rotation_gates: Sequence[str] = ("ry", "rz")) -> int:
+    """Number of free parameters of :func:`hardware_efficient_ansatz`."""
+    return num_qubits * len(rotation_gates) * (reps + 1)

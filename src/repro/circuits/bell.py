@@ -1,0 +1,49 @@
+"""The four Bell states, the smallest entangled circuits.
+
+Used in unit tests, the quickstart example, and the educational demo
+scenario as a two-qubit warm-up before the GHZ walk-through.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+#: Valid Bell-state labels, following the usual Phi/Psi +/- convention.
+BELL_LABELS = ("phi+", "phi-", "psi+", "psi-")
+
+
+def bell_circuit(label: str = "phi+") -> QuantumCircuit:
+    """Prepare one of the four Bell states on two qubits.
+
+    ``phi+`` = (|00> + |11>)/sqrt(2), ``phi-`` = (|00> - |11>)/sqrt(2),
+    ``psi+`` = (|01> + |10>)/sqrt(2), ``psi-`` = (|01> - |10>)/sqrt(2).
+    """
+    label = label.lower()
+    if label not in BELL_LABELS:
+        raise CircuitError(f"unknown Bell state {label!r}; expected one of {BELL_LABELS}")
+    circuit = QuantumCircuit(2, name=f"bell_{label.replace('+', 'plus').replace('-', 'minus')}")
+    if label.startswith("psi"):
+        circuit.x(1)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    if label.endswith("-"):
+        circuit.z(0)
+    return circuit
+
+
+def bell_expected_amplitudes(label: str = "phi+") -> dict[int, complex]:
+    """Exact nonzero amplitudes of the requested Bell state (basis index -> amplitude)."""
+    amplitude = 2 ** -0.5
+    label = label.lower()
+    if label == "phi+":
+        return {0b00: complex(amplitude), 0b11: complex(amplitude)}
+    if label == "phi-":
+        return {0b00: complex(amplitude), 0b11: complex(-amplitude)}
+    if label == "psi+":
+        return {0b01: complex(amplitude), 0b10: complex(amplitude)}
+    if label == "psi-":
+        # The circuit produces (|10> - |01>)/sqrt(2) up to global sign; we pin
+        # the convention produced by bell_circuit: |01> gets the minus sign.
+        return {0b01: complex(-amplitude), 0b10: complex(amplitude)}
+    raise CircuitError(f"unknown Bell state {label!r}; expected one of {BELL_LABELS}")

@@ -1,0 +1,54 @@
+"""GHZ state preparation circuits.
+
+The GHZ state ``(|0...0> + |1...1>)/sqrt(2)`` is the paper's running example
+(Fig. 2) and the workload of its "Simulation Method Benchmarking" and
+"Educational Exploration" demo scenarios.  It is the canonical *sparse*
+circuit: after the initial Hadamard the state never has more than two nonzero
+amplitudes, which is exactly the regime where the relational representation
+(and therefore the RDBMS backends) wins by orders of magnitude over a dense
+state vector.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+
+def ghz_circuit(num_qubits: int, ladder: bool = True) -> QuantumCircuit:
+    """GHZ preparation: ``H`` on qubit 0 followed by a chain of CX gates.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (>= 1).
+    ladder:
+        If True (default, and what Fig. 2 shows) each CX targets the next
+        qubit with the previous qubit as control (``cx(0,1), cx(1,2), ...``).
+        If False, all CX gates are controlled by qubit 0 (a "star" layout);
+        the final state is identical but the circuit depth differs, which is
+        useful for fusion and scheduling experiments.
+    """
+    if num_qubits < 1:
+        raise CircuitError("GHZ circuit needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for target in range(1, num_qubits):
+        control = target - 1 if ladder else 0
+        circuit.cx(control, target)
+    return circuit
+
+
+def ghz_with_measurement(num_qubits: int, ladder: bool = True) -> QuantumCircuit:
+    """GHZ preparation followed by measurement of every qubit."""
+    circuit = ghz_circuit(num_qubits, ladder=ladder)
+    circuit.measure_all()
+    return circuit
+
+
+def ghz_expected_amplitudes(num_qubits: int) -> dict[int, complex]:
+    """The exact nonzero amplitudes of the GHZ state, keyed by basis index."""
+    if num_qubits < 1:
+        raise CircuitError("GHZ state needs at least one qubit")
+    amplitude = 2 ** -0.5
+    return {0: complex(amplitude), (1 << num_qubits) - 1: complex(amplitude)}

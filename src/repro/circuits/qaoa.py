@@ -1,0 +1,97 @@
+"""QAOA (Quantum Approximate Optimization Algorithm) circuit families.
+
+QAOA for MaxCut is the canonical *parameterized circuit family*: a problem
+graph fixes the ZZ cost layer, and each depth-``p`` instance carries ``2p``
+free angles ``(gamma_1, beta_1, ..., gamma_p, beta_p)``.  The paper's
+Simulation Layer automates sweeps over such parameter spaces (Sec. 3.3);
+the benchmark ``bench_parameter_sweep`` uses this family.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.parameters import Parameter, ParameterValue
+from ..errors import CircuitError
+
+Edge = tuple[int, int]
+
+
+def ring_graph(num_nodes: int) -> list[Edge]:
+    """Edges of a ring (cycle) graph on ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise CircuitError("a ring graph needs at least two nodes")
+    return [(node, (node + 1) % num_nodes) for node in range(num_nodes)]
+
+
+def complete_graph(num_nodes: int) -> list[Edge]:
+    """Edges of the complete graph on ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise CircuitError("a complete graph needs at least two nodes")
+    return [(a, b) for a in range(num_nodes) for b in range(a + 1, num_nodes)]
+
+
+def _validate_edges(num_qubits: int, edges: Iterable[Edge]) -> list[Edge]:
+    result = []
+    for edge in edges:
+        a, b = int(edge[0]), int(edge[1])
+        if a == b:
+            raise CircuitError(f"self-loop edge ({a}, {b}) is not allowed")
+        if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise CircuitError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
+        result.append((a, b))
+    if not result:
+        raise CircuitError("QAOA needs at least one edge")
+    return result
+
+
+def qaoa_maxcut_circuit(
+    num_qubits: int,
+    edges: Sequence[Edge] | None = None,
+    p: int = 1,
+    gammas: Sequence[ParameterValue] | None = None,
+    betas: Sequence[ParameterValue] | None = None,
+) -> QuantumCircuit:
+    """Depth-``p`` QAOA circuit for MaxCut on the given graph.
+
+    When ``gammas``/``betas`` are omitted, symbolic parameters
+    ``gamma[i]`` / ``beta[i]`` are created so the circuit stays a
+    parameterized family that can be bound later or swept.
+    """
+    if p < 1:
+        raise CircuitError("QAOA depth p must be at least 1")
+    edges = _validate_edges(num_qubits, edges if edges is not None else ring_graph(num_qubits))
+    if gammas is None:
+        gammas = [Parameter(f"gamma[{layer}]") for layer in range(p)]
+    if betas is None:
+        betas = [Parameter(f"beta[{layer}]") for layer in range(p)]
+    if len(gammas) != p or len(betas) != p:
+        raise CircuitError(f"need exactly {p} gamma and beta values")
+
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}_p{p}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(p):
+        gamma = gammas[layer]
+        beta = betas[layer]
+        for a, b in edges:
+            # Cost layer: e^{-i gamma Z_a Z_b} implemented directly as RZZ.
+            circuit.rzz(2 * gamma if hasattr(gamma, "parameters") else 2 * float(gamma), a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2 * beta if hasattr(beta, "parameters") else 2 * float(beta), qubit)
+    return circuit
+
+
+def maxcut_cut_value(edges: Sequence[Edge], assignment: int) -> int:
+    """Classical cut value of a bitstring ``assignment`` (bit k = side of node k)."""
+    value = 0
+    for a, b in edges:
+        if ((assignment >> a) & 1) != ((assignment >> b) & 1):
+            value += 1
+    return value
+
+
+def maxcut_expected_value(edges: Sequence[Edge], probabilities: dict[int, float]) -> float:
+    """Expected cut value of a measurement distribution over bitstrings."""
+    return sum(probability * maxcut_cut_value(edges, bitstring) for bitstring, probability in probabilities.items())

@@ -1,0 +1,73 @@
+"""Quantum Fourier transform circuits.
+
+The QFT is the standard dense, structured benchmark circuit: it uses
+Hadamards plus many controlled-phase gates, produces fully dense states from
+computational-basis inputs, and its controlled-phase ladder is a natural
+stress test for the two-qubit join path of the SQL translation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True, inverse: bool = False) -> QuantumCircuit:
+    """The quantum Fourier transform on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the transform.
+    do_swaps:
+        Append the final qubit-reversal SWAP network (default True).
+    inverse:
+        Build the inverse QFT instead.
+    """
+    if num_qubits < 1:
+        raise CircuitError("QFT needs at least one qubit")
+    name = f"{'iqft' if inverse else 'qft'}_{num_qubits}"
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for distance, control in enumerate(reversed(range(target)), start=1):
+            angle = math.pi / (2 ** distance)
+            circuit.cp(angle, control, target)
+    if do_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    if inverse:
+        circuit = circuit.inverse()
+        circuit.name = name
+    return circuit
+
+
+def qft_on_basis_state(num_qubits: int, basis_index: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Prepare ``|basis_index>`` with X gates and apply the QFT to it.
+
+    The exact output amplitudes are known analytically (see
+    :func:`qft_expected_amplitudes`), which makes this family a convenient
+    correctness check for every backend.
+    """
+    if not 0 <= basis_index < (1 << num_qubits):
+        raise CircuitError(f"basis index {basis_index} out of range for {num_qubits} qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_basis_{num_qubits}_{basis_index}")
+    for qubit in range(num_qubits):
+        if (basis_index >> qubit) & 1:
+            circuit.x(qubit)
+    return circuit.compose(qft_circuit(num_qubits, do_swaps=do_swaps))
+
+
+def qft_expected_amplitudes(num_qubits: int, basis_index: int) -> dict[int, complex]:
+    """Analytic QFT output for a basis-state input: ``2^{-n/2} e^{2 pi i j k / 2^n}``."""
+    dimension = 1 << num_qubits
+    if not 0 <= basis_index < dimension:
+        raise CircuitError(f"basis index {basis_index} out of range for {num_qubits} qubits")
+    norm = dimension ** -0.5
+    return {
+        k: norm * complex(math.cos(2 * math.pi * basis_index * k / dimension),
+                          math.sin(2 * math.pi * basis_index * k / dimension))
+        for k in range(dimension)
+    }

@@ -1,0 +1,135 @@
+"""Random circuit generators with controllable sparsity.
+
+The benchmarking framework needs workloads whose relational-state density can
+be dialled from "a handful of rows" to "all 2^n rows".  Three generators are
+provided:
+
+* :func:`random_circuit` — generic random circuits over the standard gate set
+  (used by correctness property tests: every backend must agree with the
+  dense state-vector reference).
+* :func:`random_sparse_circuit` — only permutation/diagonal gates after a
+  bounded number of branching gates, so the number of nonzero amplitudes is
+  bounded by ``2**max_branching``.
+* :func:`random_dense_circuit` — branching gates everywhere, driving the
+  state to full density quickly.
+
+All generators take an explicit seed; results are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+#: Single-qubit gates that can increase the nonzero-amplitude count.
+BRANCHING_1Q = ("h", "rx", "ry", "sx", "u")
+#: Single-qubit gates that never increase the nonzero-amplitude count.
+NON_BRANCHING_1Q = ("x", "y", "z", "s", "sdg", "t", "tdg", "rz", "p")
+#: Two-qubit gates that never increase the nonzero-amplitude count.
+NON_BRANCHING_2Q = ("cx", "cz", "cp", "swap", "rzz")
+#: Two-qubit gates that can branch.
+BRANCHING_2Q = ("ch", "crx", "cry", "rxx")
+
+
+def _append_random_gate(circuit: QuantumCircuit, name: str, qubits: Sequence[int], rng: random.Random) -> None:
+    angle = rng.uniform(0, 2 * math.pi)
+    if name in ("rx", "ry", "rz", "p"):
+        getattr(circuit, name)(angle, qubits[0])
+    elif name == "u":
+        circuit.u(angle, rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi), qubits[0])
+    elif name in ("crx", "cry", "crz", "cp"):
+        getattr(circuit, name)(angle, qubits[0], qubits[1])
+    elif name in ("rzz", "rxx"):
+        getattr(circuit, name)(angle, qubits[0], qubits[1])
+    elif name in ("cx", "cz", "ch", "cy", "swap", "iswap"):
+        getattr(circuit, name)(qubits[0], qubits[1])
+    else:
+        getattr(circuit, name)(qubits[0])
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int = 0,
+    two_qubit_probability: float = 0.4,
+) -> QuantumCircuit:
+    """A generic random circuit of the given depth.
+
+    Each layer fills the qubits with randomly chosen gates; with probability
+    ``two_qubit_probability`` a random adjacent-or-not pair receives a
+    two-qubit gate, otherwise single-qubit gates are used.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random circuit needs at least one qubit")
+    if depth < 0:
+        raise CircuitError("depth must be non-negative")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}_s{seed}")
+    one_qubit_gates = BRANCHING_1Q + NON_BRANCHING_1Q
+    two_qubit_gates = NON_BRANCHING_2Q + BRANCHING_2Q
+    for _layer in range(depth):
+        available = list(range(num_qubits))
+        rng.shuffle(available)
+        while available:
+            if len(available) >= 2 and rng.random() < two_qubit_probability:
+                a, b = available.pop(), available.pop()
+                _append_random_gate(circuit, rng.choice(two_qubit_gates), (a, b), rng)
+            else:
+                qubit = available.pop()
+                _append_random_gate(circuit, rng.choice(one_qubit_gates), (qubit,), rng)
+    return circuit
+
+
+def random_sparse_circuit(
+    num_qubits: int,
+    depth: int,
+    max_branching: int = 2,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """A random circuit whose state never exceeds ``2**max_branching`` nonzero amplitudes.
+
+    At most ``max_branching`` branching gates (Hadamards) are inserted; every
+    other gate is a permutation or diagonal gate, so sparsity is preserved.
+    This is the workload class for the sparse-capacity experiment (E3).
+    """
+    if max_branching < 0:
+        raise CircuitError("max_branching must be non-negative")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"sparse_{num_qubits}x{depth}_b{max_branching}_s{seed}")
+    branch_layers = sorted(rng.sample(range(max(depth, 1)), k=min(max_branching, depth))) if depth else []
+    for layer in range(depth):
+        if layer in branch_layers:
+            circuit.h(rng.randrange(num_qubits))
+        for qubit in range(num_qubits):
+            choice = rng.random()
+            if choice < 0.35 and num_qubits >= 2:
+                other = rng.randrange(num_qubits - 1)
+                if other >= qubit:
+                    other += 1
+                _append_random_gate(circuit, rng.choice(NON_BRANCHING_2Q), (qubit, other), rng)
+            else:
+                _append_random_gate(circuit, rng.choice(NON_BRANCHING_1Q), (qubit,), rng)
+    return circuit
+
+
+def random_dense_circuit(num_qubits: int, depth: int, seed: int = 0) -> QuantumCircuit:
+    """A random circuit that drives the state dense as fast as possible.
+
+    Every layer starts with Hadamards on all qubits followed by random
+    entangling and phase gates — the stress case for the relational
+    representation (experiment E4).
+    """
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"dense_{num_qubits}x{depth}_s{seed}")
+    for _layer in range(depth):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+        for qubit in range(0, num_qubits - 1, 2):
+            _append_random_gate(circuit, rng.choice(NON_BRANCHING_2Q), (qubit, qubit + 1), rng)
+        for qubit in range(num_qubits):
+            circuit.t(qubit)
+    return circuit

@@ -1,0 +1,59 @@
+"""Equal-superposition circuits: the canonical *dense* workload.
+
+A Hadamard on every qubit produces the uniform superposition over all
+``2**n`` basis states.  The paper's second demo scenario benchmarks this
+circuit because it is the worst case for the relational representation: the
+state table holds ``2**n`` rows, so the RDBMS loses its sparsity advantage
+and the dense state-vector simulator is expected to win (the "14% worse on
+dense circuits" observation in the introduction).
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+
+def superposition_circuit(num_qubits: int, layers: int = 1) -> QuantumCircuit:
+    """``layers`` rounds of Hadamards on every qubit.
+
+    With an odd number of layers the result is the uniform superposition;
+    with an even number it returns to |0...0> (useful for checking that the
+    relational state collapses back to a single row).
+    """
+    if num_qubits < 1:
+        raise CircuitError("superposition circuit needs at least one qubit")
+    if layers < 1:
+        raise CircuitError("superposition circuit needs at least one layer")
+    circuit = QuantumCircuit(num_qubits, name=f"superposition_{num_qubits}x{layers}")
+    for _layer in range(layers):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+    return circuit
+
+
+def dense_phase_circuit(num_qubits: int, rounds: int = 2) -> QuantumCircuit:
+    """A dense circuit with entangling structure.
+
+    Each round applies Hadamards, a ring of CZ gates and a layer of T gates.
+    The state stays fully dense (all ``2**n`` amplitudes nonzero) while also
+    exercising two-qubit joins, making it a harder dense benchmark than plain
+    Hadamard layers.
+    """
+    if num_qubits < 2:
+        raise CircuitError("dense phase circuit needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"dense_phase_{num_qubits}x{rounds}")
+    for _round in range(rounds):
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+        for qubit in range(num_qubits):
+            circuit.cz(qubit, (qubit + 1) % num_qubits)
+        for qubit in range(num_qubits):
+            circuit.t(qubit)
+    return circuit
+
+
+def superposition_expected_amplitudes(num_qubits: int) -> dict[int, complex]:
+    """Exact amplitudes of the uniform superposition (all equal to 2^{-n/2})."""
+    amplitude = complex(2 ** (-num_qubits / 2.0))
+    return {index: amplitude for index in range(1 << num_qubits)}

@@ -1,0 +1,48 @@
+"""W-state preparation circuits.
+
+The W state ``(|100..0> + |010..0> + ... + |000..1>)/sqrt(n)`` has exactly
+``n`` nonzero amplitudes — linear rather than constant (GHZ) or exponential
+(uniform superposition) — so it fills in the middle of the sparsity spectrum
+swept by the capacity benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.circuit import QuantumCircuit
+from ..errors import CircuitError
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare the n-qubit W state with the standard RY + CX cascade.
+
+    The construction rotates the amplitude of the remaining |0...0> branch
+    onto each successive qubit: qubit 0 receives amplitude ``1/sqrt(n)``,
+    then conditioned on all previous qubits being zero the next qubit
+    receives ``1/sqrt(n-1)`` of the remainder, and so on.
+    """
+    if num_qubits < 1:
+        raise CircuitError("W state needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    if num_qubits == 1:
+        circuit.x(0)
+        return circuit
+
+    # Start with the excitation on qubit 0, then distribute it to the rest.
+    circuit.x(0)
+    for stage in range(1, num_qubits):
+        remaining = num_qubits - stage + 1
+        # Rotate a 1/remaining share of the excitation from qubit stage-1 to qubit stage.
+        theta = 2 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.cry(theta, stage - 1, stage)
+        circuit.cx(stage, stage - 1)
+    return circuit
+
+
+def w_state_expected_amplitudes(num_qubits: int) -> dict[int, complex]:
+    """Exact nonzero amplitudes of the W state (one-hot basis states, equal weight)."""
+    if num_qubits < 1:
+        raise CircuitError("W state needs at least one qubit")
+    amplitude = complex(num_qubits ** -0.5)
+    return {1 << qubit: amplitude for qubit in range(num_qubits)}

@@ -1,0 +1,42 @@
+"""Core circuit intermediate representation (the paper's Circuit Layer)."""
+
+from .circuit import QuantumCircuit, circuit_from_instructions
+from .builder import CircuitGridBuilder, GatePlacement, build_circuit
+from .dag import CircuitDag, DagNode
+from .gates import (
+    Gate,
+    STANDARD_GATES,
+    canonical_gate_name,
+    controlled_gate,
+    is_standard_gate,
+    standard_gate,
+    unitary_gate,
+)
+from .instruction import Instruction
+from .parameters import Parameter, ParameterExpression, ParameterVector
+from .registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
+
+__all__ = [
+    "QuantumCircuit",
+    "circuit_from_instructions",
+    "CircuitGridBuilder",
+    "GatePlacement",
+    "build_circuit",
+    "CircuitDag",
+    "DagNode",
+    "Gate",
+    "STANDARD_GATES",
+    "canonical_gate_name",
+    "controlled_gate",
+    "is_standard_gate",
+    "standard_gate",
+    "unitary_gate",
+    "Instruction",
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "ClassicalRegister",
+    "Clbit",
+    "QuantumRegister",
+    "Qubit",
+]

@@ -1,0 +1,252 @@
+"""Programmatic model of the graphical circuit builder.
+
+The paper's Circuit Layer (Sec. 3.1, Fig. 3a) offers a drag-and-drop grid:
+columns are time steps, rows are qubits, and the user drops gate tiles onto
+cells.  :class:`CircuitGridBuilder` is the head-less equivalent: gates are
+*placed* at ``(column, qubits)`` positions, placements can be moved or
+removed, and the grid compiles to a :class:`QuantumCircuit`.
+
+It deliberately keeps the grid semantics of the UI (a column is executed
+left-to-right; within a column, placements must touch disjoint qubits) so
+round-tripping between the builder and a circuit is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import CircuitError, GateError
+from .circuit import QuantumCircuit
+from .gates import Gate, is_standard_gate, standard_gate
+from .parameters import ParameterValue
+
+
+class GatePlacement:
+    """A gate tile dropped onto the builder grid."""
+
+    __slots__ = ("gate", "qubits", "column")
+
+    def __init__(self, gate: Gate, qubits: Sequence[int], column: int) -> None:
+        if len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate {gate.name!r} needs {gate.num_qubits} qubit(s), placement has {len(qubits)}"
+            )
+        if column < 0:
+            raise CircuitError("grid column must be non-negative")
+        self.gate = gate
+        self.qubits = tuple(int(q) for q in qubits)
+        self.column = int(column)
+
+    def __repr__(self) -> str:
+        return f"GatePlacement({self.gate.name} @ qubits={list(self.qubits)}, column={self.column})"
+
+
+class CircuitGridBuilder:
+    """Head-less drag-and-drop circuit builder.
+
+    Example::
+
+        builder = CircuitGridBuilder(num_qubits=3)
+        builder.place("h", [0])               # auto-assigned to the first free column
+        builder.place("cx", [0, 1])
+        builder.place("cx", [1, 2])
+        circuit = builder.build()
+    """
+
+    def __init__(self, num_qubits: int, name: str = "builder") -> None:
+        if num_qubits < 1:
+            raise CircuitError("builder needs at least one qubit row")
+        self._num_qubits = int(num_qubits)
+        self._name = name
+        self._placements: list[GatePlacement] = []
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit rows in the grid."""
+        return self._num_qubits
+
+    @property
+    def placements(self) -> list[GatePlacement]:
+        """All placements, ordered by (column, first qubit)."""
+        return sorted(self._placements, key=lambda p: (p.column, min(p.qubits)))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of occupied columns (0 if the grid is empty)."""
+        if not self._placements:
+            return 0
+        return max(placement.column for placement in self._placements) + 1
+
+    def occupied_cells(self) -> dict[tuple[int, int], GatePlacement]:
+        """Mapping from (column, qubit) to the placement occupying that cell."""
+        cells: dict[tuple[int, int], GatePlacement] = {}
+        for placement in self._placements:
+            for qubit in placement.qubits:
+                cells[(placement.column, qubit)] = placement
+        return cells
+
+    # -------------------------------------------------------------- editing
+
+    def add_qubit(self) -> int:
+        """Add a qubit row at the bottom of the grid; returns its index."""
+        self._num_qubits += 1
+        return self._num_qubits - 1
+
+    def _validate_qubits(self, qubits: Sequence[int]) -> None:
+        for qubit in qubits:
+            if not 0 <= int(qubit) < self._num_qubits:
+                raise CircuitError(f"qubit {qubit} outside the {self._num_qubits}-row grid")
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"placement uses a qubit twice: {list(qubits)}")
+
+    def _first_free_column(self, qubits: Sequence[int]) -> int:
+        cells = self.occupied_cells()
+        column = 0
+        while any((column, qubit) in cells for qubit in qubits):
+            column += 1
+        # A gate must not be placed left of an existing gate on the same wire,
+        # otherwise the visual order and the execution order diverge.
+        for placement in self._placements:
+            if any(q in placement.qubits for q in qubits):
+                column = max(column, placement.column + 1)
+        return column
+
+    def place(
+        self,
+        gate: Gate | str,
+        qubits: Sequence[int],
+        column: int | None = None,
+        params: Sequence[ParameterValue] = (),
+    ) -> GatePlacement:
+        """Drop a gate tile onto the grid.
+
+        ``gate`` may be a :class:`Gate` or a standard gate name (with
+        ``params`` supplying its parameters).  When ``column`` is omitted the
+        tile lands in the first column where all its qubits are free and the
+        wire order is preserved.
+        """
+        if isinstance(gate, str):
+            if not is_standard_gate(gate):
+                raise GateError(f"unknown gate {gate!r}")
+            gate = standard_gate(gate, *params)
+        elif params:
+            raise CircuitError("params are only accepted together with a gate name")
+        self._validate_qubits(qubits)
+        if column is None:
+            column = self._first_free_column(qubits)
+        else:
+            cells = self.occupied_cells()
+            for qubit in qubits:
+                if (column, qubit) in cells:
+                    raise CircuitError(f"cell (column={column}, qubit={qubit}) is already occupied")
+        placement = GatePlacement(gate, qubits, column)
+        self._placements.append(placement)
+        return placement
+
+    def remove(self, placement: GatePlacement) -> None:
+        """Remove a placement from the grid."""
+        try:
+            self._placements.remove(placement)
+        except ValueError as exc:
+            raise CircuitError("placement is not on this grid") from exc
+
+    def move(self, placement: GatePlacement, column: int) -> None:
+        """Move a placement to a different column (validating cell occupancy)."""
+        if placement not in self._placements:
+            raise CircuitError("placement is not on this grid")
+        cells = self.occupied_cells()
+        for qubit in placement.qubits:
+            occupant = cells.get((column, qubit))
+            if occupant is not None and occupant is not placement:
+                raise CircuitError(f"cell (column={column}, qubit={qubit}) is already occupied")
+        placement.column = int(column)
+
+    def clear(self) -> None:
+        """Remove every placement."""
+        self._placements.clear()
+
+    # -------------------------------------------------------------- compile
+
+    def build(self, name: str | None = None) -> QuantumCircuit:
+        """Compile the grid into a :class:`QuantumCircuit` (column-major order)."""
+        circuit = QuantumCircuit(self._num_qubits, name=name or self._name)
+        for placement in self.placements:
+            circuit.append(placement.gate, placement.qubits)
+        return circuit
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit, name: str | None = None) -> "CircuitGridBuilder":
+        """Lay out an existing circuit on a grid (ASAP column assignment)."""
+        builder = cls(circuit.num_qubits, name=name or circuit.name)
+        frontier: dict[int, int] = {}
+        for instruction in circuit.instructions:
+            if not instruction.is_gate or instruction.gate is None:
+                continue
+            column = max((frontier.get(q, 0) for q in instruction.qubits), default=0)
+            builder.place(instruction.gate, instruction.qubits, column=column)
+            for qubit in instruction.qubits:
+                frontier[qubit] = column + 1
+        return builder
+
+    def to_ascii(self) -> str:
+        """Render the grid as ASCII art (rows are qubits, columns are time steps)."""
+        columns = self.num_columns
+        cells = self.occupied_cells()
+        lines = []
+        for qubit in range(self._num_qubits):
+            row = [f"q{qubit}:"]
+            for column in range(columns):
+                placement = cells.get((column, qubit))
+                if placement is None:
+                    row.append("....")
+                elif len(placement.qubits) > 1 and placement.qubits.index(qubit) == 0 and placement.gate.name.startswith("c"):
+                    row.append(" *  ")
+                else:
+                    row.append(f"[{placement.gate.name[:2].upper():2}]")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitGridBuilder(qubits={self._num_qubits}, placements={len(self._placements)}, "
+            f"columns={self.num_columns})"
+        )
+
+
+def build_circuit(num_qubits: int, moments: Sequence[Sequence[tuple]], name: str = "circuit") -> QuantumCircuit:
+    """Convenience function: build a circuit from a list of moments.
+
+    Each moment is a sequence of ``(gate_name, qubits)`` or
+    ``(gate_name, qubits, params)`` tuples, e.g.::
+
+        build_circuit(3, [
+            [("h", [0])],
+            [("cx", [0, 1])],
+            [("cx", [1, 2])],
+        ])
+    """
+    builder = CircuitGridBuilder(num_qubits, name=name)
+    for column, moment in enumerate(moments):
+        for entry in moment:
+            if len(entry) == 2:
+                gate_name, qubits = entry
+                params: Sequence[ParameterValue] = ()
+            elif len(entry) == 3:
+                gate_name, qubits, params = entry
+            else:
+                raise CircuitError(f"moment entry {entry!r} must be (name, qubits[, params])")
+            builder.place(gate_name, qubits, column=column, params=params)
+    return builder.build(name=name)
+
+
+def parameter_assignment(circuit: QuantumCircuit, values: Mapping[str, float]) -> dict:
+    """Map a name-keyed assignment onto the circuit's Parameter objects."""
+    by_name = {parameter.name: parameter for parameter in circuit.parameters}
+    assignment = {}
+    for name, value in values.items():
+        if name not in by_name:
+            raise CircuitError(f"circuit has no parameter named {name!r}")
+        assignment[by_name[name]] = float(value)
+    return assignment

@@ -1,0 +1,128 @@
+"""Dependency DAG over circuit instructions.
+
+The translation layer's gate-fusion optimizer (Sec. 3.2 of the paper) and the
+layer-wise visualizations need to know which instructions commute trivially
+because they touch disjoint qubits.  :class:`CircuitDag` captures the standard
+wire-dependency DAG: instruction ``b`` depends on instruction ``a`` when they
+share a qubit and ``a`` precedes ``b`` in program order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import CircuitError
+from .circuit import QuantumCircuit
+from .instruction import Instruction
+
+
+class DagNode:
+    """One instruction inside the dependency DAG."""
+
+    __slots__ = ("index", "instruction", "predecessors", "successors")
+
+    def __init__(self, index: int, instruction: Instruction) -> None:
+        self.index = index
+        self.instruction = instruction
+        self.predecessors: set[int] = set()
+        self.successors: set[int] = set()
+
+    def __repr__(self) -> str:
+        return f"DagNode({self.index}, {self.instruction!r})"
+
+
+class CircuitDag:
+    """Wire-dependency DAG of a circuit's instructions.
+
+    Nodes are indexed by their position in the original instruction list, so
+    the DAG can be used to reorder or group instructions while preserving
+    the data dependencies on each qubit wire.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self._num_qubits = circuit.num_qubits
+        self._nodes: list[DagNode] = []
+        last_on_wire: dict[int, int] = {}
+        for index, instruction in enumerate(circuit.instructions):
+            node = DagNode(index, instruction)
+            for qubit in instruction.qubits:
+                previous = last_on_wire.get(qubit)
+                if previous is not None:
+                    node.predecessors.add(previous)
+                    self._nodes[previous].successors.add(index)
+                last_on_wire[qubit] = index
+            self._nodes.append(node)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of instructions in the DAG."""
+        return len(self._nodes)
+
+    def node(self, index: int) -> DagNode:
+        """The node for instruction ``index``."""
+        return self._nodes[index]
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self._nodes)
+
+    def topological_order(self) -> list[int]:
+        """A topological ordering of instruction indices (stable w.r.t. program order)."""
+        in_degree = {node.index: len(node.predecessors) for node in self._nodes}
+        ready = sorted(index for index, degree in in_degree.items() if degree == 0)
+        order: list[int] = []
+        available = list(ready)
+        while available:
+            current = available.pop(0)
+            order.append(current)
+            for successor in sorted(self._nodes[current].successors):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    available.append(successor)
+            available.sort()
+        if len(order) != len(self._nodes):
+            raise CircuitError("circuit dependency graph contains a cycle (internal error)")
+        return order
+
+    def layers(self) -> list[list[int]]:
+        """Partition instructions into parallel layers (ASAP scheduling).
+
+        Instructions in the same layer act on disjoint qubits; this is the
+        grid used by the graphical-builder model and the text drawer.
+        """
+        level: dict[int, int] = {}
+        result: list[list[int]] = []
+        for node in self._nodes:
+            start = 0
+            for predecessor in node.predecessors:
+                start = max(start, level[predecessor] + 1)
+            level[node.index] = start
+            while len(result) <= start:
+                result.append([])
+            result[start].append(node.index)
+        return result
+
+    def qubit_interaction_pairs(self) -> set[tuple[int, int]]:
+        """Unordered qubit pairs coupled by at least one multi-qubit gate."""
+        pairs: set[tuple[int, int]] = set()
+        for node in self._nodes:
+            qubits: Sequence[int] = node.instruction.qubits
+            if node.instruction.is_gate and len(qubits) >= 2:
+                for first_pos, first in enumerate(qubits):
+                    for second in qubits[first_pos + 1:]:
+                        pairs.add((min(first, second), max(first, second)))
+        return pairs
+
+    def critical_path_length(self) -> int:
+        """Length of the longest dependency chain (equals circuit depth over all instructions)."""
+        longest: dict[int, int] = {}
+        result = 0
+        for index in self.topological_order():
+            node = self._nodes[index]
+            best = 0
+            for predecessor in node.predecessors:
+                best = max(best, longest[predecessor])
+            longest[index] = best + 1
+            result = max(result, best + 1)
+        return result

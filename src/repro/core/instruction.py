@@ -1,0 +1,123 @@
+"""Circuit instructions: a gate (or measurement / barrier) bound to qubits.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction` objects.
+Each instruction records the operation and the *global* qubit indices it acts
+on, in the gate's argument order (e.g. ``cx`` stores ``(control, target)``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import CircuitError
+from .gates import Gate
+from .parameters import Parameter
+
+#: Instruction kinds that are not unitary gates.
+KIND_GATE = "gate"
+KIND_MEASURE = "measure"
+KIND_BARRIER = "barrier"
+KIND_RESET = "reset"
+
+
+class Instruction:
+    """One operation in a circuit.
+
+    Parameters
+    ----------
+    gate:
+        The unitary operation; ``None`` for non-gate instructions
+        (measurement, barrier, reset).
+    qubits:
+        Global qubit indices in gate-argument order.
+    kind:
+        One of ``"gate"``, ``"measure"``, ``"barrier"``, ``"reset"``.
+    clbits:
+        For measurements, the classical bit indices receiving the outcomes
+        (parallel to ``qubits``).
+    """
+
+    __slots__ = ("gate", "qubits", "kind", "clbits")
+
+    def __init__(
+        self,
+        gate: Gate | None,
+        qubits: Sequence[int],
+        kind: str = KIND_GATE,
+        clbits: Sequence[int] = (),
+    ) -> None:
+        if kind not in (KIND_GATE, KIND_MEASURE, KIND_BARRIER, KIND_RESET):
+            raise CircuitError(f"unknown instruction kind {kind!r}")
+        if kind == KIND_GATE:
+            if gate is None:
+                raise CircuitError("gate instructions require a Gate")
+            if len(qubits) != gate.num_qubits:
+                raise CircuitError(
+                    f"gate {gate.name!r} acts on {gate.num_qubits} qubit(s), got {len(qubits)}"
+                )
+        qubits = tuple(int(q) for q in qubits)
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubit argument in {qubits}")
+        if any(q < 0 for q in qubits):
+            raise CircuitError(f"negative qubit index in {qubits}")
+        self.gate = gate
+        self.qubits = qubits
+        self.kind = kind
+        self.clbits = tuple(int(c) for c in clbits)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def is_gate(self) -> bool:
+        """True for unitary gate instructions."""
+        return self.kind == KIND_GATE
+
+    @property
+    def is_measurement(self) -> bool:
+        """True for measurement instructions."""
+        return self.kind == KIND_MEASURE
+
+    @property
+    def name(self) -> str:
+        """Operation name (gate name, or the kind for non-gate instructions)."""
+        if self.gate is not None:
+            return self.gate.name
+        return self.kind
+
+    @property
+    def free_parameters(self) -> frozenset[Parameter]:
+        """Unbound parameters of the underlying gate (empty for non-gates)."""
+        if self.gate is None:
+            return frozenset()
+        return self.gate.free_parameters
+
+    def bind(self, assignment: Mapping[Parameter, float]) -> "Instruction":
+        """Return a copy with parameters substituted in the underlying gate."""
+        if self.gate is None or not self.gate.free_parameters:
+            return Instruction(self.gate, self.qubits, self.kind, self.clbits)
+        return Instruction(self.gate.bind(assignment), self.qubits, self.kind, self.clbits)
+
+    def remapped(self, mapping: Mapping[int, int]) -> "Instruction":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        try:
+            qubits = tuple(mapping[q] for q in self.qubits)
+        except KeyError as exc:
+            raise CircuitError(f"qubit {exc.args[0]} has no entry in the remapping") from exc
+        return Instruction(self.gate, qubits, self.kind, self.clbits)
+
+    # -------------------------------------------------------------- dunders
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_GATE and self.gate is not None:
+            return f"Instruction({self.gate!r} @ {list(self.qubits)})"
+        return f"Instruction({self.kind} @ {list(self.qubits)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.qubits == other.qubits
+            and self.clbits == other.clbits
+            and self.gate == other.gate
+        )

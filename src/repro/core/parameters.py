@@ -1,0 +1,271 @@
+"""Symbolic parameters for parameterized circuit families.
+
+The paper's Circuit Layer lets researchers define *parameterized circuit
+families* programmatically (Sec. 3.1) and the Simulation Layer sweeps the
+parameter space (Sec. 3.3).  This module provides the small symbolic algebra
+needed for that: :class:`Parameter` is a named placeholder, and
+:class:`ParameterExpression` is a deferred arithmetic expression over
+parameters and constants that can be *bound* to floats later.
+
+The design intentionally avoids a full CAS: expressions are closures over an
+operation tree, which is enough for rotation angles such as ``2 * theta + pi/4``
+or ``sin(gamma)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Union
+
+from ..errors import ParameterError
+
+Numeric = Union[int, float]
+ParameterValue = Union["ParameterExpression", Numeric]
+
+
+class ParameterExpression:
+    """A deferred real-valued expression over named parameters.
+
+    Instances are immutable.  Arithmetic operators build new expressions;
+    :meth:`bind` substitutes values and returns either a plain ``float`` (when
+    every parameter is bound) or a new expression with the remaining free
+    parameters.
+    """
+
+    __slots__ = ("_parameters", "_evaluator", "_text")
+
+    def __init__(
+        self,
+        parameters: frozenset["Parameter"],
+        evaluator: Callable[[Mapping["Parameter", float]], float],
+        text: str,
+    ) -> None:
+        self._parameters = parameters
+        self._evaluator = evaluator
+        self._text = text
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        """The free parameters appearing in this expression."""
+        return self._parameters
+
+    @property
+    def is_bound(self) -> bool:
+        """True when the expression contains no free parameters."""
+        return not self._parameters
+
+    def bind(self, values: Mapping["Parameter", Numeric]) -> ParameterValue:
+        """Substitute ``values`` for parameters.
+
+        Returns a ``float`` if all free parameters are covered, otherwise a
+        new :class:`ParameterExpression` over the remaining parameters.
+        Unknown keys in ``values`` are ignored so one assignment dict can be
+        applied to a whole circuit.
+        """
+        relevant = {p: float(v) for p, v in values.items() if p in self._parameters}
+        remaining = self._parameters - frozenset(relevant)
+        if not remaining:
+            return float(self._evaluator(relevant))
+
+        captured = dict(relevant)
+        inner = self._evaluator
+
+        def evaluator(assignment: Mapping[Parameter, float]) -> float:
+            merged = dict(captured)
+            merged.update(assignment)
+            return inner(merged)
+
+        bound_bits = ", ".join(f"{p.name}={v:g}" for p, v in sorted(captured.items(), key=lambda kv: kv[0].name))
+        text = f"({self._text})[{bound_bits}]" if bound_bits else self._text
+        return ParameterExpression(frozenset(remaining), evaluator, text)
+
+    def evaluate(self, values: Mapping["Parameter", Numeric] | None = None) -> float:
+        """Fully evaluate the expression, raising if any parameter is unbound."""
+        result = self.bind(values or {})
+        if isinstance(result, ParameterExpression):
+            missing = sorted(p.name for p in result.parameters)
+            raise ParameterError(f"cannot evaluate expression {self._text!r}: unbound parameters {missing}")
+        return result
+
+    # ------------------------------------------------------- arithmetic ops
+
+    @staticmethod
+    def _coerce(value: ParameterValue) -> "ParameterExpression":
+        if isinstance(value, ParameterExpression):
+            return value
+        if isinstance(value, (int, float)):
+            const = float(value)
+            return ParameterExpression(frozenset(), lambda _a, c=const: c, f"{value:g}")
+        raise TypeError(f"cannot use {type(value).__name__} in a parameter expression")
+
+    def _binary(self, other: ParameterValue, op: Callable[[float, float], float], symbol: str, *, reflected: bool = False) -> "ParameterExpression":
+        try:
+            rhs = self._coerce(other)
+        except TypeError:
+            return NotImplemented  # type: ignore[return-value]
+        left, right = (rhs, self) if reflected else (self, rhs)
+
+        def evaluator(assignment: Mapping[Parameter, float]) -> float:
+            return op(left._evaluator(assignment), right._evaluator(assignment))
+
+        text = f"({left._text} {symbol} {right._text})"
+        return ParameterExpression(left._parameters | right._parameters, evaluator, text)
+
+    def __add__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a + b, "+", reflected=True)
+
+    def __sub__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a - b, "-", reflected=True)
+
+    def __mul__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a * b, "*", reflected=True)
+
+    def __truediv__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a / b, "/", reflected=True)
+
+    def __pow__(self, other: ParameterValue) -> "ParameterExpression":
+        return self._binary(other, lambda a, b: a ** b, "**")
+
+    def __neg__(self) -> "ParameterExpression":
+        return self._binary(-1.0, lambda a, b: a * b, "*")
+
+    # unary math helpers -----------------------------------------------------
+
+    def _unary(self, op: Callable[[float], float], name: str) -> "ParameterExpression":
+        inner = self._evaluator
+
+        def evaluator(assignment: Mapping[Parameter, float]) -> float:
+            return op(inner(assignment))
+
+        return ParameterExpression(self._parameters, evaluator, f"{name}({self._text})")
+
+    def sin(self) -> "ParameterExpression":
+        """Element ``sin`` of this expression."""
+        return self._unary(math.sin, "sin")
+
+    def cos(self) -> "ParameterExpression":
+        """Element ``cos`` of this expression."""
+        return self._unary(math.cos, "cos")
+
+    def exp(self) -> "ParameterExpression":
+        """Element ``exp`` of this expression."""
+        return self._unary(math.exp, "exp")
+
+    # -------------------------------------------------------------- dunders
+
+    def __repr__(self) -> str:
+        return f"ParameterExpression({self._text})"
+
+    def __str__(self) -> str:
+        return self._text
+
+
+class Parameter(ParameterExpression):
+    """A named free parameter, e.g. ``theta`` in an ``rx(theta)`` gate.
+
+    Two parameters are equal only if they are the same object or share the
+    same name; names therefore act as stable identities across circuit
+    copies and serialized forms.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ParameterError("parameter name must be a non-empty string")
+        self._name = name
+        super().__init__(
+            frozenset({self}),
+            lambda assignment: self._lookup(assignment),
+            name,
+        )
+
+    def _lookup(self, assignment: Mapping["Parameter", float]) -> float:
+        if self not in assignment:
+            raise ParameterError(f"parameter {self._name!r} is unbound")
+        return assignment[self]
+
+    @property
+    def name(self) -> str:
+        """The parameter's name."""
+        return self._name
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self._name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Parameter) and other._name == self._name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"
+
+
+class ParameterVector:
+    """A convenience factory producing ``name[0] .. name[length-1]`` parameters."""
+
+    def __init__(self, name: str, length: int) -> None:
+        if length < 0:
+            raise ParameterError("ParameterVector length must be non-negative")
+        self._name = name
+        self._params = [Parameter(f"{name}[{index}]") for index in range(length)]
+
+    @property
+    def name(self) -> str:
+        """Base name of the vector."""
+        return self._name
+
+    @property
+    def params(self) -> list[Parameter]:
+        """The parameters, in index order."""
+        return list(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._params[index]
+
+    def __iter__(self) -> Iterable[Parameter]:
+        return iter(self._params)
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self._name!r}, length={len(self._params)})"
+
+
+def parameter_value_text(value: ParameterValue) -> str:
+    """Human-readable rendering of a gate parameter (bound or symbolic)."""
+    if isinstance(value, ParameterExpression):
+        return str(value)
+    return f"{float(value):g}"
+
+
+def resolve_parameter(value: ParameterValue, assignment: Mapping[Parameter, Numeric] | None = None) -> float:
+    """Return the float value of ``value`` under ``assignment``.
+
+    Raises :class:`ParameterError` if the value still contains free
+    parameters after substitution.
+    """
+    if isinstance(value, ParameterExpression):
+        return value.evaluate(assignment or {})
+    return float(value)
+
+
+def free_parameters(value: ParameterValue) -> frozenset[Parameter]:
+    """The set of unbound parameters appearing in ``value``."""
+    if isinstance(value, ParameterExpression):
+        return value.parameters
+    return frozenset()

@@ -1,0 +1,105 @@
+"""Quantum and classical registers.
+
+Registers give qubits (and classical measurement bits) stable names, which is
+what the QASM importer/exporter and the circuit builder use to address wires.
+Internally a circuit always works with flat integer qubit indices — qubit 0
+is the least-significant bit of the relational state index ``s`` — and a
+register is simply a named, contiguous slice of those indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import CircuitError
+
+
+class Qubit:
+    """A single wire: a (register, index-within-register) pair."""
+
+    __slots__ = ("register", "index")
+
+    def __init__(self, register: "QuantumRegister", index: int) -> None:
+        self.register = register
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"{self.register.name}[{self.index}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Qubit):
+            return NotImplemented
+        return self.register is other.register and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((id(self.register), self.index))
+
+
+class Clbit:
+    """A single classical bit of a :class:`ClassicalRegister`."""
+
+    __slots__ = ("register", "index")
+
+    def __init__(self, register: "ClassicalRegister", index: int) -> None:
+        self.register = register
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"{self.register.name}[{self.index}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clbit):
+            return NotImplemented
+        return self.register is other.register and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((id(self.register), self.index))
+
+
+class _Register:
+    """Shared behaviour of quantum and classical registers."""
+
+    _bit_factory: type
+
+    def __init__(self, size: int, name: str) -> None:
+        if size < 1:
+            raise CircuitError(f"register {name!r} must have at least one bit")
+        if not name or not name.replace("_", "").isalnum() or name[0].isdigit():
+            raise CircuitError(f"invalid register name {name!r}")
+        self._name = name
+        self._size = int(size)
+        self._bits = [self._bit_factory(self, index) for index in range(size)]
+
+    @property
+    def name(self) -> str:
+        """Register name (used by the QASM exporter)."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of bits in the register."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int):
+        return self._bits[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._bits)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._size}, {self._name!r})"
+
+
+class QuantumRegister(_Register):
+    """A named block of qubits."""
+
+    _bit_factory = Qubit
+
+
+class ClassicalRegister(_Register):
+    """A named block of classical bits receiving measurement outcomes."""
+
+    _bit_factory = Clbit

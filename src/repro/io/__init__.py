@@ -1,0 +1,27 @@
+"""Circuit file formats: OpenQASM 2.0, JSON documents, PyQuil-like programs."""
+
+from .json_io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps_circuit,
+    load_circuit,
+    loads_circuit,
+    save_circuit,
+)
+from .qasm import dump_qasm, dumps_qasm, load_qasm, loads_qasm
+from .quil import dumps_quil, loads_quil
+
+__all__ = [
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "dumps_circuit",
+    "load_circuit",
+    "loads_circuit",
+    "save_circuit",
+    "dump_qasm",
+    "dumps_qasm",
+    "load_qasm",
+    "loads_qasm",
+    "dumps_quil",
+    "loads_quil",
+]

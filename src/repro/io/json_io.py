@@ -1,0 +1,134 @@
+"""JSON circuit format (the paper's File Upload input).
+
+The demo's web front-end exchanges circuits as JSON; this module defines the
+equivalent document format for the library reproduction::
+
+    {
+      "name": "ghz_3",
+      "num_qubits": 3,
+      "instructions": [
+        {"gate": "h",  "qubits": [0]},
+        {"gate": "cx", "qubits": [0, 1]},
+        {"gate": "cx", "qubits": [1, 2]},
+        {"measure": 0, "clbit": 0}
+      ]
+    }
+
+Gates may carry ``params`` (numbers) or symbolic parameter names (strings),
+which become :class:`~repro.core.parameters.Parameter` objects so
+parameterized circuit families survive the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import is_standard_gate, standard_gate
+from ..core.parameters import Parameter, ParameterExpression
+from ..errors import CircuitFormatError
+
+#: Format version written by :func:`circuit_to_dict`.
+FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: QuantumCircuit) -> dict:
+    """Convert a circuit into the JSON-ready document structure."""
+    instructions: list[dict] = []
+    for instruction in circuit.instructions:
+        if instruction.kind == "barrier":
+            instructions.append({"barrier": list(instruction.qubits)})
+            continue
+        if instruction.kind == "reset":
+            instructions.append({"reset": instruction.qubits[0]})
+            continue
+        if instruction.is_measurement:
+            instructions.append({"measure": instruction.qubits[0], "clbit": instruction.clbits[0]})
+            continue
+        gate = instruction.gate
+        assert gate is not None
+        entry: dict = {"gate": gate.name, "qubits": list(instruction.qubits)}
+        if gate.params:
+            rendered: list = []
+            for value in gate.params:
+                if isinstance(value, Parameter):
+                    rendered.append(value.name)
+                elif isinstance(value, ParameterExpression):
+                    raise CircuitFormatError(
+                        "compound parameter expressions cannot be serialized; bind them first"
+                    )
+                else:
+                    rendered.append(float(value))
+            entry["params"] = rendered
+        instructions.append(entry)
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "instructions": instructions,
+    }
+
+
+def circuit_from_dict(document: dict) -> QuantumCircuit:
+    """Rebuild a circuit from the document structure (inverse of :func:`circuit_to_dict`)."""
+    try:
+        num_qubits = int(document["num_qubits"])
+        instructions = document["instructions"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CircuitFormatError(f"invalid circuit document: {exc}") from exc
+    circuit = QuantumCircuit(
+        num_qubits,
+        int(document.get("num_clbits", 0) or 0),
+        name=str(document.get("name", "circuit")),
+    )
+    parameters: dict[str, Parameter] = {}
+    for entry in instructions:
+        if "barrier" in entry:
+            circuit.barrier(*entry["barrier"])
+            continue
+        if "reset" in entry:
+            circuit.reset(int(entry["reset"]))
+            continue
+        if "measure" in entry:
+            clbit = entry.get("clbit")
+            circuit.measure(int(entry["measure"]), None if clbit is None else int(clbit))
+            continue
+        gate_name = str(entry.get("gate", "")).lower()
+        if not is_standard_gate(gate_name):
+            raise CircuitFormatError(f"unknown gate {gate_name!r} in circuit document")
+        params = []
+        for value in entry.get("params", []):
+            if isinstance(value, str):
+                params.append(parameters.setdefault(value, Parameter(value)))
+            else:
+                params.append(float(value))
+        circuit.append(standard_gate(gate_name, *params), [int(q) for q in entry["qubits"]])
+    return circuit
+
+
+def dumps_circuit(circuit: QuantumCircuit, indent: int = 2) -> str:
+    """Serialize a circuit to a JSON string."""
+    return json.dumps(circuit_to_dict(circuit), indent=indent)
+
+
+def loads_circuit(text: str) -> QuantumCircuit:
+    """Parse a circuit from a JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CircuitFormatError(f"invalid JSON: {exc}") from exc
+    return circuit_from_dict(document)
+
+
+def save_circuit(circuit: QuantumCircuit, path) -> Path:
+    """Write a circuit to a JSON file."""
+    path = Path(path)
+    path.write_text(dumps_circuit(circuit))
+    return path
+
+
+def load_circuit(path) -> QuantumCircuit:
+    """Read a circuit from a JSON file."""
+    return loads_circuit(Path(path).read_text())

@@ -1,0 +1,211 @@
+"""OpenQASM 2.0 import and export.
+
+The paper's Circuit Layer accepts "standardized formats" for file upload;
+OpenQASM 2.0 is the de-facto interchange format between quantum toolkits.
+The importer covers the subset produced by mainstream front-ends (header,
+register declarations, standard-library gates with constant or ``pi``-based
+parameters, ``measure``, ``barrier``); the exporter emits the same subset, so
+circuits round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import is_standard_gate
+from ..errors import CircuitFormatError
+
+#: Gate-name translation QASM -> library (identity for most names).
+_QASM_TO_LIBRARY = {
+    "cnot": "cx",
+    "u1": "p",
+    "u3": "u",
+    "toffoli": "ccx",
+    "id": "id",
+    "phase": "p",
+}
+_LIBRARY_TO_QASM = {"p": "u1", "u": "u3"}
+
+_QREG_RE = re.compile(r"^qreg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*->\s*([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$"
+)
+_GATE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*(\(([^)]*)\))?\s*(.+)$")
+_QUBIT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$")
+
+
+class _SafeEvaluator(ast.NodeVisitor):
+    """Evaluates constant arithmetic parameter expressions (with ``pi``)."""
+
+    _ALLOWED_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod)
+
+    def evaluate(self, text: str) -> float:
+        try:
+            tree = ast.parse(text.strip(), mode="eval")
+            return self._eval(tree.body)
+        except (SyntaxError, ValueError, ZeroDivisionError, TypeError) as exc:
+            raise CircuitFormatError(f"cannot evaluate QASM parameter {text!r}: {exc}") from exc
+
+    def _eval(self, node: ast.AST) -> float:
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name):
+            if node.id.lower() == "pi":
+                return math.pi
+            raise ValueError(f"unknown identifier {node.id!r}")
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            value = self._eval(node.operand)
+            return -value if isinstance(node.op, ast.USub) else value
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._ALLOWED_BINOPS):
+            left, right = self._eval(node.left), self._eval(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            return left ** right
+        raise ValueError(f"unsupported expression node {type(node).__name__}")
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def loads_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    statements = [stmt.strip() for stmt in _strip_comments(text).replace("\n", " ").split(";")]
+    statements = [stmt for stmt in statements if stmt]
+    if not statements:
+        raise CircuitFormatError("empty QASM program")
+
+    evaluator = _SafeEvaluator()
+    qreg_offsets: dict[str, int] = {}
+    creg_offsets: dict[str, int] = {}
+    num_qubits = 0
+    num_clbits = 0
+    body: list[tuple] = []
+
+    for statement in statements:
+        lowered = statement.lower()
+        if lowered.startswith("openqasm"):
+            if "2.0" not in statement:
+                raise CircuitFormatError(f"unsupported QASM version in {statement!r}")
+            continue
+        if lowered.startswith("include"):
+            continue
+        match = _QREG_RE.match(statement)
+        if match:
+            qreg_offsets[match.group(1)] = num_qubits
+            num_qubits += int(match.group(2))
+            continue
+        match = _CREG_RE.match(statement)
+        if match:
+            creg_offsets[match.group(1)] = num_clbits
+            num_clbits += int(match.group(2))
+            continue
+        body.append((statement,))
+
+    if num_qubits == 0:
+        raise CircuitFormatError("QASM program declares no qubits")
+    circuit = QuantumCircuit(num_qubits, num_clbits, name=name)
+
+    def resolve_qubit(token: str) -> int:
+        match = _QUBIT_RE.match(token.strip())
+        if not match or match.group(1) not in qreg_offsets:
+            raise CircuitFormatError(f"invalid qubit reference {token!r}")
+        return qreg_offsets[match.group(1)] + int(match.group(2))
+
+    for (statement,) in body:
+        lowered = statement.lower()
+        if lowered.startswith("measure"):
+            match = _MEASURE_RE.match(statement)
+            if not match or match.group(1) not in qreg_offsets or match.group(3) not in creg_offsets:
+                raise CircuitFormatError(f"invalid measure statement {statement!r}")
+            qubit = qreg_offsets[match.group(1)] + int(match.group(2))
+            clbit = creg_offsets[match.group(3)] + int(match.group(4))
+            circuit.measure(qubit, clbit)
+            continue
+        if lowered.startswith("barrier"):
+            arguments = statement[len("barrier"):].strip()
+            qubits = [resolve_qubit(token) for token in arguments.split(",")] if arguments else []
+            circuit.barrier(*qubits)
+            continue
+        if lowered.startswith("reset"):
+            circuit.reset(resolve_qubit(statement[len("reset"):].strip()))
+            continue
+        match = _GATE_RE.match(statement)
+        if not match:
+            raise CircuitFormatError(f"cannot parse QASM statement {statement!r}")
+        gate_name = match.group(1).lower()
+        gate_name = _QASM_TO_LIBRARY.get(gate_name, gate_name)
+        if gate_name == "u2":
+            # u2(phi, lambda) = u(pi/2, phi, lambda)
+            raw = [evaluator.evaluate(part) for part in match.group(3).split(",")]
+            if len(raw) != 2:
+                raise CircuitFormatError(f"u2 expects two parameters in {statement!r}")
+            params = [math.pi / 2, raw[0], raw[1]]
+            gate_name = "u"
+        else:
+            params = [evaluator.evaluate(part) for part in match.group(3).split(",")] if match.group(3) else []
+        if not is_standard_gate(gate_name):
+            raise CircuitFormatError(f"unsupported QASM gate {gate_name!r}")
+        qubits = [resolve_qubit(token) for token in match.group(4).split(",")]
+        from ..core.gates import standard_gate
+
+        circuit.append(standard_gate(gate_name, *params), qubits)
+    return circuit
+
+
+def load_qasm(path, name: str | None = None) -> QuantumCircuit:
+    """Read an OpenQASM 2.0 file."""
+    from pathlib import Path
+
+    path = Path(path)
+    return loads_qasm(path.read_text(), name=name or path.stem)
+
+
+def dumps_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit as OpenQASM 2.0 text."""
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";', f"qreg q[{circuit.num_qubits}];"]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for instruction in circuit.instructions:
+        if instruction.kind == "barrier":
+            targets = ", ".join(f"q[{qubit}]" for qubit in instruction.qubits)
+            lines.append(f"barrier {targets};")
+            continue
+        if instruction.kind == "reset":
+            lines.append(f"reset q[{instruction.qubits[0]}];")
+            continue
+        if instruction.is_measurement:
+            lines.append(f"measure q[{instruction.qubits[0]}] -> c[{instruction.clbits[0]}];")
+            continue
+        gate = instruction.gate
+        assert gate is not None
+        if gate.is_parameterized:
+            raise CircuitFormatError("bind parameters before exporting to QASM")
+        name = _LIBRARY_TO_QASM.get(gate.name, gate.name)
+        if not is_standard_gate(gate.name):
+            raise CircuitFormatError(f"gate {gate.name!r} has no QASM 2.0 representation")
+        rendered_params = ""
+        if gate.params:
+            rendered_params = "(" + ", ".join(repr(float(value)) for value in gate.resolved_params()) + ")"
+        targets = ", ".join(f"q[{qubit}]" for qubit in instruction.qubits)
+        lines.append(f"{name}{rendered_params} {targets};")
+    return "\n".join(lines) + "\n"
+
+
+def dump_qasm(circuit: QuantumCircuit, path) -> None:
+    """Write a circuit to an OpenQASM 2.0 file."""
+    from pathlib import Path
+
+    Path(path).write_text(dumps_qasm(circuit))

@@ -1,0 +1,137 @@
+"""PyQuil-like program text input.
+
+The paper advertises "Qiskit- or PyQuil-like syntax" for defining circuits
+programmatically; the Qiskit-like path is the fluent :class:`QuantumCircuit`
+API, and this module supplies the PyQuil-like path: a small textual program
+format of one instruction per line, upper-case gate names, optional
+parenthesised parameters, qubit indices as bare integers::
+
+    H 0
+    CNOT 0 1
+    RZ(0.25) 2
+    MEASURE 2 [2]
+
+This is *not* a full Quil implementation (no classical control flow, no
+DEFGATE); it covers the instruction shapes needed to express the paper's
+demo workloads in a PyQuil-flavoured syntax.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import is_standard_gate, standard_gate
+from ..errors import CircuitFormatError
+
+#: Quil gate spellings mapped onto library names.
+_QUIL_TO_LIBRARY = {
+    "cnot": "cx",
+    "ccnot": "ccx",
+    "phase": "p",
+    "cphase": "cp",
+    "i": "id",
+    "xy": "iswap",
+}
+_LIBRARY_TO_QUIL = {"cx": "CNOT", "ccx": "CCNOT", "p": "PHASE", "cp": "CPHASE", "id": "I"}
+
+_LINE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_-]*)\s*(\(([^)]*)\))?\s*(.*)$")
+_MEASURE_TARGET_RE = re.compile(r"^(\d+)\s*(\[\s*(\d+)\s*\])?$")
+
+
+def _parse_parameter(text: str) -> float:
+    cleaned = text.strip().lower().replace("pi", repr(math.pi))
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - numeric only
+    except Exception as exc:
+        raise CircuitFormatError(f"cannot parse Quil parameter {text!r}: {exc}") from exc
+
+
+def loads_quil(text: str, name: str = "quil_program") -> QuantumCircuit:
+    """Parse a PyQuil-like program into a circuit.
+
+    The qubit count is inferred from the largest qubit index used.
+    """
+    lines = [line.split("#", 1)[0].strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
+    if not lines:
+        raise CircuitFormatError("empty Quil program")
+
+    parsed: list[tuple[str, list[float], list[int], int | None]] = []
+    max_qubit = 0
+    for line in lines:
+        match = _LINE_RE.match(line)
+        if not match:
+            raise CircuitFormatError(f"cannot parse Quil line {line!r}")
+        mnemonic = match.group(1).lower()
+        params = [_parse_parameter(part) for part in match.group(3).split(",")] if match.group(3) else []
+        rest = match.group(4).strip()
+
+        if mnemonic == "measure":
+            target = _MEASURE_TARGET_RE.match(rest)
+            if not target:
+                raise CircuitFormatError(f"cannot parse MEASURE target in {line!r}")
+            qubit = int(target.group(1))
+            clbit = int(target.group(3)) if target.group(3) is not None else qubit
+            parsed.append(("measure", [], [qubit], clbit))
+            max_qubit = max(max_qubit, qubit)
+            continue
+        if mnemonic == "reset":
+            qubit = int(rest) if rest else 0
+            parsed.append(("reset", [], [qubit], None))
+            max_qubit = max(max_qubit, qubit)
+            continue
+
+        gate_name = _QUIL_TO_LIBRARY.get(mnemonic, mnemonic)
+        if not is_standard_gate(gate_name):
+            raise CircuitFormatError(f"unsupported Quil gate {mnemonic.upper()!r}")
+        try:
+            qubits = [int(token) for token in rest.split()]
+        except ValueError as exc:
+            raise CircuitFormatError(f"invalid qubit list in {line!r}") from exc
+        if not qubits:
+            raise CircuitFormatError(f"gate {mnemonic.upper()!r} needs at least one qubit in {line!r}")
+        parsed.append((gate_name, params, qubits, None))
+        max_qubit = max(max_qubit, max(qubits))
+
+    circuit = QuantumCircuit(max_qubit + 1, name=name)
+    for mnemonic, params, qubits, clbit in parsed:
+        if mnemonic == "measure":
+            circuit.measure(qubits[0], None)
+            if clbit is not None and clbit != qubits[0]:
+                # Re-point the implicit classical bit: simplest is to measure into it directly.
+                circuit._instructions.pop()  # noqa: SLF001 - controlled internal rewrite
+                circuit._ensure_clbits(clbit + 1)  # noqa: SLF001
+                circuit.measure(qubits[0], clbit)
+            continue
+        if mnemonic == "reset":
+            circuit.reset(qubits[0])
+            continue
+        circuit.append(standard_gate(mnemonic, *params), qubits)
+    return circuit
+
+
+def dumps_quil(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit as a PyQuil-like program."""
+    lines: list[str] = []
+    for instruction in circuit.instructions:
+        if instruction.kind == "barrier":
+            continue  # Quil has no barrier; it is an optimizer hint only.
+        if instruction.kind == "reset":
+            lines.append(f"RESET {instruction.qubits[0]}")
+            continue
+        if instruction.is_measurement:
+            lines.append(f"MEASURE {instruction.qubits[0]} [{instruction.clbits[0]}]")
+            continue
+        gate = instruction.gate
+        assert gate is not None
+        if gate.is_parameterized:
+            raise CircuitFormatError("bind parameters before exporting to Quil")
+        mnemonic = _LIBRARY_TO_QUIL.get(gate.name, gate.name.upper())
+        rendered = ""
+        if gate.params:
+            rendered = "(" + ", ".join(repr(float(value)) for value in gate.resolved_params()) + ")"
+        qubits = " ".join(str(qubit) for qubit in instruction.qubits)
+        lines.append(f"{mnemonic}{rendered} {qubits}")
+    return "\n".join(lines) + "\n"

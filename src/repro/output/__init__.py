@@ -1,0 +1,73 @@
+"""Output layer: result containers, sampling, analysis, visualization, export."""
+
+from .analysis import (
+    bloch_vector,
+    entanglement_entropy,
+    global_phase_between,
+    purity,
+    reduced_density_matrix,
+    shannon_entropy,
+    state_fidelity,
+    states_agree,
+    total_variation_distance,
+)
+from .export import (
+    read_state_csv,
+    result_to_json,
+    state_from_json,
+    state_to_json,
+    write_records_csv,
+    write_records_json,
+    write_state_csv,
+)
+from .result import DEFAULT_PRUNE_ATOL, SimulationResult, SparseState
+from .sampling import (
+    collapse,
+    expectation_of_parity,
+    marginal_counts,
+    measure_sequentially,
+    sample_counts,
+    sample_indices,
+)
+from .visualization import (
+    bloch_text,
+    comparison_table,
+    format_amplitude_table,
+    histogram,
+    line_plot,
+    probability_histogram,
+)
+
+__all__ = [
+    "bloch_vector",
+    "entanglement_entropy",
+    "global_phase_between",
+    "purity",
+    "reduced_density_matrix",
+    "shannon_entropy",
+    "state_fidelity",
+    "states_agree",
+    "total_variation_distance",
+    "read_state_csv",
+    "result_to_json",
+    "state_from_json",
+    "state_to_json",
+    "write_records_csv",
+    "write_records_json",
+    "write_state_csv",
+    "DEFAULT_PRUNE_ATOL",
+    "SimulationResult",
+    "SparseState",
+    "collapse",
+    "expectation_of_parity",
+    "marginal_counts",
+    "measure_sequentially",
+    "sample_counts",
+    "sample_indices",
+    "bloch_text",
+    "comparison_table",
+    "format_amplitude_table",
+    "histogram",
+    "line_plot",
+    "probability_histogram",
+]

@@ -1,0 +1,128 @@
+"""Result analysis: fidelities, distances, entanglement and Bloch vectors.
+
+These are the quantitative tools behind the paper's Output Layer
+("detailed analysis and high-level comparisons") and the educational demo
+scenario (Bloch-sphere views of single qubits as the GHZ circuit evolves).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .result import SparseState
+
+
+def state_fidelity(first: SparseState, second: SparseState) -> float:
+    """Fidelity ``|<a|b>|^2`` between two pure states."""
+    if first.num_qubits != second.num_qubits:
+        raise AnalysisError("states have different qubit counts")
+    return abs(first.inner(second)) ** 2
+
+
+def total_variation_distance(first: dict[int, float], second: dict[int, float]) -> float:
+    """Total variation distance between two probability distributions over basis states."""
+    keys = set(first) | set(second)
+    return 0.5 * sum(abs(first.get(key, 0.0) - second.get(key, 0.0)) for key in keys)
+
+
+def shannon_entropy(probabilities: dict[int, float]) -> float:
+    """Shannon entropy (bits) of a measurement distribution."""
+    entropy = 0.0
+    for probability in probabilities.values():
+        if probability > 0:
+            entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def reduced_density_matrix(state: SparseState, qubits: Sequence[int]) -> np.ndarray:
+    """Reduced density matrix of ``qubits`` after tracing out the rest."""
+    for qubit in qubits:
+        if not 0 <= qubit < state.num_qubits:
+            raise AnalysisError(f"qubit {qubit} out of range")
+    if len(set(qubits)) != len(qubits):
+        raise AnalysisError("duplicate qubit in reduced_density_matrix")
+    kept = list(qubits)
+    dim_kept = 1 << len(kept)
+    rho = np.zeros((dim_kept, dim_kept), dtype=np.complex128)
+
+    def split(index: int) -> tuple[int, int]:
+        kept_part = 0
+        rest_part = 0
+        rest_position = 0
+        for qubit in range(state.num_qubits):
+            bit = (index >> qubit) & 1
+            if qubit in kept:
+                kept_part |= bit << kept.index(qubit)
+            else:
+                rest_part |= bit << rest_position
+                rest_position += 1
+        return kept_part, rest_part
+
+    # Group amplitudes by the traced-out part; each group contributes an outer product.
+    groups: dict[int, dict[int, complex]] = {}
+    for index, amplitude in state.items():
+        kept_part, rest_part = split(index)
+        groups.setdefault(rest_part, {})[kept_part] = amplitude
+    for group in groups.values():
+        for row, amp_row in group.items():
+            for col, amp_col in group.items():
+                rho[row, col] += amp_row * amp_col.conjugate()
+    return rho
+
+
+def purity(rho: np.ndarray) -> float:
+    """Purity ``Tr(rho^2)`` of a density matrix."""
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def entanglement_entropy(state: SparseState, qubits: Sequence[int]) -> float:
+    """Von Neumann entropy (bits) of the reduced state of ``qubits``.
+
+    Nonzero entropy certifies entanglement across the cut — the quantity the
+    educational scenario uses to show that the GHZ state is entangled while
+    the uniform superposition is not.
+    """
+    rho = reduced_density_matrix(state, qubits)
+    eigenvalues = np.linalg.eigvalsh(rho)
+    entropy = 0.0
+    for value in eigenvalues:
+        if value > 1e-12:
+            entropy -= float(value) * math.log2(float(value))
+    return entropy
+
+
+def bloch_vector(state: SparseState, qubit: int) -> tuple[float, float, float]:
+    """Bloch-sphere coordinates ``(x, y, z)`` of one qubit's reduced state."""
+    rho = reduced_density_matrix(state, [qubit])
+    x = float(np.real(rho[0, 1] + rho[1, 0]))
+    y = float(np.imag(rho[1, 0] - rho[0, 1]))
+    z = float(np.real(rho[0, 0] - rho[1, 1]))
+    return (x, y, z)
+
+
+def global_phase_between(first: SparseState, second: SparseState) -> float:
+    """The relative global phase (radians) best aligning ``second`` to ``first``.
+
+    Raises if the states are not equal up to a global phase.
+    """
+    if not first.equiv(second, up_to_global_phase=True):
+        raise AnalysisError("states differ by more than a global phase")
+    overlap = first.inner(second)
+    if abs(overlap) < 1e-12:
+        raise AnalysisError("states are orthogonal; no global phase defined")
+    return float(cmath.phase(overlap))
+
+
+def states_agree(
+    first: SparseState,
+    second: SparseState,
+    atol: float = 1e-8,
+    up_to_global_phase: bool = True,
+) -> bool:
+    """Convenience wrapper used by the cross-backend verification tests."""
+    return first.equiv(second, atol=atol, up_to_global_phase=up_to_global_phase)

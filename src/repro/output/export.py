@@ -1,0 +1,80 @@
+"""Export and reporting helpers (CSV / JSON) for results and benchmarks.
+
+The Output Layer's "Export and Reporting" feature: results and benchmark
+series can be written to disk for analysis or publication.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import AnalysisError
+from .result import SimulationResult, SparseState
+
+
+def state_to_json(state: SparseState) -> str:
+    """Serialize a state as JSON relational rows ``{"num_qubits": n, "rows": [[s, r, i], ...]}``."""
+    return json.dumps({"num_qubits": state.num_qubits, "rows": state.to_rows()}, indent=2)
+
+
+def state_from_json(text: str) -> SparseState:
+    """Inverse of :func:`state_to_json`."""
+    try:
+        payload = json.loads(text)
+        return SparseState.from_rows(int(payload["num_qubits"]), [tuple(row) for row in payload["rows"]])
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"invalid state JSON: {exc}") from exc
+
+
+def result_to_json(result: SimulationResult) -> str:
+    """Serialize a full simulation result (state + metadata) as JSON."""
+    return json.dumps(result.to_dict(), indent=2)
+
+
+def write_state_csv(state: SparseState, path: str | Path) -> Path:
+    """Write a state's relational rows to a CSV file with header ``s,r,i``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["s", "r", "i"])
+        for s, r, i in state.to_rows():
+            writer.writerow([s, repr(r), repr(i)])
+    return path
+
+
+def read_state_csv(path: str | Path, num_qubits: int) -> SparseState:
+    """Read a state back from a CSV written by :func:`write_state_csv`."""
+    path = Path(path)
+    rows: list[tuple[int, float, float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {"s", "r", "i"} <= set(reader.fieldnames):
+            raise AnalysisError(f"{path} does not look like a state CSV (missing s/r/i header)")
+        for record in reader:
+            rows.append((int(record["s"]), float(record["r"]), float(record["i"])))
+    return SparseState.from_rows(num_qubits, rows)
+
+
+def write_records_csv(records: Sequence[Mapping[str, object]], path: str | Path, columns: Sequence[str] | None = None) -> Path:
+    """Write benchmark records (list of dicts) to CSV."""
+    if not records:
+        raise AnalysisError("nothing to export: empty records")
+    path = Path(path)
+    if columns is None:
+        columns = list(records[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: record.get(key, "") for key in columns})
+    return path
+
+
+def write_records_json(records: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write benchmark records to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(list(records), indent=2, default=str))
+    return path

@@ -1,0 +1,294 @@
+"""State and result containers shared by every simulation method.
+
+The relational representation of the paper stores a quantum state as rows
+``(s, r, i)`` — only nonzero basis states.  :class:`SparseState` is the
+in-memory equivalent: a mapping from basis index to complex amplitude.  Every
+backend (SQL or otherwise) produces one, so results from different methods
+can be compared directly.
+
+:class:`SimulationResult` wraps a final state together with the execution
+metadata the paper's Output Layer reports: method name, wall-clock time,
+memory estimates and per-gate statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+#: Amplitudes with squared magnitude below this are treated as zero by default.
+DEFAULT_PRUNE_ATOL = 1e-12
+
+
+class SparseState:
+    """A quantum state stored as {basis index: complex amplitude}.
+
+    Mirrors the relational schema ``T(s, r, i)``: only nonzero entries are
+    kept.  Instances are mutable mappings but most methods return new states.
+    """
+
+    __slots__ = ("_num_qubits", "_amplitudes")
+
+    def __init__(self, num_qubits: int, amplitudes: Mapping[int, complex] | None = None) -> None:
+        if num_qubits < 1:
+            raise AnalysisError("a state needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._amplitudes: dict[int, complex] = {}
+        if amplitudes:
+            dimension = 1 << self._num_qubits
+            for index, amplitude in amplitudes.items():
+                index = int(index)
+                if not 0 <= index < dimension:
+                    raise AnalysisError(f"basis index {index} out of range for {num_qubits} qubits")
+                value = complex(amplitude)
+                if value != 0:
+                    self._amplitudes[index] = value
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "SparseState":
+        """The |0...0> state: a single row ``(0, 1.0, 0.0)``."""
+        return cls(num_qubits, {0: 1.0 + 0.0j})
+
+    @classmethod
+    def from_dense(cls, vector: np.ndarray, atol: float = DEFAULT_PRUNE_ATOL) -> "SparseState":
+        """Build from a dense state vector, dropping near-zero amplitudes."""
+        vector = np.asarray(vector, dtype=np.complex128).ravel()
+        num_qubits = int(round(math.log2(vector.size)))
+        if 1 << num_qubits != vector.size:
+            raise AnalysisError(f"dense vector length {vector.size} is not a power of two")
+        indices = np.nonzero(np.abs(vector) > atol)[0]
+        return cls(num_qubits, {int(index): complex(vector[index]) for index in indices})
+
+    @classmethod
+    def from_rows(cls, num_qubits: int, rows: Iterable[tuple[int, float, float]]) -> "SparseState":
+        """Build from relational rows ``(s, r, i)`` as returned by the SQL backends."""
+        return cls(num_qubits, {int(s): complex(r, i) for s, r, i in rows})
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def dimension(self) -> int:
+        """Hilbert-space dimension ``2**num_qubits``."""
+        return 1 << self._num_qubits
+
+    @property
+    def num_nonzero(self) -> int:
+        """Number of stored (nonzero) amplitudes — the relational row count."""
+        return len(self._amplitudes)
+
+    @property
+    def density(self) -> float:
+        """Fraction of basis states with nonzero amplitude."""
+        return self.num_nonzero / self.dimension
+
+    def amplitude(self, index: int) -> complex:
+        """Amplitude of basis state ``index`` (0 if not stored)."""
+        return self._amplitudes.get(int(index), 0.0 + 0.0j)
+
+    def items(self) -> Iterator[tuple[int, complex]]:
+        """Iterate over (index, amplitude) pairs in ascending index order."""
+        return iter(sorted(self._amplitudes.items()))
+
+    def to_rows(self) -> list[tuple[int, float, float]]:
+        """Relational rows ``(s, r, i)`` sorted by ``s`` (the paper's output format)."""
+        return [(index, amplitude.real, amplitude.imag) for index, amplitude in sorted(self._amplitudes.items())]
+
+    def to_dense(self) -> np.ndarray:
+        """Dense complex vector of length ``2**num_qubits``."""
+        vector = np.zeros(self.dimension, dtype=np.complex128)
+        for index, amplitude in self._amplitudes.items():
+            vector[index] = amplitude
+        return vector
+
+    # -------------------------------------------------------------- algebra
+
+    def norm(self) -> float:
+        """The 2-norm of the state."""
+        return math.sqrt(sum(abs(amplitude) ** 2 for amplitude in self._amplitudes.values()))
+
+    def normalized(self) -> "SparseState":
+        """Return the state scaled to unit norm."""
+        norm = self.norm()
+        if norm == 0:
+            raise AnalysisError("cannot normalize the zero vector")
+        return SparseState(self._num_qubits, {index: amplitude / norm for index, amplitude in self._amplitudes.items()})
+
+    def pruned(self, atol: float = DEFAULT_PRUNE_ATOL) -> "SparseState":
+        """Drop amplitudes with magnitude at or below ``atol``."""
+        return SparseState(
+            self._num_qubits,
+            {index: amplitude for index, amplitude in self._amplitudes.items() if abs(amplitude) > atol},
+        )
+
+    def probabilities(self) -> dict[int, float]:
+        """Measurement probabilities of the nonzero basis states."""
+        return {index: abs(amplitude) ** 2 for index, amplitude in sorted(self._amplitudes.items())}
+
+    def probability_of(self, index: int) -> float:
+        """Measurement probability of one basis state."""
+        return abs(self.amplitude(index)) ** 2
+
+    def marginal_probability(self, qubit: int, value: int = 1) -> float:
+        """Probability that measuring ``qubit`` yields ``value``."""
+        if not 0 <= qubit < self._num_qubits:
+            raise AnalysisError(f"qubit {qubit} out of range")
+        if value not in (0, 1):
+            raise AnalysisError("measurement value must be 0 or 1")
+        total = 0.0
+        for index, amplitude in self._amplitudes.items():
+            if (index >> qubit) & 1 == value:
+                total += abs(amplitude) ** 2
+        return total
+
+    def bitstring_probabilities(self) -> dict[str, float]:
+        """Probabilities keyed by bitstring (qubit 0 is the rightmost character)."""
+        width = self._num_qubits
+        return {format(index, f"0{width}b"): probability for index, probability in self.probabilities().items()}
+
+    def estimated_bytes(self) -> int:
+        """Memory footprint of the relational representation (24 bytes per row).
+
+        One row is ``(s BIGINT, r DOUBLE, i DOUBLE)`` = 8 + 8 + 8 bytes; this
+        is the quantity the capacity experiments budget against.
+        """
+        return 24 * self.num_nonzero
+
+    # -------------------------------------------------------------- compare
+
+    def equiv(self, other: "SparseState", atol: float = 1e-8, up_to_global_phase: bool = True) -> bool:
+        """True if both states are equal (optionally up to a global phase)."""
+        if not isinstance(other, SparseState):
+            raise AnalysisError("can only compare against another SparseState")
+        if self._num_qubits != other._num_qubits:
+            return False
+        if up_to_global_phase:
+            return abs(abs(self.inner(other)) - self.norm() * other.norm()) <= atol
+        keys = set(self._amplitudes) | set(other._amplitudes)
+        return all(abs(self.amplitude(key) - other.amplitude(key)) <= atol for key in keys)
+
+    def inner(self, other: "SparseState") -> complex:
+        """The inner product <self|other>."""
+        if self._num_qubits != other._num_qubits:
+            raise AnalysisError("states have different qubit counts")
+        smaller, larger = (self, other) if self.num_nonzero <= other.num_nonzero else (other, self)
+        total = 0.0 + 0.0j
+        for index, amplitude in smaller._amplitudes.items():
+            partner = larger._amplitudes.get(index)
+            if partner is not None:
+                if smaller is self:
+                    total += amplitude.conjugate() * partner
+                else:
+                    total += partner.conjugate() * amplitude
+        return total
+
+    # -------------------------------------------------------------- dunders
+
+    def __len__(self) -> int:
+        return len(self._amplitudes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._amplitudes))
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._amplitudes
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{index}: {amplitude.real:+.4f}{amplitude.imag:+.4f}j"
+            for index, amplitude in list(sorted(self._amplitudes.items()))[:4]
+        )
+        suffix = ", ..." if self.num_nonzero > 4 else ""
+        return f"SparseState(qubits={self._num_qubits}, nonzero={self.num_nonzero}, {{{preview}{suffix}}})"
+
+
+class SimulationResult:
+    """Final state plus execution metadata for one simulation run.
+
+    Attributes
+    ----------
+    state:
+        The final :class:`SparseState`.
+    method:
+        Simulation method identifier (``"sqlite"``, ``"memdb"``,
+        ``"statevector"``, ``"sparse"``, ``"mps"``, ``"dd"``).
+    circuit_name / num_qubits / num_gates:
+        Workload description.
+    wall_time_s:
+        End-to-end simulation time in seconds.
+    peak_state_rows / peak_state_bytes:
+        Largest intermediate representation observed (rows of the relational
+        state or equivalent, and its estimated byte size).
+    metadata:
+        Free-form extras (SQL text, fusion statistics, backend options, ...).
+    """
+
+    __slots__ = (
+        "state",
+        "method",
+        "circuit_name",
+        "num_qubits",
+        "num_gates",
+        "wall_time_s",
+        "peak_state_rows",
+        "peak_state_bytes",
+        "metadata",
+    )
+
+    def __init__(
+        self,
+        state: SparseState,
+        method: str,
+        circuit_name: str = "circuit",
+        num_qubits: int | None = None,
+        num_gates: int = 0,
+        wall_time_s: float = 0.0,
+        peak_state_rows: int = 0,
+        peak_state_bytes: int = 0,
+        metadata: dict | None = None,
+    ) -> None:
+        self.state = state
+        self.method = method
+        self.circuit_name = circuit_name
+        self.num_qubits = num_qubits if num_qubits is not None else state.num_qubits
+        self.num_gates = num_gates
+        self.wall_time_s = wall_time_s
+        self.peak_state_rows = peak_state_rows or state.num_nonzero
+        self.peak_state_bytes = peak_state_bytes or state.estimated_bytes()
+        self.metadata = dict(metadata or {})
+
+    def probabilities(self) -> dict[int, float]:
+        """Measurement probabilities of the final state."""
+        return self.state.probabilities()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (state included as relational rows)."""
+        return {
+            "method": self.method,
+            "circuit": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "num_gates": self.num_gates,
+            "wall_time_s": self.wall_time_s,
+            "peak_state_rows": self.peak_state_rows,
+            "peak_state_bytes": self.peak_state_bytes,
+            "nonzero_amplitudes": self.state.num_nonzero,
+            "rows": [[s, r, i] for s, r, i in self.state.to_rows()],
+            "metadata": self.metadata,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(method={self.method!r}, circuit={self.circuit_name!r}, "
+            f"qubits={self.num_qubits}, time={self.wall_time_s:.4f}s, "
+            f"nonzero={self.state.num_nonzero})"
+        )

@@ -1,0 +1,118 @@
+"""Measurement sampling from simulated states.
+
+The paper's Output Layer reports "measurement probabilities" and the demo
+scenarios let attendees "explore measurement outcomes"; this module turns a
+final :class:`~repro.output.result.SparseState` into shot counts, marginal
+distributions and post-measurement collapsed states.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Sequence
+
+from ..errors import AnalysisError
+from .result import SparseState
+
+
+def sample_counts(state: SparseState, shots: int, seed: int | None = None) -> dict[str, int]:
+    """Sample ``shots`` full-register measurements; returns bitstring -> count.
+
+    Bitstrings follow the convention used throughout the package: qubit 0 is
+    the rightmost character.
+    """
+    if shots < 0:
+        raise AnalysisError("shot count must be non-negative")
+    probabilities = state.probabilities()
+    if not probabilities:
+        raise AnalysisError("cannot sample from an empty (all-zero) state")
+    total = sum(probabilities.values())
+    if total <= 0:
+        raise AnalysisError("state has zero total probability")
+    rng = random.Random(seed)
+    indices = list(probabilities)
+    weights = [probabilities[index] / total for index in indices]
+    width = state.num_qubits
+    counts: Counter[str] = Counter()
+    for index in rng.choices(indices, weights=weights, k=shots):
+        counts[format(index, f"0{width}b")] += 1
+    return dict(counts)
+
+
+def sample_indices(state: SparseState, shots: int, seed: int | None = None) -> list[int]:
+    """Sample basis-state indices instead of bitstrings."""
+    if shots < 0:
+        raise AnalysisError("shot count must be non-negative")
+    probabilities = state.probabilities()
+    if not probabilities:
+        raise AnalysisError("cannot sample from an empty (all-zero) state")
+    total = sum(probabilities.values())
+    rng = random.Random(seed)
+    indices = list(probabilities)
+    weights = [probabilities[index] / total for index in indices]
+    return rng.choices(indices, weights=weights, k=shots)
+
+
+def marginal_counts(counts: dict[str, int], qubits: Sequence[int]) -> dict[str, int]:
+    """Marginalize shot counts onto a subset of qubits (result keeps the given order)."""
+    result: Counter[str] = Counter()
+    for bitstring, count in counts.items():
+        width = len(bitstring)
+        selected = "".join(bitstring[width - 1 - qubit] for qubit in reversed(qubits))
+        result[selected] += count
+    return dict(result)
+
+
+def expectation_of_parity(state: SparseState, qubits: Sequence[int] | None = None) -> float:
+    """Expectation value of the parity operator ``Z ⊗ ... ⊗ Z`` on ``qubits``."""
+    if qubits is None:
+        qubits = range(state.num_qubits)
+    mask = 0
+    for qubit in qubits:
+        if not 0 <= qubit < state.num_qubits:
+            raise AnalysisError(f"qubit {qubit} out of range")
+        mask |= 1 << qubit
+    expectation = 0.0
+    for index, probability in state.probabilities().items():
+        parity = bin(index & mask).count("1") % 2
+        expectation += probability if parity == 0 else -probability
+    return expectation
+
+
+def collapse(state: SparseState, qubit: int, outcome: int) -> tuple[float, SparseState]:
+    """Project onto ``qubit == outcome`` and renormalize.
+
+    Returns ``(probability_of_outcome, post_measurement_state)``.  Raises if
+    the outcome has zero probability.
+    """
+    if outcome not in (0, 1):
+        raise AnalysisError("measurement outcome must be 0 or 1")
+    probability = state.marginal_probability(qubit, outcome)
+    if probability <= 0:
+        raise AnalysisError(f"outcome {outcome} on qubit {qubit} has zero probability")
+    surviving = {
+        index: amplitude
+        for index, amplitude in state.items()
+        if ((index >> qubit) & 1) == outcome
+    }
+    collapsed = SparseState(state.num_qubits, surviving).normalized()
+    return probability, collapsed
+
+
+def measure_sequentially(state: SparseState, qubits: Sequence[int], seed: int | None = None) -> tuple[str, SparseState]:
+    """Simulate a projective measurement of ``qubits`` one at a time.
+
+    Returns the observed bitstring (first measured qubit is the rightmost
+    character) and the collapsed post-measurement state.
+    """
+    rng = random.Random(seed)
+    outcomes: list[int] = []
+    current = state
+    for qubit in qubits:
+        probability_one = current.marginal_probability(qubit, 1)
+        outcome = 1 if rng.random() < probability_one else 0
+        outcomes.append(outcome)
+        _probability, current = collapse(current, qubit, outcome)
+    bitstring = "".join(str(bit) for bit in reversed(outcomes))
+    return bitstring, current

@@ -1,0 +1,151 @@
+"""Text-based visualization of states, histograms and benchmark series.
+
+The original Qymera demo renders interactive plots in a browser; in a
+library/headless reproduction the same information is rendered as plain-text
+tables, ASCII bar charts and simple line plots so results remain inspectable
+in a terminal, a log file or a CI run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import AnalysisError
+from .result import SparseState
+
+
+def format_amplitude_table(state: SparseState, max_rows: int = 32, atol: float = 1e-12) -> str:
+    """Render a state as the paper's relational output table ``(s, r, i)``.
+
+    Rows are sorted by basis index; a probability column is added for
+    readability.  Truncates to ``max_rows`` rows with an ellipsis line.
+    """
+    lines = [f"{'s':>8} | {'bitstring':>{max(9, state.num_qubits)}} | {'r':>12} | {'i':>12} | {'prob':>10}"]
+    lines.append("-" * len(lines[0]))
+    rows = [row for row in state.to_rows() if abs(complex(row[1], row[2])) > atol]
+    for position, (index, real, imag) in enumerate(rows):
+        if position == max_rows:
+            lines.append(f"... ({len(rows) - max_rows} more rows)")
+            break
+        bits = format(index, f"0{state.num_qubits}b")
+        probability = real * real + imag * imag
+        lines.append(f"{index:>8} | {bits:>{max(9, state.num_qubits)}} | {real:>12.6f} | {imag:>12.6f} | {probability:>10.6f}")
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Mapping[str, int] | Mapping[str, float],
+    width: int = 40,
+    sort_by_value: bool = False,
+    max_bars: int = 32,
+) -> str:
+    """ASCII bar chart of measurement counts or probabilities."""
+    if not counts:
+        raise AnalysisError("nothing to plot: empty counts")
+    items = list(counts.items())
+    items.sort(key=(lambda kv: -kv[1]) if sort_by_value else (lambda kv: kv[0]))
+    largest = max(value for _key, value in items)
+    if largest <= 0:
+        raise AnalysisError("all counts are zero")
+    label_width = max(len(str(key)) for key, _value in items)
+    lines = []
+    for position, (key, value) in enumerate(items):
+        if position == max_bars:
+            lines.append(f"... ({len(items) - max_bars} more)")
+            break
+        bar = "#" * max(1, int(round(width * value / largest))) if value > 0 else ""
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key):>{label_width}} | {bar} {rendered}")
+    return "\n".join(lines)
+
+
+def probability_histogram(state: SparseState, width: int = 40, max_bars: int = 32) -> str:
+    """ASCII histogram of the state's measurement probabilities."""
+    probabilities = {format(index, f"0{state.num_qubits}b"): probability for index, probability in state.probabilities().items()}
+    return histogram(probabilities, width=width, max_bars=max_bars)
+
+
+def bloch_text(vector: tuple[float, float, float]) -> str:
+    """One-line description of a Bloch vector (used by the education example)."""
+    x, y, z = vector
+    length = math.sqrt(x * x + y * y + z * z)
+    if length < 1e-9:
+        return "maximally mixed (centre of the Bloch sphere)"
+    theta = math.degrees(math.acos(max(-1.0, min(1.0, z / length))))
+    phi = math.degrees(math.atan2(y, x))
+    return f"|r|={length:.3f}, theta={theta:.1f} deg, phi={phi:.1f} deg (x={x:+.3f}, y={y:+.3f}, z={z:+.3f})"
+
+
+def comparison_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Fixed-width table for benchmark comparisons.
+
+    ``rows`` is a list of dictionaries; ``columns`` selects and orders the
+    columns (defaults to the keys of the first row).
+    """
+    if not rows:
+        raise AnalysisError("nothing to tabulate: empty rows")
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e4 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4f}"
+        return str(value)
+
+    rendered_rows = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max((len(rendered[i]) for rendered in rendered_rows), default=0))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))) for rendered in rendered_rows]
+    return "\n".join([header, separator, *body])
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """A crude ASCII scatter/line plot for benchmark series.
+
+    ``series`` maps a label to a list of (x, y) points.  Each series is drawn
+    with its own marker character.  Intended for quick visual inspection of
+    scaling trends (e.g. runtime vs. qubit count per backend).
+    """
+    markers = "ox+*#@%&"
+    points = [(x, y) for data in series.values() for x, y in data]
+    if not points:
+        raise AnalysisError("nothing to plot: no points")
+    xs = [x for x, _y in points]
+    ys = [max(y, 1e-12) for _x, y in points] if logy else [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    transform = (lambda v: math.log10(max(v, 1e-12))) if logy else (lambda v: v)
+    y_low, y_high = min(transform(y) for y in ys), max(transform(y) for y in ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _row in range(height)]
+    for label_index, (label, data) in enumerate(series.items()):
+        marker = markers[label_index % len(markers)]
+        for x, y in data:
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((transform(max(y, 1e-12) if logy else y) - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_low:g} .. {x_high:g}]   y{' (log10)' if logy else ''}: [{y_low:g} .. {y_high:g}]")
+    legend = "   ".join(f"{markers[i % len(markers)]} = {label}" for i, label in enumerate(series))
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""End-to-end session facade (the programmatic web UI)."""
+
+from .session import CircuitPanel, OutputPanel, QymeraSession, SimulationPanel
+
+__all__ = ["CircuitPanel", "OutputPanel", "QymeraSession", "SimulationPanel"]

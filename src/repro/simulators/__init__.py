@@ -1,0 +1,28 @@
+"""Baseline simulation methods (the non-SQL half of the Simulation Layer)."""
+
+from .base import BaseSimulator, EvolutionStats
+from .dd import DecisionDiagramSimulator
+from .mps import MPSSimulator
+from .sparse import SparseSimulator, apply_gate_to_mapping
+from .statevector import StatevectorSimulator, apply_gate_to_vector
+
+__all__ = [
+    "BaseSimulator",
+    "EvolutionStats",
+    "DecisionDiagramSimulator",
+    "MPSSimulator",
+    "SparseSimulator",
+    "apply_gate_to_mapping",
+    "StatevectorSimulator",
+    "apply_gate_to_vector",
+]
+
+
+def available_simulators() -> dict[str, type]:
+    """Mapping of simulator name to class for the non-SQL methods."""
+    return {
+        "statevector": StatevectorSimulator,
+        "sparse": SparseSimulator,
+        "mps": MPSSimulator,
+        "dd": DecisionDiagramSimulator,
+    }

@@ -1,0 +1,119 @@
+"""Common interface for all simulation methods.
+
+Every simulation method in the paper's Simulation Layer — the RDBMS backends
+as well as the state-vector, sparse, MPS and decision-diagram baselines —
+implements the same contract: take a :class:`QuantumCircuit`, return a
+:class:`SimulationResult`.  :class:`BaseSimulator` provides the shared
+timing, bookkeeping, measurement handling and budget enforcement so concrete
+simulators only implement :meth:`_evolve`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from ..core.circuit import QuantumCircuit
+from ..errors import ResourceLimitExceeded, SimulationError
+from ..output.result import SimulationResult, SparseState
+
+
+class EvolutionStats:
+    """Mutable statistics a simulator records while evolving a state."""
+
+    __slots__ = ("peak_rows", "peak_bytes", "extras")
+
+    def __init__(self) -> None:
+        self.peak_rows = 0
+        self.peak_bytes = 0
+        self.extras: dict = {}
+
+    def observe(self, rows: int, bytes_estimate: int | None = None) -> None:
+        """Record the size of an intermediate representation."""
+        self.peak_rows = max(self.peak_rows, int(rows))
+        if bytes_estimate is None:
+            bytes_estimate = 24 * int(rows)
+        self.peak_bytes = max(self.peak_bytes, int(bytes_estimate))
+
+
+class BaseSimulator(ABC):
+    """Abstract simulator.
+
+    Parameters
+    ----------
+    max_state_bytes:
+        Optional budget on the size of the simulator's state representation.
+        When an intermediate state exceeds it, :class:`ResourceLimitExceeded`
+        is raised — this is the knob the capacity experiments (E3/E9) sweep.
+    prune_atol:
+        Amplitudes whose magnitude falls at or below this are dropped from
+        sparse representations (mirrors "only nonzero basis states are
+        stored").
+    """
+
+    #: Short identifier reported in results ("statevector", "sqlite", ...).
+    name: str = "base"
+
+    def __init__(self, max_state_bytes: int | None = None, prune_atol: float = 1e-12) -> None:
+        if max_state_bytes is not None and max_state_bytes <= 0:
+            raise SimulationError("max_state_bytes must be positive when given")
+        self.max_state_bytes = max_state_bytes
+        self.prune_atol = float(prune_atol)
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, circuit: QuantumCircuit, initial_state: SparseState | None = None) -> SimulationResult:
+        """Simulate ``circuit`` and return the final state plus metadata.
+
+        Measurement instructions are ignored for state evolution (the final
+        state returned is the pre-measurement state; use
+        :mod:`repro.output.sampling` to draw shots from it); they are listed
+        in the result metadata.  Parameterized circuits must be bound first.
+        """
+        if circuit.is_parameterized:
+            names = sorted(parameter.name for parameter in circuit.parameters)
+            raise SimulationError(f"circuit has unbound parameters {names}; bind them before simulating")
+        if initial_state is not None and initial_state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"initial state has {initial_state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+        stats = EvolutionStats()
+        started = time.perf_counter()
+        state = self._evolve(circuit, initial_state, stats)
+        elapsed = time.perf_counter() - started
+        metadata = {"measured_qubits": circuit.measured_qubits()}
+        metadata.update(stats.extras)
+        return SimulationResult(
+            state=state.pruned(self.prune_atol),
+            method=self.name,
+            circuit_name=circuit.name,
+            num_qubits=circuit.num_qubits,
+            num_gates=circuit.size(),
+            wall_time_s=elapsed,
+            peak_state_rows=stats.peak_rows,
+            peak_state_bytes=stats.peak_bytes,
+            metadata=metadata,
+        )
+
+    def _check_budget(self, bytes_estimate: int, context: str = "") -> None:
+        """Raise :class:`ResourceLimitExceeded` when the byte budget is exceeded."""
+        if self.max_state_bytes is not None and bytes_estimate > self.max_state_bytes:
+            raise ResourceLimitExceeded(
+                f"{self.name}: state requires {bytes_estimate} bytes, budget is {self.max_state_bytes}"
+                + (f" ({context})" if context else "")
+            )
+
+    # ----------------------------------------------------------- to override
+
+    @abstractmethod
+    def _evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        """Evolve |0...0> (or ``initial_state``) through the circuit's gates."""
+
+    def __repr__(self) -> str:
+        budget = f", max_state_bytes={self.max_state_bytes}" if self.max_state_bytes else ""
+        return f"{type(self).__name__}(name={self.name!r}{budget})"

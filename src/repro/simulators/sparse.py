@@ -1,0 +1,135 @@
+"""Sparse hash-map simulator.
+
+This simulator evolves the same representation the RDBMS stores — a mapping
+from basis index to nonzero amplitude — entirely in Python dictionaries.  It
+is the in-memory mirror of the SQL pipeline: every gate performs exactly the
+join-and-group-by of the generated query, so it doubles as an executable
+specification of the translation semantics and as the "how well could the
+relational approach do without a database engine" baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.instruction import Instruction
+from ..errors import SimulationError
+from ..output.result import SparseState
+from .base import BaseSimulator, EvolutionStats
+
+#: Estimated bytes per stored amplitude: dict entry overhead + key + complex.
+_BYTES_PER_ENTRY = 96
+
+
+def apply_gate_to_mapping(
+    amplitudes: Mapping[int, complex],
+    gate_rows: Sequence[tuple[int, int, float, float]],
+    qubits: Sequence[int],
+    prune_atol: float = 1e-12,
+) -> dict[int, complex]:
+    """Apply a gate (given as relational rows) to a sparse amplitude mapping.
+
+    This mirrors the generated SQL exactly (Fig. 2c of the paper):
+
+    * the join condition matches the state's *local* sub-index
+      (``s & mask`` collapsed onto the gate's qubits) against ``in_s``;
+    * the new index is the old index with the gate qubits replaced by
+      ``out_s``;
+    * amplitudes of identical output indices are summed (GROUP BY s).
+    """
+    transitions: dict[int, list[tuple[int, complex]]] = defaultdict(list)
+    for in_s, out_s, real, imag in gate_rows:
+        transitions[in_s].append((out_s, complex(real, imag)))
+
+    result: dict[int, complex] = defaultdict(complex)
+    for index, amplitude in amplitudes.items():
+        local = 0
+        for position, qubit in enumerate(qubits):
+            local |= ((index >> qubit) & 1) << position
+        rest = index
+        for qubit in qubits:
+            rest &= ~(1 << qubit)
+        for out_s, transition in transitions.get(local, ()):  # rows with matching in_s
+            target = rest
+            for position, qubit in enumerate(qubits):
+                if (out_s >> position) & 1:
+                    target |= 1 << qubit
+            result[target] += amplitude * transition
+
+    return {index: amplitude for index, amplitude in result.items() if abs(amplitude) > prune_atol}
+
+
+class SparseSimulator(BaseSimulator):
+    """Hash-map simulation storing only nonzero amplitudes."""
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        max_state_bytes: int | None = None,
+        prune_atol: float = 1e-12,
+        max_nonzero: int | None = None,
+    ) -> None:
+        super().__init__(max_state_bytes=max_state_bytes, prune_atol=prune_atol)
+        if max_nonzero is not None and max_nonzero < 1:
+            raise SimulationError("max_nonzero must be positive when given")
+        self.max_nonzero = max_nonzero
+
+    def _evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        if initial_state is None:
+            amplitudes: dict[int, complex] = {0: 1.0 + 0.0j}
+        else:
+            amplitudes = dict(initial_state.items())
+
+        stats.observe(len(amplitudes), _BYTES_PER_ENTRY * len(amplitudes))
+        for instruction in circuit.instructions:
+            amplitudes = self._apply(amplitudes, instruction)
+            size = len(amplitudes)
+            estimate = _BYTES_PER_ENTRY * size
+            stats.observe(size, estimate)
+            self._check_budget(estimate, f"after {instruction.name}")
+            if self.max_nonzero is not None and size > self.max_nonzero:
+                raise SimulationError(
+                    f"sparse state grew to {size} nonzero amplitudes (limit {self.max_nonzero})"
+                )
+        return SparseState(circuit.num_qubits, amplitudes)
+
+    def _apply(self, amplitudes: dict[int, complex], instruction: Instruction) -> dict[int, complex]:
+        if instruction.kind == "barrier" or instruction.is_measurement:
+            return amplitudes
+        if instruction.kind == "reset":
+            return self._reset(amplitudes, instruction.qubits[0])
+        gate = instruction.gate
+        assert gate is not None
+        return apply_gate_to_mapping(
+            amplitudes, gate.nonzero_entries(atol=self.prune_atol), instruction.qubits, self.prune_atol
+        )
+
+    @staticmethod
+    def _reset(amplitudes: dict[int, complex], qubit: int) -> dict[int, complex]:
+        """Reset a qubit to |0> (keeps the higher-probability branch, then clears the bit)."""
+        probability_one = sum(abs(a) ** 2 for index, a in amplitudes.items() if (index >> qubit) & 1)
+        keep = 1 if probability_one > 0.5 else 0
+        kept = {index: a for index, a in amplitudes.items() if ((index >> qubit) & 1) == keep}
+        norm = sum(abs(a) ** 2 for a in kept.values()) ** 0.5
+        if norm == 0:
+            raise SimulationError("reset projected onto a zero-probability branch")
+        result: dict[int, complex] = {}
+        for index, amplitude in kept.items():
+            result[index & ~(1 << qubit)] = amplitude / norm
+        return result
+
+    def peak_rows_estimate(self, circuit: QuantumCircuit) -> int:
+        """Upper bound on nonzero amplitudes: ``2**min(branching gates, n)``.
+
+        Useful for capacity planning in the benchmarks without running the
+        simulation.
+        """
+        return 1 << min(circuit.branching_gate_count(), circuit.num_qubits)

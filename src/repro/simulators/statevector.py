@@ -1,0 +1,141 @@
+"""Dense state-vector simulator.
+
+This is the "conventional simulation method" the paper compares against
+(cuQuantum / Qiskit-Aer class): the full ``2**n`` complex amplitude vector is
+held in memory and every gate is applied to it.  Memory is Theta(2^n)
+regardless of how sparse the state is, which is exactly why the relational
+representation wins the sparse-capacity experiment (E3) and why this
+simulator wins the dense-workload comparison (E4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.circuit import QuantumCircuit
+from ..core.instruction import Instruction
+from ..errors import SimulationError
+from ..output.result import SparseState
+from .base import BaseSimulator, EvolutionStats
+
+#: Bytes per complex128 amplitude.
+_BYTES_PER_AMPLITUDE = 16
+
+
+def apply_gate_to_vector(vector: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply a k-qubit gate to a dense state vector (returns a new vector).
+
+    ``qubits`` are the gate's argument qubits; local bit ``j`` of the matrix
+    index corresponds to ``qubits[j]`` (the package-wide convention).
+    """
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise SimulationError(f"matrix shape {matrix.shape} does not match {k} qubits")
+    mask = 0
+    for qubit in qubits:
+        if not 0 <= qubit < num_qubits:
+            raise SimulationError(f"qubit {qubit} out of range")
+        mask |= 1 << qubit
+
+    # Indices of all basis states whose gate qubits are zero.
+    rest_count = 1 << (num_qubits - k)
+    rest = np.arange(rest_count, dtype=np.int64)
+    base = np.zeros(rest_count, dtype=np.int64)
+    position = 0
+    for qubit in range(num_qubits):
+        if not (mask >> qubit) & 1:
+            base |= ((rest >> position) & 1) << qubit
+            position += 1
+
+    def deposit(local: int) -> int:
+        scattered = 0
+        for j, qubit in enumerate(qubits):
+            if (local >> j) & 1:
+                scattered |= 1 << qubit
+        return scattered
+
+    offsets = [deposit(local) for local in range(1 << k)]
+    gathered = np.stack([vector[base | offset] for offset in offsets])
+    transformed = matrix @ gathered
+    result = np.empty_like(vector)
+    for local, offset in enumerate(offsets):
+        result[base | offset] = transformed[local]
+    return result
+
+
+class StatevectorSimulator(BaseSimulator):
+    """Dense ``2**n`` state-vector simulation (numpy, complex128)."""
+
+    name = "statevector"
+
+    def __init__(self, max_state_bytes: int | None = None, prune_atol: float = 1e-12, max_qubits: int = 26) -> None:
+        super().__init__(max_state_bytes=max_state_bytes, prune_atol=prune_atol)
+        if max_qubits < 1:
+            raise SimulationError("max_qubits must be positive")
+        self.max_qubits = int(max_qubits)
+
+    def required_bytes(self, num_qubits: int) -> int:
+        """Memory needed for the dense vector of a ``num_qubits`` state."""
+        return _BYTES_PER_AMPLITUDE * (1 << num_qubits)
+
+    def _evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        num_qubits = circuit.num_qubits
+        if num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"statevector simulator limited to {self.max_qubits} qubits (asked for {num_qubits})"
+            )
+        required = self.required_bytes(num_qubits)
+        self._check_budget(required, "dense state vector allocation")
+        stats.observe(1 << num_qubits, required)
+
+        if initial_state is None:
+            vector = np.zeros(1 << num_qubits, dtype=np.complex128)
+            vector[0] = 1.0
+        else:
+            vector = initial_state.to_dense()
+
+        for instruction in circuit.instructions:
+            vector = self._apply(vector, instruction, num_qubits)
+        return SparseState.from_dense(vector, atol=self.prune_atol)
+
+    def _apply(self, vector: np.ndarray, instruction: Instruction, num_qubits: int) -> np.ndarray:
+        if instruction.kind == "barrier" or instruction.is_measurement:
+            return vector
+        if instruction.kind == "reset":
+            return self._reset(vector, instruction.qubits[0], num_qubits)
+        gate = instruction.gate
+        assert gate is not None
+        return apply_gate_to_vector(vector, gate.matrix(), instruction.qubits, num_qubits)
+
+    @staticmethod
+    def _reset(vector: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        """Reset a qubit to |0> along a deterministic measurement trajectory.
+
+        The branch with the larger probability is kept (ties keep 0), then
+        mapped onto the qubit's |0> subspace and renormalized.
+        """
+        indices = np.arange(1 << num_qubits)
+        bit = (indices >> qubit) & 1
+        probability_one = float(np.sum(np.abs(vector[bit == 1]) ** 2))
+        keep = 1 if probability_one > 0.5 else 0
+        projected = np.where(bit == keep, vector, 0.0)
+        norm = np.linalg.norm(projected)
+        if norm == 0:
+            raise SimulationError("reset projected onto a zero-probability branch")
+        projected = projected / norm
+        if keep == 1:
+            flipped = np.zeros_like(projected)
+            flipped[indices & ~(1 << qubit)] = projected[indices]
+            projected = flipped
+        return projected
+
+    def statevector(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Convenience: the dense final state vector of a circuit."""
+        return self.run(circuit).state.to_dense()

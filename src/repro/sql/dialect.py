@@ -1,0 +1,68 @@
+"""SQL dialect descriptions for the supported backends.
+
+The generated queries stick to a conservative SQL-92-with-bitwise-operators
+subset, so dialect differences are small: column type names, whether a
+``CREATE TEMP TABLE ... AS`` statement is preferred for materialized steps,
+and a human-readable engine description.  The same translation output runs
+unchanged on SQLite, DuckDB (when installed) and the embedded columnar
+engine ``memdb``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TranslationError
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Static description of an SQL dialect."""
+
+    name: str
+    integer_type: str = "BIGINT"
+    real_type: str = "DOUBLE"
+    supports_cte: bool = True
+    supports_temp_tables: bool = True
+    description: str = ""
+
+    def create_table_as(self, table: str, query: str, temporary: bool = False) -> str:
+        """``CREATE [TEMP] TABLE <table> AS <query>`` statement."""
+        keyword = "CREATE TEMP TABLE" if temporary and self.supports_temp_tables else "CREATE TABLE"
+        return f"{keyword} {table} AS {query}"
+
+    def drop_table(self, table: str) -> str:
+        """``DROP TABLE IF EXISTS`` statement."""
+        return f"DROP TABLE IF EXISTS {table}"
+
+
+SQLITE = Dialect(
+    name="sqlite",
+    integer_type="INTEGER",
+    real_type="REAL",
+    description="SQLite 3 (row store, serverless); ships with CPython as sqlite3",
+)
+
+DUCKDB = Dialect(
+    name="duckdb",
+    integer_type="BIGINT",
+    real_type="DOUBLE",
+    description="DuckDB (vectorized columnar analytical engine)",
+)
+
+MEMDB = Dialect(
+    name="memdb",
+    integer_type="BIGINT",
+    real_type="DOUBLE",
+    description="Embedded columnar SQL engine (numpy-vectorized DuckDB substitute)",
+)
+
+_DIALECTS = {d.name: d for d in (SQLITE, DUCKDB, MEMDB)}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by name (``sqlite``, ``duckdb``, ``memdb``)."""
+    key = name.lower()
+    if key not in _DIALECTS:
+        raise TranslationError(f"unknown SQL dialect {name!r}; expected one of {sorted(_DIALECTS)}")
+    return _DIALECTS[key]

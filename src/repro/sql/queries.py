@@ -1,0 +1,87 @@
+"""Auxiliary SQL queries over state tables.
+
+Beyond evolving the state, the paper's Output Layer computes measurement
+probabilities, marginals and norms.  All of those are plain aggregations over
+the final state table, generated here so they run inside the RDBMS too (no
+client-side post-processing needed).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import TranslationError
+
+
+def probabilities_query(table: str, limit: int | None = None) -> str:
+    """Per-basis-state measurement probabilities, largest first."""
+    sql = (
+        f"SELECT s, (r * r) + (i * i) AS prob FROM {table} "
+        f"ORDER BY prob DESC, s"
+    )
+    if limit is not None:
+        if limit < 1:
+            raise TranslationError("limit must be positive")
+        sql += f" LIMIT {int(limit)}"
+    return sql
+
+
+def norm_query(table: str) -> str:
+    """Total probability mass (should be 1 for a normalized state)."""
+    return f"SELECT SUM((r * r) + (i * i)) AS norm FROM {table}"
+
+
+def row_count_query(table: str) -> str:
+    """Number of nonzero amplitudes currently stored."""
+    return f"SELECT COUNT(*) AS rows FROM {table}"
+
+
+def marginal_probability_query(table: str, qubit: int) -> str:
+    """Distribution of one qubit: ``(outcome, probability)`` rows.
+
+    Uses the same bitwise addressing as the gate queries:
+    ``(s >> qubit) & 1`` extracts the measured bit.
+    """
+    if qubit < 0:
+        raise TranslationError("qubit index must be non-negative")
+    bit = f"(({table}.s >> {qubit}) & 1)" if qubit else f"({table}.s & 1)"
+    return (
+        f"SELECT {bit} AS outcome, SUM((r * r) + (i * i)) AS prob "
+        f"FROM {table} GROUP BY {bit} ORDER BY outcome"
+    )
+
+
+def joint_marginal_query(table: str, qubits: Sequence[int]) -> str:
+    """Joint distribution of several qubits (outcome encoded as a small integer)."""
+    if not qubits:
+        raise TranslationError("need at least one qubit for a marginal")
+    parts = []
+    for position, qubit in enumerate(qubits):
+        bit = f"(({table}.s >> {int(qubit)}) & 1)" if qubit else f"({table}.s & 1)"
+        parts.append(bit if position == 0 else f"({bit} << {position})")
+    outcome = "(" + " | ".join(parts) + ")" if len(parts) > 1 else parts[0]
+    return (
+        f"SELECT {outcome} AS outcome, SUM((r * r) + (i * i)) AS prob "
+        f"FROM {table} GROUP BY {outcome} ORDER BY outcome"
+    )
+
+
+def expectation_z_query(table: str, qubit: int) -> str:
+    """Expectation value of Pauli-Z on one qubit: ``P(0) - P(1)``."""
+    bit = f"(({table}.s >> {int(qubit)}) & 1)" if qubit else f"({table}.s & 1)"
+    return (
+        f"SELECT SUM(((r * r) + (i * i)) * (1 - 2 * {bit})) AS expectation "
+        f"FROM {table}"
+    )
+
+
+def amplitude_query(table: str, basis_index: int) -> str:
+    """The (r, i) amplitude of a single basis state."""
+    if basis_index < 0:
+        raise TranslationError("basis index must be non-negative")
+    return f"SELECT r, i FROM {table} WHERE s = {int(basis_index)}"
+
+
+def state_rows_query(table: str) -> str:
+    """All rows of a state table in ascending basis order (the paper's output)."""
+    return f"SELECT s, r, i FROM {table} ORDER BY s"

@@ -1,0 +1,101 @@
+"""Relational schemas for quantum states and gates.
+
+Sec. 2.1 of the paper defines two schemas:
+
+* a state table ``T(s, r, i)`` — one row per nonzero basis state, where ``s``
+  is the basis index as an integer and ``r``/``i`` are the real and imaginary
+  parts of its amplitude;
+* a gate table ``T(in_s, out_s, r, i)`` — one row per nonzero transition
+  amplitude of the gate's (local) unitary matrix.
+
+This module holds the column definitions, table-name conventions (``T0``,
+``T1``, ... for state snapshots; upper-cased gate names for gate tables) and
+the DDL / INSERT statement generation shared by every RDBMS backend.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ..errors import TranslationError
+
+#: Column names of a state table, in order.
+STATE_COLUMNS = ("s", "r", "i")
+#: Column names of a gate table, in order.
+GATE_COLUMNS = ("in_s", "out_s", "r", "i")
+
+#: SQL identifiers that must not be used as bare table names.
+_RESERVED_WORDS = {
+    "select", "from", "where", "group", "order", "by", "join", "on", "as", "with",
+    "table", "create", "insert", "into", "values", "drop", "index", "union", "all",
+    "and", "or", "not", "in", "is", "null", "to", "sum", "case", "when", "then", "end",
+}
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def state_table_name(step: int) -> str:
+    """Name of the state snapshot after ``step`` gates: ``T0``, ``T1``, ..."""
+    if step < 0:
+        raise TranslationError("state step must be non-negative")
+    return f"T{step}"
+
+
+def is_valid_identifier(name: str) -> bool:
+    """True if ``name`` can be used as a bare SQL identifier."""
+    return bool(_IDENTIFIER_RE.match(name)) and name.lower() not in _RESERVED_WORDS
+
+
+def sanitize_identifier(name: str, fallback: str = "tbl") -> str:
+    """Turn an arbitrary string into a safe SQL identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not cleaned or not cleaned[0].isalpha():
+        cleaned = f"{fallback}_{cleaned}" if cleaned else fallback
+    if cleaned.lower() in _RESERVED_WORDS:
+        cleaned = f"{cleaned}_t"
+    return cleaned
+
+
+def state_table_ddl(name: str, integer_type: str = "BIGINT", real_type: str = "DOUBLE") -> str:
+    """``CREATE TABLE`` statement for a state table ``T(s, r, i)``."""
+    if not is_valid_identifier(name):
+        raise TranslationError(f"invalid state table name {name!r}")
+    return (
+        f"CREATE TABLE {name} (s {integer_type} NOT NULL, "
+        f"r {real_type} NOT NULL, i {real_type} NOT NULL)"
+    )
+
+
+def gate_table_ddl(name: str, integer_type: str = "BIGINT", real_type: str = "DOUBLE") -> str:
+    """``CREATE TABLE`` statement for a gate table ``T(in_s, out_s, r, i)``."""
+    if not is_valid_identifier(name):
+        raise TranslationError(f"invalid gate table name {name!r}")
+    return (
+        f"CREATE TABLE {name} (in_s {integer_type} NOT NULL, out_s {integer_type} NOT NULL, "
+        f"r {real_type} NOT NULL, i {real_type} NOT NULL)"
+    )
+
+
+def _format_number(value: float) -> str:
+    """Render a float literal exactly (repr keeps full double precision)."""
+    return repr(float(value))
+
+
+def state_insert_sql(name: str, rows: Sequence[tuple[int, float, float]]) -> str:
+    """Multi-row ``INSERT`` statement for a state table."""
+    if not rows:
+        raise TranslationError(f"state table {name!r} needs at least one row")
+    values = ", ".join(f"({int(s)}, {_format_number(r)}, {_format_number(i)})" for s, r, i in rows)
+    return f"INSERT INTO {name} (s, r, i) VALUES {values}"
+
+
+def gate_insert_sql(name: str, rows: Sequence[tuple[int, int, float, float]]) -> str:
+    """Multi-row ``INSERT`` statement for a gate table."""
+    if not rows:
+        raise TranslationError(f"gate table {name!r} needs at least one row")
+    values = ", ".join(
+        f"({int(in_s)}, {int(out_s)}, {_format_number(r)}, {_format_number(i)})"
+        for in_s, out_s, r, i in rows
+    )
+    return f"INSERT INTO {name} (in_s, out_s, r, i) VALUES {values}"

@@ -1,0 +1,140 @@
+"""Tests for the RDBMS execution backends (SQLite, memdb, optional DuckDB)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.backends import (
+    MODE_CTE,
+    MODE_MATERIALIZED,
+    DuckDBBackend,
+    MemDBBackend,
+    SQLiteBackend,
+    available_backends,
+    duckdb_available,
+)
+from repro.circuits import ghz_circuit, superposition_circuit, w_state_circuit
+from repro.core import QuantumCircuit
+from repro.core.parameters import Parameter
+from repro.errors import BackendError, BackendUnavailableError, ResourceLimitExceeded, SimulationError
+from repro.output import states_agree
+from repro.simulators import StatevectorSimulator
+
+
+class TestSQLiteBackend:
+    def test_ghz_cte(self, ghz3, sqlite_backend):
+        result = sqlite_backend.run(ghz3)
+        assert result.method == "sqlite"
+        assert result.state.to_rows() == [
+            (0, pytest.approx(2 ** -0.5), 0.0),
+            (7, pytest.approx(2 ** -0.5), 0.0),
+        ]
+
+    def test_materialized_records_step_rows(self, ghz3):
+        backend = SQLiteBackend(mode=MODE_MATERIALIZED)
+        result = backend.run(ghz3)
+        assert result.metadata["step_rows"] == [2, 2, 2]
+        assert result.peak_state_rows == 2
+
+    def test_out_of_core_mode_uses_disk(self, ghz3):
+        backend = SQLiteBackend(mode=MODE_MATERIALIZED, out_of_core=True)
+        result = backend.run(ghz3)
+        assert backend.name == "sqlite-disk"
+        assert result.state.num_nonzero == 2
+
+    def test_explicit_database_path(self, tmp_path, ghz3):
+        path = tmp_path / "state.db"
+        backend = SQLiteBackend(mode=MODE_MATERIALIZED, database_path=path, keep_intermediate=True)
+        backend.run(ghz3)
+        assert Path(path).exists()
+        assert Path(path).stat().st_size > 0
+
+    def test_path_and_out_of_core_conflict(self):
+        with pytest.raises(BackendError):
+            SQLiteBackend(database_path="x.db", out_of_core=True)
+
+    def test_invalid_mode(self):
+        with pytest.raises(BackendError):
+            SQLiteBackend(mode="streamed")
+
+    def test_memory_budget_enforced(self):
+        backend = SQLiteBackend(mode=MODE_MATERIALIZED, max_state_bytes=24 * 4)
+        with pytest.raises(ResourceLimitExceeded):
+            backend.run(superposition_circuit(4))
+
+    def test_budget_allows_sparse_circuit(self):
+        backend = SQLiteBackend(mode=MODE_MATERIALIZED, max_state_bytes=24 * 4)
+        result = backend.run(ghz_circuit(12))
+        assert result.state.num_nonzero == 2
+
+    def test_unbound_parameters_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("theta"), 0)
+        with pytest.raises(SimulationError):
+            SQLiteBackend().run(circuit)
+
+    def test_capacity_rows_helper(self):
+        assert SQLiteBackend(max_state_bytes=240).capacity_rows() == 10
+        assert SQLiteBackend().capacity_rows() is None
+
+    def test_sql_metadata_attached(self, ghz3, sqlite_backend):
+        result = sqlite_backend.run(ghz3)
+        assert result.metadata["sql"]["dialect"] == "sqlite"
+        assert result.metadata["sql"]["num_steps"] == 3
+
+
+class TestMemDBBackend:
+    def test_ghz(self, ghz3, memdb_backend):
+        result = memdb_backend.run(ghz3)
+        assert result.method == "memdb"
+        assert result.state.num_nonzero == 2
+
+    def test_materialized_mode(self, ghz3):
+        result = MemDBBackend(mode=MODE_MATERIALIZED).run(ghz3)
+        assert result.metadata["step_rows"] == [2, 2, 2]
+
+    def test_prune_epsilon(self):
+        circuit = superposition_circuit(2, layers=2)
+        result = MemDBBackend(mode=MODE_MATERIALIZED, prune_epsilon=1e-12).run(circuit)
+        assert result.state.num_nonzero == 1
+
+    def test_fusion_option(self, ghz3):
+        result = MemDBBackend(fuse=True).run(ghz3)
+        assert result.metadata["sql"]["fusion"]["gates_after"] < 3
+        assert result.state.num_nonzero == 2
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize(
+        "circuit_factory",
+        [lambda: ghz_circuit(5), lambda: w_state_circuit(4), lambda: superposition_circuit(4)],
+        ids=["ghz", "w_state", "superposition"],
+    )
+    def test_all_backend_modes_match_statevector(self, circuit_factory, any_rdbms_backend):
+        circuit = circuit_factory()
+        reference = StatevectorSimulator().run(circuit).state
+        result = any_rdbms_backend.run(circuit).state
+        assert states_agree(reference, result, up_to_global_phase=False)
+
+    def test_run_script_utility(self, sqlite_backend):
+        rows = sqlite_backend.run_script(["CREATE TABLE x (a INTEGER)", "INSERT INTO x VALUES (4)", "SELECT a FROM x"])
+        assert rows == [(4,)]
+
+
+class TestDuckDBBackend:
+    def test_unavailable_raises_helpful_error(self):
+        if duckdb_available():
+            pytest.skip("duckdb is installed in this environment")
+        with pytest.raises(BackendUnavailableError):
+            DuckDBBackend()
+
+    @pytest.mark.skipif(not duckdb_available(), reason="duckdb not installed")
+    def test_duckdb_matches_statevector(self, ghz3):
+        result = DuckDBBackend().run(ghz3)
+        reference = StatevectorSimulator().run(ghz3).state
+        assert states_agree(reference, result.state)
+
+    def test_registry(self):
+        backends = available_backends()
+        assert "sqlite" in backends and "memdb" in backends
+        assert ("duckdb" in backends) == duckdb_available()

@@ -1,0 +1,130 @@
+"""Tests for the oracle-based algorithms and quantum phase estimation."""
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.circuits import (
+    bernstein_vazirani_circuit,
+    bernstein_vazirani_expected_index,
+    deutsch_jozsa_circuit,
+    deutsch_jozsa_is_constant,
+    expected_phase_index,
+    phase_estimation_circuit,
+    phase_estimation_success_probability,
+)
+from repro.errors import CircuitError
+from repro.output import states_agree
+from repro.simulators import SparseSimulator, StatevectorSimulator
+
+_SV = StatevectorSimulator()
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["1", "101", "1101", "00110"])
+    def test_recovers_secret_with_certainty(self, secret):
+        circuit = bernstein_vazirani_circuit(secret, measure=False)
+        state = _SV.run(circuit).state
+        expected_data = bernstein_vazirani_expected_index(secret)
+        # Marginal over the data register: all probability mass on the secret.
+        mass = sum(
+            probability
+            for index, probability in state.probabilities().items()
+            if (index & ((1 << len(secret)) - 1)) == expected_data
+        )
+        assert mass == pytest.approx(1.0)
+
+    def test_single_oracle_query(self):
+        circuit = bernstein_vazirani_circuit("1011", measure=False)
+        assert circuit.count_ops()["cx"] == 3  # one per set secret bit
+
+    def test_runs_on_rdbms_backends(self):
+        circuit = bernstein_vazirani_circuit("1001", measure=False)
+        reference = _SV.run(circuit).state
+        for backend in (SQLiteBackend(), MemDBBackend()):
+            assert states_agree(reference, backend.run(circuit).state, up_to_global_phase=False)
+
+    def test_relational_state_stays_sparse(self):
+        result = SparseSimulator().run(bernstein_vazirani_circuit("10101", measure=False))
+        # After the final Hadamards the data register is a basis state again.
+        assert result.state.num_nonzero <= 2
+
+    def test_invalid_secret(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit("102")
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit("")
+
+
+class TestDeutschJozsa:
+    @pytest.mark.parametrize("oracle", ["constant0", "constant1"])
+    def test_constant_oracles_measure_all_zeros(self, oracle):
+        circuit = deutsch_jozsa_circuit(4, oracle=oracle, measure=False)
+        state = _SV.run(circuit).state
+        data_mask = (1 << 4) - 1
+        mass_at_zero = sum(p for index, p in state.probabilities().items() if index & data_mask == 0)
+        assert mass_at_zero == pytest.approx(1.0)
+        assert deutsch_jozsa_is_constant(0)
+
+    @pytest.mark.parametrize("pattern", ["1111", "0101", "1000"])
+    def test_balanced_oracles_never_measure_zero(self, pattern):
+        circuit = deutsch_jozsa_circuit(4, oracle="balanced", pattern=pattern, measure=False)
+        state = _SV.run(circuit).state
+        data_mask = (1 << 4) - 1
+        mass_at_zero = sum(p for index, p in state.probabilities().items() if index & data_mask == 0)
+        assert mass_at_zero == pytest.approx(0.0, abs=1e-9)
+        assert not deutsch_jozsa_is_constant(int(pattern[::-1], 2))
+
+    def test_backend_agreement(self):
+        circuit = deutsch_jozsa_circuit(3, oracle="balanced", pattern="110", measure=False)
+        reference = _SV.run(circuit).state
+        assert states_agree(reference, SQLiteBackend().run(circuit).state, up_to_global_phase=False)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_circuit(0)
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_circuit(3, oracle="periodic")
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_circuit(3, oracle="balanced", pattern="000")
+        with pytest.raises(CircuitError):
+            deutsch_jozsa_circuit(3, oracle="balanced", pattern="01")
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("num_counting,phase", [(3, 0.125), (3, 0.625), (4, 0.3125)])
+    def test_exact_phases_are_recovered_with_certainty(self, num_counting, phase):
+        circuit = phase_estimation_circuit(num_counting, phase)
+        state = _SV.run(circuit).state
+        expected = expected_phase_index(num_counting, phase)
+        counting_mask = (1 << num_counting) - 1
+        mass = sum(p for index, p in state.probabilities().items() if index & counting_mask == expected)
+        assert mass == pytest.approx(1.0, abs=1e-9)
+        assert phase_estimation_success_probability(num_counting, phase) == pytest.approx(1.0)
+
+    def test_inexact_phase_peaks_at_nearest_grid_point(self):
+        num_counting, phase = 4, 0.3
+        circuit = phase_estimation_circuit(num_counting, phase)
+        state = _SV.run(circuit).state
+        counting_mask = (1 << num_counting) - 1
+        marginal: dict[int, float] = {}
+        for index, probability in state.probabilities().items():
+            marginal[index & counting_mask] = marginal.get(index & counting_mask, 0.0) + probability
+        best = max(marginal, key=marginal.get)
+        assert best == expected_phase_index(num_counting, phase)
+        assert marginal[best] == pytest.approx(
+            phase_estimation_success_probability(num_counting, phase), abs=1e-6
+        )
+
+    def test_backend_agreement(self):
+        circuit = phase_estimation_circuit(3, 0.375)
+        reference = _SV.run(circuit).state
+        for backend in (SQLiteBackend(), MemDBBackend()):
+            assert states_agree(reference, backend.run(circuit).state, atol=1e-7, up_to_global_phase=False)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(0, 0.5)
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(3, 1.5)
+        with pytest.raises(CircuitError):
+            expected_phase_index(0, 0.5)

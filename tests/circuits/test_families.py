@@ -1,0 +1,263 @@
+"""Tests for the standard circuit family library."""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    BELL_LABELS,
+    ansatz_parameter_count,
+    bell_circuit,
+    bell_expected_amplitudes,
+    bound_ansatz,
+    complete_graph,
+    dense_phase_circuit,
+    expected_parity,
+    ghz_circuit,
+    ghz_expected_amplitudes,
+    ghz_with_measurement,
+    grover_circuit,
+    grover_success_probability,
+    hardware_efficient_ansatz,
+    maxcut_cut_value,
+    maxcut_expected_value,
+    optimal_grover_iterations,
+    parity_check_circuit,
+    parity_expected_basis_state,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    qft_expected_amplitudes,
+    qft_on_basis_state,
+    random_circuit,
+    random_dense_circuit,
+    random_sparse_circuit,
+    ring_graph,
+    superposed_parity_circuit,
+    superposition_circuit,
+    superposition_expected_amplitudes,
+    w_state_circuit,
+    w_state_expected_amplitudes,
+)
+from repro.errors import CircuitError
+from repro.output import SparseState, states_agree
+from repro.simulators import SparseSimulator, StatevectorSimulator
+
+_SV = StatevectorSimulator()
+
+
+class TestGHZ:
+    def test_structure(self):
+        circuit = ghz_circuit(5)
+        assert circuit.count_ops() == {"h": 1, "cx": 4}
+        assert circuit.depth() == 5
+
+    def test_star_layout_same_state(self):
+        ladder = _SV.run(ghz_circuit(4, ladder=True)).state
+        star = _SV.run(ghz_circuit(4, ladder=False)).state
+        assert states_agree(ladder, star, up_to_global_phase=False)
+
+    def test_expected_amplitudes(self):
+        for n in (1, 2, 5):
+            state = _SV.run(ghz_circuit(n)).state
+            expected = SparseState(n, ghz_expected_amplitudes(n))
+            assert states_agree(state, expected, up_to_global_phase=False)
+
+    def test_with_measurement(self):
+        circuit = ghz_with_measurement(3)
+        assert circuit.measured_qubits() == [0, 1, 2]
+
+    def test_invalid_size(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(0)
+
+
+class TestBell:
+    @pytest.mark.parametrize("label", BELL_LABELS)
+    def test_all_four_bell_states(self, label):
+        state = _SV.run(bell_circuit(label)).state
+        expected = SparseState(2, bell_expected_amplitudes(label))
+        assert states_agree(state, expected, up_to_global_phase=False)
+
+    def test_unknown_label(self):
+        with pytest.raises(CircuitError):
+            bell_circuit("omega")
+
+
+class TestSuperposition:
+    def test_uniform_distribution(self):
+        state = _SV.run(superposition_circuit(4)).state
+        expected = SparseState(4, superposition_expected_amplitudes(4))
+        assert states_agree(state, expected, up_to_global_phase=False)
+
+    def test_two_layers_return_to_zero(self):
+        state = _SV.run(superposition_circuit(3, layers=2)).state
+        assert state.num_nonzero == 1
+        assert state.probability_of(0) == pytest.approx(1.0)
+
+    def test_dense_phase_is_fully_dense(self):
+        state = _SV.run(dense_phase_circuit(4, rounds=2)).state
+        assert state.num_nonzero == 16
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            superposition_circuit(0)
+        with pytest.raises(CircuitError):
+            dense_phase_circuit(1)
+
+
+class TestParity:
+    @pytest.mark.parametrize("bits", ["0", "1", "101", "1111", "100110"])
+    def test_parity_matches_classical(self, bits):
+        circuit = parity_check_circuit(bits, measure=False)
+        state = SparseSimulator().run(circuit).state
+        assert state.num_nonzero == 1
+        index = next(iter(state))
+        ancilla = circuit.num_qubits - 1
+        assert (index >> ancilla) & 1 == expected_parity(bits)
+        assert index == parity_expected_basis_state(bits)
+
+    def test_superposed_parity_entangles_ancilla(self):
+        state = _SV.run(superposed_parity_circuit(3)).state
+        # Every branch's ancilla equals its data parity.
+        for index in state:
+            data = index & 0b111
+            ancilla = (index >> 3) & 1
+            assert ancilla == bin(data).count("1") % 2
+
+    def test_invalid_bits(self):
+        with pytest.raises(CircuitError):
+            parity_check_circuit([0, 2])
+        with pytest.raises(CircuitError):
+            parity_check_circuit([])
+
+
+class TestQFT:
+    @pytest.mark.parametrize("basis", [0, 1, 5, 7])
+    def test_matches_analytic_formula(self, basis):
+        state = _SV.run(qft_on_basis_state(3, basis)).state
+        expected = SparseState(3, qft_expected_amplitudes(3, basis))
+        assert states_agree(state, expected, up_to_global_phase=False)
+
+    def test_inverse_qft_undoes_qft(self):
+        circuit = qft_circuit(4).compose(qft_circuit(4, inverse=True))
+        state = _SV.run(circuit).state
+        assert state.probability_of(0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_gate_count_scales_quadratically(self):
+        assert qft_circuit(5, do_swaps=False).size() == 5 + 10
+
+    def test_invalid_basis_index(self):
+        with pytest.raises(CircuitError):
+            qft_on_basis_state(3, 8)
+
+
+class TestGrover:
+    def test_marked_state_amplified(self):
+        for marked in (0, 3, 6):
+            state = _SV.run(grover_circuit(3, marked)).state
+            probability = state.probability_of(marked)
+            assert probability > 0.9
+            assert probability == pytest.approx(grover_success_probability(3, optimal_grover_iterations(3)), abs=1e-6)
+
+    def test_marked_bitstring_convention(self):
+        # Character k of the string is qubit k: "011" means qubits 1 and 2 set.
+        state = _SV.run(grover_circuit(3, "011")).state
+        assert state.probability_of(0b110) > 0.9
+
+    def test_four_qubit_oracle_uses_diagonal(self):
+        state = _SV.run(grover_circuit(4, 11)).state
+        assert state.probability_of(11) > 0.9
+
+    def test_zero_iterations_is_uniform(self):
+        state = _SV.run(grover_circuit(3, 1, iterations=0)).state
+        assert state.num_nonzero == 8
+
+    def test_invalid_marked_index(self):
+        with pytest.raises(CircuitError):
+            grover_circuit(2, 7)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_w_state_amplitudes(self, n):
+        state = _SV.run(w_state_circuit(n)).state
+        expected = SparseState(n, w_state_expected_amplitudes(n))
+        assert states_agree(state, expected, up_to_global_phase=False)
+
+    def test_nonzero_count_is_linear(self):
+        assert _SV.run(w_state_circuit(6)).state.num_nonzero == 6
+
+
+class TestQAOA:
+    def test_graph_helpers(self):
+        assert len(ring_graph(5)) == 5
+        assert len(complete_graph(4)) == 6
+
+    def test_parameter_count(self):
+        circuit = qaoa_maxcut_circuit(4, p=2)
+        assert len(circuit.parameters) == 4  # gamma[0], gamma[1], beta[0], beta[1]
+
+    def test_bound_circuit_simulates(self):
+        circuit = qaoa_maxcut_circuit(4, p=1, gammas=[0.4], betas=[0.3])
+        state = _SV.run(circuit).state
+        assert abs(sum(state.probabilities().values()) - 1.0) < 1e-9
+
+    def test_cut_value(self):
+        edges = ring_graph(4)
+        assert maxcut_cut_value(edges, 0b0101) == 4
+        assert maxcut_cut_value(edges, 0b0000) == 0
+
+    def test_expected_cut_of_uniform_distribution(self):
+        edges = ring_graph(4)
+        uniform = {index: 1 / 16 for index in range(16)}
+        assert maxcut_expected_value(edges, uniform) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(3, p=0)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(3, edges=[(0, 0)])
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(3, edges=[(0, 5)])
+
+
+class TestAnsatz:
+    def test_parameter_count_formula(self):
+        circuit = hardware_efficient_ansatz(3, reps=2)
+        assert len(circuit.parameters) == ansatz_parameter_count(3, reps=2) == 18
+
+    def test_bound_ansatz_runs(self):
+        values = [0.1] * ansatz_parameter_count(3, reps=1)
+        state = _SV.run(bound_ansatz(3, values)).state
+        assert abs(sum(state.probabilities().values()) - 1.0) < 1e-9
+
+    def test_wrong_value_count(self):
+        with pytest.raises(CircuitError):
+            bound_ansatz(3, [0.1, 0.2])
+
+    def test_entanglement_patterns(self):
+        for pattern in ("linear", "circular", "full"):
+            circuit = hardware_efficient_ansatz(4, reps=1, entanglement=pattern)
+            assert circuit.num_nonlocal_gates() > 0
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(4, entanglement="ring-of-fire")
+
+
+class TestRandomCircuits:
+    def test_reproducible_with_seed(self):
+        assert random_circuit(4, 5, seed=3) == random_circuit(4, 5, seed=3)
+        assert random_circuit(4, 5, seed=3) != random_circuit(4, 5, seed=4)
+
+    def test_sparse_circuit_bounds_nonzeros(self):
+        circuit = random_sparse_circuit(6, depth=10, max_branching=2, seed=5)
+        state = SparseSimulator().run(circuit).state
+        assert state.num_nonzero <= 4
+
+    def test_dense_circuit_is_dense(self):
+        circuit = random_dense_circuit(5, depth=2, seed=5)
+        state = _SV.run(circuit).state
+        assert state.num_nonzero == 32
+
+    def test_norm_is_preserved(self):
+        state = _SV.run(random_circuit(5, 8, seed=2)).state
+        assert sum(state.probabilities().values()) == pytest.approx(1.0, abs=1e-9)

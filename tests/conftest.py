@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.circuits import ghz_circuit
+from repro.simulators import (
+    DecisionDiagramSimulator,
+    MPSSimulator,
+    SparseSimulator,
+    StatevectorSimulator,
+)
+
+
+@pytest.fixture
+def ghz3():
+    """The paper's running-example circuit: a 3-qubit GHZ preparation."""
+    return ghz_circuit(3)
+
+
+@pytest.fixture
+def statevector_simulator():
+    return StatevectorSimulator()
+
+
+@pytest.fixture
+def sparse_simulator():
+    return SparseSimulator()
+
+
+@pytest.fixture
+def sqlite_backend():
+    return SQLiteBackend()
+
+
+@pytest.fixture
+def memdb_backend():
+    return MemDBBackend()
+
+
+@pytest.fixture(params=["sqlite-cte", "sqlite-materialized", "memdb-cte", "memdb-materialized"])
+def any_rdbms_backend(request):
+    """Every RDBMS backend/mode combination available offline."""
+    kind, mode = request.param.split("-")
+    if kind == "sqlite":
+        return SQLiteBackend(mode=mode)
+    return MemDBBackend(mode=mode)
+
+
+@pytest.fixture(params=["statevector", "sparse", "mps", "dd", "sqlite", "memdb"])
+def any_method(request):
+    """Every simulation method (SQL backends and baselines)."""
+    factories = {
+        "statevector": StatevectorSimulator,
+        "sparse": SparseSimulator,
+        "mps": MPSSimulator,
+        "dd": DecisionDiagramSimulator,
+        "sqlite": SQLiteBackend,
+        "memdb": MemDBBackend,
+    }
+    return factories[request.param]()

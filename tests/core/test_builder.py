@@ -1,0 +1,130 @@
+"""Tests for the grid circuit builder (graphical-builder model)."""
+
+import pytest
+
+from repro.circuits import ghz_circuit
+from repro.core.builder import CircuitGridBuilder, build_circuit, parameter_assignment
+from repro.core.parameters import Parameter
+from repro.core import QuantumCircuit
+from repro.errors import CircuitError, GateError
+
+
+class TestPlacement:
+    def test_auto_column_assignment(self):
+        builder = CircuitGridBuilder(3)
+        builder.place("h", [0])
+        builder.place("cx", [0, 1])
+        builder.place("cx", [1, 2])
+        columns = [placement.column for placement in builder.placements]
+        assert columns == [0, 1, 2]
+
+    def test_independent_gates_share_a_column(self):
+        builder = CircuitGridBuilder(2)
+        builder.place("h", [0])
+        builder.place("h", [1])
+        columns = [placement.column for placement in builder.placements]
+        assert columns == [0, 0]
+
+    def test_explicit_column_conflict_rejected(self):
+        builder = CircuitGridBuilder(2)
+        builder.place("h", [0], column=0)
+        with pytest.raises(CircuitError):
+            builder.place("x", [0], column=0)
+
+    def test_unknown_gate(self):
+        builder = CircuitGridBuilder(1)
+        with pytest.raises(GateError):
+            builder.place("bogus", [0])
+
+    def test_qubit_out_of_range(self):
+        builder = CircuitGridBuilder(2)
+        with pytest.raises(CircuitError):
+            builder.place("h", [5])
+
+    def test_parameterized_placement(self):
+        builder = CircuitGridBuilder(1)
+        builder.place("rz", [0], params=(0.5,))
+        circuit = builder.build()
+        assert circuit.gates[0].gate.params == (0.5,)
+
+    def test_remove_and_move(self):
+        builder = CircuitGridBuilder(2)
+        placement = builder.place("h", [0])
+        other = builder.place("x", [0])
+        builder.move(other, 5)
+        assert other.column == 5
+        builder.remove(placement)
+        assert len(builder.placements) == 1
+        with pytest.raises(CircuitError):
+            builder.remove(placement)
+
+    def test_add_qubit_row(self):
+        builder = CircuitGridBuilder(1)
+        new_row = builder.add_qubit()
+        assert new_row == 1
+        builder.place("cx", [0, 1])
+
+    def test_clear(self):
+        builder = CircuitGridBuilder(2)
+        builder.place("h", [0])
+        builder.clear()
+        assert builder.num_columns == 0
+
+
+class TestCompilation:
+    def test_build_matches_manual_circuit(self):
+        builder = CircuitGridBuilder(3)
+        builder.place("h", [0])
+        builder.place("cx", [0, 1])
+        builder.place("cx", [1, 2])
+        assert builder.build() == ghz_circuit(3)
+
+    def test_from_circuit_roundtrip(self):
+        circuit = ghz_circuit(4)
+        rebuilt = CircuitGridBuilder.from_circuit(circuit).build()
+        assert rebuilt == circuit
+
+    def test_ascii_rendering(self):
+        builder = CircuitGridBuilder(2)
+        builder.place("h", [0])
+        builder.place("cx", [0, 1])
+        art = builder.to_ascii()
+        assert "q0:" in art and "q1:" in art
+        assert "[H " in art or "[H]" in art or "[H" in art
+
+
+class TestBuildCircuitHelper:
+    def test_moment_construction(self):
+        circuit = build_circuit(
+            3,
+            [
+                [("h", [0])],
+                [("cx", [0, 1])],
+                [("cx", [1, 2])],
+            ],
+            name="ghz",
+        )
+        assert circuit == ghz_circuit(3)
+
+    def test_moment_with_params(self):
+        circuit = build_circuit(1, [[("rz", [0], (0.3,))]])
+        assert circuit.gates[0].gate.params == (0.3,)
+
+    def test_invalid_moment_entry(self):
+        with pytest.raises(CircuitError):
+            build_circuit(1, [[("h",)]])
+
+
+class TestParameterAssignment:
+    def test_maps_names_to_parameters(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rx(theta, 0)
+        assignment = parameter_assignment(qc, {"theta": 0.5})
+        assert assignment == {theta: 0.5}
+
+    def test_unknown_name_raises(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        with pytest.raises(CircuitError):
+            parameter_assignment(qc, {"theta": 0.5})

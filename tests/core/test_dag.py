@@ -1,0 +1,62 @@
+"""Tests for the instruction dependency DAG."""
+
+from repro.circuits import ghz_circuit
+from repro.core import QuantumCircuit
+from repro.core.dag import CircuitDag
+
+
+class TestDagStructure:
+    def test_ghz_chain_dependencies(self):
+        dag = CircuitDag(ghz_circuit(3))
+        assert dag.num_nodes == 3
+        assert dag.node(0).predecessors == set()
+        assert dag.node(1).predecessors == {0}
+        assert dag.node(2).predecessors == {1}
+        assert dag.node(0).successors == {1}
+
+    def test_independent_gates_have_no_edges(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        dag = CircuitDag(qc)
+        assert dag.node(0).successors == set()
+        assert dag.node(1).predecessors == set()
+
+    def test_topological_order_respects_dependencies(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(2)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        dag = CircuitDag(qc)
+        order = dag.topological_order()
+        assert order.index(0) < order.index(2)
+        assert order.index(2) < order.index(3)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_layers_are_parallel(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.h(1)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        layers = CircuitDag(qc).layers()
+        assert layers[0] == [0, 1, 3]
+        assert layers[1] == [2]
+
+    def test_interaction_pairs(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(2, 1)
+        qc.ccx(0, 1, 2)
+        pairs = CircuitDag(qc).qubit_interaction_pairs()
+        assert pairs == {(0, 1), (1, 2), (0, 2)}
+
+    def test_critical_path_matches_depth(self):
+        circuit = ghz_circuit(5)
+        dag = CircuitDag(circuit)
+        assert dag.critical_path_length() == circuit.depth()
+
+    def test_iteration(self):
+        dag = CircuitDag(ghz_circuit(3))
+        assert len(list(dag)) == 3

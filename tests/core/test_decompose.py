@@ -1,0 +1,107 @@
+"""Tests for gate decomposition into the {1-qubit, CX} basis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ghz_circuit, grover_circuit, qft_circuit, random_circuit
+from repro.core.decompose import (
+    decompose_circuit,
+    decompose_instruction,
+    gate_sequence_unitary,
+    two_qubit_basis_circuit,
+    _expand_gate_matrix,
+)
+from repro.core.gates import standard_gate, unitary_gate
+from repro.core.instruction import Instruction
+from repro.core.parameters import Parameter
+from repro.errors import CircuitError, GateError
+from repro.simulators import StatevectorSimulator
+
+_CASES = [
+    ("cy", 2, ()),
+    ("cz", 2, ()),
+    ("ch", 2, ()),
+    ("cp", 2, (0.7,)),
+    ("crx", 2, (1.1,)),
+    ("cry", 2, (0.7,)),
+    ("crz", 2, (0.7,)),
+    ("swap", 2, ()),
+    ("iswap", 2, ()),
+    ("rzz", 2, (0.7,)),
+    ("rxx", 2, (0.7,)),
+    ("ccx", 3, ()),
+    ("ccz", 3, ()),
+    ("cswap", 3, ()),
+]
+
+
+class TestInstructionDecomposition:
+    @pytest.mark.parametrize("name,num_qubits,params", _CASES)
+    def test_decomposition_is_exact(self, name, num_qubits, params):
+        gate = standard_gate(name, *params)
+        instruction = Instruction(gate, list(range(num_qubits)))
+        decomposed = decompose_instruction(instruction)
+        reconstructed = gate_sequence_unitary(decomposed, num_qubits)
+        reference = _expand_gate_matrix(gate.matrix(), list(range(num_qubits)), num_qubits)
+        np.testing.assert_allclose(reconstructed, reference, atol=1e-8)
+
+    @pytest.mark.parametrize("name,num_qubits,params", _CASES)
+    def test_only_basis_gates_remain(self, name, num_qubits, params):
+        instruction = Instruction(standard_gate(name, *params), list(range(num_qubits)))
+        for decomposed in decompose_instruction(instruction):
+            assert decomposed.gate is not None
+            assert decomposed.gate.num_qubits == 1 or decomposed.gate.name == "cx"
+
+    def test_reversed_qubit_order_is_respected(self):
+        gate = standard_gate("cx")
+        instruction = Instruction(gate, [1, 0])
+        decomposed = decompose_instruction(instruction)
+        reconstructed = gate_sequence_unitary(decomposed, 2)
+        reference = _expand_gate_matrix(gate.matrix(), [1, 0], 2)
+        np.testing.assert_allclose(reconstructed, reference, atol=1e-8)
+
+    def test_basis_gates_pass_through(self):
+        instruction = Instruction(standard_gate("h"), [0])
+        assert decompose_instruction(instruction) == [instruction]
+
+    def test_measurement_passes_through(self):
+        instruction = Instruction(None, [0], "measure", [0])
+        assert decompose_instruction(instruction) == [instruction]
+
+    def test_parameterized_gate_rejected(self):
+        instruction = Instruction(standard_gate("crz", Parameter("t")), [0, 1])
+        with pytest.raises(CircuitError):
+            decompose_instruction(instruction)
+
+    def test_non_controlled_custom_two_qubit_rejected(self):
+        matrix = np.kron(standard_gate("h").matrix(), standard_gate("h").matrix())
+        gate = unitary_gate(matrix, name="hh")
+        with pytest.raises(GateError):
+            decompose_instruction(Instruction(gate, [0, 1]))
+
+
+class TestCircuitDecomposition:
+    @pytest.mark.parametrize(
+        "circuit",
+        [ghz_circuit(4), qft_circuit(4), grover_circuit(3, 5), random_circuit(4, 5, seed=11)],
+        ids=lambda circuit: circuit.name,
+    )
+    def test_final_state_is_preserved(self, circuit):
+        simulator = StatevectorSimulator()
+        original = simulator.run(circuit).state
+        rewritten = simulator.run(decompose_circuit(circuit)).state
+        assert original.equiv(rewritten, atol=1e-8, up_to_global_phase=False)
+
+    def test_two_qubit_basis_keeps_native_two_qubit_gates(self):
+        circuit = qft_circuit(3)
+        rewritten = two_qubit_basis_circuit(circuit)
+        assert any(ins.gate.name == "cp" for ins in rewritten.gates)
+        assert all(ins.gate.num_qubits <= 2 for ins in rewritten.gates)
+
+    def test_two_qubit_basis_rewrites_toffoli(self):
+        from repro.core import QuantumCircuit
+
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        rewritten = two_qubit_basis_circuit(circuit)
+        assert all(ins.gate.num_qubits <= 2 for ins in rewritten.gates)

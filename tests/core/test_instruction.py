@@ -1,0 +1,70 @@
+"""Tests for circuit instructions."""
+
+import pytest
+
+from repro.core.gates import standard_gate
+from repro.core.instruction import Instruction
+from repro.core.parameters import Parameter
+from repro.errors import CircuitError
+
+
+class TestInstruction:
+    def test_gate_instruction(self):
+        instruction = Instruction(standard_gate("cx"), [1, 3])
+        assert instruction.is_gate
+        assert instruction.name == "cx"
+        assert instruction.qubits == (1, 3)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CircuitError):
+            Instruction(standard_gate("cx"), [0])
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            Instruction(standard_gate("cx"), [1, 1])
+
+    def test_negative_qubit(self):
+        with pytest.raises(CircuitError):
+            Instruction(standard_gate("h"), [-1])
+
+    def test_gate_required_for_gate_kind(self):
+        with pytest.raises(CircuitError):
+            Instruction(None, [0], "gate")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            Instruction(None, [0], "teleport")
+
+    def test_measurement_instruction(self):
+        instruction = Instruction(None, [2], "measure", [0])
+        assert instruction.is_measurement
+        assert instruction.name == "measure"
+        assert instruction.clbits == (0,)
+
+    def test_bind_passes_through_unparameterized(self):
+        instruction = Instruction(standard_gate("h"), [0])
+        assert instruction.bind({}) == instruction
+
+    def test_bind_substitutes(self):
+        theta = Parameter("theta")
+        instruction = Instruction(standard_gate("rz", theta), [0])
+        bound = instruction.bind({theta: 0.5})
+        assert not bound.free_parameters
+        assert bound.gate.params[0] == pytest.approx(0.5)
+
+    def test_remapped(self):
+        instruction = Instruction(standard_gate("cx"), [0, 1])
+        remapped = instruction.remapped({0: 4, 1: 2})
+        assert remapped.qubits == (4, 2)
+
+    def test_remapped_missing_qubit(self):
+        instruction = Instruction(standard_gate("cx"), [0, 1])
+        with pytest.raises(CircuitError):
+            instruction.remapped({0: 4})
+
+    def test_equality(self):
+        first = Instruction(standard_gate("h"), [0])
+        second = Instruction(standard_gate("h"), [0])
+        third = Instruction(standard_gate("h"), [1])
+        assert first == second
+        assert first != third

@@ -1,0 +1,124 @@
+"""Tests for symbolic circuit parameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    Parameter,
+    ParameterExpression,
+    ParameterVector,
+    free_parameters,
+    parameter_value_text,
+    resolve_parameter,
+)
+from repro.errors import ParameterError
+
+
+class TestParameter:
+    def test_name_and_repr(self):
+        theta = Parameter("theta")
+        assert theta.name == "theta"
+        assert "theta" in repr(theta)
+
+    def test_equality_is_by_name(self):
+        assert Parameter("a") == Parameter("a")
+        assert Parameter("a") != Parameter("b")
+        assert hash(Parameter("a")) == hash(Parameter("a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameter("")
+
+    def test_bind_to_value(self):
+        theta = Parameter("theta")
+        assert theta.bind({theta: 1.5}) == pytest.approx(1.5)
+
+    def test_unbound_evaluation_raises(self):
+        theta = Parameter("theta")
+        with pytest.raises(ParameterError):
+            theta.evaluate({})
+
+
+class TestParameterExpression:
+    def test_arithmetic_chain(self):
+        theta = Parameter("theta")
+        expression = 2 * theta + 1.0
+        assert isinstance(expression, ParameterExpression)
+        assert expression.bind({theta: 3.0}) == pytest.approx(7.0)
+
+    def test_subtraction_and_division(self):
+        a, b = Parameter("a"), Parameter("b")
+        expression = (a - b) / 2
+        assert expression.bind({a: 5.0, b: 1.0}) == pytest.approx(2.0)
+
+    def test_reflected_operators(self):
+        theta = Parameter("theta")
+        assert (1.0 - theta).bind({theta: 0.25}) == pytest.approx(0.75)
+        assert (2.0 / theta).bind({theta: 4.0}) == pytest.approx(0.5)
+
+    def test_power_and_negation(self):
+        theta = Parameter("theta")
+        assert (theta ** 2).bind({theta: 3.0}) == pytest.approx(9.0)
+        assert (-theta).bind({theta: 3.0}) == pytest.approx(-3.0)
+
+    def test_trig_helpers(self):
+        theta = Parameter("theta")
+        assert theta.sin().bind({theta: math.pi / 2}) == pytest.approx(1.0)
+        assert theta.cos().bind({theta: 0.0}) == pytest.approx(1.0)
+        assert theta.exp().bind({theta: 0.0}) == pytest.approx(1.0)
+
+    def test_partial_binding_keeps_expression(self):
+        a, b = Parameter("a"), Parameter("b")
+        expression = a + b
+        partially = expression.bind({a: 1.0})
+        assert isinstance(partially, ParameterExpression)
+        assert partially.parameters == frozenset({b})
+        assert partially.bind({b: 2.0}) == pytest.approx(3.0)
+
+    def test_unknown_keys_are_ignored(self):
+        a, b = Parameter("a"), Parameter("b")
+        assert (a + 0).bind({a: 1.0, b: 9.0}) == pytest.approx(1.0)
+
+    def test_free_parameter_tracking(self):
+        a, b = Parameter("a"), Parameter("b")
+        expression = a * 2 + b
+        assert expression.parameters == frozenset({a, b})
+        assert not expression.is_bound
+
+    def test_type_error_on_bad_operand(self):
+        theta = Parameter("theta")
+        with pytest.raises(TypeError):
+            _ = theta + "not a number"
+
+
+class TestParameterVector:
+    def test_length_and_names(self):
+        vector = ParameterVector("x", 3)
+        assert len(vector) == 3
+        assert [p.name for p in vector] == ["x[0]", "x[1]", "x[2]"]
+
+    def test_indexing(self):
+        vector = ParameterVector("x", 2)
+        assert vector[1].name == "x[1]"
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            ParameterVector("x", -1)
+
+
+class TestHelpers:
+    def test_resolve_parameter_float_passthrough(self):
+        assert resolve_parameter(1.25) == pytest.approx(1.25)
+
+    def test_resolve_parameter_with_assignment(self):
+        theta = Parameter("theta")
+        assert resolve_parameter(theta * 2, {theta: 2.0}) == pytest.approx(4.0)
+
+    def test_free_parameters_of_float_is_empty(self):
+        assert free_parameters(3.0) == frozenset()
+
+    def test_parameter_value_text(self):
+        theta = Parameter("theta")
+        assert parameter_value_text(theta) == "theta"
+        assert parameter_value_text(0.5) == "0.5"

@@ -1,0 +1,39 @@
+"""Tests for quantum/classical registers."""
+
+import pytest
+
+from repro.core.registers import ClassicalRegister, QuantumRegister
+from repro.errors import CircuitError
+
+
+class TestRegisters:
+    def test_quantum_register_basics(self):
+        register = QuantumRegister(3, "q")
+        assert register.size == 3
+        assert len(register) == 3
+        assert register[1].index == 1
+        assert register[1].register is register
+        assert repr(register[2]) == "q[2]"
+
+    def test_classical_register(self):
+        register = ClassicalRegister(2, "c")
+        assert [bit.index for bit in register] == [0, 1]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(0, "q")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(1, "1bad")
+        with pytest.raises(CircuitError):
+            QuantumRegister(1, "")
+        with pytest.raises(CircuitError):
+            QuantumRegister(1, "has space")
+
+    def test_bit_equality_is_register_identity(self):
+        a = QuantumRegister(2, "q")
+        b = QuantumRegister(2, "q")
+        assert a[0] == a[0]
+        assert a[0] != b[0]
+        assert a[0] != a[1]

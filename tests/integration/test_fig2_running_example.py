@@ -1,0 +1,102 @@
+"""E1: pin the paper's Fig. 2 running example exactly.
+
+Fig. 2 shows the 3-qubit GHZ circuit, the relational tables of the initial
+state, the H and CX gates, the three generated queries q1-q3 and the
+intermediate/final state tables T1-T3.  These tests assert the reproduction
+produces exactly those tables and that the generated SQL uses exactly the
+bitwise expressions printed in the figure, on both RDBMS backends.
+"""
+
+import math
+
+import pytest
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.circuits import ghz_circuit
+from repro.sql import translate_circuit
+from repro.sql.gate_tables import GateTableRegistry
+from repro.core import standard_gate
+
+_SQRT2 = 1 / math.sqrt(2)
+
+
+class TestFig2Tables:
+    def test_t0_initial_state_table(self):
+        translation = translate_circuit(ghz_circuit(3))
+        assert translation.initial_rows == [(0, 1.0, 0.0)]
+
+    def test_h_gate_table(self):
+        rows = GateTableRegistry().register(standard_gate("h")).rows
+        expected = [
+            (0, 0, pytest.approx(_SQRT2), 0.0),
+            (0, 1, pytest.approx(_SQRT2), 0.0),
+            (1, 0, pytest.approx(_SQRT2), 0.0),
+            (1, 1, pytest.approx(-_SQRT2), 0.0),
+        ]
+        assert [(a, b, pytest.approx(c), d) for a, b, c, d in rows] == expected
+
+    def test_cx_gate_table_matches_figure(self):
+        # Fig. 2b: (in_s, out_s, r) = (0,0,1.0), (1,3,1.0), (2,2,1.0), (3,1,1.0).
+        rows = GateTableRegistry().register(standard_gate("cx")).rows
+        assert rows == [(0, 0, 1.0, 0.0), (1, 3, 1.0, 0.0), (2, 2, 1.0, 0.0), (3, 1, 1.0, 0.0)]
+
+
+class TestFig2SQLText:
+    def test_query_q1_h_gate(self):
+        sql = translate_circuit(ghz_circuit(3)).steps[0].select_sql(pretty=False)
+        assert "((T0.s & ~1) | H.out_s) AS s" in sql
+        assert "SUM((T0.r * H.r) - (T0.i * H.i)) AS r" in sql
+        assert "SUM((T0.r * H.i) + (T0.i * H.r)) AS i" in sql
+        assert "JOIN H ON H.in_s = (T0.s & 1)" in sql
+        assert "GROUP BY ((T0.s & ~1) | H.out_s)" in sql
+
+    def test_query_q2_first_cx(self):
+        sql = translate_circuit(ghz_circuit(3)).steps[1].select_sql(pretty=False)
+        assert "((T1.s & ~3) | CX.out_s) AS s" in sql
+        assert "ON CX.in_s = (T1.s & 3)" in sql
+
+    def test_query_q3_second_cx(self):
+        sql = translate_circuit(ghz_circuit(3)).steps[2].select_sql(pretty=False)
+        assert "((T2.s & ~6) | (CX.out_s << 1)) AS s" in sql
+        assert "ON CX.in_s = ((T2.s >> 1) & 3)" in sql
+
+    def test_final_select_ordering(self):
+        assert translate_circuit(ghz_circuit(3)).cte_query().strip().endswith(
+            "SELECT s, r, i FROM T3 ORDER BY s"
+        )
+
+
+class TestFig2Execution:
+    @pytest.mark.parametrize("backend_factory", [SQLiteBackend, MemDBBackend])
+    def test_intermediate_states_match_figure(self, backend_factory):
+        """T1 = {0, 1}, T2 = {0, 3}, T3 = {0, 7}, amplitudes 1/sqrt(2)."""
+        backend = backend_factory(mode="materialized", keep_intermediate=True)
+        translation = backend.translate(ghz_circuit(3))
+        backend._connect()
+        try:
+            for statement in translation.setup_statements():
+                backend._execute(statement)
+            for item in translation.materialized_statements(keep_intermediate=True):
+                backend._execute(item["sql"])
+            t1 = backend._fetch("SELECT s, r, i FROM T1 ORDER BY s")
+            t2 = backend._fetch("SELECT s, r, i FROM T2 ORDER BY s")
+            t3 = backend._fetch("SELECT s, r, i FROM T3 ORDER BY s")
+        finally:
+            backend._disconnect()
+
+        assert [(s, pytest.approx(r), i) for s, r, i in t1] == [
+            (0, pytest.approx(_SQRT2), 0.0),
+            (1, pytest.approx(_SQRT2), 0.0),
+        ]
+        assert [row[0] for row in t2] == [0, 3]
+        assert [row[0] for row in t3] == [0, 7]
+        for _s, r, _i in t3:
+            assert r == pytest.approx(_SQRT2)
+
+    @pytest.mark.parametrize("backend_factory", [SQLiteBackend, MemDBBackend])
+    def test_final_output_state(self, backend_factory):
+        result = backend_factory().run(ghz_circuit(3))
+        assert result.state.to_rows() == [
+            (0, pytest.approx(_SQRT2), 0.0),
+            (7, pytest.approx(_SQRT2), 0.0),
+        ]

@@ -1,0 +1,172 @@
+"""Tests for QASM, JSON and Quil circuit formats."""
+
+import math
+
+import pytest
+
+from repro.circuits import ghz_circuit, qft_circuit
+from repro.core import QuantumCircuit
+from repro.core.parameters import Parameter
+from repro.errors import CircuitFormatError
+from repro.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dump_qasm,
+    dumps_circuit,
+    dumps_qasm,
+    dumps_quil,
+    load_circuit,
+    load_qasm,
+    loads_circuit,
+    loads_qasm,
+    loads_quil,
+    save_circuit,
+)
+from repro.output import states_agree
+from repro.simulators import StatevectorSimulator
+
+_SV = StatevectorSimulator()
+
+_GHZ_QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+measure q[0] -> c[0];
+"""
+
+
+class TestQASM:
+    def test_parse_ghz(self):
+        circuit = loads_qasm(_GHZ_QASM)
+        assert circuit.num_qubits == 3
+        assert circuit.count_ops() == {"h": 1, "cx": 2, "measure": 1}
+
+    def test_roundtrip_preserves_state(self):
+        for original in (ghz_circuit(3), qft_circuit(3)):
+            text = dumps_qasm(original)
+            rebuilt = loads_qasm(text)
+            assert states_agree(_SV.run(original).state, _SV.run(rebuilt).state, up_to_global_phase=False)
+
+    def test_parameter_expressions_with_pi(self):
+        circuit = loads_qasm("OPENQASM 2.0; qreg q[1]; rz(pi/4) q[0]; u2(0, pi) q[0];")
+        assert circuit.gates[0].gate.params[0] == pytest.approx(math.pi / 4)
+        assert circuit.gates[1].gate.name == "u"
+
+    def test_multiple_registers_are_flattened(self):
+        text = "OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a[1], b[0];"
+        circuit = loads_qasm(text)
+        assert circuit.num_qubits == 4
+        assert circuit.gates[0].qubits == (1, 2)
+
+    def test_barrier_and_reset(self):
+        circuit = loads_qasm("OPENQASM 2.0; qreg q[2]; barrier q[0], q[1]; reset q[0];")
+        assert [ins.kind for ins in circuit.instructions] == ["barrier", "reset"]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "ghz.qasm"
+        dump_qasm(ghz_circuit(3), path)
+        assert load_qasm(path).count_ops() == {"h": 1, "cx": 2}
+
+    def test_unsupported_gate(self):
+        with pytest.raises(CircuitFormatError):
+            loads_qasm("OPENQASM 2.0; qreg q[1]; warpdrive q[0];")
+
+    def test_unknown_version(self):
+        with pytest.raises(CircuitFormatError):
+            loads_qasm("OPENQASM 3.0; qreg q[1];")
+
+    def test_missing_qreg(self):
+        with pytest.raises(CircuitFormatError):
+            loads_qasm("OPENQASM 2.0; h q[0];")
+
+    def test_export_parameterized_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("theta"), 0)
+        with pytest.raises(CircuitFormatError):
+            dumps_qasm(circuit)
+
+    def test_bad_parameter_expression(self):
+        with pytest.raises(CircuitFormatError):
+            loads_qasm("OPENQASM 2.0; qreg q[1]; rz(__import__) q[0];")
+
+
+class TestJSON:
+    def test_dict_roundtrip(self):
+        circuit = ghz_circuit(3)
+        circuit.measure_all()
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        assert rebuilt == circuit
+
+    def test_string_roundtrip_with_parameters(self):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(2, name="family")
+        circuit.rx(theta, 0)
+        circuit.cx(0, 1)
+        rebuilt = loads_circuit(dumps_circuit(circuit))
+        assert sorted(p.name for p in rebuilt.parameters) == ["theta"]
+        bound = rebuilt.bind_parameters({"theta": 0.5})
+        assert not bound.is_parameterized
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_circuit(ghz_circuit(4), tmp_path / "ghz.json")
+        assert load_circuit(path) == ghz_circuit(4)
+
+    def test_invalid_json(self):
+        with pytest.raises(CircuitFormatError):
+            loads_circuit("{broken")
+
+    def test_missing_fields(self):
+        with pytest.raises(CircuitFormatError):
+            circuit_from_dict({"instructions": []})
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitFormatError):
+            circuit_from_dict({"num_qubits": 1, "instructions": [{"gate": "warp", "qubits": [0]}]})
+
+    def test_compound_expression_rejected(self):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(1)
+        circuit.rx(2 * theta, 0)
+        with pytest.raises(CircuitFormatError):
+            circuit_to_dict(circuit)
+
+
+class TestQuil:
+    def test_parse_basic_program(self):
+        circuit = loads_quil("H 0\nCNOT 0 1\nCNOT 1 2\nMEASURE 2 [2]\n")
+        assert circuit.num_qubits == 3
+        assert circuit.count_ops() == {"h": 1, "cx": 2, "measure": 1}
+
+    def test_parameterized_gate(self):
+        circuit = loads_quil("RZ(pi/2) 0")
+        assert circuit.gates[0].gate.params[0] == pytest.approx(math.pi / 2)
+
+    def test_comments_and_blank_lines(self):
+        circuit = loads_quil("# prepare plus state\nH 0\n\n# entangle\nCNOT 0 1\n")
+        assert circuit.size() == 2
+
+    def test_roundtrip_preserves_state(self):
+        original = ghz_circuit(3)
+        rebuilt = loads_quil(dumps_quil(original))
+        assert states_agree(_SV.run(original).state, _SV.run(rebuilt).state, up_to_global_phase=False)
+
+    def test_unsupported_gate(self):
+        with pytest.raises(CircuitFormatError):
+            loads_quil("WARP 0")
+
+    def test_empty_program(self):
+        with pytest.raises(CircuitFormatError):
+            loads_quil("   \n  ")
+
+    def test_export_skips_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        text = dumps_quil(circuit)
+        assert "BARRIER" not in text
+        assert "CNOT 0 1" in text

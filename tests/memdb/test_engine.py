@@ -1,0 +1,162 @@
+"""Tests for the embedded columnar engine end to end (DDL, DML, queries)."""
+
+import pytest
+
+from repro.backends.memdb import MemDatabase
+from repro.errors import SQLExecutionError
+
+
+@pytest.fixture
+def db():
+    database = MemDatabase()
+    database.execute("CREATE TABLE t (a BIGINT NOT NULL, b DOUBLE NOT NULL)")
+    database.execute("INSERT INTO t (a, b) VALUES (1, 1.5), (2, 2.5), (3, 3.5), (2, 0.5)")
+    return database
+
+
+class TestCatalog:
+    def test_create_and_row_count(self, db):
+        assert db.has_table("t")
+        assert db.row_count("t") == 4
+        assert db.table_names() == ["t"]
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("CREATE TABLE t (x BIGINT)")
+
+    def test_drop(self, db):
+        db.execute("DROP TABLE t")
+        assert not db.has_table("t")
+        db.execute("DROP TABLE IF EXISTS t")
+        with pytest.raises(SQLExecutionError):
+            db.execute("DROP TABLE t")
+
+    def test_insert_requires_all_columns(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t (a) VALUES (9)")
+
+    def test_estimated_bytes(self, db):
+        assert db.estimated_bytes("t") > 0
+        assert db.estimated_bytes() >= db.estimated_bytes("t")
+
+
+class TestQueries:
+    def test_projection_and_expression(self, db):
+        result = db.execute("SELECT a * 2 AS twice, b FROM t ORDER BY twice")
+        assert result.columns == ["twice", "b"]
+        assert [row[0] for row in result.rows] == [2, 4, 4, 6]
+
+    def test_where_filter(self, db):
+        result = db.execute("SELECT a FROM t WHERE b > 1.0 ORDER BY a")
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+
+    def test_group_by_sum(self, db):
+        result = db.execute("SELECT a, SUM(b) AS total FROM t GROUP BY a ORDER BY a")
+        assert result.rows == [(1, 1.5), (2, 3.0), (3, 3.5)]
+
+    def test_aggregates_without_group_by(self, db):
+        result = db.execute("SELECT COUNT(*), SUM(b), MIN(b), MAX(b), AVG(a) FROM t")
+        count, total, minimum, maximum, average = result.rows[0]
+        assert count == 4
+        assert total == pytest.approx(8.0)
+        assert minimum == pytest.approx(0.5)
+        assert maximum == pytest.approx(3.5)
+        assert average == pytest.approx(2.0)
+
+    def test_aggregate_on_empty_table(self):
+        db = MemDatabase()
+        db.execute("CREATE TABLE empty (x BIGINT, y DOUBLE)")
+        result = db.execute("SELECT COUNT(*), SUM(y) FROM empty")
+        assert result.rows[0][0] == 0
+
+    def test_having(self, db):
+        result = db.execute("SELECT a, SUM(b) AS total FROM t GROUP BY a HAVING SUM(b) > 2 ORDER BY a")
+        assert [row[0] for row in result.rows] == [2, 3]
+
+    def test_join_on_expression(self):
+        db = MemDatabase()
+        db.execute("CREATE TABLE s (v BIGINT NOT NULL)")
+        db.execute("INSERT INTO s (v) VALUES (0), (1), (2), (3)")
+        db.execute("CREATE TABLE g (k BIGINT NOT NULL, label BIGINT NOT NULL)")
+        db.execute("INSERT INTO g (k, label) VALUES (0, 10), (1, 11)")
+        result = db.execute("SELECT s.v, g.label FROM s JOIN g ON g.k = (s.v & 1) ORDER BY s.v")
+        assert result.rows == [(0, 10), (1, 11), (2, 10), (3, 11)]
+
+    def test_bitwise_expressions(self, db):
+        result = db.execute("SELECT (a & ~1) | 1 AS x, a << 2 AS y, a >> 1 AS z FROM t WHERE a = 3")
+        assert result.rows[0] == (3, 12, 1)
+
+    def test_order_by_desc_and_limit(self, db):
+        result = db.execute("SELECT b FROM t ORDER BY b DESC LIMIT 2")
+        assert [row[0] for row in result.rows] == [3.5, 2.5]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT a FROM t ORDER BY a")
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+
+    def test_case_expression(self, db):
+        result = db.execute("SELECT a, CASE WHEN b > 2 THEN 1 ELSE 0 END AS big FROM t ORDER BY a, big")
+        assert (3, 1) in result.rows and (1, 0) in result.rows
+
+    def test_with_cte_chain(self, db):
+        result = db.execute(
+            "WITH doubled AS (SELECT a * 2 AS a2, b FROM t), "
+            "filtered AS (SELECT a2, b FROM doubled WHERE a2 > 2) "
+            "SELECT COUNT(*) FROM filtered"
+        )
+        assert result.rows[0][0] == 3
+
+    def test_create_table_as_and_delete(self, db):
+        db.execute("CREATE TABLE big AS SELECT a, b FROM t WHERE b > 1")
+        assert db.row_count("big") == 3
+        result = db.execute("DELETE FROM big WHERE a = 2")
+        assert result.rowcount == 1
+        assert db.row_count("big") == 2
+
+    def test_scalar_functions(self, db):
+        result = db.execute("SELECT ABS(-2), SQRT(4.0), ROUND(2.7) FROM t LIMIT 1")
+        assert result.rows[0] == (2, 2.0, 3.0)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT nonexistent FROM t")
+
+    def test_left_join_unsupported(self, db):
+        db.execute("CREATE TABLE u (a BIGINT)")
+        db.execute("INSERT INTO u (a) VALUES (1)")
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM t LEFT JOIN u ON u.a = t.a")
+
+    def test_non_equality_join_unsupported(self, db):
+        db.execute("CREATE TABLE u (a BIGINT)")
+        db.execute("INSERT INTO u (a) VALUES (1)")
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM t JOIN u ON u.a > t.a")
+
+
+class TestAgainstSQLiteReference:
+    """The embedded engine must agree with SQLite on the query shapes Qymera generates."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT a, SUM(b) AS s FROM t GROUP BY a ORDER BY a",
+            "SELECT (a & 1) AS bit, SUM(b * b) AS p FROM t GROUP BY (a & 1) ORDER BY bit",
+            "SELECT a FROM t WHERE (a >> 1) & 1 = 1 ORDER BY a",
+            "SELECT COUNT(*) FROM t WHERE b < 3",
+            "SELECT a * 2 + 1 AS x FROM t ORDER BY x DESC LIMIT 3",
+        ],
+    )
+    def test_same_results_as_sqlite(self, query, db):
+        import sqlite3
+
+        reference = sqlite3.connect(":memory:")
+        reference.execute("CREATE TABLE t (a INTEGER NOT NULL, b REAL NOT NULL)")
+        reference.executemany("INSERT INTO t VALUES (?, ?)", [(1, 1.5), (2, 2.5), (3, 3.5), (2, 0.5)])
+        expected = reference.execute(query).fetchall()
+        got = db.execute(query).rows
+        assert [tuple(row) for row in got] == pytest.approx(expected)

@@ -1,0 +1,72 @@
+"""Tests for the embedded engine's SQL tokenizer."""
+
+import pytest
+
+from repro.backends.memdb.tokenizer import (
+    IDENTIFIER,
+    KEYWORD,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+from repro.errors import SQLParseError
+
+
+class TestTokenizer:
+    def test_keywords_are_lowercased(self):
+        tokens = tokenize("SELECT s FROM T0")
+        assert tokens[0].kind == KEYWORD and tokens[0].text == "select"
+        assert tokens[2].kind == KEYWORD and tokens[2].text == "from"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("SELECT T0.s FROM T0")
+        assert tokens[1].text == "T0"
+
+    def test_numbers_integer_float_exponent(self):
+        tokens = tokenize("SELECT 42, 0.5, 1e-3, 2.5E+4")
+        numbers = [token.text for token in tokens if token.kind == NUMBER]
+        assert numbers == ["42", "0.5", "1e-3", "2.5E+4"]
+
+    def test_multi_character_operators(self):
+        tokens = tokenize("a << 2 >> 1 <= 3 >= 4 <> 5 != 6")
+        operators = [token.text for token in tokens if token.kind == OPERATOR]
+        assert operators == ["<<", ">>", "<=", ">=", "<>", "!="]
+
+    def test_bitwise_operators(self):
+        tokens = tokenize("s & ~6 | 1")
+        operators = [token.text for token in tokens if token.kind == OPERATOR]
+        assert operators == ["&", "~", "|"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'it''s'")
+        strings = [token for token in tokens if token.kind == STRING]
+        assert strings[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT 'oops")
+
+    def test_line_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n, 2")
+        numbers = [token.text for token in tokens if token.kind == NUMBER]
+        assert numbers == ["1", "2"]
+
+    def test_quoted_identifiers(self):
+        tokens = tokenize('SELECT "weird name" FROM `other`')
+        identifiers = [token.text for token in tokens if token.kind == IDENTIFIER]
+        assert identifiers == ["weird name", "other"]
+
+    def test_punctuation(self):
+        tokens = tokenize("f(a, b);")
+        punctuation = [token.text for token in tokens if token.kind == PUNCT]
+        assert punctuation == ["(", ",", ")", ";"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT #")
+
+    def test_end_token_is_last(self):
+        tokens = tokenize("SELECT 1")
+        assert tokens[-1].kind == "end"

@@ -1,0 +1,119 @@
+"""Tests for SparseState and SimulationResult."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.output.result import SimulationResult, SparseState
+
+
+class TestSparseStateConstruction:
+    def test_zero_state(self):
+        state = SparseState.zero_state(3)
+        assert state.num_nonzero == 1
+        assert state.amplitude(0) == 1.0
+        assert state.dimension == 8
+
+    def test_from_dense_prunes_zeros(self):
+        vector = np.zeros(8, dtype=np.complex128)
+        vector[0] = 0.6
+        vector[5] = 0.8
+        state = SparseState.from_dense(vector)
+        assert state.num_nonzero == 2
+        assert state.amplitude(5) == pytest.approx(0.8)
+
+    def test_from_dense_requires_power_of_two(self):
+        with pytest.raises(AnalysisError):
+            SparseState.from_dense(np.ones(6))
+
+    def test_from_rows_roundtrip(self):
+        rows = [(0, 0.5, 0.0), (3, 0.0, -0.5)]
+        state = SparseState.from_rows(2, rows)
+        assert state.to_rows() == [(0, 0.5, 0.0), (3, 0.0, -0.5)]
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(AnalysisError):
+            SparseState(2, {4: 1.0})
+
+    def test_explicit_zero_amplitudes_dropped(self):
+        state = SparseState(2, {0: 1.0, 1: 0.0})
+        assert state.num_nonzero == 1
+
+
+class TestSparseStateQueries:
+    def test_probabilities_and_density(self):
+        state = SparseState(2, {0: 2 ** -0.5, 3: 2 ** -0.5})
+        assert state.probabilities() == {0: pytest.approx(0.5), 3: pytest.approx(0.5)}
+        assert state.density == pytest.approx(0.5)
+
+    def test_marginal_probability(self):
+        state = SparseState(2, {0: 2 ** -0.5, 3: 2 ** -0.5})
+        assert state.marginal_probability(0, 1) == pytest.approx(0.5)
+        assert state.marginal_probability(1, 0) == pytest.approx(0.5)
+        with pytest.raises(AnalysisError):
+            state.marginal_probability(5, 0)
+
+    def test_bitstring_probabilities(self):
+        state = SparseState(3, {5: 1.0})
+        assert state.bitstring_probabilities() == {"101": pytest.approx(1.0)}
+
+    def test_norm_and_normalized(self):
+        state = SparseState(1, {0: 3.0, 1: 4.0})
+        assert state.norm() == pytest.approx(5.0)
+        assert state.normalized().norm() == pytest.approx(1.0)
+        with pytest.raises(AnalysisError):
+            SparseState(1, {}).normalized()
+
+    def test_pruned(self):
+        state = SparseState(1, {0: 1.0, 1: 1e-15})
+        assert state.pruned(1e-12).num_nonzero == 1
+
+    def test_inner_product_and_equiv(self):
+        plus = SparseState(1, {0: 2 ** -0.5, 1: 2 ** -0.5})
+        minus = SparseState(1, {0: 2 ** -0.5, 1: -(2 ** -0.5)})
+        assert plus.inner(minus) == pytest.approx(0.0)
+        assert plus.equiv(plus)
+        assert not plus.equiv(minus)
+        phase_flipped = SparseState(1, {0: -(2 ** -0.5), 1: -(2 ** -0.5)})
+        assert plus.equiv(phase_flipped, up_to_global_phase=True)
+        assert not plus.equiv(phase_flipped, up_to_global_phase=False)
+
+    def test_inner_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            SparseState(1, {0: 1.0}).inner(SparseState(2, {0: 1.0}))
+
+    def test_to_dense_roundtrip(self):
+        state = SparseState(2, {1: 0.5j, 2: 0.5})
+        dense = state.to_dense()
+        assert dense[1] == 0.5j
+        assert SparseState.from_dense(dense).equiv(state, up_to_global_phase=False)
+
+    def test_estimated_bytes(self):
+        assert SparseState(4, {0: 1.0, 5: 0.5}).estimated_bytes() == 48
+
+    def test_iteration_and_contains(self):
+        state = SparseState(2, {2: 1.0})
+        assert list(state) == [2]
+        assert 2 in state and 1 not in state
+        assert len(state) == 1
+
+
+class TestSimulationResult:
+    def test_defaults_derive_from_state(self):
+        state = SparseState(2, {0: 1.0})
+        result = SimulationResult(state, method="sqlite", circuit_name="test")
+        assert result.num_qubits == 2
+        assert result.peak_state_rows == 1
+        assert result.peak_state_bytes == 24
+
+    def test_to_dict_contains_rows(self):
+        state = SparseState(1, {1: 1.0})
+        result = SimulationResult(state, method="memdb", wall_time_s=0.5)
+        payload = result.to_dict()
+        assert payload["rows"] == [[1, 1.0, 0.0]]
+        assert payload["wall_time_s"] == 0.5
+        assert payload["method"] == "memdb"
+
+    def test_probabilities_passthrough(self):
+        state = SparseState(1, {0: 1.0})
+        assert SimulationResult(state, "x").probabilities() == {0: pytest.approx(1.0)}

@@ -1,0 +1,121 @@
+"""Tests for measurement sampling and result analysis."""
+
+import math
+
+import pytest
+
+from repro.circuits import ghz_circuit, superposition_circuit
+from repro.errors import AnalysisError
+from repro.output import (
+    SparseState,
+    bloch_vector,
+    collapse,
+    entanglement_entropy,
+    expectation_of_parity,
+    global_phase_between,
+    marginal_counts,
+    measure_sequentially,
+    purity,
+    reduced_density_matrix,
+    sample_counts,
+    sample_indices,
+    shannon_entropy,
+    state_fidelity,
+    states_agree,
+    total_variation_distance,
+)
+from repro.simulators import StatevectorSimulator
+
+_SV = StatevectorSimulator()
+
+
+def _ghz_state(n=3):
+    return _SV.run(ghz_circuit(n)).state
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        counts = sample_counts(_ghz_state(), shots=500, seed=1)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"000", "111"}
+
+    def test_sampling_is_reproducible_with_seed(self):
+        state = _ghz_state()
+        assert sample_counts(state, 100, seed=42) == sample_counts(state, 100, seed=42)
+
+    def test_sample_indices(self):
+        indices = sample_indices(_ghz_state(), 50, seed=3)
+        assert set(indices) <= {0, 7}
+
+    def test_deterministic_state_sampling(self):
+        state = SparseState(2, {2: 1.0})
+        assert sample_counts(state, 10, seed=0) == {"10": 10}
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_counts(_ghz_state(), -1)
+
+    def test_marginal_counts(self):
+        counts = {"110": 30, "000": 70}
+        assert marginal_counts(counts, [0]) == {"0": 100}
+        assert marginal_counts(counts, [2]) == {"1": 30, "0": 70}
+
+    def test_expectation_of_parity(self):
+        assert expectation_of_parity(_ghz_state(2)) == pytest.approx(1.0)
+        assert expectation_of_parity(_ghz_state(3)) == pytest.approx(0.0)
+
+    def test_collapse(self):
+        probability, collapsed = collapse(_ghz_state(), 0, 1)
+        assert probability == pytest.approx(0.5)
+        assert collapsed.probability_of(7) == pytest.approx(1.0)
+        with pytest.raises(AnalysisError):
+            collapse(SparseState(1, {0: 1.0}), 0, 1)
+
+    def test_measure_sequentially_consistency(self):
+        bitstring, collapsed = measure_sequentially(_ghz_state(), [0, 1, 2], seed=5)
+        assert bitstring in ("000", "111")
+        assert collapsed.num_nonzero == 1
+
+
+class TestAnalysis:
+    def test_fidelity_of_identical_states(self):
+        state = _ghz_state()
+        assert state_fidelity(state, state) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        assert state_fidelity(SparseState(1, {0: 1.0}), SparseState(1, {1: 1.0})) == pytest.approx(0.0)
+
+    def test_total_variation_distance(self):
+        assert total_variation_distance({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+        assert total_variation_distance({0: 0.5, 1: 0.5}, {0: 0.5, 1: 0.5}) == pytest.approx(0.0)
+
+    def test_shannon_entropy(self):
+        assert shannon_entropy({0: 0.5, 7: 0.5}) == pytest.approx(1.0)
+        assert shannon_entropy({0: 1.0}) == pytest.approx(0.0)
+
+    def test_reduced_density_matrix_and_purity(self):
+        rho = reduced_density_matrix(_ghz_state(), [0])
+        assert rho.shape == (2, 2)
+        assert purity(rho) == pytest.approx(0.5)
+
+    def test_entanglement_entropy_ghz_vs_product(self):
+        assert entanglement_entropy(_ghz_state(), [0]) == pytest.approx(1.0)
+        product = _SV.run(superposition_circuit(3)).state
+        assert entanglement_entropy(product, [0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bloch_vector(self):
+        plus = SparseState(1, {0: 2 ** -0.5, 1: 2 ** -0.5})
+        x, y, z = bloch_vector(plus, 0)
+        assert (x, y, z) == (pytest.approx(1.0), pytest.approx(0.0), pytest.approx(0.0))
+        zero = SparseState(1, {0: 1.0})
+        assert bloch_vector(zero, 0)[2] == pytest.approx(1.0)
+
+    def test_global_phase_between(self):
+        state = _ghz_state(2)
+        rotated = SparseState(2, {k: v * complex(math.cos(0.3), math.sin(0.3)) for k, v in state.items()})
+        assert global_phase_between(state, rotated) == pytest.approx(0.3)
+        with pytest.raises(AnalysisError):
+            global_phase_between(SparseState(1, {0: 1.0}), SparseState(1, {1: 1.0}))
+
+    def test_states_agree_width_mismatch(self):
+        assert not states_agree(SparseState(1, {0: 1.0}), SparseState(2, {0: 1.0}))

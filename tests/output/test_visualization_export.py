@@ -1,0 +1,119 @@
+"""Tests for text visualization and export/reporting."""
+
+import json
+
+import pytest
+
+from repro.circuits import ghz_circuit
+from repro.errors import AnalysisError
+from repro.output import (
+    SimulationResult,
+    SparseState,
+    bloch_text,
+    comparison_table,
+    format_amplitude_table,
+    histogram,
+    line_plot,
+    probability_histogram,
+    read_state_csv,
+    result_to_json,
+    state_from_json,
+    state_to_json,
+    write_records_csv,
+    write_records_json,
+    write_state_csv,
+)
+from repro.simulators import StatevectorSimulator
+
+
+@pytest.fixture
+def ghz_state():
+    return StatevectorSimulator().run(ghz_circuit(3)).state
+
+
+class TestVisualization:
+    def test_amplitude_table_contains_rows(self, ghz_state):
+        table = format_amplitude_table(ghz_state)
+        assert "000" in table and "111" in table
+        assert "0.707107" in table
+
+    def test_amplitude_table_truncation(self):
+        state = SparseState(5, {i: 32 ** -0.5 for i in range(32)})
+        table = format_amplitude_table(state, max_rows=4)
+        assert "more rows" in table
+
+    def test_histogram_bars_scale(self):
+        art = histogram({"00": 75, "11": 25})
+        lines = art.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            histogram({})
+
+    def test_probability_histogram(self, ghz_state):
+        art = probability_histogram(ghz_state)
+        assert "000" in art and "111" in art
+
+    def test_bloch_text(self):
+        assert "theta" in bloch_text((0.0, 0.0, 1.0))
+        assert "mixed" in bloch_text((0.0, 0.0, 0.0))
+
+    def test_comparison_table(self):
+        table = comparison_table([{"method": "sqlite", "time": 0.5}, {"method": "memdb", "time": 0.25}])
+        assert "sqlite" in table and "memdb" in table
+        assert table.splitlines()[0].startswith("method")
+
+    def test_comparison_table_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            comparison_table([])
+
+    def test_line_plot(self):
+        art = line_plot({"a": [(1, 1.0), (2, 2.0)], "b": [(1, 2.0), (2, 4.0)]}, title="demo")
+        assert "demo" in art
+        assert "a" in art.splitlines()[-1]
+
+    def test_line_plot_log_scale(self):
+        art = line_plot({"a": [(1, 1e-3), (2, 1e2)]}, logy=True)
+        assert "log10" in art
+
+
+class TestExport:
+    def test_state_json_roundtrip(self, ghz_state):
+        text = state_to_json(ghz_state)
+        rebuilt = state_from_json(text)
+        assert rebuilt.equiv(ghz_state, up_to_global_phase=False)
+
+    def test_invalid_state_json(self):
+        with pytest.raises(AnalysisError):
+            state_from_json("{not json")
+        with pytest.raises(AnalysisError):
+            state_from_json(json.dumps({"rows": []}))
+
+    def test_result_json_contains_metadata(self, ghz_state):
+        result = SimulationResult(ghz_state, method="sqlite", circuit_name="ghz_3", wall_time_s=0.1)
+        payload = json.loads(result_to_json(result))
+        assert payload["method"] == "sqlite"
+        assert payload["nonzero_amplitudes"] == 2
+
+    def test_state_csv_roundtrip(self, tmp_path, ghz_state):
+        path = write_state_csv(ghz_state, tmp_path / "state.csv")
+        rebuilt = read_state_csv(path, num_qubits=3)
+        assert rebuilt.equiv(ghz_state, up_to_global_phase=False)
+
+    def test_state_csv_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(AnalysisError):
+            read_state_csv(path, 2)
+
+    def test_records_csv_and_json(self, tmp_path):
+        records = [{"method": "sqlite", "time": 0.5}, {"method": "memdb", "time": 0.2}]
+        csv_path = write_records_csv(records, tmp_path / "records.csv")
+        json_path = write_records_json(records, tmp_path / "records.json")
+        assert "sqlite" in csv_path.read_text()
+        assert json.loads(json_path.read_text())[1]["method"] == "memdb"
+
+    def test_records_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_records_csv([], tmp_path / "never.csv")

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for encodings, states and cross-method agreement."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backends import MemDBBackend, SQLiteBackend
+from repro.circuits import random_circuit
+from repro.core import QuantumCircuit
+from repro.output import SparseState, states_agree
+from repro.simulators import DecisionDiagramSimulator, MPSSimulator, SparseSimulator, StatevectorSimulator
+from repro.sql.encoding import (
+    deposit_local,
+    extract_expression,
+    extract_local,
+    output_index_expression,
+    qubit_mask,
+    replace_bits,
+)
+
+# --------------------------------------------------------------------------
+# Encoding properties
+# --------------------------------------------------------------------------
+
+_qubit_lists = st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=4, unique=True)
+
+
+@given(index=st.integers(min_value=0, max_value=(1 << 11) - 1), qubits=_qubit_lists)
+def test_extract_deposit_roundtrip(index, qubits):
+    """Depositing an extracted local index over cleared bits reconstructs the original."""
+    local = extract_local(index, qubits)
+    rebuilt = (index & ~qubit_mask(qubits)) | deposit_local(local, qubits)
+    assert rebuilt == index
+
+
+@given(
+    index=st.integers(min_value=0, max_value=(1 << 11) - 1),
+    qubits=_qubit_lists,
+    local_out=st.integers(min_value=0, max_value=15),
+)
+def test_replace_bits_only_touches_gate_qubits(index, qubits, local_out):
+    local_out %= 1 << len(qubits)
+    result = replace_bits(index, local_out, qubits)
+    assert extract_local(result, qubits) == local_out
+    assert result & ~qubit_mask(qubits) == index & ~qubit_mask(qubits)
+
+
+@given(index=st.integers(min_value=0, max_value=(1 << 11) - 1), qubits=_qubit_lists)
+def test_sql_extract_expression_matches_python(index, qubits):
+    """The generated SQL expression and the Python reference compute the same value."""
+    import sqlite3
+
+    expression = extract_expression(str(index), qubits)
+    value = sqlite3.connect(":memory:").execute(f"SELECT {expression}").fetchone()[0]
+    assert value == extract_local(index, qubits)
+
+
+@given(
+    index=st.integers(min_value=0, max_value=(1 << 10) - 1),
+    qubits=_qubit_lists,
+    local_out=st.integers(min_value=0, max_value=15),
+)
+def test_sql_output_index_expression_matches_python(index, qubits, local_out):
+    import sqlite3
+
+    local_out %= 1 << len(qubits)
+    expression = output_index_expression(str(index), str(local_out), qubits)
+    value = sqlite3.connect(":memory:").execute(f"SELECT {expression}").fetchone()[0]
+    assert value == replace_bits(index, local_out, qubits)
+
+
+# --------------------------------------------------------------------------
+# SparseState properties
+# --------------------------------------------------------------------------
+
+_amplitudes = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=15),
+    values=st.complex_numbers(min_magnitude=1e-3, max_magnitude=10, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+@given(amplitudes=_amplitudes)
+def test_normalized_state_has_unit_norm(amplitudes):
+    state = SparseState(4, amplitudes).normalized()
+    assert math.isclose(state.norm(), 1.0, abs_tol=1e-9)
+    assert math.isclose(sum(state.probabilities().values()), 1.0, abs_tol=1e-9)
+
+
+@given(amplitudes=_amplitudes)
+def test_dense_roundtrip_preserves_state(amplitudes):
+    state = SparseState(4, amplitudes)
+    assert SparseState.from_dense(state.to_dense()).equiv(state, up_to_global_phase=False)
+
+
+@given(amplitudes=_amplitudes)
+def test_marginals_sum_to_total_probability(amplitudes):
+    state = SparseState(4, amplitudes).normalized()
+    for qubit in range(4):
+        total = state.marginal_probability(qubit, 0) + state.marginal_probability(qubit, 1)
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+
+# --------------------------------------------------------------------------
+# Cross-method agreement on random circuits
+# --------------------------------------------------------------------------
+
+_circuit_params = st.tuples(
+    st.integers(min_value=2, max_value=4),   # qubits
+    st.integers(min_value=1, max_value=5),   # depth
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+_slow = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(params=_circuit_params)
+@_slow
+def test_sql_backends_match_statevector_on_random_circuits(params):
+    """The headline correctness property: SQL execution == dense simulation."""
+    num_qubits, depth, seed = params
+    circuit = random_circuit(num_qubits, depth, seed=seed)
+    reference = StatevectorSimulator().run(circuit).state
+    for backend in (SQLiteBackend(), MemDBBackend(mode="materialized")):
+        assert states_agree(reference, backend.run(circuit).state, atol=1e-7, up_to_global_phase=False)
+
+
+@given(params=_circuit_params)
+@_slow
+def test_all_simulators_agree_on_random_circuits(params):
+    num_qubits, depth, seed = params
+    circuit = random_circuit(num_qubits, depth, seed=seed)
+    reference = StatevectorSimulator().run(circuit).state
+    for simulator in (SparseSimulator(), MPSSimulator(), DecisionDiagramSimulator()):
+        assert states_agree(reference, simulator.run(circuit).state, atol=1e-6, up_to_global_phase=False)
+
+
+@given(params=_circuit_params)
+@_slow
+def test_norm_preserved_by_sql_execution(params):
+    num_qubits, depth, seed = params
+    circuit = random_circuit(num_qubits, depth, seed=seed)
+    state = MemDBBackend().run(circuit).state
+    assert math.isclose(sum(state.probabilities().values()), 1.0, abs_tol=1e-8)
+
+
+@given(
+    num_qubits=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@_slow
+def test_fusion_is_semantics_preserving(num_qubits, seed):
+    circuit = random_circuit(num_qubits, 4, seed=seed)
+    plain = SQLiteBackend().run(circuit).state
+    fused = SQLiteBackend(fuse=True).run(circuit).state
+    assert states_agree(plain, fused, atol=1e-7, up_to_global_phase=False)

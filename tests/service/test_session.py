@@ -1,0 +1,127 @@
+"""Tests for the end-to-end session facade (E11: Fig. 1 / Fig. 3 walk-through)."""
+
+import json
+
+import pytest
+
+from repro.circuits import ghz_circuit, qaoa_maxcut_circuit
+from repro.errors import QymeraError
+from repro.io import dumps_circuit, dumps_qasm
+from repro.service import QymeraSession
+
+
+@pytest.fixture
+def session():
+    return QymeraSession()
+
+
+class TestCircuitPanel:
+    def test_builder_path(self, session):
+        builder = session.circuits.new_builder(3)
+        builder.place("h", [0])
+        builder.place("cx", [0, 1])
+        builder.place("cx", [1, 2])
+        name = session.circuits.add_from_builder(builder, "ghz")
+        assert name == "ghz"
+        assert session.circuits.get("ghz") == ghz_circuit(3)
+
+    def test_code_input_path(self, session):
+        session.circuits.add_circuit(ghz_circuit(4), "ghz4")
+        assert "ghz4" in session.circuits.names()
+
+    def test_file_input_paths(self, session, tmp_path):
+        qasm_path = tmp_path / "ghz.qasm"
+        qasm_path.write_text(dumps_qasm(ghz_circuit(3)))
+        json_path = tmp_path / "ghz.json"
+        json_path.write_text(dumps_circuit(ghz_circuit(3)))
+        session.circuits.load_file(qasm_path, "from_qasm")
+        session.circuits.load_file(json_path, "from_json")
+        assert session.circuits.get("from_qasm").count_ops() == {"h": 1, "cx": 2}
+        assert session.circuits.get("from_json").count_ops() == {"h": 1, "cx": 2}
+        with pytest.raises(QymeraError):
+            session.circuits.load_file(tmp_path / "bogus.txt")
+
+    def test_text_input_paths(self, session):
+        session.circuits.load_text("H 0\nCNOT 0 1\n", "quil", "bell_quil")
+        session.circuits.load_text(dumps_qasm(ghz_circuit(2)), "qasm", "bell_qasm")
+        assert session.circuits.get("bell_quil").size() == 2
+        with pytest.raises(QymeraError):
+            session.circuits.load_text("H 0", "morse")
+
+    def test_parameterized_family_binding(self, session):
+        session.circuits.add_circuit(qaoa_maxcut_circuit(4, p=1), "qaoa")
+        described = session.circuits.describe("qaoa")
+        assert described["parameters"] == ["beta[0]", "gamma[0]"]
+        bound_name = session.circuits.bind("qaoa", {"gamma[0]": 0.4, "beta[0]": 0.3})
+        assert not session.circuits.get(bound_name).is_parameterized
+
+    def test_unknown_circuit(self, session):
+        with pytest.raises(QymeraError):
+            session.circuits.get("missing")
+
+
+class TestSimulationPanel:
+    def test_translate_shows_sql(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        translation = session.simulations.translate("ghz")
+        assert "WITH T1 AS" in translation.cte_query()
+
+    def test_run_and_run_all(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        single = session.simulations.run("ghz", "sqlite")
+        assert single.state.num_nonzero == 2
+        everything = session.simulations.run_all("ghz", methods=["memdb", "statevector", "dd"])
+        assert set(everything) == {"memdb", "statevector", "dd"}
+
+    def test_unknown_method(self, session):
+        session.circuits.add_circuit(ghz_circuit(2), "ghz")
+        with pytest.raises(QymeraError):
+            session.simulations.run("ghz", "quantum_annealer")
+
+    def test_benchmark_entry_point(self, session):
+        records = session.simulations.benchmark(["ghz"], sizes=[3], methods=["sqlite", "statevector"])
+        assert len(records) == 2
+        with pytest.raises(QymeraError):
+            session.simulations.benchmark(["ghz"], sizes=[3], methods=["fpga"])
+
+    def test_available_methods(self, session):
+        methods = session.simulations.available_methods()
+        assert {"sqlite", "memdb", "statevector", "sparse", "mps", "dd"} <= set(methods)
+
+
+class TestOutputPanel:
+    def test_views_and_exports(self, session, tmp_path):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "sqlite")
+        session.simulations.run("ghz", "statevector")
+
+        assert "111" in session.output.state_table("ghz", "sqlite")
+        assert "#" in session.output.probability_histogram("ghz", "sqlite")
+        assert "mixed" in session.output.bloch_view("ghz", "sqlite", 0)
+        assert session.output.entanglement("ghz", "sqlite", [0]) == pytest.approx(1.0)
+        assert "sqlite" in session.output.performance_table("ghz")
+
+        histogram_text = session.output.sample_histogram("ghz", "sqlite", shots=256)
+        assert "000" in histogram_text or "111" in histogram_text
+
+        csv_path = session.output.export_state_csv("ghz", "sqlite", tmp_path / "state.csv")
+        assert csv_path.exists()
+        payload = json.loads(session.output.export_result_json("ghz", "sqlite"))
+        assert payload["method"] == "sqlite"
+
+        records = session.simulations.benchmark(["ghz"], sizes=[3], methods=["sqlite", "statevector"])
+        bench_path = session.output.export_benchmark_csv(records, tmp_path / "bench.csv")
+        assert "sqlite" in bench_path.read_text()
+
+    def test_missing_result(self, session):
+        session.circuits.add_circuit(ghz_circuit(2), "ghz")
+        with pytest.raises(QymeraError):
+            session.output.state_table("ghz", "sqlite")
+
+
+class TestQuickHelpers:
+    def test_quick_run_and_final_state(self, session):
+        result = session.quick_run(ghz_circuit(3), "memdb")
+        assert result.method == "memdb"
+        state = session.final_state(ghz_circuit(2), "sqlite")
+        assert state.num_nonzero == 2

@@ -1,0 +1,69 @@
+"""Tests for the gate-fusion optimizer."""
+
+import pytest
+
+from repro.circuits import ghz_circuit, qft_circuit, random_circuit
+from repro.core import QuantumCircuit
+from repro.errors import TranslationError
+from repro.output import states_agree
+from repro.simulators import StatevectorSimulator
+from repro.sql.fusion import fuse_adjacent_gates, fusion_savings
+
+_SV = StatevectorSimulator()
+
+
+class TestFusionCorrectness:
+    @pytest.mark.parametrize(
+        "circuit",
+        [ghz_circuit(4), qft_circuit(4), random_circuit(4, 6, seed=9)],
+        ids=lambda c: c.name,
+    )
+    def test_fused_circuit_preserves_state(self, circuit):
+        fused, report = fuse_adjacent_gates(circuit, max_qubits=2)
+        assert states_agree(_SV.run(circuit).state, _SV.run(fused).state, up_to_global_phase=False)
+        assert report["gates_after"] <= report["gates_before"]
+
+    def test_three_qubit_fusion_window(self):
+        circuit = qft_circuit(5)
+        fused, report = fuse_adjacent_gates(circuit, max_qubits=3)
+        assert report["gates_after"] < report["gates_before"]
+        assert states_agree(_SV.run(circuit).state, _SV.run(fused).state, up_to_global_phase=False)
+
+
+class TestFusionStructure:
+    def test_single_qubit_run_collapses_to_one_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).t(0).h(0).s(0)
+        fused, report = fuse_adjacent_gates(circuit, max_qubits=1)
+        assert report["gates_after"] == 1
+        assert fused.size() == 1
+
+    def test_barrier_blocks_fusion(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.t(0)
+        fused, report = fuse_adjacent_gates(circuit, max_qubits=1)
+        assert report["gates_after"] == 2
+
+    def test_disjoint_qubits_do_not_fuse_beyond_window(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).h(2).h(3)
+        _fused, report = fuse_adjacent_gates(circuit, max_qubits=2)
+        assert report["gates_after"] == 2  # two 2-qubit blocks
+
+    def test_oversized_gate_passes_through(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        circuit.h(0)
+        fused, report = fuse_adjacent_gates(circuit, max_qubits=2)
+        assert any(ins.gate.name == "ccx" for ins in fused.gates)
+
+    def test_invalid_window(self):
+        with pytest.raises(TranslationError):
+            fuse_adjacent_gates(ghz_circuit(2), max_qubits=0)
+
+    def test_savings_report_only(self):
+        report = fusion_savings(ghz_circuit(5), max_qubits=2)
+        assert report["gates_before"] == 5
+        assert report["stages_saved"] >= 1

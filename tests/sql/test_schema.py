@@ -1,0 +1,72 @@
+"""Tests for relational schema / DDL generation."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.sql.schema import (
+    gate_insert_sql,
+    gate_table_ddl,
+    is_valid_identifier,
+    sanitize_identifier,
+    state_insert_sql,
+    state_table_ddl,
+    state_table_name,
+)
+
+
+class TestNaming:
+    def test_state_table_names(self):
+        assert state_table_name(0) == "T0"
+        assert state_table_name(12) == "T12"
+        with pytest.raises(TranslationError):
+            state_table_name(-1)
+
+    def test_identifier_validation(self):
+        assert is_valid_identifier("CX")
+        assert is_valid_identifier("gate_rz_0")
+        assert not is_valid_identifier("2fast")
+        assert not is_valid_identifier("select")
+        assert not is_valid_identifier("has space")
+
+    def test_sanitize(self):
+        assert sanitize_identifier("RZ(0.5)") == "RZ_0_5_"
+        assert sanitize_identifier("select") == "select_t"
+        assert is_valid_identifier(sanitize_identifier("123"))
+
+
+class TestDDLAndInserts:
+    def test_state_ddl_executes_on_sqlite(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(state_table_ddl("T0", "INTEGER", "REAL"))
+        connection.execute(state_insert_sql("T0", [(0, 1.0, 0.0)]))
+        assert connection.execute("SELECT * FROM T0").fetchall() == [(0, 1.0, 0.0)]
+
+    def test_gate_ddl_executes_on_sqlite(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(gate_table_ddl("H", "INTEGER", "REAL"))
+        rows = [(0, 0, 0.7, 0.0), (1, 1, -0.7, 0.0)]
+        connection.execute(gate_insert_sql("H", rows))
+        assert connection.execute("SELECT COUNT(*) FROM H").fetchone()[0] == 2
+
+    def test_insert_preserves_full_precision(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(state_table_ddl("T0"))
+        amplitude = 2 ** -0.5
+        connection.execute(state_insert_sql("T0", [(0, amplitude, -amplitude)]))
+        row = connection.execute("SELECT r, i FROM T0").fetchone()
+        assert row[0] == amplitude
+        assert row[1] == -amplitude
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(TranslationError):
+            state_insert_sql("T0", [])
+        with pytest.raises(TranslationError):
+            gate_insert_sql("H", [])
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TranslationError):
+            state_table_ddl("select")
+        with pytest.raises(TranslationError):
+            gate_table_ddl("1bad")

@@ -1,0 +1,156 @@
+"""Tests for circuit-to-SQL translation."""
+
+import sqlite3
+
+import pytest
+
+from repro.circuits import ghz_circuit, superposition_circuit
+from repro.core import QuantumCircuit
+from repro.core.parameters import Parameter
+from repro.errors import TranslationError
+from repro.output import SparseState
+from repro.sql import SQLTranslator, translate_circuit
+from repro.sql.dialect import get_dialect
+
+
+def _run_on_sqlite(translation, mode="cte"):
+    connection = sqlite3.connect(":memory:")
+    for statement in translation.setup_statements():
+        connection.execute(statement)
+    if mode == "cte":
+        return connection.execute(translation.cte_query(pretty=False)).fetchall()
+    for item in translation.materialized_statements():
+        connection.execute(item["sql"])
+    return connection.execute(translation.final_select()).fetchall()
+
+
+class TestTranslationStructure:
+    def test_one_step_per_gate(self, ghz3):
+        translation = translate_circuit(ghz3)
+        assert len(translation.steps) == 3
+        assert translation.final_table == "T3"
+        assert [step.input_table for step in translation.steps] == ["T0", "T1", "T2"]
+
+    def test_gate_tables_are_shared(self, ghz3):
+        translation = translate_circuit(ghz3)
+        assert sorted(table.name for table in translation.gate_tables) == ["CX", "H"]
+
+    def test_initial_state_is_single_row(self, ghz3):
+        assert translate_circuit(ghz3).initial_rows == [(0, 1.0, 0.0)]
+
+    def test_custom_initial_state(self, ghz3):
+        initial = SparseState(3, {3: 1.0})
+        translation = translate_circuit(ghz3, initial_state=initial)
+        assert translation.initial_rows == [(3, 1.0, 0.0)]
+
+    def test_initial_state_width_mismatch(self, ghz3):
+        with pytest.raises(TranslationError):
+            translate_circuit(ghz3, initial_state=SparseState(2, {0: 1.0}))
+
+    def test_measurements_and_barriers_skipped(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        translation = translate_circuit(circuit)
+        assert len(translation.steps) == 2
+
+    def test_reset_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        with pytest.raises(TranslationError):
+            translate_circuit(circuit)
+
+    def test_unbound_parameters_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(Parameter("theta"), 0)
+        with pytest.raises(TranslationError):
+            translate_circuit(circuit)
+
+    def test_empty_circuit_selects_t0(self):
+        circuit = QuantumCircuit(2)
+        translation = translate_circuit(circuit)
+        assert translation.final_table == "T0"
+        assert _run_on_sqlite(translation) == [(0, 1.0, 0.0)]
+
+    def test_describe_summary(self, ghz3):
+        summary = translate_circuit(ghz3, dialect="sqlite").describe()
+        assert summary["num_steps"] == 3
+        assert summary["dialect"] == "sqlite"
+        assert summary["num_gate_tables"] == 2
+
+
+class TestGeneratedSQLText:
+    def test_cte_query_matches_fig2_shape(self, ghz3):
+        query = translate_circuit(ghz3).cte_query()
+        assert "WITH T1 AS (" in query
+        assert "((T0.s & ~1) | H.out_s) AS s" in query
+        assert "ON H.in_s = (T0.s & 1)" in query
+        assert "((T2.s & ~6) | (CX.out_s << 1))" in query
+        assert "ON CX.in_s = ((T2.s >> 1) & 3)" in query
+        assert query.strip().endswith("SELECT s, r, i FROM T3 ORDER BY s")
+
+    def test_sum_expressions_follow_complex_multiplication(self, ghz3):
+        query = translate_circuit(ghz3).cte_query()
+        assert "SUM((T0.r * H.r) - (T0.i * H.i)) AS r" in query
+        assert "SUM((T0.r * H.i) + (T0.i * H.r)) AS i" in query
+
+    def test_full_script_modes(self, ghz3):
+        translation = translate_circuit(ghz3, dialect="sqlite")
+        cte_script = translation.full_script(mode="cte")
+        mat_script = translation.full_script(mode="materialized")
+        assert "CREATE TABLE H" in cte_script
+        assert "CREATE TABLE T1 AS" in mat_script
+        with pytest.raises(TranslationError):
+            translation.full_script(mode="bogus")
+
+    def test_dialect_type_names(self, ghz3):
+        sqlite_script = translate_circuit(ghz3, dialect="sqlite").setup_statements()[0]
+        memdb_script = translate_circuit(ghz3, dialect="memdb").setup_statements()[0]
+        assert "INTEGER" in sqlite_script
+        assert "BIGINT" in memdb_script
+
+    def test_unknown_dialect(self):
+        with pytest.raises(TranslationError):
+            get_dialect("oracle")
+
+
+class TestExecutionEquivalence:
+    def test_cte_and_materialized_agree(self, ghz3):
+        translation = translate_circuit(ghz3, dialect="sqlite")
+        assert _run_on_sqlite(translation, "cte") == _run_on_sqlite(translation, "materialized")
+
+    def test_materialized_prune_removes_zero_rows(self):
+        # Two Hadamard layers drive interference: half the amplitudes cancel.
+        circuit = superposition_circuit(2, layers=2)
+        translation = SQLTranslator(dialect="sqlite", prune_epsilon=1e-12).translate(circuit)
+        rows = _run_on_sqlite(translation, "materialized")
+        assert [row[0] for row in rows] == [0]
+
+    def test_keep_intermediate_tables(self, ghz3):
+        translation = translate_circuit(ghz3, dialect="sqlite")
+        connection = sqlite3.connect(":memory:")
+        for statement in translation.setup_statements():
+            connection.execute(statement)
+        for item in translation.materialized_statements(keep_intermediate=True):
+            connection.execute(item["sql"])
+        tables = {row[0] for row in connection.execute("SELECT name FROM sqlite_master WHERE type='table'")}
+        assert {"T0", "T1", "T2", "T3"} <= tables
+
+    def test_drop_intermediate_tables_by_default(self, ghz3):
+        translation = translate_circuit(ghz3, dialect="sqlite")
+        connection = sqlite3.connect(":memory:")
+        for statement in translation.setup_statements():
+            connection.execute(statement)
+        for item in translation.materialized_statements():
+            connection.execute(item["sql"])
+        tables = {row[0] for row in connection.execute("SELECT name FROM sqlite_master WHERE type='table'")}
+        assert "T1" not in tables and "T2" not in tables
+        assert "T3" in tables
+
+    def test_fusion_reduces_steps(self, ghz3):
+        fused = SQLTranslator(dialect="sqlite", fuse=True).translate(ghz3)
+        plain = translate_circuit(ghz3, dialect="sqlite")
+        assert len(fused.steps) < len(plain.steps)
+        assert _run_on_sqlite(fused) == pytest.approx(_run_on_sqlite(plain))
