@@ -1,9 +1,62 @@
-"""Embedded columnar SQL engine (numpy-vectorized DuckDB substitute)."""
+"""Embedded columnar SQL engine (numpy-vectorized DuckDB substitute).
 
-from .engine import MemDatabase
+Execution architecture
+----------------------
+
+Statements flow through three layers:
+
+1. **Parse** (:mod:`.tokenizer`, :mod:`.parser`): SQL text to frozen AST
+   dataclasses (:mod:`.ast_nodes`).
+2. **Plan** (:mod:`.planner`): ``Select`` / ``WithSelect`` /
+   ``CREATE TABLE .. AS SELECT`` ASTs compile into physical plans — operator
+   pipelines of scan → hash-join → filter → project / hash-aggregate →
+   distinct/order/limit, with all per-statement analysis (aggregate
+   detection, join-side splitting, projection naming) done once at compile
+   time.  The paper's per-gate shape ``SELECT key, SUM(..), SUM(..) FROM
+   T JOIN G .. GROUP BY key`` compiles to a *fused join-aggregate* operator
+   that pushes the grouped SUMs through the hash join in one pass, gathering
+   only the columns the aggregates read instead of materializing the joined
+   frame.
+3. **Execute** (:mod:`.executor`): vectorized numpy operators over columnar
+   :class:`~.table.Table` storage.  Statement kinds the planner does not
+   cover (INSERT, DELETE, DDL) run on the interpreter; every SELECT shape the
+   engine supports is plannable, and :class:`~.executor.SelectExecutor`
+   remains the reference implementation built from the same operator
+   primitives (the differential tests execute both paths).
+
+Plan caching
+------------
+
+:class:`~.engine.MemDatabase` memoizes compiled scripts in an LRU
+:class:`~.engine.PlanCache` keyed by the **exact SQL text**.  Plans store
+table *names*, never data — each execution re-resolves names against the
+current catalog — so a cached plan re-binds to fresh gate/state tables, and
+one process-wide cache (see :func:`~.engine.shared_plan_cache`) can serve
+every database instance.  That is what makes parameter sweeps cheap: each
+point re-executes byte-identical CTE / CREATE-AS texts and skips
+tokenize/parse/plan entirely.  Cache rules: entries are immutable (frozen
+ASTs + stateless plans); scripts that raise (parse, compile or execution
+errors) are never cached; plan-bearing and parse-only scripts evict LRU in
+separate tiers of ``maxsize`` entries each, and oversized parse-only texts
+are not cached at all; a ``PlanCache(0)`` disables caching.
+"""
+
+from .engine import MemDatabase, PlanCache, shared_plan_cache
 from .executor import QueryResult
 from .parser import parse_one, parse_sql
+from .planner import compile_statement
 from .table import Table
 from .tokenizer import Token, tokenize
 
-__all__ = ["MemDatabase", "QueryResult", "parse_one", "parse_sql", "Table", "Token", "tokenize"]
+__all__ = [
+    "MemDatabase",
+    "PlanCache",
+    "shared_plan_cache",
+    "QueryResult",
+    "parse_one",
+    "parse_sql",
+    "compile_statement",
+    "Table",
+    "Token",
+    "tokenize",
+]

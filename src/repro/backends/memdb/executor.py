@@ -10,7 +10,7 @@ behaviour the engine substitutes for DuckDB.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -37,19 +37,34 @@ from .table import Table
 
 Frame = dict[str, np.ndarray]
 
+
+def _sql_round(values: np.ndarray, decimals: int = 0) -> np.ndarray:
+    """SQL ROUND: half-away-from-zero (SQLite/DuckDB), not numpy's banker's rounding.
+
+    Negative ``decimals`` rounds to tens/hundreds like DuckDB; SQLite instead
+    clamps a negative digit count to 0 (the engines disagree with each other).
+    """
+    scale = 10.0 ** decimals
+    scaled = np.asarray(values, dtype=np.float64) * scale
+    return np.trunc(scaled + np.copysign(0.5, scaled)) / scale
+
+
 #: Scalar functions available in expressions.
+#: ``log`` is base-10 to match SQLite/DuckDB (natural log is ``ln``).
 _SCALAR_FUNCTIONS = {
     "abs": np.abs,
-    "round": np.round,
     "floor": np.floor,
     "ceil": np.ceil,
     "ceiling": np.ceil,
     "sqrt": np.sqrt,
     "exp": np.exp,
     "ln": np.log,
-    "log": np.log,
+    "log": np.log10,
+    "log10": np.log10,
+    "log2": np.log2,
     "sin": np.sin,
     "cos": np.cos,
+    "round": None,  # handled specially (one or two arguments)
     "power": None,  # handled specially (two arguments)
     "pow": None,
     "coalesce": None,
@@ -158,15 +173,35 @@ class ExpressionEvaluator:
         if operator == "*":
             return left * right
         if operator == "/":
-            # SQL semantics: integer / integer stays integral in SQLite, but the
-            # translation layer never relies on that; use true division and
-            # preserve integer dtype only when both sides are integral.
+            # SQL semantics: integer / integer stays integral and truncates
+            # toward zero (SQLite/DuckDB), unlike Python's floor division;
+            # a zero divisor yields NULL (NaN), not an error.
             if left.dtype.kind in "iu" and right.dtype.kind in "iu":
+                zero = right == 0
+                divisor = np.where(zero, 1, right)
                 with np.errstate(divide="ignore"):
-                    return left // np.where(right == 0, 1, right)
-            return left / right
+                    quotient = left // divisor
+                    remainder = left - quotient * divisor
+                # Floor division rounded away from zero on sign mismatch: bump
+                # back toward zero to get truncation.
+                truncated = quotient + ((remainder != 0) & ((left < 0) != (divisor < 0)))
+                if zero.any():
+                    return np.where(zero, np.nan, truncated.astype(np.float64))
+                return truncated
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(right == 0, np.nan, left / np.where(right == 0, 1, right))
         if operator == "%":
-            return left % right
+            # SQL modulo truncates toward zero (sign of the dividend), unlike
+            # Python's floored modulo: -7 % 3 is -1 in SQLite, 2 in Python.
+            # Float operands keep fmod semantics like DuckDB (2.5 % 2 = 0.5);
+            # SQLite instead casts both sides to INTEGER first.  A zero
+            # divisor yields NULL (NaN) like both engines.
+            zero = right == 0
+            with np.errstate(invalid="ignore", divide="ignore"):
+                remainder = np.fmod(left, np.where(zero, 1, right))
+            if zero.any():
+                return np.where(zero, np.nan, remainder.astype(np.float64))
+            return remainder
         if operator == "=":
             return left == right
         if operator == "!=":
@@ -197,6 +232,21 @@ class ExpressionEvaluator:
             if len(node.arguments) != 2:
                 raise SQLExecutionError(f"{name}() takes two arguments")
             return np.power(self.evaluate(node.arguments[0]), self.evaluate(node.arguments[1]))
+        if name == "round":
+            if len(node.arguments) not in (1, 2):
+                raise SQLExecutionError("round() takes one or two arguments")
+            values = self.evaluate(node.arguments[0])
+            decimals = 0
+            if len(node.arguments) == 2:
+                digits = node.arguments[1]
+                sign = 1
+                if isinstance(digits, UnaryOp) and digits.operator in ("-", "+"):
+                    sign = -1 if digits.operator == "-" else 1
+                    digits = digits.operand
+                if not isinstance(digits, Literal) or not isinstance(digits.value, (int, float)):
+                    raise SQLExecutionError("round() requires a literal number of digits")
+                decimals = sign * int(digits.value)
+            return _sql_round(values, decimals)
         if name == "coalesce":
             if not node.arguments:
                 raise SQLExecutionError("coalesce() needs at least one argument")
@@ -349,6 +399,274 @@ class GroupedEvaluator:
 
 
 # ---------------------------------------------------------------------------
+# Join machinery (shared by the interpreter and compiled plans)
+# ---------------------------------------------------------------------------
+
+
+def join_indices(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row indices ``(left_idx, right_idx)`` of the inner equi-join of two key columns.
+
+    Numeric keys (the hot path: state indices are int64) use a vectorized
+    sort + ``searchsorted`` join; object keys fall back to a dict-bucket hash
+    join.  Matches are emitted in left-row order with ties in right-row order
+    — the order a build-right/probe-left hash join produces.  NULL (NaN) keys
+    never match, per SQL semantics.
+    """
+    left = np.asarray(left_keys)
+    right = np.asarray(right_keys)
+    if left.dtype == object or right.dtype == object:
+        buckets: dict[object, list[int]] = {}
+        for index, key in enumerate(right.tolist()):
+            buckets.setdefault(key, []).append(index)
+        left_list: list[int] = []
+        right_list: list[int] = []
+        for index, key in enumerate(left.tolist()):
+            for match in buckets.get(key, ()):
+                left_list.append(index)
+                right_list.append(match)
+        return np.asarray(left_list, dtype=np.int64), np.asarray(right_list, dtype=np.int64)
+
+    left_map = right_map = None
+    if left.dtype.kind == "f":
+        keep = ~np.isnan(left)
+        if not keep.all():
+            left_map = np.flatnonzero(keep)
+            left = left[left_map]
+    if right.dtype.kind == "f":
+        keep = ~np.isnan(right)
+        if not keep.all():
+            right_map = np.flatnonzero(keep)
+            right = right[right_map]
+
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+    lo = np.searchsorted(sorted_right, left, side="left")
+    hi = np.searchsorted(sorted_right, left, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(left.size, dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    right_idx = order[starts + within]
+    if left_map is not None:
+        left_idx = left_map[left_idx]
+    if right_map is not None:
+        right_idx = right_map[right_idx]
+    return left_idx, right_idx
+
+
+def split_join_condition(
+    condition: Expression, left_frame: Frame, right_frame: Frame
+) -> tuple[Expression, Expression]:
+    """Split ``ON left = right`` so each side references exactly one input."""
+    if not isinstance(condition, BinaryOp) or condition.operator != "=":
+        raise SQLExecutionError("JOIN ... ON only supports a single equality condition")
+
+    def references(expression: Expression, frame: Frame) -> bool:
+        if isinstance(expression, ColumnRef):
+            return expression.key() in frame or expression.name in frame
+        if isinstance(expression, BinaryOp):
+            return references(expression.left, frame) and references(expression.right, frame)
+        if isinstance(expression, UnaryOp):
+            return references(expression.operand, frame)
+        if isinstance(expression, Literal):
+            return True
+        if isinstance(expression, FunctionCall):
+            return all(references(argument, frame) for argument in expression.arguments)
+        return False
+
+    left_expr, right_expr = condition.left, condition.right
+    if references(left_expr, left_frame) and references(right_expr, right_frame):
+        return left_expr, right_expr
+    if references(right_expr, left_frame) and references(left_expr, right_frame):
+        return right_expr, left_expr
+    raise SQLExecutionError("JOIN condition must compare one side per table")
+
+
+def hash_join_frames(
+    left_frame: Frame,
+    left_length: int,
+    right_frame: Frame,
+    right_length: int,
+    left_key_expr: Expression,
+    right_key_expr: Expression,
+) -> tuple[Frame, int]:
+    """Inner-join two frames on pre-split key expressions, merging their columns."""
+    left_keys = ExpressionEvaluator(left_frame, left_length).evaluate(left_key_expr)
+    right_keys = ExpressionEvaluator(right_frame, right_length).evaluate(right_key_expr)
+    left_idx, right_idx = join_indices(left_keys, right_keys)
+
+    merged: Frame = {}
+    for key, values in left_frame.items():
+        merged[key] = values[left_idx] if len(values) == left_length else values
+    for key, values in right_frame.items():
+        gathered = values[right_idx] if len(values) == right_length else values
+        if key in merged and "." not in key:
+            # Ambiguous bare column name: keep only the qualified forms.
+            del merged[key]
+            continue
+        merged[key] = gathered
+    return merged, len(left_idx)
+
+
+# ---------------------------------------------------------------------------
+# Projection / post-processing stages (shared by interpreter and plans)
+# ---------------------------------------------------------------------------
+
+
+def select_has_aggregates(select: Select) -> bool:
+    """True when the projection or HAVING clause contains an aggregate call."""
+    return any(_contains_aggregate(item.expression) for item in select.items) or (
+        select.having is not None and _contains_aggregate(select.having)
+    )
+
+
+def item_output_name(item: SelectItem, position: int) -> str:
+    """The result-column name of one projection item."""
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, ColumnRef):
+        return item.expression.name
+    return f"col{position}"
+
+
+def plain_projection(
+    items: Sequence[SelectItem], frame: Frame, length: int
+) -> tuple[list[str], dict[str, np.ndarray]]:
+    """Evaluate a non-aggregating projection (including ``*`` expansion)."""
+    names: list[str] = []
+    columns: dict[str, np.ndarray] = {}
+    evaluator = ExpressionEvaluator(frame, length)
+    for position, item in enumerate(items):
+        if isinstance(item.expression, Star):
+            for key, values in frame.items():
+                if "." in key:
+                    binding, column = key.split(".", 1)
+                    if item.expression.table and binding != item.expression.table:
+                        continue
+                    if column not in columns:
+                        names.append(column)
+                        columns[column] = values
+            continue
+        name = item_output_name(item, position)
+        names.append(name)
+        columns[name] = evaluator.evaluate(item.expression)
+    return names, columns
+
+
+def _empty_aggregate_value(expression: Expression) -> np.ndarray:
+    if isinstance(expression, FunctionCall) and expression.name == "count":
+        return np.zeros(1, dtype=np.int64)
+    return np.full(1, np.nan)
+
+
+def grouped_projection(select: Select, frame: Frame, length: int) -> tuple[list[str], dict[str, np.ndarray]]:
+    """Evaluate a GROUP BY / aggregate projection (including HAVING)."""
+    evaluator = ExpressionEvaluator(frame, length)
+    if select.group_by:
+        key_columns = [evaluator.evaluate(expression).astype(np.float64) for expression in select.group_by]
+        stacked = np.stack(key_columns, axis=1) if key_columns else np.zeros((length, 1))
+        if length:
+            _unique, first_indices, inverse = np.unique(
+                stacked, axis=0, return_index=True, return_inverse=True
+            )
+            inverse = inverse.ravel()
+            num_groups = len(first_indices)
+        else:
+            first_indices = np.empty(0, dtype=np.int64)
+            inverse = np.empty(0, dtype=np.int64)
+            num_groups = 0
+    else:
+        # Aggregates without GROUP BY: everything is one group.
+        num_groups = 1
+        inverse = np.zeros(length, dtype=np.int64)
+        first_indices = np.zeros(1, dtype=np.int64)
+
+    grouped = GroupedEvaluator(frame, length, inverse, num_groups, first_indices)
+
+    names: list[str] = []
+    columns: dict[str, np.ndarray] = {}
+    for position, item in enumerate(select.items):
+        if isinstance(item.expression, Star):
+            raise SQLExecutionError("'*' projection cannot be combined with GROUP BY / aggregates")
+        name = item_output_name(item, position)
+        names.append(name)
+        if length == 0 and not select.group_by:
+            # Aggregates over an empty input: COUNT -> 0, SUM/MIN/MAX -> NULL.
+            columns[name] = _empty_aggregate_value(item.expression)
+        else:
+            columns[name] = grouped.evaluate(item.expression)
+
+    if select.having is not None:
+        having_values = grouped.evaluate(select.having).astype(bool)
+        columns = {name: values[having_values] for name, values in columns.items()}
+    return names, columns
+
+
+def order_columns(
+    columns: dict[str, np.ndarray],
+    names: list[str],
+    order_by: Sequence[OrderItem],
+    length: int,
+    order_frame: Frame | None = None,
+) -> dict[str, np.ndarray]:
+    """Sort result columns by the ORDER BY keys (last key has lowest priority)."""
+    output_frame: Frame = dict(order_frame) if order_frame else dict(columns)
+    evaluator = ExpressionEvaluator(output_frame, length)
+    keys: list[np.ndarray] = []
+    for item in reversed(order_by):
+        values = evaluator.evaluate(item.expression)
+        sortable = values.astype(np.float64) if values.dtype.kind in "biuf" else values.astype(str)
+        if item.descending:
+            if sortable.dtype.kind == "f":
+                sortable = -sortable
+            else:
+                raise SQLExecutionError("DESC ordering on text columns is not supported")
+        keys.append(sortable)
+    order = np.lexsort(keys)
+    return {name: columns[name][order] for name in names}
+
+
+def postprocess_select(
+    select: Select,
+    names: list[str],
+    columns: dict[str, np.ndarray],
+    frame: Frame | None,
+    length: int,
+    has_aggregates: bool,
+) -> tuple[list[str], dict[str, np.ndarray]]:
+    """Apply the shared SELECT tail: HAVING validation, DISTINCT, ORDER BY, LIMIT."""
+    result_length = len(next(iter(columns.values()))) if columns else 0
+
+    if select.having is not None and not (select.group_by or has_aggregates):
+        raise SQLExecutionError("HAVING requires GROUP BY or aggregates")
+
+    if select.distinct and result_length:
+        stacked = np.stack([columns[name].astype(np.float64) for name in names], axis=1)
+        _unique, indices = np.unique(stacked, axis=0, return_index=True)
+        keep = np.sort(indices)
+        columns = {name: columns[name][keep] for name in names}
+        result_length = len(keep)
+
+    if select.order_by and result_length:
+        # ORDER BY may reference source columns (SQLite semantics) as long as
+        # the output rows are still aligned 1:1 with the input rows.
+        aligned = (
+            frame is not None
+            and not (select.group_by or has_aggregates or select.distinct)
+            and result_length == length
+        )
+        order_frame: Frame = dict(frame) if aligned else {}
+        order_frame.update(columns)
+        columns = order_columns(columns, names, select.order_by, result_length, order_frame)
+
+    if select.limit is not None:
+        columns = {name: values[: select.limit] for name, values in columns.items()}
+
+    return names, columns
+
+
+# ---------------------------------------------------------------------------
 # SELECT execution
 # ---------------------------------------------------------------------------
 
@@ -401,232 +719,37 @@ class SelectExecutor:
     # -------------------------------------------------------------- pipeline
 
     def _execute_select(self, select: Select, ctes: Mapping[str, Table]) -> tuple[list[str], dict[str, np.ndarray]]:
-        frame, length, bindings = self._build_frame(select, ctes)
+        frame, length = self._build_frame(select, ctes)
 
         if select.where is not None:
             mask = ExpressionEvaluator(frame, length).evaluate(select.where).astype(bool)
             frame = {key: values[mask] for key, values in frame.items()}
             length = int(mask.sum())
 
-        has_aggregates = any(_contains_aggregate(item.expression) for item in select.items) or (
-            select.having is not None and _contains_aggregate(select.having)
-        )
+        has_aggregates = select_has_aggregates(select)
 
         if select.group_by or has_aggregates:
-            names, columns = self._grouped_projection(select, frame, length)
+            names, columns = grouped_projection(select, frame, length)
         else:
-            names, columns = self._plain_projection(select, frame, length, bindings)
+            names, columns = plain_projection(select.items, frame, length)
 
-        result_length = len(next(iter(columns.values()))) if columns else 0
+        return postprocess_select(select, names, columns, frame, length, has_aggregates)
 
-        if select.having is not None and not (select.group_by or has_aggregates):
-            raise SQLExecutionError("HAVING requires GROUP BY or aggregates")
-
-        if select.distinct and result_length:
-            stacked = np.stack([columns[name].astype(np.float64) for name in names], axis=1)
-            _unique, indices = np.unique(stacked, axis=0, return_index=True)
-            keep = np.sort(indices)
-            columns = {name: columns[name][keep] for name in names}
-            result_length = len(keep)
-
-        if select.order_by and result_length:
-            # ORDER BY may reference source columns (SQLite semantics) as long as
-            # the output rows are still aligned 1:1 with the input rows.
-            aligned = not (select.group_by or has_aggregates or select.distinct) and result_length == length
-            order_frame: Frame = dict(frame) if aligned else {}
-            order_frame.update(columns)
-            columns = self._order(columns, names, select.order_by, result_length, order_frame)
-
-        if select.limit is not None:
-            columns = {name: values[: select.limit] for name, values in columns.items()}
-
-        return names, columns
-
-    def _build_frame(self, select: Select, ctes: Mapping[str, Table]) -> tuple[Frame, int, list[str]]:
+    def _build_frame(self, select: Select, ctes: Mapping[str, Table]) -> tuple[Frame, int]:
         if select.source is None:
             # SELECT without FROM: a single synthetic row.
-            return {}, 1, []
+            return {}, 1
         base_table = self._resolve(select.source.name, ctes)
         frame = base_table.frame(select.source.binding)
         length = base_table.num_rows
-        bindings = [select.source.binding]
 
         for join in select.joins:
-            frame, length = self._hash_join(frame, length, bindings, join, ctes)
-            bindings.append(join.source.binding)
-        return frame, length, bindings
-
-    def _hash_join(
-        self,
-        left_frame: Frame,
-        left_length: int,
-        left_bindings: list[str],
-        join: Join,
-        ctes: Mapping[str, Table],
-    ) -> tuple[Frame, int]:
-        if join.kind != "inner":
-            raise SQLExecutionError(f"{join.kind.upper()} JOIN is not supported by the embedded engine")
-        right_table = self._resolve(join.source.name, ctes)
-        right_binding = join.source.binding
-        right_frame = right_table.frame(right_binding)
-        right_length = right_table.num_rows
-
-        left_key_expr, right_key_expr = self._split_join_condition(join.condition, left_frame, right_frame)
-        left_keys = ExpressionEvaluator(left_frame, left_length).evaluate(left_key_expr)
-        right_keys = ExpressionEvaluator(right_frame, right_length).evaluate(right_key_expr)
-
-        # Vectorized hash join: build on the right side, probe with the left.
-        buckets: dict[object, list[int]] = {}
-        for index, key in enumerate(right_keys.tolist()):
-            buckets.setdefault(key, []).append(index)
-        left_indices: list[int] = []
-        right_indices: list[int] = []
-        for index, key in enumerate(left_keys.tolist()):
-            for match in buckets.get(key, ()):  # inner join: unmatched rows vanish
-                left_indices.append(index)
-                right_indices.append(match)
-        left_idx = np.asarray(left_indices, dtype=np.int64)
-        right_idx = np.asarray(right_indices, dtype=np.int64)
-
-        merged: Frame = {}
-        for key, values in left_frame.items():
-            merged[key] = values[left_idx] if len(values) == left_length else values
-        for key, values in right_frame.items():
-            gathered = values[right_idx] if len(values) == right_length else values
-            if key in merged and "." not in key:
-                # Ambiguous bare column name: keep only the qualified forms.
-                del merged[key]
-                continue
-            merged[key] = gathered
-        return merged, len(left_idx)
-
-    def _split_join_condition(
-        self, condition: Expression, left_frame: Frame, right_frame: Frame
-    ) -> tuple[Expression, Expression]:
-        if not isinstance(condition, BinaryOp) or condition.operator != "=":
-            raise SQLExecutionError("JOIN ... ON only supports a single equality condition")
-
-        def references(expression: Expression, frame: Frame) -> bool:
-            if isinstance(expression, ColumnRef):
-                return expression.key() in frame or expression.name in frame
-            if isinstance(expression, BinaryOp):
-                return references(expression.left, frame) and references(expression.right, frame)
-            if isinstance(expression, UnaryOp):
-                return references(expression.operand, frame)
-            if isinstance(expression, Literal):
-                return True
-            if isinstance(expression, FunctionCall):
-                return all(references(argument, frame) for argument in expression.arguments)
-            return False
-
-        left_expr, right_expr = condition.left, condition.right
-        if references(left_expr, left_frame) and references(right_expr, right_frame):
-            return left_expr, right_expr
-        if references(right_expr, left_frame) and references(left_expr, right_frame):
-            return right_expr, left_expr
-        raise SQLExecutionError("JOIN condition must compare one side per table")
-
-    # ------------------------------------------------------------ projection
-
-    def _item_name(self, item: SelectItem, position: int) -> str:
-        if item.alias:
-            return item.alias
-        if isinstance(item.expression, ColumnRef):
-            return item.expression.name
-        return f"col{position}"
-
-    def _plain_projection(
-        self, select: Select, frame: Frame, length: int, bindings: list[str]
-    ) -> tuple[list[str], dict[str, np.ndarray]]:
-        names: list[str] = []
-        columns: dict[str, np.ndarray] = {}
-        evaluator = ExpressionEvaluator(frame, length)
-        for position, item in enumerate(select.items):
-            if isinstance(item.expression, Star):
-                for key, values in frame.items():
-                    if "." in key:
-                        binding, column = key.split(".", 1)
-                        if item.expression.table and binding != item.expression.table:
-                            continue
-                        if column not in columns:
-                            names.append(column)
-                            columns[column] = values
-                continue
-            name = self._item_name(item, position)
-            names.append(name)
-            columns[name] = evaluator.evaluate(item.expression)
-        return names, columns
-
-    def _grouped_projection(self, select: Select, frame: Frame, length: int) -> tuple[list[str], dict[str, np.ndarray]]:
-        evaluator = ExpressionEvaluator(frame, length)
-        if select.group_by:
-            key_columns = [evaluator.evaluate(expression).astype(np.float64) for expression in select.group_by]
-            stacked = np.stack(key_columns, axis=1) if key_columns else np.zeros((length, 1))
-            if length:
-                _unique, first_indices, inverse = np.unique(
-                    stacked, axis=0, return_index=True, return_inverse=True
-                )
-                inverse = inverse.ravel()
-                num_groups = len(first_indices)
-            else:
-                first_indices = np.empty(0, dtype=np.int64)
-                inverse = np.empty(0, dtype=np.int64)
-                num_groups = 0
-        else:
-            # Aggregates without GROUP BY: everything is one group.
-            num_groups = 1
-            inverse = np.zeros(length, dtype=np.int64)
-            first_indices = np.zeros(1 if length else 1, dtype=np.int64)
-            if length == 0:
-                first_indices = np.zeros(1, dtype=np.int64)
-
-        grouped = GroupedEvaluator(frame, length, inverse, num_groups, first_indices)
-
-        names: list[str] = []
-        columns: dict[str, np.ndarray] = {}
-        for position, item in enumerate(select.items):
-            if isinstance(item.expression, Star):
-                raise SQLExecutionError("'*' projection cannot be combined with GROUP BY / aggregates")
-            name = self._item_name(item, position)
-            names.append(name)
-            if length == 0 and not select.group_by:
-                # Aggregates over an empty input: COUNT -> 0, SUM/MIN/MAX -> NULL.
-                columns[name] = self._empty_aggregate_value(item.expression)
-            else:
-                columns[name] = grouped.evaluate(item.expression)
-
-        if select.having is not None:
-            having_values = grouped.evaluate(select.having).astype(bool)
-            columns = {name: values[having_values] for name, values in columns.items()}
-        return names, columns
-
-    @staticmethod
-    def _empty_aggregate_value(expression: Expression) -> np.ndarray:
-        if isinstance(expression, FunctionCall) and expression.name == "count":
-            return np.zeros(1, dtype=np.int64)
-        return np.full(1, np.nan)
-
-    # --------------------------------------------------------------- ordering
-
-    def _order(
-        self,
-        columns: dict[str, np.ndarray],
-        names: list[str],
-        order_by: tuple[OrderItem, ...],
-        length: int,
-        order_frame: Frame | None = None,
-    ) -> dict[str, np.ndarray]:
-        output_frame: Frame = dict(order_frame) if order_frame else dict(columns)
-        evaluator = ExpressionEvaluator(output_frame, length)
-        keys: list[np.ndarray] = []
-        for item in reversed(order_by):
-            values = evaluator.evaluate(item.expression)
-            sortable = values.astype(np.float64) if values.dtype.kind in "biuf" else values.astype(str)
-            if item.descending:
-                if sortable.dtype.kind == "f":
-                    sortable = -sortable
-                else:
-                    raise SQLExecutionError("DESC ordering on text columns is not supported")
-            keys.append(sortable)
-        order = np.lexsort(keys)
-        return {name: columns[name][order] for name in names}
+            if join.kind != "inner":
+                raise SQLExecutionError(f"{join.kind.upper()} JOIN is not supported by the embedded engine")
+            right_table = self._resolve(join.source.name, ctes)
+            right_frame = right_table.frame(join.source.binding)
+            left_key, right_key = split_join_condition(join.condition, frame, right_frame)
+            frame, length = hash_join_frames(
+                frame, length, right_frame, right_table.num_rows, left_key, right_key
+            )
+        return frame, length

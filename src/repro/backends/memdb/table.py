@@ -117,11 +117,78 @@ class Table:
         for row in rows:
             for column, value in zip(order, row):
                 by_column[column].append(value)
-        for column in self.column_names:
+        # Validate every column before mutating any, so a bad row leaves the
+        # table unchanged.
+        converted = {
+            column: self._coerce_values(column, by_column[column]) for column in self.column_names
+        }
+        for column, new_values in converted.items():
             existing = self._columns[column]
-            new_values = np.asarray(by_column[column], dtype=existing.dtype if existing.dtype != object else object)
-            self._columns[column] = np.concatenate([existing, new_values]) if existing.size else new_values.astype(existing.dtype, copy=False)
+            self._columns[column] = np.concatenate([existing, new_values]) if existing.size else new_values
         return len(rows)
+
+    def _coerce_values(self, column: str, values: list[object]) -> np.ndarray:
+        """Build a column chunk with the *declared* dtype, rejecting misfits.
+
+        Inferring a dtype from the literals and re-casting would silently
+        truncate floats inserted into integer columns and mangle object
+        columns; incompatible values raise a clear error instead.
+        """
+        dtype = self._dtypes[column]
+        kind = np.dtype(dtype).kind if dtype != object else "O"
+        if kind == "O":
+            chunk = np.empty(len(values), dtype=object)
+            chunk[:] = values
+            return chunk
+        if kind in "iu":
+            coerced_ints: list[int] = []
+            for value in values:
+                # Integral-valued floats (2.0) and numeric strings ('2') store
+                # losslessly, matching SQLite's INTEGER affinity and DuckDB's
+                # implicit cast; anything lossy raises.
+                if isinstance(value, str):
+                    try:
+                        # int() first: a float round-trip would corrupt
+                        # integer strings above 2^53.
+                        value = int(value)
+                    except ValueError:
+                        value = self._parse_numeric_string(value, column, "integer")
+                if isinstance(value, (bool, np.bool_, int, np.integer)):
+                    coerced_ints.append(int(value))
+                elif isinstance(value, (float, np.floating)) and float(value).is_integer():
+                    coerced_ints.append(int(value))
+                else:
+                    raise SQLExecutionError(
+                        f"cannot insert {value!r} into integer column {column!r} of table {self.name!r}"
+                    )
+            try:
+                return np.asarray(coerced_ints, dtype=dtype)
+            except OverflowError:
+                raise SQLExecutionError(
+                    f"integer out of 64-bit range for column {column!r} of table {self.name!r}"
+                ) from None
+        # Float column: numbers and numeric strings; NULL becomes NaN.
+        coerced: list[float] = []
+        for value in values:
+            if isinstance(value, str):
+                value = self._parse_numeric_string(value, column, "real")
+            if value is None:
+                coerced.append(float("nan"))
+            elif isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool):
+                coerced.append(float(value))
+            else:
+                raise SQLExecutionError(
+                    f"cannot insert {value!r} into real column {column!r} of table {self.name!r}"
+                )
+        return np.asarray(coerced, dtype=dtype)
+
+    def _parse_numeric_string(self, value: str, column: str, kind: str) -> float:
+        try:
+            return float(value)
+        except ValueError:
+            raise SQLExecutionError(
+                f"cannot insert {value!r} into {kind} column {column!r} of table {self.name!r}"
+            ) from None
 
     def delete_where(self, mask: np.ndarray) -> int:
         """Delete the rows where ``mask`` is true; returns the number deleted."""

@@ -13,11 +13,27 @@ from __future__ import annotations
 from ..errors import BackendError
 from ..sql.dialect import MEMDB
 from .base import MODE_CTE, RelationalBackend
-from .memdb.engine import MemDatabase
+from .memdb.engine import MemDatabase, PlanCache, shared_plan_cache
 
 
 class MemDBBackend(RelationalBackend):
-    """Runs translated circuits on the embedded columnar SQL engine."""
+    """Runs translated circuits on the embedded columnar SQL engine.
+
+    The engine instance is kept for the lifetime of the backend: each run
+    starts from an empty catalog (tables are dropped on connect/disconnect),
+    but compiled plans persist in the plan cache, so repeated runs of
+    structurally identical circuits — the parameter-sweep loop — skip SQL
+    parsing and planning entirely and only re-bind fresh gate/state tables.
+    By default the cache is additionally shared process-wide, which means
+    even a fresh backend per sweep point starts warm.
+
+    Parameters (beyond :class:`RelationalBackend`)
+    ----------
+    plan_cache:
+        Optional private :class:`~.memdb.engine.PlanCache`; default is the
+        process-wide shared cache.  Pass ``PlanCache(0)`` to disable caching
+        (used by benchmarks to measure cold-parse cost).
+    """
 
     name = "memdb"
     dialect = MEMDB
@@ -31,6 +47,7 @@ class MemDBBackend(RelationalBackend):
         keep_intermediate: bool = False,
         max_state_bytes: int | None = None,
         prune_atol: float = 1e-12,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -41,20 +58,33 @@ class MemDBBackend(RelationalBackend):
             max_state_bytes=max_state_bytes,
             prune_atol=prune_atol,
         )
+        self._plan_cache = plan_cache
         self._database: MemDatabase | None = None
+        self._connected = False
 
     # ------------------------------------------------------------ connection
 
     def _connect(self) -> None:
-        self._database = MemDatabase()
+        if self._database is None:
+            self._database = MemDatabase(plan_cache=self._plan_cache)
+        else:
+            self._database.clear()
+        self._connected = True
 
     def _disconnect(self) -> None:
+        # Drop the tables (one run's state must not leak into the next) but
+        # keep the engine so its plan-cache binding survives across runs.
         if self._database is not None:
             self._database.clear()
-        self._database = None
+        self._connected = False
+
+    def plan_cache_stats(self) -> dict:
+        """Plan-cache statistics of this backend's cache (valid any time)."""
+        cache = self._plan_cache if self._plan_cache is not None else shared_plan_cache()
+        return cache.stats()
 
     def _require_database(self) -> MemDatabase:
-        if self._database is None:
+        if not self._connected or self._database is None:
             raise BackendError("memdb backend is not connected")
         return self._database
 
@@ -72,5 +102,5 @@ class MemDBBackend(RelationalBackend):
 
     @property
     def database(self) -> MemDatabase | None:
-        """The underlying engine instance (only valid while connected)."""
+        """The underlying engine instance (``None`` until the first run)."""
         return self._database

@@ -65,10 +65,17 @@ class ParameterSweep:
         Callable mapping a parameter point to a bound :class:`QuantumCircuit`
         (typically a closure around ``bind_parameters``).
     method_factory:
-        Zero-argument factory producing a fresh simulator/backend per point.
+        Zero-argument factory producing the simulator/backend.
     observable:
         Optional callable mapping a :class:`SimulationResult` to a float
         (e.g. a MaxCut expectation value); stored per point.
+    reuse_method:
+        When true (the default) one method instance built by the factory is
+        reused for every grid point.  Every simulator's ``run`` is
+        self-contained, and reuse is what lets the memdb backend re-bind the
+        sweep's structurally identical queries against its cached plans
+        instead of re-parsing them at each point.  Set to false to restore a
+        fresh instance per point.
     """
 
     def __init__(
@@ -76,20 +83,30 @@ class ParameterSweep:
         family: Callable[[ParameterPoint], QuantumCircuit],
         method_factory: Callable[[], object],
         observable: Callable[[SimulationResult], float] | None = None,
+        reuse_method: bool = True,
     ) -> None:
         self.family = family
         self.method_factory = method_factory
         self.observable = observable
+        self.reuse_method = reuse_method
 
     def run(self, points: Sequence[ParameterPoint]) -> list[SweepResult]:
         """Simulate every parameter point, never aborting the sweep on failures."""
         if not points:
             raise BenchmarkError("no parameter points to sweep")
         results: list[SweepResult] = []
+        shared = None
+        if self.reuse_method:
+            try:
+                shared = self.method_factory()
+            except QymeraError as exc:
+                # Keep the no-abort contract: a broken factory fails every
+                # point instead of raising out of the sweep.
+                return [SweepResult(point=dict(point), status="error", error=str(exc)) for point in points]
         for point in points:
             try:
                 circuit = self.family(dict(point))
-                simulator = self.method_factory()
+                simulator = shared if shared is not None else self.method_factory()
                 outcome = simulator.run(circuit)
             except QymeraError as exc:
                 results.append(SweepResult(point=dict(point), status="error", error=str(exc)))

@@ -17,9 +17,11 @@ from ..circuits import (
     dense_phase_circuit,
     ghz_circuit,
     parity_check_circuit,
+    qaoa_maxcut_circuit,
     qft_on_basis_state,
     random_dense_circuit,
     random_sparse_circuit,
+    ring_graph,
     superposed_parity_circuit,
     superposition_circuit,
     w_state_circuit,
@@ -144,6 +146,35 @@ _register(
         peak_rows=lambda n: 1 << n,
     )
 )
+_register(
+    Workload(
+        name="qaoa_ring",
+        factory=lambda n: qaoa_maxcut_circuit(n, edges=ring_graph(n), p=1, gammas=[0.45], betas=[0.6]),
+        sparsity=DENSE,
+        description="Depth-1 QAOA MaxCut on a ring; the repeated-structure sweep workload",
+        peak_rows=lambda n: 1 << n,
+    )
+)
+
+
+def qaoa_sweep_family(num_nodes: int) -> Callable[[dict], QuantumCircuit]:
+    """A ``point -> circuit`` family for parameter sweeps over the QAOA ring.
+
+    Every point produces a circuit with identical structure (hence identical
+    generated SQL apart from gate-table literals), which is the shape the
+    memdb plan cache exploits: sweeps re-bind fresh gate tables against the
+    plans compiled at the first point.
+    """
+    if num_nodes < 3:
+        raise BenchmarkError("the QAOA ring sweep needs at least 3 nodes")
+    edges = ring_graph(num_nodes)
+
+    def family(point: dict) -> QuantumCircuit:
+        return qaoa_maxcut_circuit(
+            num_nodes, edges=edges, p=1, gammas=[point["gamma"]], betas=[point["beta"]]
+        )
+
+    return family
 
 
 def get_workload(name: str) -> Workload:

@@ -48,6 +48,8 @@ def sample_indices(state: SparseState, shots: int, seed: int | None = None) -> l
     if not probabilities:
         raise AnalysisError("cannot sample from an empty (all-zero) state")
     total = sum(probabilities.values())
+    if total <= 0:
+        raise AnalysisError("state has zero total probability")
     rng = random.Random(seed)
     indices = list(probabilities)
     weights = [probabilities[index] / total for index in indices]

@@ -127,11 +127,19 @@ class CircuitPanel:
 
 
 class SimulationPanel:
-    """Method selection and execution (Translation + Simulation Layers)."""
+    """Method selection and execution (Translation + Simulation Layers).
+
+    Method instances are pooled per (method, options) combination: every
+    simulator's ``run`` is self-contained, and reusing the instance keeps the
+    memdb backend's engine — and with it the compiled-plan cache — alive
+    across runs, so re-running a circuit family (rebinding parameters,
+    sweeping a grid) skips SQL parsing and planning after the first run.
+    """
 
     def __init__(self, circuit_panel: CircuitPanel) -> None:
         self._circuits = circuit_panel
         self._results: dict[tuple[str, str], SimulationResult] = {}
+        self._method_pool: dict[tuple, object] = {}
 
     # -------------------------------------------------------------- methods
 
@@ -160,10 +168,22 @@ class SimulationPanel:
     def run(self, circuit_name: str, method: str = "sqlite", **options) -> SimulationResult:
         """Simulate a registered circuit with one method."""
         circuit = self._circuits.get(circuit_name)
-        simulator = self._make_method(method, **options)
+        simulator = self._pooled_method(method, options)
         result = simulator.run(circuit)
         self._results[(circuit_name, method)] = result
         return result
+
+    def _pooled_method(self, method: str, options: Mapping[str, object]):
+        try:
+            key = (method, tuple(sorted(options.items())))
+            simulator = self._method_pool.get(key)
+        except TypeError:
+            # Unhashable option values: fall back to a fresh instance.
+            return self._make_method(method, **options)
+        if simulator is None:
+            simulator = self._make_method(method, **options)
+            self._method_pool[key] = simulator
+        return simulator
 
     def run_all(self, circuit_name: str, methods: Sequence[str] | None = None) -> dict[str, SimulationResult]:
         """Simulate one circuit with several methods (the comparison view)."""

@@ -135,7 +135,13 @@ class SQLTranslation:
         return statements
 
     def cte_query(self, pretty: bool = True) -> str:
-        """The single WITH-query of Fig. 2c producing the final state rows."""
+        """The single WITH-query of Fig. 2c producing the final state rows.
+
+        The emitted text is deterministic per circuit structure, which is
+        what the memdb plan cache keys on: two sweep points of the same
+        circuit family emit byte-identical CTE texts (only the gate INSERT
+        literals differ), so their compiled plans are shared.
+        """
         final = self.final_table
         if not self.steps:
             return f"SELECT s, r, i FROM {final} ORDER BY s"
@@ -158,6 +164,11 @@ class SQLTranslation:
         per-step row counts.  When ``keep_intermediate`` is false each input
         table is dropped as soon as its successor exists, bounding storage to
         two state tables at a time.
+
+        The emitted texts are deterministic per circuit structure, so on the
+        memdb backend every ``CREATE TABLE .. AS SELECT`` step hits the plan
+        cache on repeated runs (sweep points re-bind the same compiled
+        join-aggregate plan against fresh gate tables).
         """
         statements: list[dict] = []
         for step in self.steps:

@@ -1,0 +1,143 @@
+"""Differential backend-parity tests.
+
+The memdb engine substitutes for DuckDB, so its SQL semantics must be
+indistinguishable from the real RDBMS backends on everything the translation
+and output layers generate: random circuits must produce identical
+amplitudes, and the scalar functions / operators used by analysis queries
+must agree value-for-value with SQLite (and DuckDB when installed).
+"""
+
+import pytest
+
+from repro.backends import DuckDBBackend, MemDBBackend, SQLiteBackend, duckdb_available
+from repro.circuits import (
+    ghz_circuit,
+    qaoa_maxcut_circuit,
+    qft_on_basis_state,
+    random_dense_circuit,
+    random_sparse_circuit,
+    ring_graph,
+    w_state_circuit,
+)
+
+_ATOL = 1e-9
+
+_CIRCUITS = [
+    ("ghz", lambda: ghz_circuit(4)),
+    ("wstate", lambda: w_state_circuit(4)),
+    ("qft", lambda: qft_on_basis_state(4, 11)),
+    ("qaoa", lambda: qaoa_maxcut_circuit(4, edges=ring_graph(4), p=1, gammas=[0.45], betas=[0.6])),
+    ("random_dense_1", lambda: random_dense_circuit(4, depth=4, seed=11)),
+    ("random_dense_2", lambda: random_dense_circuit(5, depth=3, seed=23)),
+    ("random_sparse_1", lambda: random_sparse_circuit(5, depth=10, max_branching=2, seed=5)),
+    ("random_sparse_2", lambda: random_sparse_circuit(6, depth=8, max_branching=3, seed=17)),
+]
+
+
+def _assert_amplitudes_match(reference, candidate, label: str) -> None:
+    indices = set(reference.probabilities()) | set(candidate.probabilities())
+    for index in sorted(indices):
+        expected = reference.amplitude(index)
+        actual = candidate.amplitude(index)
+        assert abs(expected - actual) <= _ATOL, (
+            f"{label}: amplitude of basis state {index} differs: {expected} vs {actual}"
+        )
+
+
+class TestMemdbMatchesSQLite:
+    @pytest.mark.parametrize("name,factory", _CIRCUITS, ids=[name for name, _ in _CIRCUITS])
+    @pytest.mark.parametrize("mode", ["cte", "materialized"])
+    def test_amplitudes_agree(self, name, factory, mode):
+        circuit = factory()
+        reference = SQLiteBackend(mode=mode).run(circuit).state
+        candidate = MemDBBackend(mode=mode).run(circuit).state
+        _assert_amplitudes_match(reference, candidate, f"{name}/{mode}")
+
+    def test_repeated_runs_on_one_backend_stay_correct(self):
+        """Warm plan-cache runs must match the cold first run exactly."""
+        backend = MemDBBackend()
+        reference = SQLiteBackend()
+        for seed in (3, 4, 5):
+            circuit = random_dense_circuit(4, depth=3, seed=seed)
+            _assert_amplitudes_match(
+                reference.run(circuit).state, backend.run(circuit).state, f"seed={seed}"
+            )
+
+
+@pytest.mark.skipif(not duckdb_available(), reason="duckdb is not installed")
+class TestMemdbMatchesDuckDB:
+    @pytest.mark.parametrize("name,factory", _CIRCUITS[:4], ids=[name for name, _ in _CIRCUITS[:4]])
+    def test_amplitudes_agree(self, name, factory):
+        circuit = factory()
+        reference = DuckDBBackend().run(circuit).state
+        candidate = MemDBBackend().run(circuit).state
+        _assert_amplitudes_match(reference, candidate, name)
+
+
+class TestScalarSemanticsParity:
+    """memdb must follow SQL scalar semantics, not numpy/Python ones."""
+
+    _SETUP = [
+        "CREATE TABLE v (x BIGINT NOT NULL, y DOUBLE NOT NULL)",
+        "INSERT INTO v (x, y) VALUES (-7, -2.5), (-5, -1.5), (0, 0.5), (5, 1.5), (7, 2.5)",
+    ]
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "round(y)",                 # half away from zero: round(2.5) = 3, round(-2.5) = -3
+            "round(y * 1.234, 2)",      # two-argument round
+            "log(abs(x) + 3)",          # log is base 10
+            "ln(abs(x) + 3)",           # ln is natural
+            "x % 3",                    # truncated modulo: -7 % 3 = -1
+            "x % -3",
+            "x / 2",                    # truncated integer division: -7 / 2 = -3
+            "x / -2",
+            "abs(x)",
+            "power(2, abs(x) % 5)",
+        ],
+    )
+    def test_expression_matches_sqlite(self, expression):
+        query = f"SELECT x, {expression} AS value FROM v ORDER BY x"
+        statements = self._SETUP + [query]
+        expected = SQLiteBackend().run_script(statements)
+        actual = MemDBBackend().run_script(statements)
+        assert len(actual) == len(expected)
+        for expected_row, actual_row in zip(expected, actual):
+            assert actual_row[0] == expected_row[0]
+            assert actual_row[1] == pytest.approx(expected_row[1], abs=1e-12)
+
+    def test_zero_divisor_yields_null(self):
+        statements = [
+            "CREATE TABLE z (a BIGINT NOT NULL, b BIGINT NOT NULL)",
+            "INSERT INTO z (a, b) VALUES (5, 0), (5, 2)",
+            "SELECT a / b, a % b FROM z ORDER BY b",
+        ]
+        sqlite_rows = SQLiteBackend().run_script(statements)
+        memdb_rows = MemDBBackend().run_script(statements)
+        assert sqlite_rows[0] == (None, None)
+        # memdb encodes NULL as NaN.
+        assert all(value != value for value in memdb_rows[0])
+        assert memdb_rows[1] == sqlite_rows[1]
+
+    @pytest.mark.skipif(not duckdb_available(), reason="duckdb is not installed")
+    @pytest.mark.parametrize("expression", ["round(y)", "log(abs(x) + 3)", "x % 3"])
+    def test_expression_matches_duckdb(self, expression):
+        query = f"SELECT x, {expression} AS value FROM v ORDER BY x"
+        statements = self._SETUP + [query]
+        expected = DuckDBBackend().run_script(statements)
+        actual = MemDBBackend().run_script(statements)
+        for expected_row, actual_row in zip(expected, actual):
+            assert float(actual_row[1]) == pytest.approx(float(expected_row[1]), abs=1e-12)
+
+
+@pytest.mark.slow
+class TestThoroughDifferential:
+    """Wider random sweep, excluded from the fast tier-1 run (-m slow to include)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_circuits(self, seed):
+        circuit = random_dense_circuit(5, depth=4, seed=100 + seed)
+        reference = SQLiteBackend().run(circuit).state
+        candidate = MemDBBackend().run(circuit).state
+        _assert_amplitudes_match(reference, candidate, f"seed={seed}")

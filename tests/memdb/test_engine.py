@@ -160,3 +160,84 @@ class TestAgainstSQLiteReference:
         expected = reference.execute(query).fetchall()
         got = db.execute(query).rows
         assert [tuple(row) for row in got] == pytest.approx(expected)
+
+
+class TestInsertTyping:
+    """INSERT literals must respect declared column types instead of silently casting."""
+
+    @pytest.fixture
+    def typed(self):
+        database = MemDatabase()
+        database.execute("CREATE TABLE typed (n BIGINT NOT NULL, x DOUBLE NOT NULL, label TEXT)")
+        return database
+
+    def test_valid_rows_round_trip(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES (1, 2.5, 'a'), (-3, 4, 'b')")
+        rows = typed.execute("SELECT n, x, label FROM typed ORDER BY n").rows
+        assert rows == [(-3, 4.0, "b"), (1, 2.5, "a")]
+
+    def test_float_into_integer_column_rejected(self, typed):
+        with pytest.raises(SQLExecutionError, match="integer column"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (1.5, 2.0, 'a')")
+        assert typed.row_count("typed") == 0
+
+    def test_string_into_real_column_rejected(self, typed):
+        with pytest.raises(SQLExecutionError, match="real column"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (1, 'oops', 'a')")
+        assert typed.row_count("typed") == 0
+
+    def test_null_into_integer_column_rejected(self, typed):
+        with pytest.raises(SQLExecutionError, match="integer column"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (NULL, 2.0, 'a')")
+
+    def test_null_into_real_column_becomes_nan(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES (1, NULL, 'a')")
+        value = typed.execute("SELECT x FROM typed").rows[0][0]
+        assert value != value  # NaN
+
+    def test_object_column_preserves_values_on_empty_table(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES (1, 1.0, 'first')")
+        assert typed.table("typed").column("label").dtype == object
+        assert typed.execute("SELECT label FROM typed").rows == [("first",)]
+
+    def test_bad_row_leaves_table_unchanged(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES (1, 1.0, 'ok')")
+        with pytest.raises(SQLExecutionError):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (2.5, 1.0, 'bad')")
+        assert typed.row_count("typed") == 1
+
+    def test_out_of_range_integer_rejected_cleanly(self, typed):
+        with pytest.raises(SQLExecutionError, match="64-bit range"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (9223372036854775808, 1.0, 'big')")
+        assert typed.row_count("typed") == 0
+
+    def test_integral_float_into_integer_column_accepted(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES (2.0, 1.0, 'a')")
+        rows = typed.execute("SELECT n FROM typed").rows
+        assert rows == [(2,)]
+
+    def test_numeric_strings_coerce_like_sqlite_affinity(self, typed):
+        typed.execute("INSERT INTO typed (n, x, label) VALUES ('2', '0.5', 'a')")
+        assert typed.execute("SELECT n, x FROM typed").rows == [(2, 0.5)]
+
+    def test_non_numeric_string_into_integer_column_rejected(self, typed):
+        with pytest.raises(SQLExecutionError, match="integer column"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES ('two', 1.0, 'a')")
+
+    def test_large_integer_string_preserved_exactly(self, typed):
+        # Above 2^53: a float round-trip would silently land on ...992.
+        typed.execute("INSERT INTO typed (n, x, label) VALUES ('9007199254740993', 1.0, 'a')")
+        assert typed.execute("SELECT n FROM typed").rows == [(9007199254740993,)]
+
+
+class TestSelfJoin:
+    def test_self_join_same_binding_still_executes(self, db):
+        result = db.execute("SELECT t.a FROM t JOIN t ON t.a = t.a ORDER BY t.a")
+        # 4 rows, values 1,2,2,3; each matches itself (and 2 matches both 2s).
+        assert len(result.rows) == 6
+
+    def test_self_join_with_aliases_compiles(self, db):
+        result = db.execute(
+            "SELECT p.a, q.a FROM t p JOIN t q ON q.a = p.a WHERE p.b < q.b ORDER BY p.a"
+        )
+        assert result.rows == [(2, 2)]

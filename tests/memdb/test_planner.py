@@ -1,0 +1,257 @@
+"""Tests for the physical-plan compiler and the LRU plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.backends.memdb import MemDatabase, PlanCache, compile_statement, parse_one
+from repro.backends.memdb.executor import SelectExecutor, join_indices
+from repro.backends.memdb.planner import CompiledCreateTableAs, CompiledScript
+from repro.errors import SQLExecutionError
+
+_GATE_STEP_SQL = (
+    "SELECT ((T0.s & ~1) | G.out_s) AS s, "
+    "SUM((T0.r * G.r) - (T0.i * G.i)) AS r, "
+    "SUM((T0.r * G.i) + (T0.i * G.r)) AS i "
+    "FROM T0 JOIN G ON G.in_s = (T0.s & 1) "
+    "GROUP BY ((T0.s & ~1) | G.out_s)"
+)
+
+
+def _fresh_db() -> MemDatabase:
+    db = MemDatabase(plan_cache=PlanCache())
+    db.execute("CREATE TABLE T0 (s BIGINT NOT NULL, r DOUBLE NOT NULL, i DOUBLE NOT NULL)")
+    db.execute("INSERT INTO T0 (s, r, i) VALUES (0, 0.6, 0.0), (1, 0.8, 0.0), (2, 0.0, 0.6), (3, 0.0, -0.8)")
+    db.execute("CREATE TABLE G (in_s BIGINT NOT NULL, out_s BIGINT NOT NULL, r DOUBLE NOT NULL, i DOUBLE NOT NULL)")
+    db.execute(
+        "INSERT INTO G (in_s, out_s, r, i) VALUES "
+        "(0, 0, 0.7071067811865476, 0.0), (0, 1, 0.7071067811865476, 0.0), "
+        "(1, 0, 0.7071067811865476, 0.0), (1, 1, -0.7071067811865476, 0.0)"
+    )
+    return db
+
+
+class TestPlanCache:
+    def test_hit_miss_counters(self):
+        cache = PlanCache(maxsize=4)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("INSERT INTO t (a) VALUES (1), (2)")
+        before = cache.stats()
+        db.execute("SELECT a FROM t ORDER BY a")
+        db.execute("SELECT a FROM t ORDER BY a")
+        db.execute("SELECT a FROM t ORDER BY a")
+        after = cache.stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        cache.clear()
+        db.execute("SELECT a FROM t")           # entry 1
+        db.execute("SELECT a + 1 AS b FROM t")  # entry 2
+        db.execute("SELECT a FROM t")           # touch entry 1 (now MRU)
+        db.execute("SELECT a + 2 AS c FROM t")  # entry 3 evicts entry 2
+        assert cache.stats()["evictions"] == 1
+        assert "SELECT a FROM t" in cache
+        assert "SELECT a + 1 AS b FROM t" not in cache
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PlanCache(maxsize=0)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("SELECT a FROM t")
+        db.execute("SELECT a FROM t")
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_clear_resets_stats(self):
+        cache = PlanCache(maxsize=4)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("SELECT a FROM t")
+        cache.clear()
+        stats = cache.stats()
+        assert stats == {
+            "size": 0,
+            "planned": 0,
+            "parse_only": 0,
+            "maxsize": 4,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+    def test_parse_only_scripts_cannot_evict_plans(self):
+        """A sweep's stream of unique INSERT texts must not flush hot query plans."""
+        cache = PlanCache(maxsize=4)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        query = "SELECT a FROM t"
+        db.execute(query)
+        assert query in cache
+        for value in range(20):  # 20 distinct parse-only texts, far past maxsize
+            db.execute(f"INSERT INTO t (a) VALUES ({value})")
+        assert query in cache
+        stats = cache.stats()
+        assert stats["planned"] >= 1
+        assert stats["parse_only"] <= 4
+        assert stats["evictions"] > 0
+
+    def test_repeated_insert_text_hits_parse_cache(self):
+        cache = PlanCache(maxsize=8)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        cache.clear()
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        assert cache.stats()["hits"] == 1
+        assert db.row_count("t") == 2
+
+    def test_oversized_parse_only_scripts_are_not_pinned(self):
+        cache = PlanCache(maxsize=8)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        rows = ", ".join(f"({value})" for value in range(3000))
+        insert = f"INSERT INTO t (a) VALUES {rows}"
+        assert len(insert) > PlanCache.PARSE_ONLY_MAX_SQL_CHARS
+        db.execute(insert)
+        assert insert not in cache
+        assert db.row_count("t") == 3000
+
+    def test_parse_errors_are_not_cached(self):
+        cache = PlanCache(maxsize=4)
+        db = MemDatabase(plan_cache=cache)
+        with pytest.raises(Exception):
+            db.execute("SELEC nonsense")
+        assert len(cache) == 0
+
+    def test_cached_plan_rebinds_to_fresh_tables(self):
+        """The sweep contract: same SQL text, new table contents, correct result."""
+        cache = PlanCache(maxsize=8)
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)")
+        db.execute("INSERT INTO t (a, b) VALUES (1, 10.0), (1, 2.0)")
+        query = "SELECT a, SUM(b) AS total FROM t GROUP BY a ORDER BY a"
+        assert db.execute(query).rows == [(1, 12.0)]
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)")
+        db.execute("INSERT INTO t (a, b) VALUES (2, 1.0), (3, 4.0)")
+        hits_before = cache.stats()["hits"]
+        assert db.execute(query).rows == [(2, 1.0), (3, 4.0)]
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_cache_shared_across_databases(self):
+        cache = PlanCache(maxsize=8)
+        first = MemDatabase(plan_cache=cache)
+        first.execute("CREATE TABLE t (a BIGINT)")
+        first.execute("INSERT INTO t (a) VALUES (7)")
+        assert first.execute("SELECT a FROM t").rows == [(7,)]
+        second = MemDatabase(plan_cache=cache)
+        second.execute("CREATE TABLE t (a BIGINT)")
+        second.execute("INSERT INTO t (a) VALUES (9)")
+        hits_before = cache.stats()["hits"]
+        assert second.execute("SELECT a FROM t").rows == [(9,)]
+        assert cache.stats()["hits"] == hits_before + 1
+
+
+class TestCompilation:
+    def test_gate_step_compiles_to_fused_operator(self):
+        plan = compile_statement(parse_one(_GATE_STEP_SQL))
+        assert isinstance(plan, CompiledScript)
+        assert plan.query.fused is not None
+
+    def test_with_select_compiles_every_cte(self):
+        sql = f"WITH T1 AS ({_GATE_STEP_SQL}) SELECT s, r, i FROM T1 ORDER BY s"
+        plan = compile_statement(parse_one(sql))
+        assert isinstance(plan, CompiledScript)
+        assert len(plan.ctes) == 1
+        assert plan.ctes[0][1].fused is not None
+
+    def test_create_table_as_compiles(self):
+        plan = compile_statement(parse_one(f"CREATE TABLE T1 AS {_GATE_STEP_SQL}"))
+        assert isinstance(plan, CompiledCreateTableAs)
+        assert plan.script.query.fused is not None
+
+    def test_unqualified_group_key_falls_back_to_generic_plan(self):
+        sql = "SELECT a, SUM(b) AS t FROM x JOIN y ON y.k = x.k GROUP BY a"
+        plan = compile_statement(parse_one(sql))
+        assert isinstance(plan, CompiledScript)
+        assert plan.query.fused is None
+
+    def test_insert_and_ddl_fall_back_to_interpreter(self):
+        assert compile_statement(parse_one("INSERT INTO t (a) VALUES (1)")) is None
+        assert compile_statement(parse_one("CREATE TABLE t (a BIGINT)")) is None
+        assert compile_statement(parse_one("DROP TABLE t")) is None
+
+    def test_left_join_raises_like_the_interpreter(self):
+        with pytest.raises(SQLExecutionError):
+            compile_statement(parse_one("SELECT * FROM a LEFT JOIN b ON b.x = a.x"))
+
+
+class TestPlanVsInterpreter:
+    """Compiled plans must agree with the interpreter on every covered shape."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            _GATE_STEP_SQL,
+            "SELECT s, r FROM T0 WHERE r > 0 ORDER BY s",
+            "SELECT s + 1 AS s1, r * r + i * i AS p FROM T0 ORDER BY p DESC LIMIT 2",
+            "SELECT COUNT(*), SUM(r), MIN(r), MAX(i) FROM T0",
+            "SELECT (s & 1) AS bit, SUM(r * r + i * i) AS mass FROM T0 GROUP BY (s & 1) ORDER BY bit",
+            "SELECT DISTINCT (s & 1) AS bit FROM T0 ORDER BY bit",
+            "SELECT T0.s, G.out_s FROM T0 JOIN G ON G.in_s = (T0.s & 1) ORDER BY T0.s, G.out_s",
+            f"WITH T1 AS ({_GATE_STEP_SQL}) SELECT COUNT(*) FROM T1",
+            "SELECT s, COUNT(*) AS n, SUM(r) AS t FROM T0 GROUP BY s HAVING COUNT(*) > 0 ORDER BY s",
+        ],
+    )
+    def test_same_rows(self, query):
+        db = _fresh_db()
+        statement = parse_one(query)
+        plan = compile_statement(statement)
+        assert plan is not None
+        names, columns = plan.execute(db._tables)
+        interpreter_names, interpreter_columns = SelectExecutor(db._tables).execute(statement)
+        assert names == interpreter_names
+        for name in names:
+            np.testing.assert_allclose(
+                np.asarray(columns[name], dtype=np.float64),
+                np.asarray(interpreter_columns[name], dtype=np.float64),
+                atol=1e-12,
+            )
+
+    def test_fused_preserves_integer_key_dtype(self):
+        db = _fresh_db()
+        result = db.execute(_GATE_STEP_SQL)
+        assert all(isinstance(row[0], int) for row in result.rows)
+
+
+class TestJoinIndices:
+    def test_matches_dict_join_order(self):
+        left = np.array([3, 1, 2, 1, 9])
+        right = np.array([1, 2, 1, 3])
+        left_idx, right_idx = join_indices(left, right)
+        pairs = list(zip(left_idx.tolist(), right_idx.tolist()))
+        assert pairs == [(0, 3), (1, 0), (1, 2), (2, 1), (3, 0), (3, 2)]
+
+    def test_nan_keys_never_match(self):
+        left = np.array([1.0, np.nan, 2.0])
+        right = np.array([np.nan, 1.0, np.nan])
+        left_idx, right_idx = join_indices(left, right)
+        assert left_idx.tolist() == [0]
+        assert right_idx.tolist() == [1]
+
+    def test_object_keys_fall_back(self):
+        left = np.asarray(["a", "b", "a"], dtype=object)
+        right = np.asarray(["a", "c"], dtype=object)
+        left_idx, right_idx = join_indices(left, right)
+        assert left_idx.tolist() == [0, 2]
+        assert right_idx.tolist() == [0, 0]
+
+    def test_empty_inputs(self):
+        left_idx, right_idx = join_indices(np.empty(0, dtype=np.int64), np.array([1, 2]))
+        assert left_idx.size == 0 and right_idx.size == 0

@@ -39,6 +39,18 @@ class TestSampling:
         assert sum(counts.values()) == 500
         assert set(counts) <= {"000", "111"}
 
+    def test_sample_indices_zero_total_probability(self):
+        # A stored amplitude so small its squared probability underflows to
+        # 0.0: must raise AnalysisError, not ZeroDivisionError.
+        state = SparseState(2, {0: 1e-200})
+        with pytest.raises(AnalysisError):
+            sample_indices(state, 10, seed=0)
+
+    def test_sample_counts_zero_total_probability(self):
+        state = SparseState(2, {0: 1e-200})
+        with pytest.raises(AnalysisError):
+            sample_counts(state, 10, seed=0)
+
     def test_sampling_is_reproducible_with_seed(self):
         state = _ghz_state()
         assert sample_counts(state, 100, seed=42) == sample_counts(state, 100, seed=42)
