@@ -3,21 +3,29 @@
 Execution architecture
 ----------------------
 
-Statements flow through three layers:
+Statements flow through four layers:
 
 1. **Parse** (:mod:`.tokenizer`, :mod:`.parser`): SQL text to frozen AST
    dataclasses (:mod:`.ast_nodes`).
-2. **Plan** (:mod:`.planner`): ``Select`` / ``WithSelect`` /
+2. **Optimize** (:mod:`.optimizer`): the cost-based optimizer rewrites the
+   AST (constant folding, predicate pushdown through joins and CTEs,
+   projection pruning, single-use CTE inlining), orders joins greedily by
+   UES-style upper-bound cardinality estimates from the per-table
+   statistics catalog (refreshed via ``ANALYZE``, invalidated on DML), and
+   hands the planner a cost model for physical choices.  ``EXPLAIN
+   [ANALYZE]`` renders every decision plus estimated-vs-actual
+   cardinalities and plan-cache provenance.
+3. **Plan** (:mod:`.planner`): optimized ``Select`` / ``WithSelect`` /
    ``CREATE TABLE .. AS SELECT`` ASTs compile into physical plans — operator
-   pipelines of scan → hash-join → filter → project / hash-aggregate →
-   distinct/order/limit, with all per-statement analysis (aggregate
-   detection, join-side splitting, projection naming) done once at compile
-   time.  The paper's per-gate shape ``SELECT key, SUM(..), SUM(..) FROM
-   T JOIN G .. GROUP BY key`` compiles to a *fused join-aggregate* operator
-   that pushes the grouped SUMs through the hash join in one pass, gathering
-   only the columns the aggregates read instead of materializing the joined
-   frame.
-3. **Execute** (:mod:`.executor`): vectorized numpy operators over columnar
+   pipelines of (filtered) scan → hash-join → filter → project /
+   hash-aggregate → distinct/order/limit, with all per-statement analysis
+   (aggregate detection, join-side splitting, projection naming) done once
+   at compile time.  The paper's per-gate shape ``SELECT key, SUM(..),
+   SUM(..) FROM T JOIN G .. GROUP BY key`` is *eligible* for a fused
+   join-aggregate operator that pushes the grouped SUMs through the hash
+   join in one pass; whether it is used is decided by the cost model, not
+   the syntax.
+4. **Execute** (:mod:`.executor`): vectorized numpy operators over columnar
    :class:`~.table.Table` storage.  Statement kinds the planner does not
    cover (INSERT, DELETE, DDL) run on the interpreter; every SELECT shape the
    engine supports is plannable, and :class:`~.executor.SelectExecutor`
@@ -28,21 +36,26 @@ Plan caching
 ------------
 
 :class:`~.engine.MemDatabase` memoizes compiled scripts in an LRU
-:class:`~.engine.PlanCache` keyed by the **exact SQL text**.  Plans store
-table *names*, never data — each execution re-resolves names against the
-current catalog — so a cached plan re-binds to fresh gate/state tables, and
-one process-wide cache (see :func:`~.engine.shared_plan_cache`) can serve
-every database instance.  That is what makes parameter sweeps cheap: each
-point re-executes byte-identical CTE / CREATE-AS texts and skips
-tokenize/parse/plan entirely.  Cache rules: entries are immutable (frozen
-ASTs + stateless plans); scripts that raise (parse, compile or execution
-errors) are never cached; plan-bearing and parse-only scripts evict LRU in
-separate tiers of ``maxsize`` entries each, and oversized parse-only texts
-are not cached at all; a ``PlanCache(0)`` disables caching.
+:class:`~.engine.PlanCache` keyed by the **exact SQL text** and validated
+on every hit against a **schema fingerprint** (table name → column
+names/dtypes) of the stored tables the plans reference.  Plans store table
+*names*, never data — each execution re-resolves names against the current
+catalog — so a cached plan re-binds to fresh gate/state tables, and one
+process-wide cache (see :func:`~.engine.shared_plan_cache`) can serve every
+database instance; the fingerprint check is what makes that safe when a
+table is dropped and recreated with a different shape.  That is what makes
+parameter sweeps cheap: each point re-executes byte-identical CTE /
+CREATE-AS texts and skips tokenize/parse/optimize/plan entirely.  Cache
+rules: entries are immutable (frozen ASTs + stateless plans); scripts that
+raise (parse, compile or execution errors) are never cached, nor are
+EXPLAIN / ANALYZE statements; plan-bearing and parse-only scripts evict LRU
+in separate tiers of ``maxsize`` entries each, and oversized parse-only
+texts are not cached at all; a ``PlanCache(0)`` disables caching.
 """
 
 from .engine import MemDatabase, PlanCache, shared_plan_cache
 from .executor import QueryResult
+from .optimizer import CostModel, Optimizer, StatisticsCatalog
 from .parser import parse_one, parse_sql
 from .planner import compile_statement
 from .table import Table
@@ -53,6 +66,9 @@ __all__ = [
     "PlanCache",
     "shared_plan_cache",
     "QueryResult",
+    "CostModel",
+    "Optimizer",
+    "StatisticsCatalog",
     "parse_one",
     "parse_sql",
     "compile_statement",

@@ -117,10 +117,17 @@ class SelectItem:
 
 @dataclass(frozen=True)
 class TableSource:
-    """A table (or CTE) appearing in FROM/JOIN, with an optional alias."""
+    """A table (or CTE) appearing in FROM/JOIN, with an optional alias.
+
+    ``filter`` is never produced by the parser: the optimizer's predicate
+    pushdown installs it, and both the interpreter and the planner apply it
+    to the scanned rows *before* any join — the relational identity
+    ``sigma_p(A) JOIN B = sigma_p(A JOIN B)`` for inner joins.
+    """
 
     name: str
     alias: Optional[str] = None
+    filter: Optional[Expression] = None
 
     @property
     def binding(self) -> str:
@@ -228,6 +235,34 @@ class DropTable:
     if_exists: bool = False
 
 
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE [table]`` — refresh the optimizer's statistics catalog."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    ``inner_sql`` is the raw text of the explained statement (used for
+    plan-cache provenance lookups without re-rendering the AST).
+    """
+
+    statement: "Statement"
+    analyze: bool = False
+    inner_sql: str = ""
+
+
 Statement = (
-    Select | WithSelect | CreateTable | CreateTableAs | Insert | Delete | DropTable
+    Select
+    | WithSelect
+    | CreateTable
+    | CreateTableAs
+    | Insert
+    | Delete
+    | DropTable
+    | Analyze
+    | Explain
 )

@@ -1,28 +1,37 @@
-"""The embedded columnar database: catalog, plan cache, statement dispatch.
+"""The embedded columnar database: catalog, optimizer, plan cache, dispatch.
 
 :class:`MemDatabase` is the top-level object backends talk to.  It keeps the
-table catalog, parses incoming SQL, compiles statements to physical plans
-(see :mod:`.planner`) and routes anything the planner does not cover to the
+table catalog, parses incoming SQL, runs each statement through the
+cost-based optimizer (see :mod:`.optimizer`: logical rewrites, statistics,
+join ordering), compiles the optimized statement to a physical plan (see
+:mod:`.planner`) and routes anything the planner does not cover to the
 vectorized interpreter.  Compiled scripts are memoized in an LRU
-:class:`PlanCache` keyed by SQL text, so the structurally identical per-gate
-queries of a parameter sweep skip tokenize/parse/compile entirely and only
-re-bind the cached plan against the current tables.  The API is intentionally
-DB-API-ish (``execute`` returns an object with ``columns`` and ``rows``) so
-the RDBMS backend wrappers can treat SQLite, DuckDB and memdb uniformly.
+:class:`PlanCache` keyed by SQL text *and validated against a schema
+fingerprint* of every referenced table, so the structurally identical
+per-gate queries of a parameter sweep skip tokenize/parse/optimize/compile
+entirely while a dropped-and-recreated table with a different shape can
+never re-bind a stale plan.  The API is intentionally DB-API-ish
+(``execute`` returns an object with ``columns`` and ``rows``) so the RDBMS
+backend wrappers can treat SQLite, DuckDB and memdb uniformly.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional
 
 import numpy as np
 
 from ...errors import SQLExecutionError
 from .ast_nodes import (
+    Analyze,
     CreateTable,
     CreateTableAs,
     Delete,
     DropTable,
+    Explain,
     Expression,
     Insert,
     Literal,
@@ -32,12 +41,72 @@ from .ast_nodes import (
     WithSelect,
 )
 from .executor import ExpressionEvaluator, QueryResult, SelectExecutor
+from .optimizer import ActualRun, Optimizer, OptimizerReport, StatisticsCatalog, render_explain
+from .optimizer.rewrite import referenced_stored_tables
 from .parser import parse_sql
 from .planner import CompiledCreateTableAs, CompiledScript, compile_statement
 from .table import Table, dtype_for_sql_type
 
-#: One cached script: the parsed statements, each with its plan (or None).
-CompiledSQL = list[tuple[Statement, "CompiledScript | CompiledCreateTableAs | None"]]
+
+@dataclass(frozen=True)
+class CompiledStatement:
+    """One statement of a cached script: AST (post-rewrite), plan, report."""
+
+    statement: Statement
+    plan: "CompiledScript | CompiledCreateTableAs | None"
+    report: Optional[OptimizerReport] = None
+
+
+class CachedScript:
+    """A compiled script plus the schema fingerprint it was compiled against.
+
+    ``schemas`` maps every *stored* table a compiled plan references to its
+    :meth:`~.table.Table.schema_signature` at the point the referencing
+    statement compiled (references made only after the script's own DDL on a
+    table are excluded — a replay reproduces that product itself).  The
+    cache revalidates the fingerprint on every hit, so the same SQL text
+    executed against a structurally different catalog recompiles instead of
+    re-binding stale plans.  ``optimizer_enabled`` records which pipeline
+    produced the plans, so an optimizer-off database never executes
+    optimizer-rewritten plans from a shared cache (or vice versa).
+    """
+
+    __slots__ = ("items", "schemas", "optimizer_enabled")
+
+    def __init__(
+        self,
+        items: list[CompiledStatement],
+        schemas: dict[str, tuple],
+        optimizer_enabled: bool = True,
+    ) -> None:
+        self.items = items
+        self.schemas = schemas
+        self.optimizer_enabled = optimizer_enabled
+
+    def is_valid(self, catalog: Mapping[str, Table]) -> bool:
+        """True when every fingerprinted table still has its compile-time shape."""
+        for name, signature in self.schemas.items():
+            table = catalog.get(name)
+            if table is None or table.schema_signature() != signature:
+                return False
+        return True
+
+    def has_plans(self) -> bool:
+        return any(item.plan is not None for item in self.items)
+
+
+def _referenced_tables(statement: Statement) -> set[str]:
+    """Stored-table names a plannable statement's scans resolve against.
+
+    Delegates to the optimizer's shared walker so the plan-cache schema
+    fingerprint and the rewrite rules can never disagree about which
+    catalog tables a query reads.
+    """
+    if isinstance(statement, (Select, WithSelect)):
+        return referenced_stored_tables(statement)
+    if isinstance(statement, CreateTableAs):
+        return referenced_stored_tables(statement.query)
+    return set()
 
 
 class PlanCache:
@@ -46,6 +115,10 @@ class PlanCache:
     Plans hold table names only (data is re-resolved per execution), so one
     cache can safely serve many :class:`MemDatabase` instances — that is what
     lets every sweep point's fresh database reuse the previous point's plans.
+    Because different databases (or a DROP + CREATE) can put a structurally
+    different table under the same name, every hit is additionally validated
+    against the entry's schema fingerprint (see :class:`CachedScript`): a
+    mismatch counts as an invalidation, evicts the entry and recompiles.
 
     Entries live in two independent LRU tiers: scripts holding at least one
     compiled plan (the hot CTE / CREATE-AS queries) and parse-only scripts
@@ -55,26 +128,66 @@ class PlanCache:
     tier separately, so the cache holds at most ``2 * maxsize`` entries.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_plans", "_parsed")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "invalidations", "_plans", "_parsed")
+
+    #: Cache keys are ``(optimizer_enabled, sql)``: optimizer-on and
+    #: optimizer-off compilations of the same text are distinct entries, so
+    #: an ablation pair sharing one cache can both stay warm instead of
+    #: thrashing (and an optimizer-off database can never execute rewritten
+    #: plans).
+    _Key = tuple[bool, str]
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = int(maxsize)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._plans: OrderedDict[str, CompiledSQL] = OrderedDict()
-        self._parsed: OrderedDict[str, CompiledSQL] = OrderedDict()
+        self.invalidations = 0
+        self._plans: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
+        self._parsed: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
 
-    def get(self, sql: str) -> CompiledSQL | None:
-        """The cached compilation of a script, updating LRU order and stats."""
+    def get(
+        self,
+        sql: str,
+        catalog: Mapping[str, Table] | None = None,
+        optimizer_enabled: bool = True,
+    ) -> CachedScript | None:
+        """The cached compilation of a script, updating LRU order and stats.
+
+        ``catalog`` (the calling database's tables) enables the schema
+        fingerprint check; a stale entry is dropped and reported as a miss.
+        ``optimizer_enabled`` selects the compilation flavor being looked up.
+        """
+        key = (bool(optimizer_enabled), sql)
         for store in (self._plans, self._parsed):
-            entry = store.get(sql)
+            entry = store.get(key)
             if entry is not None:
-                store.move_to_end(sql)
+                if catalog is not None and not entry.is_valid(catalog):
+                    del store[key]
+                    self.invalidations += 1
+                    self.misses += 1
+                    return None
+                store.move_to_end(key)
                 self.hits += 1
                 return entry
         self.misses += 1
         return None
+
+    def peek_state(
+        self,
+        sql: str,
+        catalog: Mapping[str, Table] | None = None,
+        optimizer_enabled: bool = True,
+    ) -> str:
+        """Provenance of a text without touching counters: hit / stale / miss."""
+        key = (bool(optimizer_enabled), sql)
+        for store in (self._plans, self._parsed):
+            entry = store.get(key)
+            if entry is not None:
+                if catalog is not None and not entry.is_valid(catalog):
+                    return "stale"
+                return "hit"
+        return "miss"
 
     #: Parse-only scripts longer than this are not cached: a dense
     #: initial-state INSERT can carry 2^n literal rows, and pinning its AST in
@@ -82,18 +195,19 @@ class PlanCache:
     #: unique anyway.  Repeated small gate INSERTs stay comfortably below.
     PARSE_ONLY_MAX_SQL_CHARS = 8192
 
-    def put(self, sql: str, entry: CompiledSQL) -> None:
+    def put(self, sql: str, entry: CachedScript) -> None:
         """Insert a compiled script, evicting the least recently used of its tier."""
         if self.maxsize <= 0:
             return
-        if any(plan is not None for _statement, plan in entry):
+        if entry.has_plans():
             store = self._plans
         else:
             if len(sql) > self.PARSE_ONLY_MAX_SQL_CHARS:
                 return
             store = self._parsed
-        store[sql] = entry
-        store.move_to_end(sql)
+        key = (entry.optimizer_enabled, sql)
+        store[key] = entry
+        store.move_to_end(key)
         while len(store) > self.maxsize:
             store.popitem(last=False)
             self.evictions += 1
@@ -105,6 +219,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus the current per-tier sizes."""
@@ -116,13 +231,19 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
     def __len__(self) -> int:
         return len(self._plans) + len(self._parsed)
 
     def __contains__(self, sql: str) -> bool:
-        return sql in self._plans or sql in self._parsed
+        """True when either compilation flavor of the text is cached."""
+        return any(
+            (flavor, sql) in store
+            for store in (self._plans, self._parsed)
+            for flavor in (True, False)
+        )
 
 
 #: Process-wide cache shared by every MemDatabase that is not given its own.
@@ -157,11 +278,21 @@ class MemDatabase:
         to the process-wide shared cache so plans survive database teardown
         (a fresh database per sweep point still hits warm plans); pass
         ``PlanCache(0)`` to disable caching or a private instance to isolate.
+    enable_optimizer:
+        When False, statements compile exactly as written (no rewrites, no
+        join reordering); physical operator choices still run through the
+        cost model with default estimates.  Used by benchmarks to ablate
+        the optimizer.
     """
 
-    def __init__(self, plan_cache: PlanCache | None = None) -> None:
+    def __init__(
+        self, plan_cache: PlanCache | None = None, enable_optimizer: bool = True
+    ) -> None:
         self._tables: dict[str, Table] = {}
         self._plan_cache = _SHARED_PLAN_CACHE if plan_cache is None else plan_cache
+        self._statistics = StatisticsCatalog()
+        self.enable_optimizer = bool(enable_optimizer)
+        self._optimizer_counters: dict[str, int] = {}
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -171,6 +302,41 @@ class MemDatabase:
     def plan_cache_stats(self) -> dict:
         """Hit/miss/eviction statistics of the plan cache."""
         return self._plan_cache.stats()
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        """The optimizer's statistics catalog (refreshed by ANALYZE)."""
+        return self._statistics
+
+    def analyze_statistics(self, table: str | None = None) -> dict:
+        """Programmatic ANALYZE: refresh statistics for one or all tables."""
+        self._refresh_statistics(table)
+        return self._statistics.summary()
+
+    def _refresh_statistics(self, table: str | None) -> int:
+        """Shared ANALYZE core; returns how many tables were analyzed."""
+        names = [table] if table is not None else self.table_names()
+        for name in names:
+            self._statistics.analyze(self.table(name))
+        return len(names)
+
+    def optimizer_stats(self) -> dict:
+        """Aggregated optimizer activity plus the statistics-catalog summary."""
+        return {
+            "enabled": self.enable_optimizer,
+            "counters": dict(self._optimizer_counters),
+            "statistics": self._statistics.summary(),
+        }
+
+    def _optimizer(self) -> Optimizer:
+        return Optimizer(self._tables, self._statistics, enabled=self.enable_optimizer)
+
+    def _record_report(self, report: OptimizerReport | None) -> None:
+        if report is None:
+            return
+        for key, value in report.counters().items():
+            if value:
+                self._optimizer_counters[key] = self._optimizer_counters.get(key, 0) + value
 
     # ------------------------------------------------------------- catalogue
 
@@ -201,32 +367,58 @@ class MemDatabase:
     def clear(self) -> None:
         """Drop every table."""
         self._tables.clear()
+        self._statistics.clear()
 
     # -------------------------------------------------------------- execution
 
     def execute(self, sql: str) -> QueryResult:
         """Execute a SQL script; returns the result of the last statement.
 
-        Scripts are compiled once (parse + plan) and memoized in the plan
-        cache; repeated executions of the same text re-bind the cached plans
-        against the current catalog.
+        Scripts are compiled once (parse + optimize + plan) and memoized in
+        the plan cache; repeated executions of the same text re-bind the
+        cached plans against the current catalog after the schema
+        fingerprint of every referenced table revalidates.
         """
-        compiled = self._plan_cache.get(sql)
+        cached = self._plan_cache.get(sql, self._tables, self.enable_optimizer)
         result = QueryResult([], [])
-        if compiled is not None:
-            for statement, plan in compiled:
-                result = self._execute_compiled(statement, plan)
+        if cached is not None:
+            for item in cached.items:
+                result = self._execute_compiled(item.statement, item.plan)
             return result
-        # Cold path: compile each statement just before executing it, so a
-        # compile-time error in statement k still leaves the effects of
-        # statements 1..k-1 (matching the old parse-then-interpret order).
-        # Only fully successful scripts enter the cache.
-        entry: CompiledSQL = []
-        for statement in parse_sql(sql):
-            plan = compile_statement(statement)
-            entry.append((statement, plan))
-            result = self._execute_compiled(statement, plan)
-        self._plan_cache.put(sql, entry)
+        # Cold path: optimize + compile each statement just before executing
+        # it, so a compile-time error in statement k still leaves the effects
+        # of statements 1..k-1 (matching the old parse-then-interpret order).
+        # Only fully successful scripts enter the cache; EXPLAIN / ANALYZE
+        # statements are never cached (their output depends on live state).
+        statements = parse_sql(sql)
+        cacheable = not any(isinstance(s, (Explain, Analyze)) for s in statements)
+        optimizer = self._optimizer()
+        items: list[CompiledStatement] = []
+        schemas: dict[str, tuple] = {}
+        # Tables the script itself has created/dropped *so far*: statements
+        # after the DDL are compiled against the script's own product (which
+        # a replay reproduces identically), so only references made *before*
+        # any in-script DDL on a table fingerprint its pre-script schema.
+        touched_by_ddl: set[str] = set()
+        for statement in statements:
+            if isinstance(statement, (Explain, Analyze)):
+                result = self._execute_statement(statement)
+                continue
+            optimized, report, cost = optimizer.optimize(statement)
+            plan = compile_statement(optimized, cost)
+            self._record_report(report)
+            if plan is not None:
+                for name in _referenced_tables(optimized) - touched_by_ddl:
+                    if name in self._tables and name not in schemas:
+                        schemas[name] = self._tables[name].schema_signature()
+            items.append(CompiledStatement(optimized, plan, report))
+            result = self._execute_compiled(optimized, plan)
+            if isinstance(statement, (CreateTable, CreateTableAs, DropTable)):
+                touched_by_ddl.add(statement.name)
+        if cacheable:
+            self._plan_cache.put(
+                sql, CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
+            )
         return result
 
     def _execute_compiled(
@@ -255,6 +447,10 @@ class MemDatabase:
             return self._delete(statement)
         if isinstance(statement, DropTable):
             return self._drop(statement)
+        if isinstance(statement, Analyze):
+            return self._analyze(statement)
+        if isinstance(statement, Explain):
+            return self._explain(statement)
         raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
 
     # --------------------------------------------------------------- handlers
@@ -276,11 +472,12 @@ class MemDatabase:
         rows = [tuple(row) for row in zip(*materialized)] if materialized else []
         return QueryResult(list(names), rows)
 
-    def _run_compiled_create(self, plan: CompiledCreateTableAs) -> QueryResult:
+    def _run_compiled_create(self, plan: CompiledCreateTableAs, trace=None) -> QueryResult:
         if plan.name in self._tables:
             raise SQLExecutionError(f"table {plan.name!r} already exists")
-        names, columns = plan.script.execute(self._tables)
+        names, columns = plan.script.execute(self._tables, trace=trace)
         self._tables[plan.name] = Table(plan.name, {name: columns[name] for name in names})
+        self._statistics.invalidate(plan.name)
         return QueryResult([], [], rowcount=self._tables[plan.name].num_rows)
 
     def _create_table(self, statement: CreateTable) -> QueryResult:
@@ -288,6 +485,7 @@ class MemDatabase:
             raise SQLExecutionError(f"table {statement.name!r} already exists")
         column_types = [(column.name, column.type_name) for column in statement.columns]
         self._tables[statement.name] = Table.empty(statement.name, column_types)
+        self._statistics.invalidate(statement.name)
         return QueryResult([], [], rowcount=0)
 
     def _create_table_as(self, statement: CreateTableAs) -> QueryResult:
@@ -296,12 +494,15 @@ class MemDatabase:
         executor = SelectExecutor(self._tables)
         names, columns = executor.execute(statement.query)
         self._tables[statement.name] = Table(statement.name, {name: columns[name] for name in names})
+        self._statistics.invalidate(statement.name)
         return QueryResult([], [], rowcount=self._tables[statement.name].num_rows)
 
     def _insert(self, statement: Insert) -> QueryResult:
         table = self.table(statement.table)
         rows = [tuple(_literal_value(value) for value in row) for row in statement.rows]
         inserted = table.append_rows(statement.columns, rows)
+        if inserted:
+            self._statistics.invalidate(statement.table)
         return QueryResult([], [], rowcount=inserted)
 
     def _delete(self, statement: Delete) -> QueryResult:
@@ -315,6 +516,8 @@ class MemDatabase:
             mask = evaluator.evaluate(statement.where).astype(bool)
             deleted = int(mask.sum())
         table.delete_where(mask)
+        if deleted:
+            self._statistics.invalidate(statement.table)
         return QueryResult([], [], rowcount=deleted)
 
     def _drop(self, statement: DropTable) -> QueryResult:
@@ -323,4 +526,59 @@ class MemDatabase:
                 return QueryResult([], [], rowcount=0)
             raise SQLExecutionError(f"no such table: {statement.name}")
         del self._tables[statement.name]
+        self._statistics.invalidate(statement.name)
         return QueryResult([], [], rowcount=0)
+
+    # ------------------------------------------------- optimizer statements
+
+    def _analyze(self, statement: Analyze) -> QueryResult:
+        """ANALYZE [table]: refresh the statistics catalog."""
+        return QueryResult([], [], rowcount=self._refresh_statistics(statement.table))
+
+    def _explain(self, statement: Explain) -> QueryResult:
+        """EXPLAIN [ANALYZE]: optimize, compile, (optionally execute), render.
+
+        Plain EXPLAIN never executes the statement; EXPLAIN ANALYZE executes
+        it for real (DML included, matching PostgreSQL) and reports actual
+        per-relation cardinalities plus wall time next to the estimates.
+        """
+        cache_state = self._plan_cache.peek_state(
+            statement.inner_sql, self._tables, self.enable_optimizer
+        )
+        optimized, report, cost = self._optimizer().optimize(statement.statement)
+        plan = compile_statement(optimized, cost)
+        self._record_report(report)
+
+        actual = None
+        if statement.analyze:
+            started = time.perf_counter()
+            if isinstance(plan, CompiledScript):
+                cardinalities, rowcount = self._run_script_with_actuals(plan)
+            elif isinstance(plan, CompiledCreateTableAs):
+                cardinalities, rows = self._run_create_with_actuals(plan)
+                rowcount = rows
+            else:
+                executed = self._execute_statement(optimized)
+                cardinalities, rowcount = (), executed.rowcount
+            actual = ActualRun(
+                seconds=time.perf_counter() - started,
+                cardinalities=tuple(cardinalities),
+                rowcount=rowcount,
+            )
+
+        lines = render_explain(statement.inner_sql, report, plan, cache_state, actual)
+        return QueryResult(["plan"], [(line,) for line in lines])
+
+    def _run_script_with_actuals(self, script: CompiledScript) -> tuple[list[tuple[str, int]], int]:
+        """Execute a compiled script, capturing per-block actual cardinalities."""
+        cardinalities: list[tuple[str, int]] = []
+        _names, columns = script.execute(self._tables, trace=lambda label, rows: cardinalities.append((label, rows)))
+        rowcount = len(next(iter(columns.values()))) if columns else 0
+        return cardinalities, rowcount
+
+    def _run_create_with_actuals(self, plan: CompiledCreateTableAs) -> tuple[list[tuple[str, int]], int]:
+        cardinalities: list[tuple[str, int]] = []
+        result = self._run_compiled_create(
+            plan, trace=lambda label, rows: cardinalities.append((label, rows))
+        )
+        return cardinalities, result.rowcount

@@ -282,6 +282,53 @@ class ExpressionEvaluator:
 # ---------------------------------------------------------------------------
 
 
+def contains_aggregate(expression: Expression) -> bool:
+    """True when the expression calls an aggregate function anywhere.
+
+    The single aggregate detector shared by the executor, the planner's
+    analysis and the optimizer's rewrite rules — keeping one traversal means
+    the optimizer can never classify an expression differently than the
+    engine that executes it.
+    """
+    return _contains_aggregate(expression)
+
+
+def column_refs(expression: Expression) -> list[ColumnRef]:
+    """Every column reference in an expression tree, in visit order.
+
+    The single reference collector shared by the planner's join-side
+    analysis and the optimizer's rewrite rules: a new expression node type
+    added here is seen by both, so the optimizer can never miss references
+    the planner resolves (or vice versa).
+    """
+    refs: list[ColumnRef] = []
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            refs.append(node)
+        elif isinstance(node, UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, BinaryOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, FunctionCall):
+            for argument in node.arguments:
+                visit(argument)
+        elif isinstance(node, CaseExpression):
+            for child in node.conditions + node.results:
+                visit(child)
+            if node.default is not None:
+                visit(node.default)
+        elif isinstance(node, (IsNull, InList)):
+            visit(node.operand)
+            if isinstance(node, InList):
+                for value in node.values:
+                    visit(value)
+
+    visit(expression)
+    return refs
+
+
 def _contains_aggregate(expression: Expression) -> bool:
     if isinstance(expression, FunctionCall):
         if expression.name in AGGREGATE_FUNCTIONS:
@@ -401,6 +448,12 @@ class GroupedEvaluator:
 # ---------------------------------------------------------------------------
 # Join machinery (shared by the interpreter and compiled plans)
 # ---------------------------------------------------------------------------
+
+
+def apply_filter(frame: Frame, length: int, predicate: Expression) -> tuple[Frame, int]:
+    """Filter a frame by a predicate (used for optimizer-pushed scan filters)."""
+    mask = ExpressionEvaluator(frame, length).evaluate(predicate).astype(bool)
+    return {key: values[mask] for key, values in frame.items()}, int(mask.sum())
 
 
 def join_indices(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -742,14 +795,19 @@ class SelectExecutor:
         base_table = self._resolve(select.source.name, ctes)
         frame = base_table.frame(select.source.binding)
         length = base_table.num_rows
+        if select.source.filter is not None:
+            frame, length = apply_filter(frame, length, select.source.filter)
 
         for join in select.joins:
             if join.kind != "inner":
                 raise SQLExecutionError(f"{join.kind.upper()} JOIN is not supported by the embedded engine")
             right_table = self._resolve(join.source.name, ctes)
             right_frame = right_table.frame(join.source.binding)
+            right_length = right_table.num_rows
+            if join.source.filter is not None:
+                right_frame, right_length = apply_filter(right_frame, right_length, join.source.filter)
             left_key, right_key = split_join_condition(join.condition, frame, right_frame)
             frame, length = hash_join_frames(
-                frame, length, right_frame, right_table.num_rows, left_key, right_key
+                frame, length, right_frame, right_length, left_key, right_key
             )
         return frame, length

@@ -1,0 +1,150 @@
+"""Statistics catalog for the memdb cost-based optimizer.
+
+One :class:`TableStats` per analyzed table, holding the row count plus
+per-column :class:`ColumnStats` (min / max / number of distinct values /
+null fraction).  Statistics are refreshed explicitly by the ``ANALYZE``
+statement and invalidated automatically whenever the engine mutates a table
+(INSERT / DELETE / DROP / CREATE ... AS), so the cost model can trust that a
+*present* entry describes the current data.  When no entry exists the cost
+model falls back to the live catalog row count and conservative defaults —
+an un-analyzed database still optimizes, just with looser bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one column."""
+
+    name: str
+    #: numpy dtype kind: "i" (int), "f" (float), "O" (object/text).
+    kind: str
+    ndv: int
+    null_fraction: float
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics of one analyzed table."""
+
+    table: str
+    row_count: int
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """Statistics of one column, or ``None`` when unknown."""
+        return self.columns.get(name)
+
+    def frequency(self, name: str) -> float:
+        """Estimated max frequency (rows / NDV) of a column's values (>= 1)."""
+        stats = self.columns.get(name)
+        if stats is None or stats.ndv <= 0:
+            return float(max(self.row_count, 1))
+        return max(1.0, self.row_count / stats.ndv)
+
+
+def _column_stats(name: str, values: np.ndarray) -> ColumnStats:
+    """Compute min/max/NDV/null-fraction for one numpy column."""
+    size = int(len(values))
+    if values.dtype == object:
+        non_null = [value for value in values.tolist() if value is not None]
+        ndv = len(set(non_null))
+        null_fraction = 0.0 if size == 0 else (size - len(non_null)) / size
+        return ColumnStats(name, "O", ndv, null_fraction)
+    if values.dtype.kind == "f":
+        nan_mask = np.isnan(values)
+        non_null = values[~nan_mask]
+        null_fraction = 0.0 if size == 0 else float(nan_mask.sum()) / size
+    else:
+        non_null = values
+        null_fraction = 0.0
+    if len(non_null) == 0:
+        return ColumnStats(name, values.dtype.kind, 0, null_fraction)
+    return ColumnStats(
+        name,
+        values.dtype.kind,
+        ndv=int(len(np.unique(non_null))),
+        null_fraction=null_fraction,
+        minimum=float(non_null.min()),
+        maximum=float(non_null.max()),
+    )
+
+
+class StatisticsCatalog:
+    """Per-database store of table statistics (the ANALYZE target).
+
+    The catalog also keeps counters (analyze runs, invalidations) that the
+    benchmarking report surfaces next to the plan-cache statistics.
+    """
+
+    __slots__ = ("_tables", "analyze_count", "invalidation_count")
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStats] = {}
+        self.analyze_count = 0
+        self.invalidation_count = 0
+
+    def analyze(self, table: Table) -> TableStats:
+        """Compute and store fresh statistics for one table."""
+        stats = TableStats(
+            table=table.name,
+            row_count=table.num_rows,
+            columns={
+                name: _column_stats(name, table.column(name)) for name in table.column_names
+            },
+        )
+        self._tables[table.name] = stats
+        self.analyze_count += 1
+        return stats
+
+    def get(self, name: str) -> Optional[TableStats]:
+        """Stored statistics of one table (``None`` when never analyzed / stale)."""
+        return self._tables.get(name)
+
+    def invalidate(self, name: str) -> None:
+        """Drop the statistics of one table (called by the engine on DML/DDL)."""
+        if self._tables.pop(name, None) is not None:
+            self.invalidation_count += 1
+
+    def clear(self) -> None:
+        """Drop every entry (database teardown)."""
+        if self._tables:
+            self.invalidation_count += len(self._tables)
+        self._tables.clear()
+
+    def table_names(self) -> list[str]:
+        """Names of all analyzed tables."""
+        return sorted(self._tables)
+
+    def summary(self) -> dict:
+        """Counters plus a compact per-table digest (for reports / sessions)."""
+        return {
+            "analyzed_tables": len(self._tables),
+            "analyze_count": self.analyze_count,
+            "invalidation_count": self.invalidation_count,
+            "tables": {
+                name: {
+                    "rows": stats.row_count,
+                    "columns": {
+                        column: {
+                            "ndv": cs.ndv,
+                            "null_fraction": cs.null_fraction,
+                            "min": cs.minimum,
+                            "max": cs.maximum,
+                        }
+                        for column, cs in stats.columns.items()
+                    },
+                }
+                for name, stats in sorted(self._tables.items())
+            },
+        }

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ...errors import SQLParseError
 from .ast_nodes import (
+    Analyze,
     BinaryOp,
     CaseExpression,
     ColumnDefinition,
@@ -28,6 +29,7 @@ from .ast_nodes import (
     CreateTableAs,
     Delete,
     DropTable,
+    Explain,
     Expression,
     FunctionCall,
     InList,
@@ -95,6 +97,10 @@ class Parser:
 
     def parse_statement(self) -> Statement:
         """Parse a single statement (semicolons are handled by the engine)."""
+        if self._check(KEYWORD, "explain"):
+            return self._parse_explain()
+        if self._check(KEYWORD, "analyze"):
+            return self._parse_analyze()
         if self._check(KEYWORD, "with"):
             return self._parse_with_select()
         if self._check(KEYWORD, "select"):
@@ -109,6 +115,23 @@ class Parser:
             return self._parse_drop()
         token = self._peek()
         raise SQLParseError(f"unsupported statement starting with {token.text!r}")
+
+    def _parse_explain(self) -> Explain:
+        self._expect(KEYWORD, "explain")
+        analyze = bool(self._accept(KEYWORD, "analyze"))
+        start = self._peek().position
+        statement = self.parse_statement()
+        if isinstance(statement, (Analyze, Explain)):
+            raise SQLParseError("EXPLAIN cannot wrap EXPLAIN or ANALYZE statements")
+        inner_sql = self._sql[start:self._peek().position].strip().rstrip(";").strip()
+        return Explain(statement, analyze=analyze, inner_sql=inner_sql)
+
+    def _parse_analyze(self) -> Analyze:
+        self._expect(KEYWORD, "analyze")
+        table = None
+        if self._check(IDENTIFIER):
+            table = self._advance().text
+        return Analyze(table)
 
     def _parse_with_select(self) -> WithSelect:
         self._expect(KEYWORD, "with")

@@ -56,6 +56,8 @@ from .ast_nodes import (
 from .executor import (
     ExpressionEvaluator,
     Frame,
+    apply_filter,
+    column_refs,
     grouped_projection,
     hash_join_frames,
     item_output_name,
@@ -65,6 +67,7 @@ from .executor import (
     select_has_aggregates,
     split_join_condition,
 )
+from .optimizer.cost import CostModel, FusionDecision
 from .table import Table
 
 #: Resolves a table name to a Table (catalog + CTE environment lookup).
@@ -80,34 +83,9 @@ class PlanNotSupported(Exception):
 # ---------------------------------------------------------------------------
 
 
-def _column_refs(expression: Expression, refs: list[ColumnRef]) -> None:
-    """Collect every column reference in an expression tree."""
-    if isinstance(expression, ColumnRef):
-        refs.append(expression)
-    elif isinstance(expression, BinaryOp):
-        _column_refs(expression.left, refs)
-        _column_refs(expression.right, refs)
-    elif isinstance(expression, UnaryOp):
-        _column_refs(expression.operand, refs)
-    elif isinstance(expression, FunctionCall):
-        for argument in expression.arguments:
-            _column_refs(argument, refs)
-    elif isinstance(expression, CaseExpression):
-        for child in list(expression.conditions) + list(expression.results):
-            _column_refs(child, refs)
-        if expression.default is not None:
-            _column_refs(expression.default, refs)
-    elif isinstance(expression, (IsNull, InList)):
-        _column_refs(expression.operand, refs)
-        if isinstance(expression, InList):
-            for value in expression.values:
-                _column_refs(value, refs)
-
-
 def _qualified_refs(expression: Expression) -> list[ColumnRef]:
     """Column refs of an expression, or raise if any is unqualified."""
-    refs: list[ColumnRef] = []
-    _column_refs(expression, refs)
+    refs = column_refs(expression)
     for ref in refs:
         if ref.table is None:
             raise PlanNotSupported("unqualified column reference")
@@ -130,8 +108,7 @@ def _split_by_binding(
         return None
 
     def side(expression: Expression) -> str | None:
-        refs: list[ColumnRef] = []
-        _column_refs(expression, refs)
+        refs = column_refs(expression)
         sides = set()
         for ref in refs:
             if ref.table is None:
@@ -164,17 +141,25 @@ def _split_by_binding(
 
 
 class _ScanOp:
-    """Resolve one table and expose its columns under a binding."""
+    """Resolve one table and expose its columns under a binding.
 
-    __slots__ = ("name", "binding")
+    ``filter`` holds a predicate the optimizer pushed below the join; it is
+    applied to the scanned columns before anything downstream sees them.
+    """
 
-    def __init__(self, name: str, binding: str) -> None:
+    __slots__ = ("name", "binding", "filter")
+
+    def __init__(self, name: str, binding: str, filter: Expression | None = None) -> None:
         self.name = name
         self.binding = binding
+        self.filter = filter
 
     def run(self, resolve: Resolver) -> tuple[Frame, int]:
         table = resolve(self.name)
-        return table.frame(self.binding), table.num_rows
+        frame, length = table.frame(self.binding), table.num_rows
+        if self.filter is not None:
+            frame, length = apply_filter(frame, length, self.filter)
+        return frame, length
 
 
 class _JoinOp:
@@ -283,27 +268,45 @@ class _FusedJoinAggregateOp:
 
 
 class CompiledQuery:
-    """A compiled ``Select``: scans/joins/filter plus a projection strategy."""
+    """A compiled ``Select``: scans/joins/filter plus a projection strategy.
 
-    __slots__ = ("select", "source", "joins", "fused", "has_aggregates", "grouped")
+    When the per-gate join-aggregate shape is *eligible* for fusion, the
+    actual choice between the fused operator and the generic pipeline is
+    made by the cost model (:meth:`CostModel.fusion_decision`), not by the
+    syntactic match alone; the decision is kept on ``self.fusion`` so
+    ``EXPLAIN`` can show both estimated costs.
+    """
 
-    def __init__(self, select: Select) -> None:
+    __slots__ = ("select", "source", "joins", "fused", "has_aggregates", "grouped", "fusion")
+
+    def __init__(self, select: Select, cost: CostModel | None = None) -> None:
         self.select = select
         self.has_aggregates = select_has_aggregates(select)
         self.grouped = bool(select.group_by) or self.has_aggregates
-        self.fused = _compile_fused(select) if self.grouped else None
+        self.fusion: FusionDecision | None = None
+        fused = _compile_fused(select) if self.grouped else None
+        if fused is not None:
+            model = cost if cost is not None else CostModel()
+            self.fusion = model.fusion_decision(select, len(fused.needed))
+            if not self.fusion.use_fused:
+                fused = None
+        self.fused = fused
         if self.fused is not None:
             self.source = None
             self.joins: list[_JoinOp] = []
             return
 
-        self.source = _ScanOp(select.source.name, select.source.binding) if select.source else None
+        self.source = (
+            _ScanOp(select.source.name, select.source.binding, select.source.filter)
+            if select.source
+            else None
+        )
         self.joins = []
         bindings = [select.source.binding] if select.source else []
         for join in select.joins:
             if join.kind != "inner":
                 raise SQLExecutionError(f"{join.kind.upper()} JOIN is not supported by the embedded engine")
-            scan = _ScanOp(join.source.name, join.source.binding)
+            scan = _ScanOp(join.source.name, join.source.binding, join.source.filter)
             split = _split_by_binding(join.condition, bindings, join.source.binding)
             self.joins.append(_JoinOp(scan, join.condition, split))
             bindings.append(join.source.binding)
@@ -344,8 +347,16 @@ class CompiledScript:
         self.ctes = ctes
         self.query = query
 
-    def execute(self, catalog: Mapping[str, Table]) -> tuple[list[str], dict[str, np.ndarray]]:
-        """Run CTEs then the main query against a table catalog."""
+    def execute(
+        self,
+        catalog: Mapping[str, Table],
+        trace: Callable[[str, int], None] | None = None,
+    ) -> tuple[list[str], dict[str, np.ndarray]]:
+        """Run CTEs then the main query against a table catalog.
+
+        ``trace`` (used by EXPLAIN ANALYZE) receives ``(block label, actual
+        row count)`` for every CTE and finally for ``"main"``.
+        """
         ctes: dict[str, Table] = {}
 
         def resolve(name: str) -> Table:
@@ -358,7 +369,12 @@ class CompiledScript:
         for name, plan in self.ctes:
             names, columns = plan.execute(resolve)
             ctes[name] = Table(name, {column: columns[column] for column in names})
-        return self.query.execute(resolve)
+            if trace is not None:
+                trace(name, ctes[name].num_rows)
+        names, columns = self.query.execute(resolve)
+        if trace is not None:
+            trace("main", len(next(iter(columns.values()))) if columns else 0)
+        return names, columns
 
 
 class CompiledCreateTableAs:
@@ -419,8 +435,12 @@ def _compile_fused(select: Select) -> _FusedJoinAggregateOp | None:
         unique.setdefault(ref.key(), ref)
 
     return _FusedJoinAggregateOp(
-        left_scan=_ScanOp(select.source.name, select.source.binding),
-        right_scan=_ScanOp(select.joins[0].source.name, select.joins[0].source.binding),
+        left_scan=_ScanOp(select.source.name, select.source.binding, select.source.filter),
+        right_scan=_ScanOp(
+            select.joins[0].source.name,
+            select.joins[0].source.binding,
+            select.joins[0].source.filter,
+        ),
         split=split,
         key_expr=key_expr,
         outputs=outputs,
@@ -428,20 +448,27 @@ def _compile_fused(select: Select) -> _FusedJoinAggregateOp | None:
     )
 
 
-def _compile_select(select: Select) -> CompiledQuery:
-    return CompiledQuery(select)
+def _compile_select(select: Select, cost: CostModel | None = None) -> CompiledQuery:
+    return CompiledQuery(select, cost)
 
 
-def _compile_script(query: Select | WithSelect) -> CompiledScript:
+def _compile_script(query: Select | WithSelect, cost: CostModel | None = None) -> CompiledScript:
     """Compile a query (with any CTEs) into one executable script."""
     if isinstance(query, WithSelect):
-        ctes = [(cte.name, _compile_select(cte.query)) for cte in query.ctes]
-        return CompiledScript(ctes, _compile_select(query.query))
-    return CompiledScript([], _compile_select(query))
+        ctes = [(cte.name, _compile_select(cte.query, cost)) for cte in query.ctes]
+        return CompiledScript(ctes, _compile_select(query.query, cost))
+    return CompiledScript([], _compile_select(query, cost))
 
 
-def compile_statement(statement: Statement) -> CompiledScript | CompiledCreateTableAs | None:
+def compile_statement(
+    statement: Statement, cost: CostModel | None = None
+) -> CompiledScript | CompiledCreateTableAs | None:
     """Compile one parsed statement into a physical plan.
+
+    ``cost`` is the optimizer's cost model for physical operator choices
+    (fused join-aggregate vs generic pipeline); when omitted, a default
+    model with no statistics is used, so the choice is still cost-based but
+    falls back to conservative estimates.
 
     Returns ``None`` for statement kinds the planner does not cover (INSERT,
     DELETE, DDL, ...), which the engine then routes to the interpreter.
@@ -450,9 +477,11 @@ def compile_statement(statement: Statement) -> CompiledScript | CompiledCreateTa
     """
     try:
         if isinstance(statement, (Select, WithSelect)):
-            return _compile_script(statement)
+            return _compile_script(statement, cost)
         if isinstance(statement, CreateTableAs):
-            return CompiledCreateTableAs(statement.name, statement.temporary, _compile_script(statement.query))
+            return CompiledCreateTableAs(
+                statement.name, statement.temporary, _compile_script(statement.query, cost)
+            )
     except PlanNotSupported:
         return None
     return None

@@ -38,7 +38,7 @@ def dtype_for_sql_type(type_name: str) -> type:
 class Table:
     """A named collection of equally-long numpy columns."""
 
-    __slots__ = ("name", "_columns", "_dtypes")
+    __slots__ = ("name", "_columns", "_dtypes", "_schema_signature")
 
     def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
         self.name = name
@@ -47,6 +47,12 @@ class Table:
             raise SQLExecutionError(f"table {name!r}: column lengths differ ({lengths})")
         self._columns = {column: np.asarray(values) for column, values in columns.items()}
         self._dtypes = {column: values.dtype for column, values in self._columns.items()}
+        # Column set and dtypes are fixed for the table's lifetime
+        # (append_rows coerces to the declared dtypes), so the signature the
+        # plan cache checks on every hit is computed exactly once.
+        self._schema_signature = tuple(
+            (column, str(dtype)) for column, dtype in self._dtypes.items()
+        )
 
     # ------------------------------------------------------------- factories
 
@@ -92,6 +98,15 @@ class Table:
     def estimated_bytes(self) -> int:
         """Approximate in-memory size of the column data."""
         return int(sum(values.nbytes for values in self._columns.values()))
+
+    def schema_signature(self) -> tuple[tuple[str, str], ...]:
+        """Column names and dtypes in declaration order (fixed at construction).
+
+        The plan cache fingerprints compiled scripts on this signature so a
+        dropped-and-recreated table with a different shape can never re-bind
+        a stale plan.
+        """
+        return self._schema_signature
 
     # --------------------------------------------------------------- mutation
 

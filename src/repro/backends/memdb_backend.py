@@ -48,6 +48,7 @@ class MemDBBackend(RelationalBackend):
         max_state_bytes: int | None = None,
         prune_atol: float = 1e-12,
         plan_cache: PlanCache | None = None,
+        enable_optimizer: bool = True,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -59,6 +60,7 @@ class MemDBBackend(RelationalBackend):
             prune_atol=prune_atol,
         )
         self._plan_cache = plan_cache
+        self._enable_optimizer = enable_optimizer
         self._database: MemDatabase | None = None
         self._connected = False
 
@@ -66,7 +68,9 @@ class MemDBBackend(RelationalBackend):
 
     def _connect(self) -> None:
         if self._database is None:
-            self._database = MemDatabase(plan_cache=self._plan_cache)
+            self._database = MemDatabase(
+                plan_cache=self._plan_cache, enable_optimizer=self._enable_optimizer
+            )
         else:
             self._database.clear()
         self._connected = True
@@ -82,6 +86,45 @@ class MemDBBackend(RelationalBackend):
         """Plan-cache statistics of this backend's cache (valid any time)."""
         cache = self._plan_cache if self._plan_cache is not None else shared_plan_cache()
         return cache.stats()
+
+    def optimizer_stats(self) -> dict:
+        """Optimizer activity counters + statistics-catalog summary.
+
+        Empty counters until the first run (the engine is created lazily).
+        """
+        if self._database is None:
+            return {"enabled": self._enable_optimizer, "counters": {}, "statistics": {}}
+        return self._database.optimizer_stats()
+
+    def engine_stats(self) -> dict:
+        """One dict bundling plan-cache and optimizer statistics (reporting)."""
+        return {"plan_cache": self.plan_cache_stats(), "optimizer": self.optimizer_stats()}
+
+    # --------------------------------------------------------------- explain
+
+    def explain_circuit(self, circuit, analyze: bool = False, refresh_statistics: bool = True) -> str:
+        """EXPLAIN (optionally ANALYZE) the circuit's generated CTE query.
+
+        Sets up the gate/state tables exactly as a run would, optionally
+        refreshes the optimizer's statistics catalog (``ANALYZE``), and
+        returns the engine's plan rendering — chosen rewrites, join order,
+        the costed fused-vs-generic decision, estimated (vs actual)
+        cardinalities and plan-cache provenance.
+        """
+        translation = self.translate(circuit)
+        self._connect()
+        try:
+            for statement in translation.setup_statements():
+                self._execute(statement)
+            if refresh_statistics:
+                self._require_database().execute("ANALYZE")
+            keyword = "EXPLAIN ANALYZE" if analyze else "EXPLAIN"
+            result = self._require_database().execute(
+                f"{keyword} {translation.cte_query(pretty=False)}"
+            )
+            return "\n".join(row[0] for row in result.rows)
+        finally:
+            self._disconnect()
 
     def _require_database(self) -> MemDatabase:
         if not self._connected or self._database is None:

@@ -101,6 +101,37 @@ def win_counts(records: Sequence[BenchmarkRecord]) -> dict[str, int]:
     return dict(counts)
 
 
+def engine_stats_table(stats: dict) -> str:
+    """Render memdb plan-cache + optimizer statistics as one counter table.
+
+    ``stats`` is the dict returned by ``MemDBBackend.engine_stats()`` /
+    ``QymeraSession.simulations.engine_stats()``: a ``plan_cache`` block of
+    hit/miss/eviction/invalidation counters and an ``optimizer`` block with
+    rewrite/join-order counters plus the statistics-catalog summary.
+    """
+    if not stats:
+        raise BenchmarkError("empty engine statistics")
+    rows = []
+    for counter, value in sorted(stats.get("plan_cache", {}).items()):
+        rows.append({"subsystem": "plan_cache", "counter": counter, "value": value})
+    optimizer = stats.get("optimizer", {})
+    if optimizer:
+        rows.append(
+            {"subsystem": "optimizer", "counter": "enabled", "value": optimizer.get("enabled")}
+        )
+        for counter, value in sorted(optimizer.get("counters", {}).items()):
+            rows.append({"subsystem": "optimizer", "counter": counter, "value": value})
+        statistics = optimizer.get("statistics", {}) or {}
+        for counter in ("analyzed_tables", "analyze_count", "invalidation_count"):
+            if counter in statistics:
+                rows.append(
+                    {"subsystem": "statistics", "counter": counter, "value": statistics[counter]}
+                )
+    if not rows:
+        raise BenchmarkError("engine statistics contain no counters")
+    return comparison_table(rows, columns=["subsystem", "counter", "value"])
+
+
 def capacity_table(max_qubits_by_method: dict[str, int], budget_bytes: int) -> str:
     """Render the "max qubits under a fixed memory budget" comparison."""
     if not max_qubits_by_method:

@@ -165,6 +165,28 @@ class SimulationPanel:
         backend = SQLiteBackend(fuse=fuse) if dialect == "sqlite" else MemDBBackend(fuse=fuse)
         return backend.translate(self._circuits.get(circuit_name))
 
+    def explain(self, circuit_name: str, analyze: bool = False, **options) -> str:
+        """The memdb optimizer's plan for a circuit's generated query.
+
+        Shows the chosen logical rewrites, join order, the costed
+        fused-vs-generic operator decision, estimated (and with
+        ``analyze=True`` actual) cardinalities, and plan-cache provenance.
+        Uses the pooled memdb method instance so provenance reflects the
+        same plan cache the runs hit.
+        """
+        circuit = self._circuits.get(circuit_name)
+        backend = self._pooled_method("memdb", options)
+        if not isinstance(backend, MemDBBackend):
+            raise QymeraError("EXPLAIN is only available on the memdb backend")
+        return backend.explain_circuit(circuit, analyze=analyze)
+
+    def engine_stats(self, method: str = "memdb", **options) -> dict:
+        """Plan-cache + optimizer statistics of a pooled backend instance."""
+        backend = self._pooled_method(method, options)
+        if not isinstance(backend, MemDBBackend):
+            raise QymeraError(f"engine statistics are not exposed by method {method!r}")
+        return backend.engine_stats()
+
     def run(self, circuit_name: str, method: str = "sqlite", **options) -> SimulationResult:
         """Simulate a registered circuit with one method."""
         circuit = self._circuits.get(circuit_name)

@@ -254,3 +254,20 @@ class TestReport:
     def test_empty_workload_rejected(self, records):
         with pytest.raises(BenchmarkError):
             timing_table(records, "nonexistent")
+
+    def test_engine_stats_table(self):
+        from repro.backends import MemDBBackend
+        from repro.bench import engine_stats_table
+        from repro.circuits import ghz_circuit
+
+        backend = MemDBBackend()
+        backend.run(ghz_circuit(3))
+        table = engine_stats_table(backend.engine_stats())
+        assert "plan_cache" in table and "optimizer" in table
+        assert "hits" in table and "enabled" in table
+
+    def test_engine_stats_table_rejects_empty(self):
+        from repro.bench import engine_stats_table
+
+        with pytest.raises(BenchmarkError):
+            engine_stats_table({})

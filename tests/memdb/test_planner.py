@@ -83,6 +83,7 @@ class TestPlanCache:
             "hits": 0,
             "misses": 0,
             "evictions": 0,
+            "invalidations": 0,
         }
 
     def test_parse_only_scripts_cannot_evict_plans(self):
@@ -255,3 +256,98 @@ class TestJoinIndices:
     def test_empty_inputs(self):
         left_idx, right_idx = join_indices(np.empty(0, dtype=np.int64), np.array([1, 2]))
         assert left_idx.size == 0 and right_idx.size == 0
+
+
+class TestPlanCacheSchemaFingerprint:
+    """Regression: a dropped-and-recreated table with a different schema must
+    never re-bind a stale compiled plan (entries are fingerprinted on the
+    referenced tables' column names/dtypes, not just the SQL text)."""
+
+    def test_schema_change_invalidates_cached_plan(self):
+        cache = PlanCache()
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t (a BIGINT, b DOUBLE)")
+        db.execute("INSERT INTO t (a, b) VALUES (1, 2.0)")
+        query = "SELECT a, b FROM t ORDER BY a"
+        assert db.execute(query).rows == [(1, 2.0)]
+        db.execute("DROP TABLE t")
+        db.execute("CREATE TABLE t (a TEXT, b BIGINT)")
+        db.execute("INSERT INTO t (a, b) VALUES ('x', 7)")
+        before = cache.stats()["invalidations"]
+        assert db.execute(query).rows == [("x", 7)]
+        assert cache.stats()["invalidations"] == before + 1
+
+    def test_stale_pushdown_attribution_is_recompiled(self):
+        """The sharpest staleness case: the optimizer attributed a bare WHERE
+        column to one table; after recreation the column lives in the *other*
+        table.  Without the fingerprint the cached plan filters the wrong
+        scan; with it the query recompiles and returns the right rows."""
+        cache = PlanCache()
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t1 (x BIGINT, y BIGINT)")
+        db.execute("CREATE TABLE t2 (k BIGINT, z BIGINT)")
+        db.execute("INSERT INTO t1 (x, y) VALUES (0, 1), (5, 2)")
+        db.execute("INSERT INTO t2 (k, z) VALUES (1, 10), (2, 20)")
+        query = "SELECT t1.y AS y, t2.z AS z FROM t1 JOIN t2 ON t2.k = t1.y WHERE x > 1 ORDER BY y"
+        assert db.execute(query).rows == [(2, 20)]
+        db.execute("DROP TABLE t1")
+        db.execute("DROP TABLE t2")
+        db.execute("CREATE TABLE t1 (y BIGINT)")
+        db.execute("CREATE TABLE t2 (k BIGINT, z BIGINT, x BIGINT)")
+        db.execute("INSERT INTO t1 (y) VALUES (1), (2)")
+        db.execute("INSERT INTO t2 (k, z, x) VALUES (1, 10, 9), (2, 20, 0)")
+        # x now belongs to t2: only (y=1, z=10) survives x > 1.
+        assert db.execute(query).rows == [(1, 10)]
+
+    def test_same_schema_recreation_still_hits(self):
+        """Recreating an identical schema (the sweep pattern) must keep hitting."""
+        cache = PlanCache()
+        db = MemDatabase(plan_cache=cache)
+
+        def build():
+            db.execute("DROP TABLE IF EXISTS t")
+            db.execute("CREATE TABLE t (a BIGINT)")
+            db.execute("INSERT INTO t (a) VALUES (1), (2)")
+
+        query = "SELECT a FROM t ORDER BY a"
+        build()
+        db.execute(query)
+        hits_before = cache.stats()["hits"]
+        build()
+        db.execute(query)
+        assert cache.stats()["hits"] > hits_before
+        assert cache.stats()["invalidations"] == 0
+
+    def test_fingerprint_is_validated_across_databases(self):
+        """A shared cache must not leak plans between schema-divergent catalogs."""
+        cache = PlanCache()
+        db1 = MemDatabase(plan_cache=cache)
+        db1.execute("CREATE TABLE t (a BIGINT)")
+        db1.execute("INSERT INTO t (a) VALUES (1)")
+        query = "SELECT a FROM t"
+        assert db1.execute(query).rows == [(1,)]
+        db2 = MemDatabase(plan_cache=cache)
+        db2.execute("CREATE TABLE t (a TEXT, b BIGINT)")
+        db2.execute("INSERT INTO t (a, b) VALUES ('q', 3)")
+        assert db2.execute(query).rows == [("q",)]
+
+    def test_mid_script_ddl_does_not_unfingerprint_earlier_reads(self):
+        """A statement reading a table *before* the script drops/recreates it
+        must still fingerprint the pre-script schema (regression)."""
+        cache = PlanCache()
+        db = MemDatabase(plan_cache=cache)
+        db.execute("CREATE TABLE t1 (x BIGINT, y BIGINT)")
+        db.execute("CREATE TABLE t2 (k BIGINT, z BIGINT)")
+        db.execute("INSERT INTO t1 (x, y) VALUES (0, 1), (5, 2)")
+        db.execute("INSERT INTO t2 (k, z) VALUES (1, 10), (2, 20)")
+        script = (
+            "SELECT t1.y AS y, t2.z AS z FROM t1 JOIN t2 ON t2.k = t1.y WHERE x > 1 ORDER BY y; "
+            "DROP TABLE t1; DROP TABLE t2; "
+            "CREATE TABLE t1 (y BIGINT); CREATE TABLE t2 (k BIGINT, z BIGINT, x BIGINT)"
+        )
+        db.execute(script)
+        db.execute("INSERT INTO t1 (y) VALUES (1), (2)")
+        db.execute("INSERT INTO t2 (k, z, x) VALUES (1, 10, 9), (2, 20, 0)")
+        before = cache.stats()["invalidations"]
+        db.execute(script)  # x moved to t2: stale attribution must recompile
+        assert cache.stats()["invalidations"] == before + 1

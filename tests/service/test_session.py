@@ -88,6 +88,24 @@ class TestSimulationPanel:
         methods = session.simulations.available_methods()
         assert {"sqlite", "memdb", "statevector", "sparse", "mps", "dd"} <= set(methods)
 
+    def test_explain_shows_optimizer_plan(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        plan = session.simulations.explain("ghz")
+        assert "fused join-aggregate [cost" in plan
+        assert "plan cache:" in plan
+        analyzed = session.simulations.explain("ghz", analyze=True)
+        assert "actual" in analyzed
+
+    def test_engine_stats_exposed(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "memdb")
+        stats = session.simulations.engine_stats()
+        assert "plan_cache" in stats and "optimizer" in stats
+        assert "hits" in stats["plan_cache"]
+        assert stats["optimizer"]["enabled"] is True
+        with pytest.raises(QymeraError):
+            session.simulations.engine_stats("statevector")
+
 
 class TestOutputPanel:
     def test_views_and_exports(self, session, tmp_path):
