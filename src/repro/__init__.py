@@ -57,9 +57,11 @@ from .errors import (
 )
 from .io import dumps_qasm, dumps_circuit, load_circuit, load_qasm, loads_circuit, loads_qasm, loads_quil
 from .output import SimulationResult, SparseState, sample_counts, state_fidelity, states_agree
-from .service import QymeraSession
+from .service import EnginePool, JobHandle, JobRequest, JobService, QymeraSession
 from .simulators import (
+    BoundExecutable,
     DecisionDiagramSimulator,
+    Executable,
     MPSSimulator,
     SparseSimulator,
     StatevectorSimulator,
@@ -118,6 +120,12 @@ __all__ = [
     "state_fidelity",
     "states_agree",
     "QymeraSession",
+    "EnginePool",
+    "JobHandle",
+    "JobRequest",
+    "JobService",
+    "BoundExecutable",
+    "Executable",
     "DecisionDiagramSimulator",
     "MPSSimulator",
     "SparseSimulator",

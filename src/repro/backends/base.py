@@ -23,7 +23,7 @@ from typing import Sequence
 from ..core.circuit import QuantumCircuit
 from ..errors import BackendError, ResourceLimitExceeded
 from ..output.result import SparseState
-from ..simulators.base import BaseSimulator, EvolutionStats
+from ..simulators.base import BaseSimulator, EvolutionStats, Executable
 from ..sql.dialect import Dialect
 from ..sql.translator import SQLTranslation, SQLTranslator
 
@@ -120,13 +120,64 @@ class RelationalBackend(BaseSimulator):
         """Translate a circuit without executing it (for inspection / reports)."""
         return self.translator().translate(circuit, initial_state=initial_state)
 
+    # --------------------------------------------------- compile-bind-execute
+
+    #: Parameter value used to translate a *representative* binding of a
+    #: parameterized template at compile time.  The generated CTE / CREATE-AS
+    #: texts depend only on the circuit structure (parameter values only move
+    #: gate-table literals), so plans prepared from this binding serve every
+    #: later bind.  0.5 avoids degenerate angles (rotations by 0 collapse to
+    #: diagonal matrices with fewer nonzero gate rows).
+    _REPRESENTATIVE_PARAMETER = 0.5
+
+    def _compile(self, circuit: QuantumCircuit) -> dict:
+        """Translate at compile time and hand the plans to the engine.
+
+        For a fully bound circuit the translation itself is cached on the
+        executable (execute skips the Translation Layer entirely).  For a
+        parameterized template a representative binding is translated so the
+        engine can prepare plans for the structure every bind will share.
+        """
+        artifact: dict = {}
+        if circuit.is_parameterized:
+            representative = circuit.bind_parameters(
+                {parameter: self._REPRESENTATIVE_PARAMETER for parameter in circuit.parameters}
+            )
+            translation = self.translate(representative)
+        else:
+            translation = self.translate(circuit)
+            artifact["translation"] = translation
+        provenance: dict = {"translation": translation.describe()}
+        self._prepare_plans(translation, provenance)
+        artifact["provenance"] = provenance
+        return artifact
+
+    def _prepare_plans(self, translation: SQLTranslation, provenance: dict) -> None:
+        """Hook: compile the translation's plans into the engine (default: no-op)."""
+
+    def _evolve_compiled(
+        self,
+        executable: Executable,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        translation = None
+        if initial_state is None and circuit is executable.circuit:
+            translation = executable.artifact.get("translation")
+        if translation is None:
+            translation = self.translate(circuit, initial_state=initial_state)
+        return self._evolve_translation(translation, stats)
+
     def _evolve(
         self,
         circuit: QuantumCircuit,
         initial_state: SparseState | None,
         stats: EvolutionStats,
     ) -> SparseState:
-        translation = self.translate(circuit, initial_state=initial_state)
+        return self._evolve_translation(self.translate(circuit, initial_state=initial_state), stats)
+
+    def _evolve_translation(self, translation: SQLTranslation, stats: EvolutionStats) -> SparseState:
         self._connect()
         try:
             rows = self._execute_translation(translation, stats)

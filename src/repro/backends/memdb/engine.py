@@ -17,6 +17,7 @@ backend wrappers can treat SQLite, DuckDB and memdb uniformly.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -126,9 +127,15 @@ class PlanCache:
     A sweep's stream of single-use INSERT literals can therefore never evict
     the reusable query plans it runs between them.  ``maxsize`` bounds each
     tier separately, so the cache holds at most ``2 * maxsize`` entries.
+
+    All operations take an internal lock: the process-wide shared cache is
+    hit concurrently by the job service's worker threads, and OrderedDict
+    move-to-end / eviction are not atomic.  Cached plans themselves are
+    immutable after insertion, so handing the same entry to two threads is
+    safe (plans hold table names, never data).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "invalidations", "_plans", "_parsed")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "invalidations", "_plans", "_parsed", "_lock")
 
     #: Cache keys are ``(optimizer_enabled, sql)``: optimizer-on and
     #: optimizer-off compilations of the same text are distinct entries, so
@@ -145,6 +152,7 @@ class PlanCache:
         self.invalidations = 0
         self._plans: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
         self._parsed: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(
         self,
@@ -159,19 +167,20 @@ class PlanCache:
         ``optimizer_enabled`` selects the compilation flavor being looked up.
         """
         key = (bool(optimizer_enabled), sql)
-        for store in (self._plans, self._parsed):
-            entry = store.get(key)
-            if entry is not None:
-                if catalog is not None and not entry.is_valid(catalog):
-                    del store[key]
-                    self.invalidations += 1
-                    self.misses += 1
-                    return None
-                store.move_to_end(key)
-                self.hits += 1
-                return entry
-        self.misses += 1
-        return None
+        with self._lock:
+            for store in (self._plans, self._parsed):
+                entry = store.get(key)
+                if entry is not None:
+                    if catalog is not None and not entry.is_valid(catalog):
+                        del store[key]
+                        self.invalidations += 1
+                        self.misses += 1
+                        return None
+                    store.move_to_end(key)
+                    self.hits += 1
+                    return entry
+            self.misses += 1
+            return None
 
     def peek_state(
         self,
@@ -181,13 +190,14 @@ class PlanCache:
     ) -> str:
         """Provenance of a text without touching counters: hit / stale / miss."""
         key = (bool(optimizer_enabled), sql)
-        for store in (self._plans, self._parsed):
-            entry = store.get(key)
-            if entry is not None:
-                if catalog is not None and not entry.is_valid(catalog):
-                    return "stale"
-                return "hit"
-        return "miss"
+        with self._lock:
+            for store in (self._plans, self._parsed):
+                entry = store.get(key)
+                if entry is not None:
+                    if catalog is not None and not entry.is_valid(catalog):
+                        return "stale"
+                    return "hit"
+            return "miss"
 
     #: Parse-only scripts longer than this are not cached: a dense
     #: initial-state INSERT can carry 2^n literal rows, and pinning its AST in
@@ -206,44 +216,49 @@ class PlanCache:
                 return
             store = self._parsed
         key = (entry.optimizer_enabled, sql)
-        store[key] = entry
-        store.move_to_end(key)
-        while len(store) > self.maxsize:
-            store.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            store[key] = entry
+            store.move_to_end(key)
+            while len(store) > self.maxsize:
+                store.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
-        self._plans.clear()
-        self._parsed.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        with self._lock:
+            self._plans.clear()
+            self._parsed.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus the current per-tier sizes."""
-        return {
-            "size": len(self),
-            "planned": len(self._plans),
-            "parse_only": len(self._parsed),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "size": len(self._plans) + len(self._parsed),
+                "planned": len(self._plans),
+                "parse_only": len(self._parsed),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def __len__(self) -> int:
-        return len(self._plans) + len(self._parsed)
+        with self._lock:
+            return len(self._plans) + len(self._parsed)
 
     def __contains__(self, sql: str) -> bool:
         """True when either compilation flavor of the text is cached."""
-        return any(
-            (flavor, sql) in store
-            for store in (self._plans, self._parsed)
-            for flavor in (True, False)
-        )
+        with self._lock:
+            return any(
+                (flavor, sql) in store
+                for store in (self._plans, self._parsed)
+                for flavor in (True, False)
+            )
 
 
 #: Process-wide cache shared by every MemDatabase that is not given its own.
@@ -404,15 +419,9 @@ class MemDatabase:
             if isinstance(statement, (Explain, Analyze)):
                 result = self._execute_statement(statement)
                 continue
-            optimized, report, cost = optimizer.optimize(statement)
-            plan = compile_statement(optimized, cost)
-            self._record_report(report)
-            if plan is not None:
-                for name in _referenced_tables(optimized) - touched_by_ddl:
-                    if name in self._tables and name not in schemas:
-                        schemas[name] = self._tables[name].schema_signature()
-            items.append(CompiledStatement(optimized, plan, report))
-            result = self._execute_compiled(optimized, plan)
+            compiled = self._compile_one(optimizer, statement, schemas, touched_by_ddl)
+            items.append(compiled)
+            result = self._execute_compiled(compiled.statement, compiled.plan)
             if isinstance(statement, (CreateTable, CreateTableAs, DropTable)):
                 touched_by_ddl.add(statement.name)
         if cacheable:
@@ -420,6 +429,60 @@ class MemDatabase:
                 sql, CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
             )
         return result
+
+    def _compile_one(
+        self,
+        optimizer: Optimizer,
+        statement: Statement,
+        schemas: dict[str, tuple],
+        touched_by_ddl: set[str],
+    ) -> CompiledStatement:
+        """Optimize + plan one statement, accumulating its schema fingerprint.
+
+        Shared by :meth:`execute`'s cold path and :meth:`prepare` so the
+        cache-entry construction (plans, report recording, fingerprinting)
+        can never diverge between the two.
+        """
+        optimized, report, cost = optimizer.optimize(statement)
+        plan = compile_statement(optimized, cost)
+        self._record_report(report)
+        if plan is not None:
+            for name in _referenced_tables(optimized) - touched_by_ddl:
+                if name in self._tables and name not in schemas:
+                    schemas[name] = self._tables[name].schema_signature()
+        return CompiledStatement(optimized, plan, report)
+
+    def prepare(self, sql: str) -> str:
+        """Compile a query script into the plan cache without executing it.
+
+        The prepared-statement entry point of the compile–bind–execute API:
+        the backend sets up its gate/state tables, hands the hot CTE query
+        here, and every later execution of the identical text (all sweep
+        points of a circuit family) starts as a plan-cache hit.  Only pure
+        query statements (SELECT / WITH ... SELECT) are preparable — scripts
+        with DDL or DML interleave compilation with their own side effects
+        and must go through :meth:`execute`.
+
+        Returns ``"hit"`` when the text was already cached and ``"prepared"``
+        after a fresh compilation.
+        """
+        if self._plan_cache.get(sql, self._tables, self.enable_optimizer) is not None:
+            return "hit"
+        statements = parse_sql(sql)
+        offenders = [type(s).__name__ for s in statements if not isinstance(s, (Select, WithSelect))]
+        if offenders:
+            raise SQLExecutionError(
+                f"prepare only supports SELECT/WITH query statements, got {offenders}"
+            )
+        optimizer = self._optimizer()
+        items: list[CompiledStatement] = []
+        schemas: dict[str, tuple] = {}
+        for statement in statements:
+            items.append(self._compile_one(optimizer, statement, schemas, set()))
+        self._plan_cache.put(
+            sql, CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
+        )
+        return "prepared"
 
     def _execute_compiled(
         self, statement: Statement, plan: "CompiledScript | CompiledCreateTableAs | None"

@@ -2,9 +2,23 @@
 
 Sec. 3.3: "Researchers can define families of circuits with varying
 parameters, and Qymera automates simulation across the parameter space."
-A :class:`ParameterSweep` couples a circuit-family factory with a grid of
-parameter assignments; :meth:`run` simulates every grid point on the chosen
-method and collects per-point metrics plus a user-supplied observable.
+A :class:`ParameterSweep` couples a circuit family with a grid of parameter
+assignments; :meth:`run` simulates every grid point on the chosen method and
+collects per-point metrics plus a user-supplied observable.
+
+The family can be given two ways:
+
+* a **template**: a parameterized :class:`QuantumCircuit` whose free
+  parameters are the grid's axes.  The sweep compiles the template once per
+  method instance (``method.compile(template)``) and then binds/executes
+  each point on that shared executable — the same reuse as
+  :meth:`~repro.simulators.base.Executable.execute_batch`, but point by
+  point so one bad grid point is recorded as an error instead of aborting
+  the sweep (``execute_batch`` is the raising variant);
+* a **callable** mapping a parameter point to a bound circuit (for families
+  whose *structure* changes with the point).  Each point then goes through
+  ``compile(circuit).bind().execute()`` on the shared method instance, and
+  plan reuse falls to the method's own caches (the memdb plan cache).
 """
 
 from __future__ import annotations
@@ -62,8 +76,9 @@ class ParameterSweep:
     Parameters
     ----------
     family:
-        Callable mapping a parameter point to a bound :class:`QuantumCircuit`
-        (typically a closure around ``bind_parameters``).
+        Either a parameterized :class:`QuantumCircuit` template (grid keys
+        are its parameter names) or a callable mapping a parameter point to
+        a bound :class:`QuantumCircuit`.
     method_factory:
         Zero-argument factory producing the simulator/backend.
     observable:
@@ -71,21 +86,27 @@ class ParameterSweep:
         (e.g. a MaxCut expectation value); stored per point.
     reuse_method:
         When true (the default) one method instance built by the factory is
-        reused for every grid point.  Every simulator's ``run`` is
-        self-contained, and reuse is what lets the memdb backend re-bind the
-        sweep's structurally identical queries against its cached plans
-        instead of re-parsing them at each point.  Set to false to restore a
-        fresh instance per point.
+        reused for every grid point — for a template family the instance's
+        compiled :class:`~repro.simulators.base.Executable` is shared too.
+        Reuse is what lets the memdb backend re-bind the sweep's
+        structurally identical queries against its cached plans instead of
+        re-parsing them at each point.  Set to false to restore a fresh
+        instance per point.
     """
 
     def __init__(
         self,
-        family: Callable[[ParameterPoint], QuantumCircuit],
+        family: QuantumCircuit | Callable[[ParameterPoint], QuantumCircuit],
         method_factory: Callable[[], object],
         observable: Callable[[SimulationResult], float] | None = None,
         reuse_method: bool = True,
     ) -> None:
-        self.family = family
+        if isinstance(family, QuantumCircuit):
+            self.template: QuantumCircuit | None = family
+            self.family: Callable[[ParameterPoint], QuantumCircuit] | None = None
+        else:
+            self.template = None
+            self.family = family
         self.method_factory = method_factory
         self.observable = observable
         self.reuse_method = reuse_method
@@ -96,18 +117,20 @@ class ParameterSweep:
             raise BenchmarkError("no parameter points to sweep")
         results: list[SweepResult] = []
         shared = None
+        shared_executable = None
         if self.reuse_method:
             try:
                 shared = self.method_factory()
+                if self.template is not None:
+                    shared_executable = shared.compile(self.template)
             except QymeraError as exc:
-                # Keep the no-abort contract: a broken factory fails every
-                # point instead of raising out of the sweep.
+                # Keep the no-abort contract: a broken factory (or template
+                # compile) fails every point instead of raising out of the
+                # sweep.
                 return [SweepResult(point=dict(point), status="error", error=str(exc)) for point in points]
         for point in points:
             try:
-                circuit = self.family(dict(point))
-                simulator = shared if shared is not None else self.method_factory()
-                outcome = simulator.run(circuit)
+                outcome = self._run_point(dict(point), shared, shared_executable)
             except QymeraError as exc:
                 results.append(SweepResult(point=dict(point), status="error", error=str(exc)))
                 continue
@@ -125,6 +148,17 @@ class ParameterSweep:
                 )
             )
         return results
+
+    def _run_point(self, point: ParameterPoint, shared, shared_executable) -> SimulationResult:
+        """One grid point through the compile-bind-execute pipeline."""
+        if self.template is not None:
+            if shared_executable is not None:
+                return shared_executable.bind(point).execute()
+            return self.method_factory().compile(self.template).bind(point).execute()
+        assert self.family is not None
+        circuit = self.family(point)
+        simulator = shared if shared is not None else self.method_factory()
+        return simulator.compile(circuit).bind().execute()
 
     def best_point(self, results: Sequence[SweepResult], maximize: bool = True) -> SweepResult:
         """The grid point with the best observable value."""

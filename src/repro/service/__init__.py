@@ -1,5 +1,24 @@
-"""End-to-end session facade (the programmatic web UI)."""
+"""End-to-end session facade (the programmatic web UI) and the job service."""
 
+from .jobs import (
+    EnginePool,
+    JobHandle,
+    JobRequest,
+    JobService,
+    make_method,
+    options_fingerprint,
+)
 from .session import CircuitPanel, OutputPanel, QymeraSession, SimulationPanel
 
-__all__ = ["CircuitPanel", "OutputPanel", "QymeraSession", "SimulationPanel"]
+__all__ = [
+    "CircuitPanel",
+    "EnginePool",
+    "JobHandle",
+    "JobRequest",
+    "JobService",
+    "OutputPanel",
+    "QymeraSession",
+    "SimulationPanel",
+    "make_method",
+    "options_fingerprint",
+]

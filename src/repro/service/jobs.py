@@ -1,0 +1,477 @@
+"""Job service: multi-user execution on top of compile–bind–execute.
+
+The ROADMAP's north star is serving heavy simulation traffic, and the
+natural unit of that traffic is a *job*: one circuit, one method, one
+parameter point or a whole sweep grid.  :class:`JobService` accepts jobs
+(:meth:`~JobService.submit` returns a :class:`JobHandle` immediately), runs
+them on a small worker pool, and leases method instances from a shared
+:class:`EnginePool` so concurrent jobs on the same (method, options)
+combination reuse warm engines — and with them the memdb plan cache —
+without ever sharing one engine between two running jobs.
+
+Every job goes through the same pipeline the synchronous API uses:
+``method.compile(circuit)`` then ``bind(params).execute()`` (or
+``execute_batch`` for grids).  :class:`QymeraSession` and the benchmark
+drivers are thin clients of this pipeline; the service adds queueing,
+polling and streaming on top.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from ..backends import available_backends
+from ..core.circuit import QuantumCircuit
+from ..errors import QymeraError
+from ..output.result import SimulationResult
+from ..simulators import available_simulators
+from ..simulators.base import BaseSimulator
+
+#: Job lifecycle states.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_ERROR = "error"
+JOB_CANCELLED = "cancelled"
+
+_TERMINAL = frozenset({JOB_DONE, JOB_ERROR, JOB_CANCELLED})
+
+
+class _OptionToken:
+    """Hashable stand-in for an unhashable option value.
+
+    Holds a strong reference to the value, so identity-based reprs can never
+    be recycled onto a different object while a fingerprint using the token
+    is alive (repr alone would alias a garbage-collected option with a new
+    object allocated at the same address).
+    """
+
+    __slots__ = ("value", "_repr")
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        self._repr = repr(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OptionToken) and self._repr == other._repr
+
+    def __hash__(self) -> int:
+        return hash(self._repr)
+
+    def __repr__(self) -> str:
+        return self._repr
+
+
+def options_fingerprint(options: Mapping[str, object]) -> tuple:
+    """A hashable, order-insensitive fingerprint of method options.
+
+    Hashable values are kept as-is (stateful objects like caches hash by
+    identity, which is exactly right for pooling: two backends built around
+    different cache objects must not alias); unhashable values are wrapped
+    in a :class:`_OptionToken` that keeps them alive and compares by repr.
+    """
+    items = []
+    for key in sorted(options, key=str):
+        value = options[key]
+        try:
+            hash(value)
+        except TypeError:
+            value = _OptionToken(value)
+        items.append((str(key), value))
+    return tuple(items)
+
+
+def make_method(method: str, **options) -> BaseSimulator:
+    """Instantiate a simulation method (backend or baseline simulator) by name."""
+    backends = available_backends()
+    simulators = available_simulators()
+    if method in backends:
+        return backends[method](**options)
+    if method in simulators:
+        return simulators[method](**options)
+    raise QymeraError(
+        f"unknown simulation method {method!r}; available: {sorted(set(backends) | set(simulators))}"
+    )
+
+
+class EnginePool:
+    """A lease-based pool of method instances keyed by (method, options).
+
+    Method instances are not thread-safe (the memdb backend keeps a live
+    engine between runs), so the pool hands each instance to at most one
+    job at a time: :meth:`acquire` pops an idle instance or builds a fresh
+    one, :meth:`release` returns it for the next job.  Releasing more
+    instances than ``max_idle_per_key`` discards the surplus — the plan
+    cache is shared process-wide, so a discarded engine loses nothing
+    another engine cannot recover.
+    """
+
+    def __init__(self, max_idle_per_key: int = 4) -> None:
+        self._idle: dict[tuple, list[BaseSimulator]] = {}
+        self._lock = threading.Lock()
+        self.max_idle_per_key = int(max_idle_per_key)
+        self._created = 0
+        self._reused = 0
+
+    def acquire(self, method: str, options: Mapping[str, object]) -> tuple[tuple, BaseSimulator]:
+        """Lease an instance for one job; returns ``(key, instance)``."""
+        key = (method, options_fingerprint(options))
+        with self._lock:
+            idle = self._idle.get(key)
+            if idle:
+                self._reused += 1
+                return key, idle.pop()
+        instance = make_method(method, **options)
+        with self._lock:
+            self._created += 1
+        return key, instance
+
+    def release(self, key: tuple, instance: BaseSimulator) -> None:
+        """Return a leased instance so later jobs can reuse its warm state."""
+        with self._lock:
+            idle = self._idle.setdefault(key, [])
+            if len(idle) < self.max_idle_per_key:
+                idle.append(instance)
+
+    def stats(self) -> dict:
+        """Pool counters: instances created, leases served from idle, idle sizes.
+
+        Idle counts aggregate over option fingerprints, one total per method.
+        """
+        with self._lock:
+            idle: dict[str, int] = {}
+            for (method, _fingerprint), instances in self._idle.items():
+                idle[method] = idle.get(method, 0) + len(instances)
+            return {"created": self._created, "reused": self._reused, "idle": idle}
+
+
+@dataclass
+class JobRequest:
+    """One unit of simulation work.
+
+    Exactly one of ``params`` (a single parameter point — may be empty for
+    unparameterized circuits) or ``param_grid`` (a batch sweep) applies;
+    leaving both unset runs the circuit as-is.
+    """
+
+    circuit: QuantumCircuit
+    method: str = "memdb"
+    options: Mapping[str, object] = field(default_factory=dict)
+    params: Mapping[str, float] | None = None
+    param_grid: Sequence[Mapping[str, float]] | None = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.params is not None and self.param_grid is not None:
+            raise QymeraError("pass either params (one point) or param_grid (a sweep), not both")
+
+    @property
+    def total_points(self) -> int:
+        """How many executions this request fans out to."""
+        return len(self.param_grid) if self.param_grid is not None else 1
+
+
+class JobHandle:
+    """Live view of one submitted job: poll, wait, stream.
+
+    Thread-safe: the worker appends results and flips the status under the
+    handle's condition variable; clients block on it in :meth:`result` and
+    :meth:`stream`.
+    """
+
+    def __init__(self, job_id: int, request: JobRequest) -> None:
+        self.job_id = job_id
+        self.request = request
+        self._condition = threading.Condition()
+        self._status = JOB_QUEUED
+        self._results: list[SimulationResult] = []
+        self._error: BaseException | None = None
+        self._cancel_requested = False
+        self._future: Future | None = None
+
+    # -------------------------------------------------------------- queries
+
+    def status(self) -> str:
+        """Current lifecycle state (queued / running / done / error / cancelled)."""
+        with self._condition:
+            return self._status
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status() in _TERMINAL
+
+    def poll(self) -> dict:
+        """One-shot progress snapshot (what a UI would render per refresh)."""
+        with self._condition:
+            return {
+                "job_id": self.job_id,
+                "status": self._status,
+                "method": self.request.method,
+                "circuit": self.request.circuit.name,
+                "tag": self.request.tag,
+                "completed_points": len(self._results),
+                "total_points": self.request.total_points,
+                "error": str(self._error) if self._error is not None else "",
+            }
+
+    # -------------------------------------------------------------- results
+
+    def result(self, timeout: float | None = None) -> SimulationResult | list[SimulationResult]:
+        """Block until the job finishes; a grid job returns the full result list.
+
+        Re-raises the job's error; raises :class:`QymeraError` on timeout or
+        cancellation.
+        """
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._status in _TERMINAL, timeout=timeout):
+                raise QymeraError(f"job {self.job_id} did not finish within {timeout}s")
+            if self._error is not None:
+                raise self._error
+            if self._status == JOB_CANCELLED:
+                raise QymeraError(f"job {self.job_id} was cancelled")
+            if self.request.param_grid is not None:
+                return list(self._results)
+            return self._results[0]
+
+    def stream(self, timeout: float | None = None) -> Iterator[SimulationResult]:
+        """Yield per-point results as the worker produces them.
+
+        ``timeout`` bounds the wait for *each* next result.  The iterator
+        ends when the job completes; a failing or cancelled job raises after
+        the results that did complete were yielded.
+        """
+        position = 0
+        while True:
+            with self._condition:
+                ready = self._condition.wait_for(
+                    lambda: len(self._results) > position or self._status in _TERMINAL,
+                    timeout=timeout,
+                )
+                if not ready:
+                    raise QymeraError(f"job {self.job_id} produced no result within {timeout}s")
+                if len(self._results) > position:
+                    item = self._results[position]
+                else:
+                    if self._error is not None:
+                        raise self._error
+                    if self._status == JOB_CANCELLED:
+                        raise QymeraError(f"job {self.job_id} was cancelled")
+                    return
+            position += 1
+            yield item
+
+    # ------------------------------------------------------------- control
+
+    def cancel(self) -> bool:
+        """Request cancellation.
+
+        Queued jobs die immediately; a running grid job stops at its next
+        point boundary.  Returns True only when the job is *guaranteed* to
+        produce no further results (it was still queued); a False return
+        means the request was recorded best-effort but a running job may
+        still complete — poll the status to find out.
+        """
+        with self._condition:
+            if self._status in _TERMINAL:
+                return False
+            self._cancel_requested = True
+            future = self._future
+        if future is not None and future.cancel():
+            self._transition(JOB_CANCELLED)
+            return True
+        return False
+
+    # ------------------------------------------------------- worker callbacks
+
+    def _transition(self, status: str, error: BaseException | None = None) -> None:
+        with self._condition:
+            if self._status in _TERMINAL:
+                return
+            self._status = status
+            self._error = error
+            self._condition.notify_all()
+
+    def _push_result(self, result: SimulationResult) -> None:
+        with self._condition:
+            self._results.append(result)
+            self._condition.notify_all()
+
+    @property
+    def _cancelled(self) -> bool:
+        with self._condition:
+            return self._cancel_requested
+
+    def __repr__(self) -> str:
+        return f"JobHandle(id={self.job_id}, status={self.status()!r}, method={self.request.method!r})"
+
+
+class JobService:
+    """Accepts simulation jobs and runs them on a shared engine pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the worker thread pool (created lazily on first submit).
+    pool:
+        The :class:`EnginePool` leased engines come from; one service-owned
+        pool by default.  Passing a shared pool lets several services (or a
+        service plus a session) draw from the same warm engines.
+    max_retained_jobs:
+        Finished handles kept for ``poll``/``result`` lookups.  Each submit
+        evicts the oldest *terminal* handles beyond this bound (running and
+        queued jobs are never evicted), so a long-running service does not
+        accumulate every past job's result states.  ``None`` retains all.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        pool: EnginePool | None = None,
+        max_retained_jobs: int | None = 256,
+    ) -> None:
+        if max_workers < 1:
+            raise QymeraError("JobService needs at least one worker")
+        if max_retained_jobs is not None and max_retained_jobs < 1:
+            raise QymeraError("max_retained_jobs must be positive (or None to retain all)")
+        self.max_workers = int(max_workers)
+        self.max_retained_jobs = max_retained_jobs
+        self.pool = pool if pool is not None else EnginePool()
+        self._executor: ThreadPoolExecutor | None = None
+        self._jobs: dict[int, JobHandle] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: JobRequest | None = None, /, **kwargs) -> JobHandle:
+        """Queue a job and return its handle immediately.
+
+        Accepts a prebuilt :class:`JobRequest` or its fields as keyword
+        arguments (``circuit=..., method=..., params=...``).
+        """
+        if request is None:
+            request = JobRequest(**kwargs)
+        elif kwargs:
+            raise QymeraError("pass either a JobRequest or keyword fields, not both")
+        with self._lock:
+            if self._closed:
+                raise QymeraError("the job service has been shut down")
+            self._evict_terminal_locked()
+            job_id = next(self._ids)
+            handle = JobHandle(job_id, request)
+            self._jobs[job_id] = handle
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="qymera-job"
+                )
+            handle._future = self._executor.submit(self._run_job, handle)
+        return handle
+
+    def _evict_terminal_locked(self) -> None:
+        """Drop the oldest finished handles beyond ``max_retained_jobs``."""
+        if self.max_retained_jobs is None:
+            return
+        excess = len(self._jobs) - (self.max_retained_jobs - 1)
+        if excess <= 0:
+            return
+        for job_id in sorted(self._jobs):
+            if excess <= 0:
+                break
+            if self._jobs[job_id].status() in _TERMINAL:
+                del self._jobs[job_id]
+                excess -= 1
+
+    def purge(self) -> int:
+        """Drop every finished handle now; returns how many were removed."""
+        with self._lock:
+            terminal = [job_id for job_id, handle in self._jobs.items() if handle.status() in _TERMINAL]
+            for job_id in terminal:
+                del self._jobs[job_id]
+            return len(terminal)
+
+    def _run_job(self, handle: JobHandle) -> None:
+        if handle._cancelled:
+            handle._transition(JOB_CANCELLED)
+            return
+        handle._transition(JOB_RUNNING)
+        request = handle.request
+        # Any escape — QymeraError or not (bad constructor kwargs raise
+        # TypeError, bad parameter values ValueError) — must land the job in
+        # a terminal state, or result()/stream() callers block forever.
+        try:
+            key, engine = self.pool.acquire(request.method, request.options)
+        except Exception as exc:
+            handle._transition(JOB_ERROR, exc)
+            return
+        try:
+            executable = engine.compile(request.circuit)
+            if request.param_grid is not None:
+                for point in request.param_grid:
+                    if handle._cancelled:
+                        handle._transition(JOB_CANCELLED)
+                        return
+                    handle._push_result(executable.bind(point).execute())
+            else:
+                handle._push_result(executable.bind(request.params or {}).execute())
+            handle._transition(JOB_DONE)
+        except Exception as exc:
+            handle._transition(JOB_ERROR, exc)
+        finally:
+            self.pool.release(key, engine)
+
+    # --------------------------------------------------------------- queries
+
+    def job(self, job_id: int) -> JobHandle:
+        """Look a job up by id."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise QymeraError(f"no job with id {job_id}")
+            return self._jobs[job_id]
+
+    def poll(self, job_id: int) -> dict:
+        """Progress snapshot of one job (see :meth:`JobHandle.poll`)."""
+        return self.job(job_id).poll()
+
+    def result(self, job_id: int, timeout: float | None = None):
+        """Block for one job's result (see :meth:`JobHandle.result`)."""
+        return self.job(job_id).result(timeout=timeout)
+
+    def stream(self, job_id: int, timeout: float | None = None) -> Iterator[SimulationResult]:
+        """Stream one job's per-point results (see :meth:`JobHandle.stream`)."""
+        return self.job(job_id).stream(timeout=timeout)
+
+    def jobs(self) -> list[JobHandle]:
+        """All handles this service has accepted, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def stats(self) -> dict:
+        """Service-level counters: jobs by status plus engine-pool activity."""
+        by_status: dict[str, int] = {}
+        for handle in self.jobs():
+            status = handle.status()
+            by_status[status] = by_status.get(status, 0) + 1
+        return {"jobs": by_status, "pool": self.pool.stats()}
+
+    # -------------------------------------------------------------- lifetime
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown(wait=True)

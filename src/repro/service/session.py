@@ -19,7 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from ..backends import MemDBBackend, SQLiteBackend, available_backends
+from ..backends import DuckDBBackend, MemDBBackend, SQLiteBackend, available_backends
 from ..bench.metrics import BenchmarkRecord
 from ..bench.runner import BenchmarkRunner, default_method_factories
 from ..core.builder import CircuitGridBuilder
@@ -41,6 +41,7 @@ from ..output.visualization import (
 )
 from ..simulators import available_simulators
 from ..sql.translator import SQLTranslation
+from .jobs import JobHandle, JobService, make_method, options_fingerprint
 
 
 class CircuitPanel:
@@ -129,17 +130,21 @@ class CircuitPanel:
 class SimulationPanel:
     """Method selection and execution (Translation + Simulation Layers).
 
-    Method instances are pooled per (method, options) combination: every
-    simulator's ``run`` is self-contained, and reusing the instance keeps the
+    Every run goes through the compile–bind–execute pipeline
+    (``method.compile(circuit).bind().execute()``).  Method instances are
+    pooled per (method, options) combination: reusing the instance keeps the
     memdb backend's engine — and with it the compiled-plan cache — alive
     across runs, so re-running a circuit family (rebinding parameters,
     sweeping a grid) skips SQL parsing and planning after the first run.
+    Asynchronous work (sweep grids, concurrent users) goes through
+    :meth:`submit`, which queues onto the session's :class:`JobService`.
     """
 
-    def __init__(self, circuit_panel: CircuitPanel) -> None:
+    def __init__(self, circuit_panel: CircuitPanel, job_service: JobService | None = None) -> None:
         self._circuits = circuit_panel
-        self._results: dict[tuple[str, str], SimulationResult] = {}
+        self._results: dict[tuple[str, str, tuple], SimulationResult] = {}
         self._method_pool: dict[tuple, object] = {}
+        self._jobs = job_service if job_service is not None else JobService()
 
     # -------------------------------------------------------------- methods
 
@@ -150,19 +155,19 @@ class SimulationPanel:
 
     @staticmethod
     def _make_method(method: str, **options):
-        backends = available_backends()
-        simulators = available_simulators()
-        if method in backends:
-            return backends[method](**options)
-        if method in simulators:
-            return simulators[method](**options)
-        raise QymeraError(f"unknown simulation method {method!r}; available: {sorted(set(backends) | set(simulators))}")
+        return make_method(method, **options)
 
     # ------------------------------------------------------------------ runs
 
     def translate(self, circuit_name: str, dialect: str = "sqlite", fuse: bool = False) -> SQLTranslation:
         """Show the SQL that would run for a circuit (the demo's inspection view)."""
-        backend = SQLiteBackend(fuse=fuse) if dialect == "sqlite" else MemDBBackend(fuse=fuse)
+        backends = {"sqlite": SQLiteBackend, "memdb": MemDBBackend, "duckdb": DuckDBBackend}
+        if dialect not in backends:
+            raise QymeraError(
+                f"unknown SQL dialect {dialect!r}; expected one of {sorted(backends)}"
+            )
+        # DuckDBBackend raises BackendUnavailableError when the package is absent.
+        backend = backends[dialect](fuse=fuse)
         return backend.translate(self._circuits.get(circuit_name))
 
     def explain(self, circuit_name: str, analyze: bool = False, **options) -> str:
@@ -188,14 +193,51 @@ class SimulationPanel:
         return backend.engine_stats()
 
     def run(self, circuit_name: str, method: str = "sqlite", **options) -> SimulationResult:
-        """Simulate a registered circuit with one method."""
+        """Simulate a registered circuit with one method.
+
+        Back-compat facade over the compile–bind–execute pipeline; results
+        are stored under (circuit, method, options-fingerprint) so runs of
+        the same circuit with different options never overwrite each other.
+        """
         circuit = self._circuits.get(circuit_name)
         simulator = self._pooled_method(method, options)
-        result = simulator.run(circuit)
-        self._results[(circuit_name, method)] = result
+        result = simulator.compile(circuit).bind().execute()
+        self._results[(circuit_name, method, options_fingerprint(options))] = result
         return result
 
+    def submit(
+        self,
+        circuit_name: str,
+        method: str = "memdb",
+        params: Mapping[str, float] | None = None,
+        param_grid: Sequence[Mapping[str, float]] | None = None,
+        **options,
+    ) -> JobHandle:
+        """Queue a run (or a whole sweep grid) on the session's job service.
+
+        Returns immediately with a :class:`~repro.service.jobs.JobHandle`;
+        use its ``poll`` / ``result`` / ``stream`` methods to follow it.
+        """
+        return self._jobs.submit(
+            circuit=self._circuits.get(circuit_name),
+            method=method,
+            options=options,
+            params=params,
+            param_grid=param_grid,
+            tag=circuit_name,
+        )
+
+    @property
+    def jobs(self) -> JobService:
+        """The job service backing :meth:`submit`."""
+        return self._jobs
+
     def _pooled_method(self, method: str, options: Mapping[str, object]):
+        # Deliberately NOT options_fingerprint (the results/job key): the
+        # pool key uses the raw option values so that unhashable — typically
+        # mutable — values never pool.  Pooling them by repr would alias a
+        # backend built around an option object that the caller mutates
+        # later; a fresh instance per run is the safe fallback.
         try:
             key = (method, tuple(sorted(options.items())))
             simulator = self._method_pool.get(key)
@@ -207,10 +249,26 @@ class SimulationPanel:
             self._method_pool[key] = simulator
         return simulator
 
-    def run_all(self, circuit_name: str, methods: Sequence[str] | None = None) -> dict[str, SimulationResult]:
-        """Simulate one circuit with several methods (the comparison view)."""
+    def run_all(
+        self,
+        circuit_name: str,
+        methods: Sequence[str] | None = None,
+        options: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> dict[str, SimulationResult]:
+        """Simulate one circuit with several methods (the comparison view).
+
+        ``options`` maps a method name to the keyword options forwarded to
+        that method's run (and thus into the pooled-instance lookup), e.g.
+        ``{"memdb": {"fuse": True}}``.
+        """
         chosen = list(methods) if methods is not None else self.available_methods()
-        return {method: self.run(circuit_name, method) for method in chosen}
+        per_method = {name: dict(value) for name, value in options.items()} if options else {}
+        unknown = sorted(set(per_method) - set(chosen))
+        if unknown:
+            raise QymeraError(
+                f"options given for methods that will not run: {unknown}; running {sorted(chosen)}"
+            )
+        return {method: self.run(circuit_name, method, **per_method.get(method, {})) for method in chosen}
 
     def benchmark(
         self,
@@ -229,54 +287,88 @@ class SimulationPanel:
         runner = BenchmarkRunner(methods=factories)
         return runner.run_suite(workloads, sizes)
 
-    def result(self, circuit_name: str, method: str) -> SimulationResult:
-        """Fetch a previously computed result."""
-        key = (circuit_name, method)
-        if key not in self._results:
-            raise QymeraError(f"no stored result for circuit {circuit_name!r} with method {method!r}")
-        return self._results[key]
+    def result(self, circuit_name: str, method: str, **options) -> SimulationResult:
+        """Fetch a previously computed result.
 
-    def results(self) -> dict[tuple[str, str], SimulationResult]:
-        """All stored results keyed by (circuit, method)."""
+        Pass the run's options to address one of several stored runs of the
+        same (circuit, method); with no options, the lookup falls back to
+        the single stored run when it is unambiguous.
+        """
+        key = (circuit_name, method, options_fingerprint(options))
+        if key in self._results:
+            return self._results[key]
+        matches = [
+            value
+            for (circuit, run_method, _fingerprint), value in self._results.items()
+            if circuit == circuit_name and run_method == method
+        ]
+        if not options:
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise QymeraError(
+                    f"{len(matches)} stored results for circuit {circuit_name!r} with method "
+                    f"{method!r}; pass the run's options to disambiguate"
+                )
+        suffix = " and those options" if options else ""
+        raise QymeraError(
+            f"no stored result for circuit {circuit_name!r} with method {method!r}{suffix}"
+        )
+
+    def results(self) -> dict[tuple[str, str, tuple], SimulationResult]:
+        """All stored results keyed by (circuit, method, options fingerprint)."""
         return dict(self._results)
 
 
 class OutputPanel:
-    """Result inspection, visualization and export (the Output Layer)."""
+    """Result inspection, visualization and export (the Output Layer).
+
+    Every view accepts the run's keyword ``options`` so that runs of the
+    same (circuit, method) with different options can each be inspected;
+    with no options the lookup resolves the single stored run.
+    """
 
     def __init__(self, simulation_panel: SimulationPanel) -> None:
         self._simulations = simulation_panel
 
-    def state_table(self, circuit_name: str, method: str, max_rows: int = 32) -> str:
+    def state_table(self, circuit_name: str, method: str, max_rows: int = 32, **options) -> str:
         """The final state as the paper's relational output table."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return format_amplitude_table(result.state, max_rows=max_rows)
 
-    def probability_histogram(self, circuit_name: str, method: str) -> str:
+    def probability_histogram(self, circuit_name: str, method: str, **options) -> str:
         """ASCII histogram of measurement probabilities."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return probability_histogram(result.state)
 
-    def sample_histogram(self, circuit_name: str, method: str, shots: int = 1024, seed: int | None = 7) -> str:
+    def sample_histogram(
+        self, circuit_name: str, method: str, shots: int = 1024, seed: int | None = 7, **options
+    ) -> str:
         """ASCII histogram of sampled measurement shots."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return histogram(sample_counts(result.state, shots, seed=seed))
 
-    def bloch_view(self, circuit_name: str, method: str, qubit: int) -> str:
+    def bloch_view(self, circuit_name: str, method: str, qubit: int, **options) -> str:
         """Bloch-sphere description of one qubit (the educational visualization)."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return bloch_text(bloch_vector(result.state, qubit))
 
-    def entanglement(self, circuit_name: str, method: str, qubits: Sequence[int]) -> float:
+    def entanglement(self, circuit_name: str, method: str, qubits: Sequence[int], **options) -> float:
         """Entanglement entropy (bits) of a qubit subset in the final state."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return entanglement_entropy(result.state, qubits)
 
     def performance_table(self, circuit_name: str, methods: Sequence[str] | None = None) -> str:
-        """Per-method time / memory comparison for one circuit."""
+        """Per-method time / memory comparison for one circuit.
+
+        Runs of the same method with different options appear as separate
+        rows, distinguished by the ``options`` column.
+        """
         stored = self._simulations.results()
         rows = []
-        for (name, method), result in sorted(stored.items()):
+        for (name, method, fingerprint), result in sorted(
+            stored.items(), key=lambda item: (item[0][0], item[0][1], repr(item[0][2]))
+        ):
             if name != circuit_name:
                 continue
             if methods is not None and method not in methods:
@@ -284,6 +376,7 @@ class OutputPanel:
             rows.append(
                 {
                     "method": method,
+                    "options": ", ".join(f"{key}={value!r}" for key, value in fingerprint),
                     "wall_time_s": result.wall_time_s,
                     "peak_state_rows": result.peak_state_rows,
                     "peak_state_bytes": result.peak_state_bytes,
@@ -292,16 +385,19 @@ class OutputPanel:
             )
         if not rows:
             raise QymeraError(f"no stored results for circuit {circuit_name!r}")
-        return comparison_table(rows, columns=["method", "wall_time_s", "peak_state_rows", "peak_state_bytes", "nonzero"])
+        columns = ["method", "options", "wall_time_s", "peak_state_rows", "peak_state_bytes", "nonzero"]
+        if all(not row["options"] for row in rows):
+            columns.remove("options")
+        return comparison_table(rows, columns=columns)
 
-    def export_state_csv(self, circuit_name: str, method: str, path: str | Path) -> Path:
+    def export_state_csv(self, circuit_name: str, method: str, path: str | Path, **options) -> Path:
         """Write the final state's relational rows to CSV."""
-        result = self._simulations.result(circuit_name, method)
+        result = self._simulations.result(circuit_name, method, **options)
         return write_state_csv(result.state, path)
 
-    def export_result_json(self, circuit_name: str, method: str) -> str:
+    def export_result_json(self, circuit_name: str, method: str, **options) -> str:
         """Full result (state + metadata) as a JSON string."""
-        return result_to_json(self._simulations.result(circuit_name, method))
+        return result_to_json(self._simulations.result(circuit_name, method, **options))
 
     def export_benchmark_csv(self, records: Sequence[BenchmarkRecord], path: str | Path) -> Path:
         """Write benchmark records to CSV."""
@@ -324,9 +420,10 @@ class QymeraSession:
         print(session.output.state_table("ghz", "sqlite"))
     """
 
-    def __init__(self) -> None:
+    def __init__(self, job_service: JobService | None = None) -> None:
         self.circuits = CircuitPanel()
-        self.simulations = SimulationPanel(self.circuits)
+        self.jobs = job_service if job_service is not None else JobService()
+        self.simulations = SimulationPanel(self.circuits, job_service=self.jobs)
         self.output = OutputPanel(self.simulations)
 
     def quick_run(self, circuit: QuantumCircuit, method: str = "sqlite") -> SimulationResult:

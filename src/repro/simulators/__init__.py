@@ -1,14 +1,18 @@
 """Baseline simulation methods (the non-SQL half of the Simulation Layer)."""
 
-from .base import BaseSimulator, EvolutionStats
+from .base import BaseSimulator, BoundExecutable, EvolutionStats, Executable
 from .dd import DecisionDiagramSimulator
 from .mps import MPSSimulator
-from .sparse import SparseSimulator, apply_gate_to_mapping
-from .statevector import StatevectorSimulator, apply_gate_to_vector
+from .sparse import SparseSimulator, apply_gate_to_mapping, build_transitions
+from .statevector import StatevectorSimulator, apply_gate_to_vector, gate_scatter
 
 __all__ = [
     "BaseSimulator",
+    "BoundExecutable",
     "EvolutionStats",
+    "Executable",
+    "build_transitions",
+    "gate_scatter",
     "DecisionDiagramSimulator",
     "MPSSimulator",
     "SparseSimulator",

@@ -29,7 +29,7 @@ from ..core.gates import standard_gate
 from ..core.instruction import Instruction
 from ..errors import SimulationError
 from ..output.result import SparseState
-from .base import BaseSimulator, EvolutionStats
+from .base import BaseSimulator, EvolutionStats, Executable
 
 #: Weights with magnitude below this are treated as exact zeros.
 _ZERO_TOL = 1e-14
@@ -183,11 +183,42 @@ class DecisionDiagramSimulator(BaseSimulator):
 
     # ---------------------------------------------------------------- evolve
 
+    def _compile(self, circuit: QuantumCircuit) -> dict:
+        """Rewrite into the {single-qubit, CX} basis once at compile time.
+
+        Decomposition needs concrete gate matrices, so parameterized
+        templates skip the prep and decompose per bind.
+        """
+        if circuit.is_parameterized:
+            return {}
+        return {"working": decompose_circuit(circuit)}
+
+    def _evolve_compiled(
+        self,
+        executable: Executable,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        working = None
+        if circuit is executable.circuit:
+            working = executable.artifact.get("working")
+        return self._evolve_working(circuit, initial_state, stats, working)
+
     def _evolve(
         self,
         circuit: QuantumCircuit,
         initial_state: SparseState | None,
         stats: EvolutionStats,
+    ) -> SparseState:
+        return self._evolve_working(circuit, initial_state, stats, None)
+
+    def _evolve_working(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+        working: QuantumCircuit | None,
     ) -> SparseState:
         if initial_state is not None:
             raise SimulationError("the decision-diagram simulator only supports the |0...0> initial state")
@@ -197,7 +228,8 @@ class DecisionDiagramSimulator(BaseSimulator):
                 f"decision-diagram extraction limited to {self.max_extract_qubits} qubits"
             )
         self._unique = {}
-        working = decompose_circuit(circuit)
+        if working is None:
+            working = decompose_circuit(circuit)
 
         # |0...0>: a chain of nodes whose high edges are zero.
         edge: Edge = (1.0 + 0.0j, None)

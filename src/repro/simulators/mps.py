@@ -23,7 +23,7 @@ from ..core.decompose import two_qubit_basis_circuit
 from ..core.instruction import Instruction
 from ..errors import SimulationError
 from ..output.result import SparseState
-from .base import BaseSimulator, EvolutionStats
+from .base import BaseSimulator, EvolutionStats, Executable
 
 #: SWAP matrix in the local convention (bit 0 = first qubit argument).
 _SWAP = np.array(
@@ -66,11 +66,44 @@ class MPSSimulator(BaseSimulator):
 
     # ---------------------------------------------------------------- evolve
 
+    def _compile(self, circuit: QuantumCircuit) -> dict:
+        """Contraction prep: decompose into the two-qubit basis once.
+
+        The decomposition rewrites 3+-qubit gates into 1- and 2-qubit gates
+        and needs concrete matrices, so it only runs for fully bound
+        templates; parameterized families decompose per bind (their gate
+        matrices change at every point anyway).
+        """
+        if circuit.is_parameterized:
+            return {}
+        return {"working": two_qubit_basis_circuit(circuit)}
+
+    def _evolve_compiled(
+        self,
+        executable: Executable,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        working = None
+        if circuit is executable.circuit:
+            working = executable.artifact.get("working")
+        return self._evolve_working(circuit, initial_state, stats, working)
+
     def _evolve(
         self,
         circuit: QuantumCircuit,
         initial_state: SparseState | None,
         stats: EvolutionStats,
+    ) -> SparseState:
+        return self._evolve_working(circuit, initial_state, stats, None)
+
+    def _evolve_working(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+        working: QuantumCircuit | None,
     ) -> SparseState:
         if initial_state is not None:
             raise SimulationError("the MPS simulator only supports the |0...0> initial state")
@@ -79,7 +112,8 @@ class MPSSimulator(BaseSimulator):
             raise SimulationError(
                 f"MPS extraction limited to {self.max_extract_qubits} qubits (asked for {num_qubits})"
             )
-        working = two_qubit_basis_circuit(circuit)
+        if working is None:
+            working = two_qubit_basis_circuit(circuit)
 
         tensors = [np.zeros((1, 2, 1), dtype=np.complex128) for _site in range(num_qubits)]
         for tensor in tensors:

@@ -17,10 +17,22 @@ from ..core.circuit import QuantumCircuit
 from ..core.instruction import Instruction
 from ..errors import SimulationError
 from ..output.result import SparseState
-from .base import BaseSimulator, EvolutionStats
+from .base import BaseSimulator, EvolutionStats, Executable
 
 #: Estimated bytes per stored amplitude: dict entry overhead + key + complex.
 _BYTES_PER_ENTRY = 96
+
+#: Transition table: in_s -> [(out_s, amplitude factor)], the compiled form
+#: of a gate's relational rows.
+Transitions = dict[int, list[tuple[int, complex]]]
+
+
+def build_transitions(gate_rows: Sequence[tuple[int, int, float, float]]) -> Transitions:
+    """Index a gate's relational rows by input sub-state (the join's build side)."""
+    transitions: Transitions = defaultdict(list)
+    for in_s, out_s, real, imag in gate_rows:
+        transitions[in_s].append((out_s, complex(real, imag)))
+    return transitions
 
 
 def apply_gate_to_mapping(
@@ -39,10 +51,15 @@ def apply_gate_to_mapping(
       ``out_s``;
     * amplitudes of identical output indices are summed (GROUP BY s).
     """
-    transitions: dict[int, list[tuple[int, complex]]] = defaultdict(list)
-    for in_s, out_s, real, imag in gate_rows:
-        transitions[in_s].append((out_s, complex(real, imag)))
+    return _apply_transitions(amplitudes, build_transitions(gate_rows), qubits, prune_atol)
 
+
+def _apply_transitions(
+    amplitudes: Mapping[int, complex],
+    transitions: Transitions,
+    qubits: Sequence[int],
+    prune_atol: float,
+) -> dict[int, complex]:
     result: dict[int, complex] = defaultdict(complex)
     for index, amplitude in amplitudes.items():
         local = 0
@@ -77,11 +94,53 @@ class SparseSimulator(BaseSimulator):
             raise SimulationError("max_nonzero must be positive when given")
         self.max_nonzero = max_nonzero
 
+    def _compile(self, circuit: QuantumCircuit) -> dict:
+        """Precompute the transition tables of every fully bound gate.
+
+        Transition tables are the sparse mirror of the backend's gate
+        tables; building them once per executable instead of per execution
+        is exactly the reuse the relational plan cache provides.  Gates that
+        still carry free parameters are compiled at execute time.
+        """
+        plans: list[tuple[Transitions, tuple[int, ...]] | None] = []
+        for instruction in circuit.instructions:
+            if (
+                not instruction.is_gate
+                or instruction.gate is None
+                or instruction.free_parameters
+            ):
+                plans.append(None)
+                continue
+            transitions = build_transitions(instruction.gate.nonzero_entries(atol=self.prune_atol))
+            plans.append((transitions, tuple(instruction.qubits)))
+        return {"gate_plans": plans}
+
+    def _evolve_compiled(
+        self,
+        executable: Executable,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+    ) -> SparseState:
+        plans = executable.artifact.get("gate_plans")
+        if plans is None or len(plans) != len(circuit.instructions):
+            return self._evolve(circuit, initial_state, stats)
+        return self._evolve_with_plans(circuit, initial_state, stats, plans)
+
     def _evolve(
         self,
         circuit: QuantumCircuit,
         initial_state: SparseState | None,
         stats: EvolutionStats,
+    ) -> SparseState:
+        return self._evolve_with_plans(circuit, initial_state, stats, None)
+
+    def _evolve_with_plans(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: SparseState | None,
+        stats: EvolutionStats,
+        plans: list | None,
     ) -> SparseState:
         if initial_state is None:
             amplitudes: dict[int, complex] = {0: 1.0 + 0.0j}
@@ -89,8 +148,13 @@ class SparseSimulator(BaseSimulator):
             amplitudes = dict(initial_state.items())
 
         stats.observe(len(amplitudes), _BYTES_PER_ENTRY * len(amplitudes))
-        for instruction in circuit.instructions:
-            amplitudes = self._apply(amplitudes, instruction)
+        for position, instruction in enumerate(circuit.instructions):
+            plan = plans[position] if plans is not None else None
+            if plan is None:
+                amplitudes = self._apply(amplitudes, instruction)
+            else:
+                transitions, qubits = plan
+                amplitudes = _apply_transitions(amplitudes, transitions, qubits, self.prune_atol)
             size = len(amplitudes)
             estimate = _BYTES_PER_ENTRY * size
             stats.observe(size, estimate)

@@ -271,3 +271,65 @@ class TestReport:
 
         with pytest.raises(BenchmarkError):
             engine_stats_table({})
+
+
+class TestTemplateSweep:
+    """ParameterSweep over a parameterized template (compile once, bind per point)."""
+
+    def _template(self):
+        return qaoa_maxcut_circuit(4, edges=ring_graph(4), p=1)
+
+    def test_template_sweep_matches_callable_family(self):
+        edges = ring_graph(4)
+        points = grid({"gamma[0]": [0.2, 0.6], "beta[0]": [0.3, 0.9]})
+
+        template_sweep = ParameterSweep(
+            self._template(),
+            method_factory=StatevectorSimulator,
+            observable=lambda result: maxcut_expected_value(edges, result.state.probabilities()),
+        )
+
+        def family(point):
+            return qaoa_maxcut_circuit(
+                4, edges=edges, p=1, gammas=[point["gamma[0]"]], betas=[point["beta[0]"]]
+            )
+
+        callable_sweep = ParameterSweep(
+            family,
+            method_factory=StatevectorSimulator,
+            observable=lambda result: maxcut_expected_value(edges, result.state.probabilities()),
+        )
+        template_results = template_sweep.run(points)
+        callable_results = callable_sweep.run(points)
+        assert all(result.status == "ok" for result in template_results)
+        for mine, theirs in zip(template_results, callable_results):
+            assert mine.observable == pytest.approx(theirs.observable, abs=1e-9)
+
+    def test_template_sweep_without_reuse(self):
+        points = grid({"gamma[0]": [0.2, 0.6], "beta[0]": [0.3]})
+        sweep = ParameterSweep(
+            self._template(), method_factory=StatevectorSimulator, reuse_method=False
+        )
+        results = sweep.run(points)
+        assert [result.status for result in results] == ["ok", "ok"]
+
+    def test_template_sweep_records_bad_points(self):
+        points = [{"gamma[0]": 0.2, "beta[0]": 0.3}, {"nonsense": 1.0}]
+        sweep = ParameterSweep(self._template(), method_factory=StatevectorSimulator)
+        results = sweep.run(points)
+        assert [result.status for result in results] == ["ok", "error"]
+        assert "nonsense" in results[1].error
+
+    def test_template_sweep_shares_one_executable(self):
+        from repro.backends import MemDBBackend
+        from repro.backends.memdb.engine import PlanCache
+
+        cache = PlanCache()
+        points = grid({"gamma[0]": [0.2, 0.4, 0.6], "beta[0]": [0.3]})
+        sweep = ParameterSweep(self._template(), method_factory=lambda: MemDBBackend(plan_cache=cache))
+        results = sweep.run(points)
+        assert all(result.status == "ok" for result in results)
+        # compile() prepared the hot plan once; every point re-bound it.
+        stats = cache.stats()
+        assert stats["planned"] >= 1
+        assert stats["hits"] > 0

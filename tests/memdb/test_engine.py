@@ -241,3 +241,84 @@ class TestSelfJoin:
             "SELECT p.a, q.a FROM t p JOIN t q ON q.a = p.a WHERE p.b < q.b ORDER BY p.a"
         )
         assert result.rows == [(2, 2)]
+
+
+class TestPrepare:
+    """prepare(): compile a query into the plan cache without executing it."""
+
+    def _database(self):
+        from repro.backends.memdb.engine import PlanCache
+
+        cache = PlanCache()
+        database = MemDatabase(plan_cache=cache)
+        database.execute("CREATE TABLE t (a BIGINT NOT NULL, b DOUBLE NOT NULL)")
+        database.execute("INSERT INTO t (a, b) VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+        return database, cache
+
+    def test_prepare_then_execute_hits_the_cache(self):
+        database, cache = self._database()
+        query = "SELECT a, SUM(b) AS total FROM t GROUP BY a ORDER BY a"
+        assert database.prepare(query) == "prepared"
+        planned = cache.stats()["planned"]
+        assert planned >= 1
+        hits_before = cache.stats()["hits"]
+        result = database.execute(query)
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+        stats = cache.stats()
+        assert stats["planned"] == planned  # nothing recompiled
+        assert stats["hits"] > hits_before
+
+    def test_prepare_twice_reports_hit(self):
+        database, _cache = self._database()
+        query = "SELECT a FROM t ORDER BY a"
+        assert database.prepare(query) == "prepared"
+        assert database.prepare(query) == "hit"
+
+    def test_prepare_never_executes(self):
+        database, _cache = self._database()
+        database.prepare("SELECT a FROM t ORDER BY a")
+        # No result tables, no side effects: the catalog is untouched.
+        assert database.table_names() == ["t"]
+        assert database.row_count("t") == 3
+
+    def test_prepare_rejects_non_query_statements(self):
+        database, _cache = self._database()
+        with pytest.raises(SQLExecutionError, match="prepare only supports"):
+            database.prepare("DROP TABLE t")
+        with pytest.raises(SQLExecutionError, match="prepare only supports"):
+            database.prepare("INSERT INTO t (a, b) VALUES (9, 9.0)")
+        assert database.row_count("t") == 3
+
+    def test_prepared_plan_survives_table_recreation(self):
+        """The sweep shape: drop + identically recreate, then re-bind the plan."""
+        database, cache = self._database()
+        query = "SELECT a, b FROM t ORDER BY a"
+        database.prepare(query)
+        planned = cache.stats()["planned"]
+        database.execute("DROP TABLE t")
+        database.execute("CREATE TABLE t (a BIGINT NOT NULL, b DOUBLE NOT NULL)")
+        database.execute("INSERT INTO t (a, b) VALUES (7, 0.5)")
+        result = database.execute(query)
+        assert result.rows == [(7, 0.5)]
+        assert cache.stats()["planned"] == planned
+
+    def test_prepared_plan_invalidated_by_schema_change(self):
+        database, cache = self._database()
+        query = "SELECT a, b FROM t ORDER BY a"
+        database.prepare(query)
+        database.execute("DROP TABLE t")
+        database.execute("CREATE TABLE t (a DOUBLE NOT NULL, b DOUBLE NOT NULL)")
+        database.execute("INSERT INTO t (a, b) VALUES (1.25, 0.5)")
+        result = database.execute(query)
+        assert result.rows == [(1.25, 0.5)]
+        assert cache.stats()["invalidations"] >= 1
+
+    def test_prepare_with_cte_chain(self):
+        database, _cache = self._database()
+        query = (
+            "WITH big AS (SELECT a, b FROM t WHERE b > 1.0) "
+            "SELECT a, SUM(b) AS total FROM big GROUP BY a ORDER BY a"
+        )
+        assert database.prepare(query) == "prepared"
+        result = database.execute(query)
+        assert [row[0] for row in result.rows] == [1, 2, 3]

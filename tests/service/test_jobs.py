@@ -1,0 +1,244 @@
+"""Tests for the job service (submit / poll / result / stream + engine pool)."""
+
+import pytest
+
+from repro.circuits import ghz_circuit, qaoa_maxcut_circuit, ring_graph
+from repro.errors import QymeraError
+from repro.service import EnginePool, JobRequest, JobService, options_fingerprint
+
+_GRID = [{"gamma[0]": round(0.2 * k, 3), "beta[0]": 0.3} for k in range(1, 5)]
+
+
+def _qaoa_template():
+    return qaoa_maxcut_circuit(4, edges=ring_graph(4), p=1)
+
+
+@pytest.fixture
+def service():
+    service = JobService(max_workers=2)
+    yield service
+    service.shutdown(wait=True)
+
+
+class TestJobLifecycle:
+    def test_single_job_result(self, service):
+        handle = service.submit(circuit=ghz_circuit(3), method="memdb")
+        result = handle.result(timeout=30)
+        assert result.state.num_nonzero == 2
+        snapshot = handle.poll()
+        assert snapshot["status"] == "done"
+        assert snapshot["completed_points"] == snapshot["total_points"] == 1
+
+    def test_request_object_and_tag(self, service):
+        request = JobRequest(circuit=ghz_circuit(2), method="statevector", tag="bell")
+        handle = service.submit(request)
+        handle.result(timeout=30)
+        assert handle.poll()["tag"] == "bell"
+        assert service.poll(handle.job_id)["status"] == "done"
+
+    def test_grid_job_results_in_submission_order(self, service):
+        handle = service.submit(circuit=_qaoa_template(), method="memdb", param_grid=_GRID)
+        results = handle.result(timeout=60)
+        assert len(results) == len(_GRID)
+        for point, result in zip(_GRID, results):
+            assert result.metadata["parameter_binding"] == point
+
+    def test_stream_yields_every_point(self, service):
+        handle = service.submit(circuit=_qaoa_template(), method="sparse", param_grid=_GRID)
+        streamed = list(handle.stream(timeout=60))
+        assert len(streamed) == len(_GRID)
+        assert handle.status() == "done"
+
+    def test_params_job_binds_the_template(self, service):
+        handle = service.submit(
+            circuit=_qaoa_template(), method="statevector", params=_GRID[0]
+        )
+        result = handle.result(timeout=30)
+        assert result.metadata["parameter_binding"] == _GRID[0]
+
+    def test_error_job_reraises_on_result(self, service):
+        handle = service.submit(circuit=ghz_circuit(2), method="does_not_exist")
+        with pytest.raises(QymeraError, match="unknown simulation method"):
+            handle.result(timeout=30)
+        assert handle.poll()["status"] == "error"
+
+    def test_non_qymera_errors_still_terminate_the_job(self, service):
+        """Regression: a TypeError in the worker used to leave the job 'running'."""
+        handle = service.submit(circuit=ghz_circuit(2), method="memdb", options={"bogus_option": 1})
+        with pytest.raises(TypeError):
+            handle.result(timeout=30)
+        assert handle.poll()["status"] == "error"
+        assert "bogus_option" in handle.poll()["error"]
+
+    def test_unbound_parameter_job_fails_cleanly(self, service):
+        handle = service.submit(circuit=_qaoa_template(), method="memdb")
+        with pytest.raises(QymeraError, match="unbound parameters"):
+            handle.result(timeout=30)
+
+    def test_result_lookup_by_id(self, service):
+        handle = service.submit(circuit=ghz_circuit(2), method="sqlite")
+        assert service.result(handle.job_id, timeout=30).state.num_nonzero == 2
+        with pytest.raises(QymeraError, match="no job with id"):
+            service.job(99999)
+
+    def test_params_and_grid_are_mutually_exclusive(self):
+        with pytest.raises(QymeraError, match="not both"):
+            JobRequest(circuit=ghz_circuit(2), params={}, param_grid=[{}])
+
+    def test_shutdown_rejects_new_work(self):
+        service = JobService(max_workers=1)
+        service.submit(circuit=ghz_circuit(2), method="statevector").result(timeout=30)
+        service.shutdown(wait=True)
+        with pytest.raises(QymeraError, match="shut down"):
+            service.submit(circuit=ghz_circuit(2), method="statevector")
+
+
+class TestCancellation:
+    def test_queued_job_can_be_cancelled(self):
+        service = JobService(max_workers=1)
+        try:
+            # Occupy the single worker with a sweep, then cancel a queued job.
+            first = service.submit(
+                circuit=_qaoa_template(), method="memdb", param_grid=_GRID * 4
+            )
+            queued = service.submit(circuit=ghz_circuit(2), method="statevector")
+            assert queued.cancel() is True
+            first.result(timeout=60)
+            with pytest.raises(QymeraError):
+                queued.result(timeout=30)
+            assert queued.status() == "cancelled"
+        finally:
+            service.shutdown(wait=True)
+
+    def test_terminal_job_cannot_be_cancelled(self):
+        service = JobService(max_workers=1)
+        try:
+            handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+            handle.result(timeout=30)
+            assert handle.cancel() is False
+        finally:
+            service.shutdown(wait=True)
+
+    def test_cancel_return_matches_outcome(self):
+        """cancel() returns True only when the job is guaranteed to stop."""
+        service = JobService(max_workers=1)
+        try:
+            handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+            guaranteed = handle.cancel()
+            try:
+                handle.result(timeout=30)
+                completed = True
+            except QymeraError:
+                completed = False
+            # A True return promises the job produced nothing.
+            assert not (guaranteed and completed)
+            assert handle.status() == ("done" if completed else "cancelled")
+        finally:
+            service.shutdown(wait=True)
+
+
+class TestConcurrency:
+    def test_parallel_memdb_jobs_share_the_plan_cache_safely(self):
+        """Concurrent workers hammer the shared plan cache; results stay exact."""
+        from repro.output.analysis import states_agree
+        from repro.simulators import StatevectorSimulator
+
+        service = JobService(max_workers=4)
+        try:
+            template = _qaoa_template()
+            handles = [
+                service.submit(circuit=template, method="memdb", param_grid=_GRID)
+                for _ in range(6)
+            ]
+            reference = StatevectorSimulator().compile(template).execute_batch(_GRID)
+            for handle in handles:
+                results = handle.result(timeout=120)
+                for expected, actual in zip(reference, results):
+                    assert states_agree(
+                        expected.state, actual.state, atol=1e-9, up_to_global_phase=False
+                    )
+            assert service.stats()["jobs"] == {"done": 6}
+        finally:
+            service.shutdown(wait=True)
+
+
+class TestEnginePool:
+    def test_sequential_jobs_reuse_the_engine(self):
+        service = JobService(max_workers=1)
+        try:
+            for _ in range(3):
+                service.submit(circuit=ghz_circuit(3), method="memdb").result(timeout=30)
+            stats = service.stats()
+            assert stats["pool"]["created"] == 1
+            assert stats["pool"]["reused"] == 2
+            assert stats["jobs"] == {"done": 3}
+        finally:
+            service.shutdown(wait=True)
+
+    def test_distinct_options_get_distinct_engines(self):
+        pool = EnginePool()
+        key_a, engine_a = pool.acquire("memdb", {"fuse": True})
+        key_b, engine_b = pool.acquire("memdb", {"fuse": False})
+        assert key_a != key_b
+        assert engine_a is not engine_b
+        pool.release(key_a, engine_a)
+        key_c, engine_c = pool.acquire("memdb", {"fuse": True})
+        assert key_c == key_a and engine_c is engine_a
+
+    def test_release_caps_idle_instances(self):
+        pool = EnginePool(max_idle_per_key=1)
+        key, first = pool.acquire("statevector", {})
+        _key, second = pool.acquire("statevector", {})
+        pool.release(key, first)
+        pool.release(key, second)
+        assert pool.stats()["idle"]["statevector"] == 1
+
+    def test_options_fingerprint_handles_unhashable_values(self):
+        fingerprint = options_fingerprint({"budget": [1, 2, 3], "fuse": True})
+        assert isinstance(hash(fingerprint), int)
+        assert fingerprint == options_fingerprint({"fuse": True, "budget": [1, 2, 3]})
+
+    def test_options_fingerprint_keeps_values_alive(self):
+        """The fingerprint must hold the option objects, so a GC'd option can
+        never alias a new object recycled onto the same address."""
+        value = [1, 2, 3]
+        fingerprint = options_fingerprint({"budget": value})
+        (_key, token) = fingerprint[0]
+        assert token.value is value
+
+    def test_distinct_stateful_options_never_alias(self):
+        from repro.backends.memdb.engine import PlanCache
+
+        first = options_fingerprint({"plan_cache": PlanCache()})
+        second = options_fingerprint({"plan_cache": PlanCache()})
+        assert first != second
+
+
+class TestRetention:
+    def test_terminal_jobs_are_evicted_beyond_the_bound(self):
+        service = JobService(max_workers=1, max_retained_jobs=2)
+        try:
+            handles = [
+                service.submit(circuit=ghz_circuit(2), method="statevector") for _ in range(4)
+            ]
+            for handle in handles:
+                try:
+                    handle.result(timeout=30)
+                except QymeraError:
+                    pass
+            service.submit(circuit=ghz_circuit(2), method="statevector").result(timeout=30)
+            assert len(service.jobs()) <= 2
+        finally:
+            service.shutdown(wait=True)
+
+    def test_purge_drops_finished_jobs(self):
+        service = JobService(max_workers=1)
+        try:
+            handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+            handle.result(timeout=30)
+            assert service.purge() == 1
+            assert service.jobs() == []
+            with pytest.raises(QymeraError, match="no job with id"):
+                service.poll(handle.job_id)
+        finally:
+            service.shutdown(wait=True)

@@ -4,6 +4,8 @@ import json
 
 import pytest
 
+from repro.backends import duckdb_available
+from repro.backends.memdb.engine import PlanCache
 from repro.circuits import ghz_circuit, qaoa_maxcut_circuit
 from repro.errors import QymeraError
 from repro.io import dumps_circuit, dumps_qasm
@@ -105,6 +107,159 @@ class TestSimulationPanel:
         assert stats["optimizer"]["enabled"] is True
         with pytest.raises(QymeraError):
             session.simulations.engine_stats("statevector")
+
+
+class TestTranslateDialectRouting:
+    def test_known_dialects(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        assert session.simulations.translate("ghz", dialect="sqlite").dialect.name == "sqlite"
+        assert session.simulations.translate("ghz", dialect="memdb").dialect.name == "memdb"
+
+    def test_duckdb_routes_to_duckdb_backend(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        if duckdb_available():
+            assert session.simulations.translate("ghz", dialect="duckdb").dialect.name == "duckdb"
+        else:
+            with pytest.raises(QymeraError, match="duckdb"):
+                session.simulations.translate("ghz", dialect="duckdb")
+
+    def test_unknown_dialect_raises(self, session):
+        """Regression: unknown dialects used to fall through to memdb silently."""
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        with pytest.raises(QymeraError, match="unknown SQL dialect"):
+            session.simulations.translate("ghz", dialect="oracle")
+
+
+class TestResultOptionsFingerprint:
+    def test_runs_with_different_options_do_not_overwrite(self, session):
+        """Regression: results were keyed by (circuit, method) only."""
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        plain = session.simulations.run("ghz", "memdb")
+        fused = session.simulations.run("ghz", "memdb", fuse=True)
+        assert len(session.simulations.results()) == 2
+        assert session.simulations.result("ghz", "memdb", fuse=True) is fused
+        assert session.simulations.result("ghz", "memdb") is plain
+
+    def test_unambiguous_lookup_without_options(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        result = session.simulations.run("ghz", "sqlite", fuse=True)
+        # Only one stored run for (ghz, sqlite): option-less lookup finds it.
+        assert session.simulations.result("ghz", "sqlite") is result
+
+    def test_wrong_options_raise(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "sqlite")
+        with pytest.raises(QymeraError, match="no stored result"):
+            session.simulations.result("ghz", "sqlite", fuse=True)
+
+    def test_output_views_accept_run_options(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "memdb")
+        session.simulations.run("ghz", "memdb", fuse=True)
+        # Views address a specific run by its options...
+        assert "111" in session.output.state_table("ghz", "memdb", fuse=True)
+        assert "#" in session.output.probability_histogram("ghz", "memdb", fuse=True)
+        assert session.output.entanglement("ghz", "memdb", [0], fuse=True) == pytest.approx(1.0)
+        # ...an option-less lookup exactly matches the option-less run...
+        assert "111" in session.output.state_table("ghz", "memdb")
+        # ...and is only ambiguous when several optioned runs exist with no
+        # option-less one.
+        session.simulations.run("ghz", "sqlite", fuse=True)
+        session.simulations.run("ghz", "sqlite", prune_atol=1e-10)
+        with pytest.raises(QymeraError, match="disambiguate"):
+            session.output.state_table("ghz", "sqlite")
+
+    def test_performance_table_distinguishes_option_sets(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "memdb")
+        session.simulations.run("ghz", "memdb", fuse=True)
+        table = session.output.performance_table("ghz")
+        assert "options" in table
+        assert "fuse=True" in table
+        # Option-less sessions keep the original compact table.
+        session.simulations.run("ghz", "sqlite")
+        assert "options" not in session.output.performance_table("ghz", methods=["sqlite"])
+
+
+class TestRunAllOptions:
+    def test_per_method_options_are_forwarded(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        results = session.simulations.run_all(
+            "ghz",
+            methods=["memdb", "statevector"],
+            options={"memdb": {"fuse": True}},
+        )
+        assert set(results) == {"memdb", "statevector"}
+        assert results["memdb"].metadata["sql"]["fusion"]["enabled"] is True
+        # The fused run was stored under its own fingerprint.
+        assert session.simulations.result("ghz", "memdb", fuse=True) is results["memdb"]
+
+    def test_options_for_methods_not_run_raise(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        with pytest.raises(QymeraError, match="will not run"):
+            session.simulations.run_all("ghz", methods=["sqlite"], options={"memdb": {"fuse": True}})
+
+    def test_pooled_instances_are_shared_with_run(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run_all("ghz", methods=["memdb"], options={"memdb": {"fuse": True}})
+        pooled = session.simulations._pooled_method("memdb", {"fuse": True})
+        assert pooled is session.simulations._method_pool[("memdb", (("fuse", True),))]
+
+
+class TestPooledMethod:
+    def test_pool_reuse_across_run_explain_engine_stats(self, session):
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        session.simulations.run("ghz", "memdb")
+        pooled = session.simulations._pooled_method("memdb", {})
+        session.simulations.explain("ghz")
+        session.simulations.engine_stats("memdb")
+        # All three entry points resolve to the same pooled instance.
+        assert session.simulations._pooled_method("memdb", {}) is pooled
+        assert len([key for key in session.simulations._method_pool if key[0] == "memdb"]) == 1
+
+    def test_unhashable_options_fall_back_to_fresh_instances(self, session):
+        class UnhashableCache(PlanCache):
+            __hash__ = None
+
+        options = {"plan_cache": UnhashableCache()}
+        first = session.simulations._pooled_method("memdb", options)
+        second = session.simulations._pooled_method("memdb", options)
+        assert first is not second
+        assert not session.simulations._method_pool
+
+    def test_unhashable_options_still_run(self, session):
+        class UnhashableCache(PlanCache):
+            __hash__ = None
+
+        session.circuits.add_circuit(ghz_circuit(3), "ghz")
+        result = session.simulations.run("ghz", "memdb", plan_cache=UnhashableCache())
+        assert result.state.num_nonzero == 2
+
+    def test_plan_cache_hits_survive_pooling(self, session):
+        """Re-running a circuit on the pooled memdb instance hits cached plans."""
+        cache = PlanCache()
+        session.circuits.add_circuit(ghz_circuit(4), "ghz4")
+        session.simulations.run("ghz4", "memdb", plan_cache=cache)
+        planned_after_first = cache.stats()["planned"]
+        hits_after_first = cache.stats()["hits"]
+        session.simulations.run("ghz4", "memdb", plan_cache=cache)
+        stats = cache.stats()
+        # Same pooled instance, same SQL texts: the second run compiles no new
+        # plans and lands only hits for the hot query.
+        assert stats["planned"] == planned_after_first
+        assert stats["hits"] > hits_after_first
+
+
+class TestJobSubmission:
+    def test_submit_routes_through_the_job_service(self, session):
+        session.circuits.add_circuit(qaoa_maxcut_circuit(4, p=1), "qaoa")
+        grid = [{"gamma[0]": 0.2 * k, "beta[0]": 0.3} for k in range(1, 4)]
+        handle = session.simulations.submit("qaoa", "memdb", param_grid=grid)
+        results = handle.result(timeout=60)
+        assert len(results) == 3
+        assert handle.poll()["tag"] == "qaoa"
+        assert session.jobs.stats()["jobs"]["done"] >= 1
+        session.jobs.shutdown()
 
 
 class TestOutputPanel:

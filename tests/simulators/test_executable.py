@@ -1,0 +1,285 @@
+"""Tests for the compile-bind-execute lifecycle shared by every method.
+
+Every simulation method — the three RDBMS backends and the four baseline
+simulators — must expose the same `compile(circuit) -> Executable`,
+`bind(params) -> BoundExecutable`, `execute()` / `execute_batch(grid)`
+protocol, and bound sweep points must agree across methods to 1e-9.
+"""
+
+import pytest
+
+from repro import Parameter, QuantumCircuit
+from repro.backends import DuckDBBackend, MemDBBackend, SQLiteBackend, duckdb_available
+from repro.backends.memdb.engine import PlanCache
+from repro.errors import ParameterError, SimulationError
+from repro.output.analysis import states_agree
+from repro.output.result import SparseState
+from repro.simulators import (
+    BoundExecutable,
+    DecisionDiagramSimulator,
+    Executable,
+    MPSSimulator,
+    SparseSimulator,
+    StatevectorSimulator,
+)
+
+_ATOL = 1e-9
+
+
+def _method_factories() -> dict:
+    factories = {
+        "sqlite": SQLiteBackend,
+        "memdb": MemDBBackend,
+        "statevector": StatevectorSimulator,
+        "sparse": SparseSimulator,
+        "mps": MPSSimulator,
+        "dd": DecisionDiagramSimulator,
+    }
+    if duckdb_available():
+        factories["duckdb"] = DuckDBBackend
+    return factories
+
+
+_METHODS = _method_factories()
+
+
+def _parameterized_template() -> QuantumCircuit:
+    theta = Parameter("theta")
+    phi = Parameter("phi")
+    circuit = QuantumCircuit(3, name="lifecycle_family")
+    circuit.h(0)
+    circuit.rx(theta, 0)
+    circuit.cx(0, 1)
+    circuit.ry(phi, 1)
+    circuit.cx(1, 2)
+    circuit.rz(theta * 2.0, 2)
+    return circuit
+
+
+_SWEEP_POINTS = [
+    {"theta": 0.3, "phi": 1.1},
+    {"theta": 0.9, "phi": 0.2},
+    {"theta": 2.2, "phi": 2.8},
+]
+
+
+def _ghz() -> QuantumCircuit:
+    circuit = QuantumCircuit(3, name="ghz3")
+    circuit.h(0).cx(0, 1).cx(1, 2)
+    return circuit
+
+
+class TestLifecycleProtocol:
+    """Every method exposes the same three-stage protocol."""
+
+    @pytest.mark.parametrize("name", sorted(_METHODS), ids=sorted(_METHODS))
+    def test_compile_bind_execute(self, name):
+        method = _METHODS[name]()
+        executable = method.compile(_parameterized_template())
+        assert isinstance(executable, Executable)
+        assert executable.is_parameterized
+        assert executable.parameter_names == ["phi", "theta"]
+        assert executable.executions == 0
+
+        bound = executable.bind(_SWEEP_POINTS[0])
+        assert isinstance(bound, BoundExecutable)
+        assert not bound.circuit.is_parameterized
+        assert bound.point == _SWEEP_POINTS[0]
+
+        result = bound.execute()
+        assert result.method == method.name
+        assert result.metadata["parameter_binding"] == _SWEEP_POINTS[0]
+        assert executable.executions == 1
+
+    @pytest.mark.parametrize("name", sorted(_METHODS), ids=sorted(_METHODS))
+    def test_execute_batch_counts_and_matches_single_binds(self, name):
+        method = _METHODS[name]()
+        executable = method.compile(_parameterized_template())
+        batch = executable.execute_batch(_SWEEP_POINTS)
+        assert len(batch) == len(_SWEEP_POINTS)
+        assert executable.executions == len(_SWEEP_POINTS)
+        for point, result in zip(_SWEEP_POINTS, batch):
+            again = _METHODS[name]().compile(_parameterized_template()).bind(point).execute()
+            assert states_agree(result.state, again.state, atol=_ATOL, up_to_global_phase=False)
+
+    @pytest.mark.parametrize("name", sorted(_METHODS), ids=sorted(_METHODS))
+    def test_run_is_the_pipeline(self, name):
+        """run() stays as a back-compat wrapper over compile().bind().execute()."""
+        method = _METHODS[name]()
+        circuit = _ghz()
+        via_run = method.run(circuit)
+        via_pipeline = method.compile(circuit).bind().execute()
+        assert states_agree(via_run.state, via_pipeline.state, atol=_ATOL, up_to_global_phase=False)
+
+    def test_bind_requires_all_parameters(self):
+        executable = StatevectorSimulator().compile(_parameterized_template())
+        with pytest.raises(SimulationError, match="unbound parameters"):
+            executable.bind({"theta": 0.3})
+        with pytest.raises(SimulationError, match="unbound parameters"):
+            executable.bind()
+
+    def test_bind_rejects_unknown_parameters(self):
+        executable = StatevectorSimulator().compile(_ghz())
+        with pytest.raises(ParameterError):
+            executable.bind({"does_not_exist": 1.0})
+
+    def test_bind_kwargs_merge(self):
+        executable = StatevectorSimulator().compile(_parameterized_template())
+        result = executable.bind({"theta": 0.3}, phi=1.1).execute()
+        reference = executable.bind(_SWEEP_POINTS[0]).execute()
+        assert states_agree(result.state, reference.state, atol=_ATOL, up_to_global_phase=False)
+
+    def test_unparameterized_bind_is_reusable(self):
+        executable = SparseSimulator().compile(_ghz())
+        first = executable.bind().execute()
+        second = executable.bind().execute()
+        assert executable.executions == 2
+        assert states_agree(first.state, second.state, atol=_ATOL, up_to_global_phase=False)
+
+    def test_compile_time_is_reported_separately(self):
+        executable = MemDBBackend().compile(_ghz())
+        assert executable.compile_time_s > 0
+        result = executable.bind().execute()
+        assert result.metadata["compile_time_s"] == executable.compile_time_s
+        # wall_time_s covers the execute stage only.
+        assert result.wall_time_s >= 0
+
+    def test_initial_state_still_supported(self):
+        circuit = QuantumCircuit(2, name="x0")
+        circuit.x(0)
+        start = SparseState(2, {2: 1.0 + 0.0j})
+        result = StatevectorSimulator().compile(circuit).bind().execute(initial_state=start)
+        assert result.state.amplitude(3) == pytest.approx(1.0)
+
+
+class TestCrossMethodDifferential:
+    """Amplitudes agree across every method on every bound sweep point."""
+
+    def test_sweep_points_agree_to_1e_9(self):
+        executables = {name: factory().compile(_parameterized_template()) for name, factory in _METHODS.items()}
+        batches = {name: executable.execute_batch(_SWEEP_POINTS) for name, executable in executables.items()}
+        reference = batches.pop("statevector")
+        for name, batch in batches.items():
+            for index, result in enumerate(batch):
+                assert states_agree(
+                    reference[index].state, result.state, atol=_ATOL, up_to_global_phase=False
+                ), f"{name} disagrees with statevector at sweep point {index}"
+
+
+class TestCompiledArtifacts:
+    def test_statevector_artifact_prepares_bound_gates(self):
+        executable = StatevectorSimulator().compile(_parameterized_template())
+        plans = executable.artifact["gate_plans"]
+        assert len(plans) == 6
+        # h, cx, cx have precomputed matrices; the parameterized rotations do not.
+        matrices = [plan[0] is not None for plan in plans if plan is not None]
+        assert matrices.count(True) == 3
+        assert matrices.count(False) == 3
+
+    def test_statevector_scatter_prep_is_budget_bounded(self):
+        """Precomputed gather arrays are capped at one state vector's worth."""
+        circuit = QuantumCircuit(3, name="many_tuples")
+        circuit.h(0).h(1).h(2)          # 3 distinct 1q tuples: 32 bytes each
+        circuit.cx(0, 1).cx(1, 2)       # 2 distinct 2q tuples: 16 bytes each
+        circuit.cx(0, 2)                # would exceed the 128-byte budget
+        executable = StatevectorSimulator().compile(circuit)
+        plans = executable.artifact["gate_plans"]
+        assert [plan is not None for plan in plans] == [True] * 5 + [False]
+        # The uncompiled tail still executes correctly.
+        reference = StatevectorSimulator().run(circuit)
+        assert states_agree(
+            executable.bind().execute().state, reference.state, atol=_ATOL, up_to_global_phase=False
+        )
+
+    def test_statevector_skips_prep_beyond_limits(self):
+        simulator = StatevectorSimulator(max_qubits=2)
+        executable = simulator.compile(_ghz())
+        assert executable.artifact == {}
+        with pytest.raises(SimulationError, match="limited to 2 qubits"):
+            executable.bind().execute()
+
+    def test_sparse_artifact_holds_transition_tables(self):
+        executable = SparseSimulator().compile(_ghz())
+        plans = executable.artifact["gate_plans"]
+        assert len(plans) == 3
+        transitions, qubits = plans[0]
+        assert qubits == (0,)
+        assert set(transitions) == {0, 1}
+
+    def test_relational_artifact_caches_translation(self):
+        backend = SQLiteBackend()
+        circuit = _ghz()
+        executable = backend.compile(circuit)
+        assert executable.artifact["translation"].circuit_name == "ghz3"
+        assert executable.provenance["translation"]["num_steps"] == 3
+
+    def test_oom_budget_still_raises_at_execute(self):
+        from repro.errors import ResourceLimitExceeded
+
+        simulator = StatevectorSimulator(max_state_bytes=8)
+        executable = simulator.compile(_ghz())
+        with pytest.raises(ResourceLimitExceeded):
+            executable.bind().execute()
+
+
+class TestMemdbPlanProvenance:
+    def test_compile_prepares_the_plan(self):
+        cache = PlanCache()
+        backend = MemDBBackend(plan_cache=cache)
+        executable = backend.compile(_ghz())
+        assert executable.provenance["plan_cache"] == {
+            "prepared": True,
+            "state_at_compile": "prepared",
+        }
+        # The first execution re-binds the prepared plan: no new planned-tier
+        # entries appear, and the hot query is a hit.
+        planned_before = cache.stats()["planned"]
+        executable.bind().execute()
+        assert cache.stats()["planned"] == planned_before
+        assert executable.provenance["last_execution"]["plan_cache"]["hits"] > 0
+
+    def test_second_compile_hits_the_cache(self):
+        cache = PlanCache()
+        backend = MemDBBackend(plan_cache=cache)
+        backend.compile(_ghz())
+        again = backend.compile(_ghz())
+        assert again.provenance["plan_cache"]["state_at_compile"] == "hit"
+
+    def test_parameterized_template_prepares_for_every_bind(self):
+        cache = PlanCache()
+        backend = MemDBBackend(plan_cache=cache)
+        executable = backend.compile(_parameterized_template())
+        assert executable.provenance["plan_cache"]["prepared"] is True
+        planned_before = cache.stats()["planned"]
+        executable.execute_batch(_SWEEP_POINTS)
+        # Every sweep point re-binds the plan prepared at compile time.
+        assert cache.stats()["planned"] == planned_before
+
+    def test_materialized_mode_compiles_lazily(self):
+        backend = MemDBBackend(mode="materialized", plan_cache=PlanCache())
+        executable = backend.compile(_ghz())
+        assert executable.provenance["plan_cache"]["prepared"] is False
+        executable.bind().execute()  # still runs fine
+
+    def test_disabled_cache_skips_eager_preparation(self):
+        backend = MemDBBackend(plan_cache=PlanCache(0))
+        executable = backend.compile(_ghz())
+        assert executable.provenance["plan_cache"] == {
+            "prepared": False,
+            "reason": "plan cache disabled",
+        }
+        assert executable.bind().execute().state.num_nonzero == 2
+
+    def test_cached_compile_skips_table_setup(self):
+        """Recompiling a cached structure must not rerun the setup statements."""
+        cache = PlanCache()
+        backend = MemDBBackend(plan_cache=cache)
+        backend.compile(_ghz())
+        parse_only_after_first = cache.stats()["parse_only"]
+        misses_after_first = cache.stats()["misses"]
+        again = backend.compile(_ghz())
+        assert again.provenance["plan_cache"]["state_at_compile"] == "hit"
+        stats = cache.stats()
+        # No setup statements executed: no new parse-only entries, no misses.
+        assert stats["parse_only"] == parse_only_after_first
+        assert stats["misses"] == misses_after_first
