@@ -154,7 +154,11 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class Select:
-    """A SELECT statement (possibly a CTE body)."""
+    """A SELECT statement (possibly a CTE body).
+
+    ``limit`` / ``offset`` follow SQLite semantics: a negative LIMIT means
+    "no limit" and a negative OFFSET is treated as 0.
+    """
 
     items: tuple[SelectItem, ...]
     source: Optional[TableSource] = None
@@ -164,6 +168,7 @@ class Select:
     having: Optional[Expression] = None
     order_by: tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
+    offset: Optional[int] = None
     distinct: bool = False
 
 

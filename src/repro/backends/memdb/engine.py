@@ -42,7 +42,14 @@ from .ast_nodes import (
     WithSelect,
 )
 from .executor import ExpressionEvaluator, QueryResult, SelectExecutor
-from .optimizer import ActualRun, Optimizer, OptimizerReport, StatisticsCatalog, render_explain
+from .optimizer import (
+    ActualRun,
+    Optimizer,
+    OptimizerReport,
+    StatisticsCatalog,
+    render_explain,
+    select_shape,
+)
 from .optimizer.rewrite import referenced_stored_tables
 from .parser import parse_sql
 from .planner import CompiledCreateTableAs, CompiledScript, compile_statement
@@ -70,9 +77,14 @@ class CachedScript:
     re-binding stale plans.  ``optimizer_enabled`` records which pipeline
     produced the plans, so an optimizer-off database never executes
     optimizer-rewritten plans from a shared cache (or vice versa).
+
+    ``replan`` is the adaptive re-optimization hook: when an execution
+    observes block cardinalities far above the plan's estimates, the engine
+    flags the entry (under the cache lock) and the next ``get`` treats it
+    as a miss, so the text re-optimizes against the corrected statistics.
     """
 
-    __slots__ = ("items", "schemas", "optimizer_enabled")
+    __slots__ = ("items", "schemas", "optimizer_enabled", "replan")
 
     def __init__(
         self,
@@ -83,6 +95,7 @@ class CachedScript:
         self.items = items
         self.schemas = schemas
         self.optimizer_enabled = optimizer_enabled
+        self.replan = False
 
     def is_valid(self, catalog: Mapping[str, Table]) -> bool:
         """True when every fingerprinted table still has its compile-time shape."""
@@ -135,7 +148,17 @@ class PlanCache:
     safe (plans hold table names, never data).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "invalidations", "_plans", "_parsed", "_lock")
+    __slots__ = (
+        "maxsize",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "replans",
+        "_plans",
+        "_parsed",
+        "_lock",
+    )
 
     #: Cache keys are ``(optimizer_enabled, sql)``: optimizer-on and
     #: optimizer-off compilations of the same text are distinct entries, so
@@ -150,6 +173,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.replans = 0
         self._plans: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
         self._parsed: OrderedDict[PlanCache._Key, CachedScript] = OrderedDict()
         self._lock = threading.Lock()
@@ -171,6 +195,13 @@ class PlanCache:
             for store in (self._plans, self._parsed):
                 entry = store.get(key)
                 if entry is not None:
+                    if entry.replan:
+                        # Flagged by adaptive feedback: re-optimize instead
+                        # of re-binding the misestimated plan.
+                        del store[key]
+                        self.replans += 1
+                        self.misses += 1
+                        return None
                     if catalog is not None and not entry.is_valid(catalog):
                         del store[key]
                         self.invalidations += 1
@@ -194,10 +225,28 @@ class PlanCache:
             for store in (self._plans, self._parsed):
                 entry = store.get(key)
                 if entry is not None:
+                    if entry.replan:
+                        return "replan"
                     if catalog is not None and not entry.is_valid(catalog):
                         return "stale"
                     return "hit"
             return "miss"
+
+    def mark_replan(self, sql: str, optimizer_enabled: bool = True) -> bool:
+        """Flag a cached script for re-planning on its next lookup.
+
+        Called by adaptive feedback when observed block cardinalities exceed
+        the plan's estimates beyond the engine's threshold.  Returns True
+        when an entry was flagged (False when the text is no longer cached).
+        """
+        key = (bool(optimizer_enabled), sql)
+        with self._lock:
+            for store in (self._plans, self._parsed):
+                entry = store.get(key)
+                if entry is not None:
+                    entry.replan = True
+                    return True
+            return False
 
     #: Parse-only scripts longer than this are not cached: a dense
     #: initial-state INSERT can carry 2^n literal rows, and pinning its AST in
@@ -232,6 +281,7 @@ class PlanCache:
             self.misses = 0
             self.evictions = 0
             self.invalidations = 0
+            self.replans = 0
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus the current per-tier sizes."""
@@ -245,6 +295,7 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "replans": self.replans,
             }
 
     def __len__(self) -> int:
@@ -298,16 +349,56 @@ class MemDatabase:
         join reordering); physical operator choices still run through the
         cost model with default estimates.  Used by benchmarks to ablate
         the optimizer.
+    enable_adaptive:
+        When True (default, requires the optimizer), every compiled-plan
+        execution compares the optimizer's estimated block cardinalities
+        against the actual row counts.  A block producing more than
+        ``adaptive_threshold`` times its estimate (and at least
+        ``adaptive_min_rows`` rows) records a per-(table, predicate-shape)
+        correction factor in the statistics catalog and flags the plan-cache
+        entry for re-planning on the next lookup.  Only *under*estimates
+        trigger: UES estimates are upper bounds by design, so an actual
+        exceeding the bound proves the statistics are stale or the model's
+        independence assumptions failed — overestimates are expected
+        pessimism.
+    enable_topk:
+        When False the cost model never chooses the bounded top-k operator
+        for ORDER BY ... LIMIT (benchmark ablation of sort-then-slice).
     """
 
+    #: Actual/estimated ratio above which a block triggers re-planning.
+    ADAPTIVE_THRESHOLD = 4.0
+    #: Blocks smaller than this (both estimated and actual) never trigger.
+    ADAPTIVE_MIN_ROWS = 64
+    #: Bounded history of adaptive events kept for optimizer_stats().
+    ADAPTIVE_EVENT_LIMIT = 32
+
     def __init__(
-        self, plan_cache: PlanCache | None = None, enable_optimizer: bool = True
+        self,
+        plan_cache: PlanCache | None = None,
+        enable_optimizer: bool = True,
+        enable_adaptive: bool = True,
+        enable_topk: bool = True,
+        adaptive_threshold: float | None = None,
+        adaptive_min_rows: int | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
         self._plan_cache = _SHARED_PLAN_CACHE if plan_cache is None else plan_cache
         self._statistics = StatisticsCatalog()
         self.enable_optimizer = bool(enable_optimizer)
+        self.enable_adaptive = bool(enable_adaptive) and self.enable_optimizer
+        self.enable_topk = bool(enable_topk)
+        self.adaptive_threshold = (
+            self.ADAPTIVE_THRESHOLD if adaptive_threshold is None else float(adaptive_threshold)
+        )
+        self.adaptive_min_rows = (
+            self.ADAPTIVE_MIN_ROWS if adaptive_min_rows is None else int(adaptive_min_rows)
+        )
         self._optimizer_counters: dict[str, int] = {}
+        self._adaptive_events: list[dict] = []
+        #: Scripts whose first (cold) execution already requested a re-plan,
+        #: observed before the compiled entry reached the cache.
+        self._pending_replans: set[str] = set()
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -341,10 +432,26 @@ class MemDatabase:
             "enabled": self.enable_optimizer,
             "counters": dict(self._optimizer_counters),
             "statistics": self._statistics.summary(),
+            "adaptive": self.adaptive_stats(),
+        }
+
+    def adaptive_stats(self) -> dict:
+        """The adaptive feedback loop's state: counters plus recent events."""
+        return {
+            "enabled": self.enable_adaptive,
+            "threshold": self.adaptive_threshold,
+            "replans": self._optimizer_counters.get("adaptive_replans", 0),
+            "corrections": self._optimizer_counters.get("feedback_corrections", 0),
+            "events": list(self._adaptive_events),
         }
 
     def _optimizer(self) -> Optimizer:
-        return Optimizer(self._tables, self._statistics, enabled=self.enable_optimizer)
+        return Optimizer(
+            self._tables,
+            self._statistics,
+            enabled=self.enable_optimizer,
+            enable_topk=self.enable_topk,
+        )
 
     def _record_report(self, report: OptimizerReport | None) -> None:
         if report is None:
@@ -380,9 +487,11 @@ class MemDatabase:
         return sum(table.estimated_bytes() for table in self._tables.values())
 
     def clear(self) -> None:
-        """Drop every table."""
+        """Drop every table (and the adaptive state observed against them)."""
         self._tables.clear()
         self._statistics.clear()
+        self._adaptive_events.clear()
+        self._pending_replans.clear()
 
     # -------------------------------------------------------------- execution
 
@@ -398,7 +507,7 @@ class MemDatabase:
         result = QueryResult([], [])
         if cached is not None:
             for item in cached.items:
-                result = self._execute_compiled(item.statement, item.plan)
+                result = self._execute_compiled(item.statement, item.plan, item=item, sql=sql)
             return result
         # Cold path: optimize + compile each statement just before executing
         # it, so a compile-time error in statement k still leaves the effects
@@ -421,13 +530,20 @@ class MemDatabase:
                 continue
             compiled = self._compile_one(optimizer, statement, schemas, touched_by_ddl)
             items.append(compiled)
-            result = self._execute_compiled(compiled.statement, compiled.plan)
+            result = self._execute_compiled(
+                compiled.statement, compiled.plan, item=compiled, sql=sql if cacheable else None
+            )
             if isinstance(statement, (CreateTable, CreateTableAs, DropTable)):
                 touched_by_ddl.add(statement.name)
         if cacheable:
-            self._plan_cache.put(
-                sql, CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
-            )
+            entry = CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
+            if sql in self._pending_replans:
+                # Feedback from this very execution already disqualified the
+                # plans: cache the entry pre-flagged so the next lookup
+                # re-optimizes against the corrected statistics.
+                self._pending_replans.discard(sql)
+                entry.replan = True
+            self._plan_cache.put(sql, entry)
         return result
 
     def _compile_one(
@@ -485,13 +601,117 @@ class MemDatabase:
         return "prepared"
 
     def _execute_compiled(
-        self, statement: Statement, plan: "CompiledScript | CompiledCreateTableAs | None"
+        self,
+        statement: Statement,
+        plan: "CompiledScript | CompiledCreateTableAs | None",
+        item: CompiledStatement | None = None,
+        sql: str | None = None,
     ) -> QueryResult:
         if plan is None:
             return self._execute_statement(statement)
+        collect = (
+            self.enable_adaptive
+            and sql is not None
+            and item is not None
+            and item.report is not None
+            and bool(item.report.queries)
+        )
+        actuals: dict[str, int] = {}
+        trace = actuals.__setitem__ if collect else None
         if isinstance(plan, CompiledCreateTableAs):
-            return self._run_compiled_create(plan)
-        return self._materialize(*plan.execute(self._tables))
+            result = self._run_compiled_create(plan, trace=trace)
+        else:
+            result = self._materialize(*plan.execute(self._tables, trace=trace))
+        if collect and actuals:
+            self._adaptive_feedback(sql, item, actuals)
+        return result
+
+    # ------------------------------------------------- adaptive re-planning
+
+    @staticmethod
+    def _query_blocks(statement: Statement) -> dict[str, Select]:
+        """Label -> Select for every traced block of a plannable statement."""
+        query = statement.query if isinstance(statement, CreateTableAs) else statement
+        if isinstance(query, WithSelect):
+            blocks = {cte.name: cte.query for cte in query.ctes}
+            blocks["main"] = query.query
+            return blocks
+        if isinstance(query, Select):
+            return {"main": query}
+        return {}
+
+    def _adaptive_feedback(
+        self, sql: str, item: CompiledStatement, actuals: Mapping[str, int]
+    ) -> None:
+        """Compare a plan's estimated block cardinalities to an execution's actuals.
+
+        A block producing more than ``adaptive_threshold`` times its
+        *plan-time* estimate flags the cached script for re-planning.  On
+        top of that, the block is re-estimated against the *current* catalog
+        and statistics (feeding earlier blocks' actuals in as derived
+        cardinalities): only the residual error the re-plan would still make
+        is recorded as a (table, predicate-shape) correction factor — when
+        the live row count alone explains the miss (a stale plan after bulk
+        DML), re-planning suffices and no sticky correction is stored.
+        """
+        report = item.report
+        if report is None:
+            return
+        blocks = self._query_blocks(item.statement)
+        model = None
+        triggered: list[dict] = []
+        for info in report.queries:
+            actual = actuals.get(info.label)
+            if actual is None:
+                continue
+            select = blocks.get(info.label)
+            if model is None:
+                model = self._optimizer().cost_model()
+            estimated = max(float(info.feedback_rows), 1.0)
+            exceeded = (
+                max(actual, estimated) >= self.adaptive_min_rows
+                and actual > estimated * self.adaptive_threshold
+            )
+            if exceeded:
+                event = {
+                    "block": info.label,
+                    "estimated": estimated,
+                    "actual": int(actual),
+                    "q_error": actual / estimated,
+                }
+                # Corrections are keyed by stored-table name so the DML
+                # invalidation hooks can drop them; a block scanning a CTE
+                # (whose name never reaches invalidate()) only re-plans.
+                if (
+                    select is not None
+                    and select.source is not None
+                    and select.source.name in self._tables
+                ):
+                    fresh = max(model.estimate_select_input_rows(select), 1.0)
+                    residual = actual / fresh
+                    if residual > self.adaptive_threshold:
+                        table = select.source.name
+                        factor = self._statistics.record_correction(
+                            table, select_shape(select), residual
+                        )
+                        event["correction"] = {"table": table, "factor": factor}
+                        self._optimizer_counters["feedback_corrections"] = (
+                            self._optimizer_counters.get("feedback_corrections", 0) + 1
+                        )
+                triggered.append(event)
+            # Later blocks scan earlier ones by name: estimate them against
+            # the measured cardinality, not the stale guess.
+            model.set_derived_rows(info.label, float(actual))
+        if not triggered:
+            return
+        if not self._plan_cache.mark_replan(sql, self.enable_optimizer):
+            if len(self._pending_replans) < 64:
+                self._pending_replans.add(sql)
+        self._optimizer_counters["adaptive_replans"] = (
+            self._optimizer_counters.get("adaptive_replans", 0) + 1
+        )
+        self._adaptive_events.extend(triggered)
+        del self._adaptive_events[: -self.ADAPTIVE_EVENT_LIMIT]
 
     def executemany(self, statements: list[str]) -> list[QueryResult]:
         """Execute several scripts, returning one result per script."""
@@ -628,6 +848,16 @@ class MemDatabase:
                 cardinalities=tuple(cardinalities),
                 rowcount=rowcount,
             )
+            if self.enable_adaptive and actual.cardinalities:
+                # EXPLAIN ANALYZE's measured cardinalities feed the same
+                # adaptive loop as ordinary executions: corrections are
+                # recorded and a cached entry for the inner text (if any)
+                # is flagged for re-planning.
+                self._adaptive_feedback(
+                    statement.inner_sql,
+                    CompiledStatement(optimized, plan, report),
+                    dict(actual.cardinalities),
+                )
 
         lines = render_explain(statement.inner_sql, report, plan, cache_state, actual)
         return QueryResult(["plan"], [(line,) for line in lines])

@@ -10,7 +10,7 @@ behaviour the engine substitutes for DuckDB.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -656,14 +656,13 @@ def grouped_projection(select: Select, frame: Frame, length: int) -> tuple[list[
     return names, columns
 
 
-def order_columns(
+def _order_keys(
     columns: dict[str, np.ndarray],
-    names: list[str],
     order_by: Sequence[OrderItem],
     length: int,
     order_frame: Frame | None = None,
-) -> dict[str, np.ndarray]:
-    """Sort result columns by the ORDER BY keys (last key has lowest priority)."""
+) -> list[np.ndarray]:
+    """The ``np.lexsort`` key stack for ORDER BY (last key = highest priority)."""
     output_frame: Frame = dict(order_frame) if order_frame else dict(columns)
     evaluator = ExpressionEvaluator(output_frame, length)
     keys: list[np.ndarray] = []
@@ -676,8 +675,76 @@ def order_columns(
             else:
                 raise SQLExecutionError("DESC ordering on text columns is not supported")
         keys.append(sortable)
-    order = np.lexsort(keys)
+    return keys
+
+
+def top_k_indices(keys: list[np.ndarray], k: int) -> np.ndarray:
+    """Row indices of the ``k`` first rows under ``np.lexsort(keys)`` order.
+
+    The bounded top-k pass behind LIMIT-below-ORDER-BY: partition the input
+    around the k-th ranked *primary* key, keep only the rows that can still
+    reach the ordered prefix (strictly-smaller primaries plus every tie at
+    the cutoff — secondary keys decide among ties, so none may be dropped),
+    and fully sort just those candidates.  Candidates are kept in input
+    order and ``np.lexsort`` is stable, so the result is *exactly*
+    ``np.lexsort(keys)[:k]`` — including tie resolution — at
+    ``O(n + c log c)`` instead of ``O(n log n)``.
+    """
+    primary = keys[-1]
+    total = len(primary)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= total:
+        return np.lexsort(keys)
+    cutoff = np.partition(primary, k - 1)[k - 1]
+    if primary.dtype.kind == "f" and np.isnan(cutoff):
+        # The prefix reaches into the NaN tail (NaN sorts last): every row
+        # is still a candidate, so this degrades to a full sort.
+        candidates = np.arange(total, dtype=np.int64)
+    else:
+        candidates = np.flatnonzero(primary <= cutoff)
+    order = np.lexsort([key[candidates] for key in keys])[:k]
+    return candidates[order]
+
+
+def order_columns(
+    columns: dict[str, np.ndarray],
+    names: list[str],
+    order_by: Sequence[OrderItem],
+    length: int,
+    order_frame: Frame | None = None,
+    prefix: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Sort result columns by the ORDER BY keys (last key has lowest priority).
+
+    ``prefix`` (the top-k fast path) keeps only the first ``prefix`` rows of
+    the sorted order, computed with a partition-based selection instead of a
+    full sort; the kept rows and their order are identical to a full sort.
+    """
+    keys = _order_keys(columns, order_by, length, order_frame)
+    if prefix is not None and prefix < length:
+        order = top_k_indices(keys, prefix)
+    else:
+        order = np.lexsort(keys)
     return {name: columns[name][order] for name in names}
+
+
+#: Runtime fallback threshold: with no compiled decision, the ordered-prefix
+#: partition pass is used once the input is this many times larger than k.
+_TOPK_RUNTIME_FACTOR = 4
+
+
+def limit_bounds(select: Select) -> tuple[int, int | None]:
+    """``(start, stop)`` slice bounds of LIMIT/OFFSET under SQLite semantics.
+
+    A negative LIMIT means "no limit" (stop = None); a negative OFFSET is
+    treated as 0; an OFFSET beyond the row count yields an empty result via
+    ordinary slicing.
+    """
+    start = select.offset if select.offset is not None and select.offset > 0 else 0
+    if select.limit is None or select.limit < 0:
+        return start, None
+    return start, start + select.limit
 
 
 def postprocess_select(
@@ -687,8 +754,21 @@ def postprocess_select(
     frame: Frame | None,
     length: int,
     has_aggregates: bool,
+    use_topk: bool | None = None,
+    observe: "Callable[[int], None] | None" = None,
 ) -> tuple[list[str], dict[str, np.ndarray]]:
-    """Apply the shared SELECT tail: HAVING validation, DISTINCT, ORDER BY, LIMIT."""
+    """Apply the shared SELECT tail: HAVING validation, DISTINCT, ORDER BY, LIMIT.
+
+    ``use_topk`` carries the compiled plan's costed top-k decision (push the
+    LIMIT+OFFSET prefix below ORDER BY via a bounded selection); ``None``
+    (the interpreter) decides at runtime from the actual row count.  Both
+    strategies produce identical rows — top-k reproduces the stable full
+    sort exactly — so the choice is purely a matter of cost.
+
+    ``observe`` (adaptive feedback / EXPLAIN ANALYZE) receives the block's
+    *pre-limit* row count — the cardinality the optimizer's pre-limit
+    estimate predicts, which the LIMIT would otherwise mask.
+    """
     result_length = len(next(iter(columns.values()))) if columns else 0
 
     if select.having is not None and not (select.group_by or has_aggregates):
@@ -701,6 +781,11 @@ def postprocess_select(
         columns = {name: columns[name][keep] for name in names}
         result_length = len(keep)
 
+    if observe is not None:
+        observe(result_length)
+
+    start, stop = limit_bounds(select)
+
     if select.order_by and result_length:
         # ORDER BY may reference source columns (SQLite semantics) as long as
         # the output rows are still aligned 1:1 with the input rows.
@@ -711,10 +796,18 @@ def postprocess_select(
         )
         order_frame: Frame = dict(frame) if aligned else {}
         order_frame.update(columns)
-        columns = order_columns(columns, names, select.order_by, result_length, order_frame)
+        prefix = None
+        if stop is not None and stop < result_length:
+            if use_topk or (
+                use_topk is None and result_length >= _TOPK_RUNTIME_FACTOR * max(stop, 1)
+            ):
+                prefix = stop
+        columns = order_columns(
+            columns, names, select.order_by, result_length, order_frame, prefix=prefix
+        )
 
-    if select.limit is not None:
-        columns = {name: values[: select.limit] for name, values in columns.items()}
+    if select.limit is not None or start:
+        columns = {name: values[start:stop] for name, values in columns.items()}
 
     return names, columns
 

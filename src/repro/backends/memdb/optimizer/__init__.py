@@ -31,7 +31,7 @@ from typing import Mapping, Optional
 
 from ..ast_nodes import CreateTableAs, Select, Statement, WithSelect
 from ..table import Table
-from .cost import CostModel, FusionDecision, JoinOrderDecision
+from .cost import CostModel, FusionDecision, JoinOrderDecision, TopKDecision, select_shape
 from .explain import ActualRun, OptimizerReport, QueryPlanInfo, render_explain
 from .rewrite import RewriteLog, rewrite_statement
 from .stats import ColumnStats, StatisticsCatalog, TableStats
@@ -48,7 +48,9 @@ __all__ = [
     "RewriteLog",
     "StatisticsCatalog",
     "TableStats",
+    "TopKDecision",
     "render_explain",
+    "select_shape",
 ]
 
 
@@ -60,14 +62,16 @@ class Optimizer:
         catalog: Mapping[str, Table],
         statistics: Optional[StatisticsCatalog] = None,
         enabled: bool = True,
+        enable_topk: bool = True,
     ) -> None:
         self._catalog = catalog
         self._statistics = statistics
         self.enabled = enabled
+        self.enable_topk = enable_topk
 
     def cost_model(self) -> CostModel:
         """A cost model bound to the current catalog and statistics."""
-        return CostModel(self._catalog, self._statistics)
+        return CostModel(self._catalog, self._statistics, enable_topk=self.enable_topk)
 
     def optimize(self, statement: Statement) -> tuple[Statement, OptimizerReport, CostModel]:
         """Optimize one parsed statement.
@@ -98,7 +102,9 @@ class Optimizer:
         """Join-order every query block and estimate its output cardinality."""
         if isinstance(query, Select):
             ordered, decision = cost.order_joins(query)
-            info = QueryPlanInfo("main", cost.estimate_select_rows(ordered), decision)
+            info = self._block_info(
+                "main", cost, ordered, cost.estimate_select_rows(ordered), decision
+            )
             return ordered, [info]
 
         infos: list[QueryPlanInfo] = []
@@ -108,8 +114,20 @@ class Optimizer:
             estimate = cost.estimate_select_rows(ordered)
             # Later blocks see this CTE's estimated cardinality.
             cost.set_derived_rows(cte.name, estimate)
-            infos.append(QueryPlanInfo(cte.name, estimate, decision))
+            infos.append(self._block_info(cte.name, cost, ordered, estimate, decision))
             new_ctes.append(replace(cte, query=ordered))
         ordered_main, decision = cost.order_joins(query.query)
-        infos.append(QueryPlanInfo("main", cost.estimate_select_rows(ordered_main), decision))
+        infos.append(
+            self._block_info(
+                "main", cost, ordered_main, cost.estimate_select_rows(ordered_main), decision
+            )
+        )
         return WithSelect(tuple(new_ctes), ordered_main), infos
+
+    @staticmethod
+    def _block_info(label, cost, select, estimate, decision) -> QueryPlanInfo:
+        """One block's plan info, carrying the pre-limit estimate when it differs."""
+        input_rows = None
+        if select.limit is not None:
+            input_rows = cost.estimate_select_input_rows(select)
+        return QueryPlanInfo(label, estimate, decision, estimated_input_rows=input_rows)

@@ -12,11 +12,25 @@ the greedy join-order search — repeatedly appending the eligible join with
 the smallest bound — cannot be lured into a blow-up by an optimistic guess,
 which is the property that makes UES robust without histograms.
 
-The same estimates drive the physical choice between the fused
-join-aggregate operator and the generic scan-join-group pipeline: both
-costs are computed from the bounded join cardinality and the column widths
-each strategy touches, and the planner picks the cheaper (see
-:class:`FusionDecision`) — replacing the old purely syntactic fusion check.
+Histograms refine the bounds without breaking them: equality and range
+selectivities consult the per-column MCV list and equi-depth histogram
+collected by ``ANALYZE`` (see :mod:`.stats`) and only fall back to the
+uniform min/max/NDV model when no distribution was collected.
+
+The same estimates drive the physical choices: the fused join-aggregate
+versus the generic scan-join-group pipeline (both costs computed from the
+bounded join cardinality and the column widths each strategy touches, see
+:class:`FusionDecision`), and the top-k operator versus full
+sort-then-slice for ``ORDER BY ... LIMIT`` queries (see
+:class:`TopKDecision`).
+
+Adaptive feedback enters through :func:`select_shape`: every query block
+has a canonical *predicate shape* (tables, join structure, predicate
+operators and columns — literals elided), and the statistics catalog may
+hold a correction factor for ``(base table, shape)`` recorded from observed
+actual-vs-estimated cardinalities.  :meth:`CostModel.estimate_select_rows`
+multiplies matching estimates by the factor, so a re-planned statement does
+not repeat a misestimate the engine has already seen.
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from ..ast_nodes import (
     TableSource,
     UnaryOp,
 )
+from ..executor import limit_bounds
 from ..table import Table
 from .rewrite import column_refs, contains_aggregate, split_conjuncts
 from .stats import StatisticsCatalog, TableStats
@@ -48,6 +63,54 @@ DEFAULT_ROWS = 1000.0
 EQ_SELECTIVITY = 0.1
 RANGE_SELECTIVITY = 1.0 / 3.0
 GENERIC_SELECTIVITY = 0.25
+#: Estimated comparisons per row of a bounded-heap top-k pass.
+TOPK_ROW_COST = 1.0
+
+
+def _conjunct_shape(conjunct: Expression) -> str:
+    """Canonical shape of one predicate conjunct (columns + operator, no literals)."""
+    columns = ",".join(sorted({ref.name for ref in column_refs(conjunct)}))
+    if isinstance(conjunct, BinaryOp) and conjunct.operator in ("=", "!=", "<", "<=", ">", ">="):
+        operator = conjunct.operator if conjunct.operator in ("=", "!=") else "range"
+        return f"{operator}({columns})"
+    if isinstance(conjunct, InList):
+        return f"{'not-in' if conjunct.negated else 'in'}({columns})"
+    if isinstance(conjunct, IsNull):
+        return f"{'notnull' if conjunct.negated else 'isnull'}({columns})"
+    return f"pred({columns})"
+
+
+def select_shape(select: Select) -> str:
+    """Canonical predicate shape of one query block.
+
+    Two blocks share a shape when they scan the same relations with the
+    same join structure and predicate *skeleton* (operators and columns;
+    literal values elided).  This is the key adaptive feedback corrections
+    are stored under: it survives re-planning and parameter changes, while
+    distinguishing structurally different queries over the same table.
+    """
+    parts: list[str] = []
+    predicates: list[str] = []
+    if select.source is not None:
+        parts.append(f"from:{select.source.name}")
+        if select.source.filter is not None:
+            predicates.extend(
+                _conjunct_shape(c) for c in split_conjuncts(select.source.filter)
+            )
+    for join in select.joins:
+        parts.append(f"join:{join.source.name}")
+        if join.source.filter is not None:
+            predicates.extend(
+                _conjunct_shape(c) for c in split_conjuncts(join.source.filter)
+            )
+    if select.where is not None:
+        predicates.extend(_conjunct_shape(c) for c in split_conjuncts(select.where))
+    parts.extend(sorted(predicates))
+    if select.group_by:
+        parts.append(f"group:{len(select.group_by)}")
+    if select.distinct:
+        parts.append("distinct")
+    return "|".join(parts)
 
 
 @dataclass(frozen=True)
@@ -91,6 +154,49 @@ class FusionDecision:
         )
 
 
+@dataclass(frozen=True)
+class TopKDecision:
+    """Costed choice between bounded-heap top-k and full sort-then-slice.
+
+    ``k`` is the number of ordered rows the query actually needs
+    (``LIMIT + OFFSET``); the top-k operator partitions the input around the
+    k-th ranked primary key and only fully sorts the surviving candidates,
+    so its cost scales with the input size plus ``k log k`` instead of
+    ``n log n``.
+    """
+
+    k: int
+    use_topk: bool
+    estimated_input_rows: float = 0.0
+    sort_cost: float = math.inf
+    topk_cost: float = math.inf
+
+    def describe(self) -> str:
+        if self.use_topk:
+            return (
+                f"top-k (k={self.k}) [cost {self.topk_cost:.1f}"
+                f" < sort {self.sort_cost:.1f}, est input ~{self.estimated_input_rows:.0f}]"
+            )
+        return (
+            f"sort+limit [cost {self.sort_cost:.1f}"
+            f" <= top-k {self.topk_cost:.1f}, est input ~{self.estimated_input_rows:.0f}]"
+        )
+
+
+def ordered_prefix_rows(select: Select) -> Optional[int]:
+    """``LIMIT + OFFSET`` when the query needs only an ordered prefix.
+
+    ``None`` when there is no ORDER BY, no LIMIT, or the limit is negative —
+    delegating the SQLite normalization rules to the executor's
+    :func:`~..executor.limit_bounds` so the cost model's ``k`` can never
+    disagree with the slice the executor actually takes.
+    """
+    if not select.order_by:
+        return None
+    _start, stop = limit_bounds(select)
+    return stop
+
+
 class CostModel:
     """Estimates cardinalities and operator costs from catalog + statistics.
 
@@ -104,10 +210,12 @@ class CostModel:
         catalog: Mapping[str, Table] | None = None,
         statistics: StatisticsCatalog | None = None,
         derived_rows: Mapping[str, float] | None = None,
+        enable_topk: bool = True,
     ) -> None:
         self._catalog = catalog or {}
         self._statistics = statistics
         self._derived = dict(derived_rows or {})
+        self.enable_topk = bool(enable_topk)
 
     # ----------------------------------------------------------- primitives
 
@@ -166,20 +274,34 @@ class CostModel:
             column, literal = self._column_literal_sides(conjunct, table)
             if column is not None:
                 if conjunct.operator == "=":
-                    if column.ndv > 0:
-                        return 1.0 / column.ndv
+                    fraction = column.eq_fraction(literal)
+                    if fraction is not None:
+                        return fraction
                     return EQ_SELECTIVITY
                 if conjunct.operator == "!=":
-                    if column.ndv > 0:
-                        return 1.0 - 1.0 / column.ndv
+                    fraction = column.eq_fraction(literal)
+                    if fraction is not None:
+                        return max(0.0, column.non_null_fraction - fraction)
                     return 1.0 - EQ_SELECTIVITY
+                # Histogram + MCV estimate first, min/max interpolation after.
+                fraction = column.range_fraction(conjunct.operator, literal)
+                if fraction is not None:
+                    return fraction
                 return self._range_selectivity(column, conjunct.operator, literal)
             return EQ_SELECTIVITY if conjunct.operator == "=" else RANGE_SELECTIVITY
         if isinstance(conjunct, InList):
             base = self._lookup_ref_stats(conjunct.operand, table)
-            per_value = (1.0 / base.ndv) if base is not None and base.ndv > 0 else EQ_SELECTIVITY
-            estimate = per_value * max(1, len(conjunct.values))
-            return min(1.0, 1.0 - estimate if conjunct.negated else estimate)
+            estimate = 0.0
+            for value in conjunct.values:
+                fraction = None
+                if base is not None and isinstance(value, Literal):
+                    fraction = base.eq_fraction(value.value)
+                if fraction is None:
+                    fraction = (
+                        1.0 / base.ndv if base is not None and base.ndv > 0 else EQ_SELECTIVITY
+                    )
+                estimate += fraction
+            return min(1.0, max(0.0, 1.0 - estimate if conjunct.negated else estimate))
         if isinstance(conjunct, IsNull):
             base = self._lookup_ref_stats(conjunct.operand, table)
             if base is not None:
@@ -337,7 +459,21 @@ class CostModel:
     # -------------------------------------------------- query-level estimate
 
     def estimate_select_rows(self, select: Select) -> float:
-        """Upper-bound estimate of a Select's output cardinality."""
+        """Upper-bound estimate of a Select's output cardinality.
+
+        Applies any adaptive correction factor recorded for this block's
+        (base table, predicate shape) before the LIMIT cap: corrections are
+        learned from pre-limit block cardinalities, and the cap would
+        otherwise mask them.
+        """
+        rows = self.estimate_select_input_rows(select)
+        _start, stop = limit_bounds(select)
+        if stop is not None:
+            rows = min(rows, float(stop))
+        return rows
+
+    def estimate_select_input_rows(self, select: Select) -> float:
+        """Upper-bound estimate of a Select's *pre-limit* cardinality."""
         if select.source is None:
             rows = 1.0
         else:
@@ -352,8 +488,8 @@ class CostModel:
         )
         if grouped:
             rows = self._group_estimate(select, rows)
-        if select.limit is not None:
-            rows = min(rows, float(select.limit))
+        if self._statistics is not None and select.source is not None:
+            rows *= self._statistics.correction(select.source.name, select_shape(select))
         return rows
 
     def _group_estimate(self, select: Select, input_rows: float) -> float:
@@ -437,6 +573,29 @@ class CostModel:
             generic_cost=generic_cost,
             estimated_join_rows=join_rows,
             estimated_groups=groups,
+        )
+
+    def topk_decision(self, select: Select) -> Optional[TopKDecision]:
+        """Cost the top-k operator against full sort for ORDER BY ... LIMIT.
+
+        Returns ``None`` when the query does not need an ordered prefix
+        (no ORDER BY, no LIMIT, or an unbounded negative LIMIT).
+        """
+        k = ordered_prefix_rows(select)
+        if k is None:
+            return None
+        rows = max(1.0, self.estimate_select_input_rows(select))
+        sort_cost = rows * max(1.0, math.log2(rows + 2))
+        # Partition pass over the input plus a full sort of the ~k survivors.
+        candidates = min(rows, float(max(k, 1)) * 2.0)
+        topk_cost = rows * TOPK_ROW_COST + candidates * max(1.0, math.log2(candidates + 2))
+        use_topk = self.enable_topk and k > 0 and topk_cost < sort_cost
+        return TopKDecision(
+            k=k,
+            use_topk=use_topk,
+            estimated_input_rows=rows,
+            sort_cost=sort_cost,
+            topk_cost=topk_cost,
         )
 
     def _table_width(self, name: str) -> int:

@@ -15,17 +15,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .cost import FusionDecision, JoinOrderDecision
+from .cost import FusionDecision, JoinOrderDecision, TopKDecision
 from .rewrite import RewriteLog
 
 
 @dataclass(frozen=True)
 class QueryPlanInfo:
-    """Optimizer summary of one query block (a CTE body or the main query)."""
+    """Optimizer summary of one query block (a CTE body or the main query).
+
+    ``estimated_input_rows`` is the pre-limit cardinality estimate — what
+    EXPLAIN ANALYZE's traced actuals and the adaptive feedback loop compare
+    against.  It equals ``estimated_rows`` for blocks without a LIMIT.
+    """
 
     label: str
     estimated_rows: float
     join_order: Optional[JoinOrderDecision] = None
+    estimated_input_rows: Optional[float] = None
+
+    @property
+    def feedback_rows(self) -> float:
+        """The estimate comparable to a block's traced pre-limit actual."""
+        if self.estimated_input_rows is not None:
+            return self.estimated_input_rows
+        return self.estimated_rows
 
 
 @dataclass
@@ -106,8 +119,10 @@ def render_explain(
             header = f"{label}:"
             if info is not None:
                 header += f" estimated rows ~{_format_rows(info.estimated_rows)}"
+                if info.estimated_input_rows is not None:
+                    header += f" (pre-limit ~{_format_rows(info.estimated_input_rows)})"
                 if label in actual_by_label:
-                    header += f", actual {actual_by_label[label]}"
+                    header += f", actual {actual_by_label[label]} (pre-limit)"
             elif label in actual_by_label:
                 header += f" actual rows {actual_by_label[label]}"
             lines.append(header)
@@ -127,15 +142,17 @@ def render_explain(
 
 def _physical_description(compiled) -> str:
     """One-line description of a CompiledQuery's physical strategy."""
+    topk: Optional[TopKDecision] = getattr(compiled, "topk", None)
+    tail = "" if topk is None else f" -> {topk.describe()}"
     decision: Optional[FusionDecision] = getattr(compiled, "fusion", None)
     if decision is not None and decision.eligible:
-        return decision.describe()
+        return decision.describe() + tail
     joins = len(getattr(compiled, "joins", ()) or ())
     if getattr(compiled, "grouped", False):
         base = "scan"
         if joins:
             base += f" -> {joins} hash join(s)"
-        return f"{base} -> hash aggregate"
+        return f"{base} -> hash aggregate{tail}"
     if joins:
-        return f"scan -> {joins} hash join(s) -> project"
-    return "scan -> project"
+        return f"scan -> {joins} hash join(s) -> project{tail}"
+    return f"scan -> project{tail}"

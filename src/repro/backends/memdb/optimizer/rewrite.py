@@ -407,6 +407,7 @@ def _cte_is_filter_transparent(select: Select) -> bool:
         or select.having is not None
         or select.distinct
         or select.limit is not None
+        or select.offset is not None
         or any(
             not isinstance(item.expression, Star) and contains_aggregate(item.expression)
             for item in select.items
@@ -650,6 +651,7 @@ def _cte_is_inlinable(select: Select) -> bool:
         and select.having is None
         and not select.distinct
         and select.limit is None
+        and select.offset is None
         and not select.order_by
         and select.source.filter is None
         and select_output_names(select) is not None

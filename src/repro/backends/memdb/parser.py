@@ -6,7 +6,7 @@ Grammar (informal)::
                  | insert | delete | drop
     select      := SELECT [DISTINCT] items FROM source join* [WHERE expr]
                    [GROUP BY expr_list] [HAVING expr]
-                   [ORDER BY order_list] [LIMIT n]
+                   [ORDER BY order_list] [LIMIT n [OFFSET m]]
     expr        := or_expr with the usual precedence chain
                    (OR < AND < NOT < comparison < bitwise or < bitwise and
                     < shifts < additive < multiplicative < unary)
@@ -204,9 +204,11 @@ class Parser:
                 order_by.append(self._parse_order_item())
 
         limit = None
+        offset = None
         if self._accept(KEYWORD, "limit"):
-            token = self._expect(NUMBER)
-            limit = int(float(token.text))
+            limit = self._parse_signed_int()
+            if self._accept(KEYWORD, "offset"):
+                offset = self._parse_signed_int()
 
         return Select(
             items=tuple(items),
@@ -217,8 +219,27 @@ class Parser:
             having=having,
             order_by=tuple(order_by),
             limit=limit,
+            offset=offset,
             distinct=distinct,
         )
+
+    def _parse_signed_int(self) -> int:
+        """An optionally signed integer literal (LIMIT / OFFSET operands).
+
+        Integral floats (``2.0``) are accepted, non-integral ones rejected —
+        SQLite's "datatype mismatch" rule for LIMIT/OFFSET.
+        """
+        sign = 1
+        while self._check(OPERATOR) and self._peek().text in ("-", "+"):
+            if self._advance().text == "-":
+                sign = -sign
+        token = self._expect(NUMBER)
+        value = float(token.text)
+        if not value.is_integer():
+            raise SQLParseError(
+                f"LIMIT/OFFSET requires an integer, got {token.text!r} (datatype mismatch)"
+            )
+        return sign * int(value)
 
     def _parse_select_item(self) -> SelectItem:
         if self._check(OPERATOR, "*"):

@@ -67,7 +67,7 @@ from .executor import (
     select_has_aggregates,
     split_join_condition,
 )
-from .optimizer.cost import CostModel, FusionDecision
+from .optimizer.cost import CostModel, FusionDecision, TopKDecision
 from .table import Table
 
 #: Resolves a table name to a Table (catalog + CTE environment lookup).
@@ -274,19 +274,23 @@ class CompiledQuery:
     actual choice between the fused operator and the generic pipeline is
     made by the cost model (:meth:`CostModel.fusion_decision`), not by the
     syntactic match alone; the decision is kept on ``self.fusion`` so
-    ``EXPLAIN`` can show both estimated costs.
+    ``EXPLAIN`` can show both estimated costs.  The same applies to
+    ``ORDER BY ... LIMIT`` tails: the cost model chooses between the
+    bounded top-k selection and full sort-then-slice at compile time
+    (``self.topk``), and the compiled plan executes whichever was chosen.
     """
 
-    __slots__ = ("select", "source", "joins", "fused", "has_aggregates", "grouped", "fusion")
+    __slots__ = ("select", "source", "joins", "fused", "has_aggregates", "grouped", "fusion", "topk")
 
     def __init__(self, select: Select, cost: CostModel | None = None) -> None:
         self.select = select
         self.has_aggregates = select_has_aggregates(select)
         self.grouped = bool(select.group_by) or self.has_aggregates
         self.fusion: FusionDecision | None = None
+        model = cost if cost is not None else CostModel()
+        self.topk: TopKDecision | None = model.topk_decision(select)
         fused = _compile_fused(select) if self.grouped else None
         if fused is not None:
-            model = cost if cost is not None else CostModel()
             self.fusion = model.fusion_decision(select, len(fused.needed))
             if not self.fusion.use_fused:
                 fused = None
@@ -311,12 +315,22 @@ class CompiledQuery:
             self.joins.append(_JoinOp(scan, join.condition, split))
             bindings.append(join.source.binding)
 
-    def execute(self, resolve: Resolver) -> tuple[list[str], dict[str, np.ndarray]]:
-        """Run the plan against the given name resolver; returns (names, columns)."""
+    def execute(
+        self, resolve: Resolver, observe=None
+    ) -> tuple[list[str], dict[str, np.ndarray]]:
+        """Run the plan against the given name resolver; returns (names, columns).
+
+        ``observe`` receives the block's pre-limit row count (see
+        :func:`~.executor.postprocess_select`).
+        """
         select = self.select
+        use_topk = None if self.topk is None else self.topk.use_topk
         if self.fused is not None:
             names, columns = self.fused.run(resolve)
-            return postprocess_select(select, names, columns, None, 0, self.has_aggregates)
+            return postprocess_select(
+                select, names, columns, None, 0, self.has_aggregates,
+                use_topk=use_topk, observe=observe,
+            )
 
         if self.source is None:
             frame: Frame = {}
@@ -335,7 +349,10 @@ class CompiledQuery:
             names, columns = grouped_projection(select, frame, length)
         else:
             names, columns = plain_projection(select.items, frame, length)
-        return postprocess_select(select, names, columns, frame, length, self.has_aggregates)
+        return postprocess_select(
+            select, names, columns, frame, length, self.has_aggregates,
+            use_topk=use_topk, observe=observe,
+        )
 
 
 class CompiledScript:
@@ -354,8 +371,13 @@ class CompiledScript:
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run CTEs then the main query against a table catalog.
 
-        ``trace`` (used by EXPLAIN ANALYZE) receives ``(block label, actual
-        row count)`` for every CTE and finally for ``"main"``.
+        ``trace`` (EXPLAIN ANALYZE and adaptive feedback) receives
+        ``(block label, actual row count)`` for every CTE and finally for
+        ``"main"``.  The reported count is the block's *pre-limit*
+        cardinality — for blocks without LIMIT that is simply the output
+        size, and for limited blocks it is the number the optimizer's
+        pre-limit estimate predicts (the output size would mask any
+        misestimate behind the cap).
         """
         ctes: dict[str, Table] = {}
 
@@ -366,14 +388,18 @@ class CompiledScript:
                 return catalog[name]
             raise SQLExecutionError(f"no such table: {name}")
 
+        observed: list[int] = []
+        observe = observed.append if trace is not None else None
         for name, plan in self.ctes:
-            names, columns = plan.execute(resolve)
+            names, columns = plan.execute(resolve, observe=observe)
             ctes[name] = Table(name, {column: columns[column] for column in names})
             if trace is not None:
-                trace(name, ctes[name].num_rows)
-        names, columns = self.query.execute(resolve)
+                trace(name, observed[-1] if observed else ctes[name].num_rows)
+                observed.clear()
+        names, columns = self.query.execute(resolve, observe=observe)
         if trace is not None:
-            trace("main", len(next(iter(columns.values()))) if columns else 0)
+            output_rows = len(next(iter(columns.values()))) if columns else 0
+            trace("main", observed[-1] if observed else output_rows)
         return names, columns
 
 

@@ -34,6 +34,15 @@ class MemDBBackend(RelationalBackend):
         Optional private :class:`~.memdb.engine.PlanCache`; default is the
         process-wide shared cache.  Pass ``PlanCache(0)`` to disable caching
         (used by benchmarks to measure cold-parse cost).
+    enable_adaptive:
+        Adaptive re-optimization: compiled executions compare estimated to
+        actual block cardinalities; gross underestimates record correction
+        factors and flag the cached plan for re-planning (see
+        :class:`~.memdb.engine.MemDatabase`).  Disable to pin stale plans
+        (benchmark ablation).
+    enable_topk:
+        Allow the costed top-k operator for ORDER BY ... LIMIT; disable to
+        force full sort-then-slice (benchmark ablation).
     """
 
     name = "memdb"
@@ -50,6 +59,8 @@ class MemDBBackend(RelationalBackend):
         prune_atol: float = 1e-12,
         plan_cache: PlanCache | None = None,
         enable_optimizer: bool = True,
+        enable_adaptive: bool = True,
+        enable_topk: bool = True,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -62,6 +73,8 @@ class MemDBBackend(RelationalBackend):
         )
         self._plan_cache = plan_cache
         self._enable_optimizer = enable_optimizer
+        self._enable_adaptive = enable_adaptive
+        self._enable_topk = enable_topk
         self._database: MemDatabase | None = None
         self._connected = False
 
@@ -70,7 +83,10 @@ class MemDBBackend(RelationalBackend):
     def _connect(self) -> None:
         if self._database is None:
             self._database = MemDatabase(
-                plan_cache=self._plan_cache, enable_optimizer=self._enable_optimizer
+                plan_cache=self._plan_cache,
+                enable_optimizer=self._enable_optimizer,
+                enable_adaptive=self._enable_adaptive,
+                enable_topk=self._enable_topk,
             )
         else:
             self._database.clear()
@@ -132,7 +148,12 @@ class MemDBBackend(RelationalBackend):
         provenance["plan_cache"] = {"prepared": True, "state_at_compile": outcome}
 
     def _execution_provenance(self, executable) -> dict:
-        return {"plan_cache": self.plan_cache_stats()}
+        provenance = {"plan_cache": self.plan_cache_stats()}
+        if self._database is not None:
+            # Surface the adaptive loop's activity (re-plans requested,
+            # corrections learned) on the executable, next to the cache state.
+            provenance["adaptive"] = self._database.adaptive_stats()
+        return provenance
 
     def optimizer_stats(self) -> dict:
         """Optimizer activity counters + statistics-catalog summary.
@@ -140,7 +161,12 @@ class MemDBBackend(RelationalBackend):
         Empty counters until the first run (the engine is created lazily).
         """
         if self._database is None:
-            return {"enabled": self._enable_optimizer, "counters": {}, "statistics": {}}
+            return {
+                "enabled": self._enable_optimizer,
+                "counters": {},
+                "statistics": {},
+                "adaptive": {"enabled": self._enable_adaptive, "replans": 0, "corrections": 0},
+            }
         return self._database.optimizer_stats()
 
     def engine_stats(self) -> dict:

@@ -122,10 +122,16 @@ def engine_stats_table(stats: dict) -> str:
         for counter, value in sorted(optimizer.get("counters", {}).items()):
             rows.append({"subsystem": "optimizer", "counter": counter, "value": value})
         statistics = optimizer.get("statistics", {}) or {}
-        for counter in ("analyzed_tables", "analyze_count", "invalidation_count"):
+        for counter in ("analyzed_tables", "analyze_count", "invalidation_count", "feedback_count"):
             if counter in statistics:
                 rows.append(
                     {"subsystem": "statistics", "counter": counter, "value": statistics[counter]}
+                )
+        adaptive = optimizer.get("adaptive", {}) or {}
+        for counter in ("enabled", "replans", "corrections"):
+            if counter in adaptive:
+                rows.append(
+                    {"subsystem": "adaptive", "counter": counter, "value": adaptive[counter]}
                 )
     if not rows:
         raise BenchmarkError("engine statistics contain no counters")

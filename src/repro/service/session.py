@@ -186,11 +186,21 @@ class SimulationPanel:
         return backend.explain_circuit(circuit, analyze=analyze)
 
     def engine_stats(self, method: str = "memdb", **options) -> dict:
-        """Plan-cache + optimizer statistics of a pooled backend instance."""
+        """Plan-cache + optimizer statistics of a pooled backend instance.
+
+        The ``optimizer`` block includes the ``adaptive`` feedback-loop
+        state: re-plans requested, correction factors learned from observed
+        actual-vs-estimated cardinalities, and the most recent trigger
+        events (see :meth:`adaptive_stats` for just that slice).
+        """
         backend = self._pooled_method(method, options)
         if not isinstance(backend, MemDBBackend):
             raise QymeraError(f"engine statistics are not exposed by method {method!r}")
         return backend.engine_stats()
+
+    def adaptive_stats(self, **options) -> dict:
+        """The memdb adaptive re-optimization state of the pooled backend."""
+        return self.engine_stats("memdb", **options)["optimizer"].get("adaptive", {})
 
     def run(self, circuit_name: str, method: str = "sqlite", **options) -> SimulationResult:
         """Simulate a registered circuit with one method.

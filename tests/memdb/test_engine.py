@@ -322,3 +322,118 @@ class TestPrepare:
         assert database.prepare(query) == "prepared"
         result = database.execute(query)
         assert [row[0] for row in result.rows] == [1, 2, 3]
+
+
+class TestConcurrentPlanCache:
+    """Stress the thread-safe PlanCache + adaptive re-plan hook.
+
+    The supported concurrency model is one MemDatabase per worker sharing a
+    process-wide PlanCache (the job service's EnginePool shape).  Workers
+    hammer prepare/execute while interleaving DML that invalidates their
+    statistics and triggers adaptive re-plans; the assertions are: every
+    result is correct (no lost updates, no stale-schema rows), no worker
+    deadlocks (joined with a timeout), and the cache's counters stay
+    consistent.
+    """
+
+    def _worker(self, cache, worker_id, iterations, failures):
+        from repro.backends.memdb.engine import MemDatabase
+
+        try:
+            database = MemDatabase(plan_cache=cache)
+            database.execute(
+                "CREATE TABLE w (a BIGINT NOT NULL, b DOUBLE NOT NULL)"
+            )
+            total_rows = 0
+            query = "SELECT w.a, w.b FROM w ORDER BY w.b LIMIT 5"
+            grouped = "SELECT w.a AS a, COUNT(*) AS n FROM w GROUP BY w.a ORDER BY a"
+            database.prepare(query)
+            for step in range(iterations):
+                batch = [(step * 10 + offset, float(worker_id)) for offset in range(10)]
+                values = ", ".join(f"({a}, {b!r})" for a, b in batch)
+                database.execute(f"INSERT INTO w (a, b) VALUES {values}")  # invalidates stats
+                total_rows += len(batch)
+                result = database.execute(query)
+                expected_rows = min(5, total_rows)
+                if len(result.rows) != expected_rows:
+                    failures.append((worker_id, "limit", len(result.rows), expected_rows))
+                if any(row[1] != float(worker_id) for row in result.rows):
+                    failures.append((worker_id, "cross-database row leak", result.rows))
+                counted = database.execute(grouped)
+                if sum(row[1] for row in counted.rows) != total_rows:
+                    failures.append((worker_id, "lost update", counted.rows, total_rows))
+                if step % 3 == 2:
+                    # Schema churn under the shared cache: recreate with a
+                    # different shape, run, then restore the original shape.
+                    database.execute("DROP TABLE w")
+                    database.execute("CREATE TABLE w (a DOUBLE NOT NULL, b DOUBLE NOT NULL)")
+                    reshaped = database.execute(query)
+                    if len(reshaped.rows) != 0:
+                        failures.append((worker_id, "stale schema rows", reshaped.rows))
+                    database.execute("DROP TABLE w")
+                    database.execute("CREATE TABLE w (a BIGINT NOT NULL, b DOUBLE NOT NULL)")
+                    total_rows = 0
+        except Exception as error:  # pragma: no cover - surfaced via failures
+            failures.append((worker_id, "exception", repr(error)))
+
+    def test_concurrent_prepare_execute_dml(self):
+        import threading
+
+        from repro.backends.memdb.engine import PlanCache
+
+        cache = PlanCache(maxsize=16)
+        failures: list = []
+        threads = [
+            threading.Thread(target=self._worker, args=(cache, worker, 12, failures))
+            for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "worker deadlocked"
+        assert not failures, failures
+        stats = cache.stats()
+        # Counter consistency: every lookup is exactly one hit or one miss.
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0
+        assert stats["size"] <= 2 * stats["maxsize"]
+
+    def test_concurrent_adaptive_replans_stay_consistent(self):
+        import threading
+
+        from repro.backends.memdb.engine import MemDatabase, PlanCache
+
+        cache = PlanCache(maxsize=16)
+        query = "SELECT s.a, s.b FROM s ORDER BY s.b LIMIT 3"
+        failures: list = []
+
+        def worker(worker_id):
+            try:
+                database = MemDatabase(plan_cache=cache)
+                database.execute("CREATE TABLE s (a BIGINT NOT NULL, b DOUBLE NOT NULL)")
+                database.execute(
+                    "INSERT INTO s (a, b) VALUES "
+                    + ", ".join(f"({i}, {i}.0)" for i in range(10))
+                )
+                database.execute(query)  # small plan enters the shared cache
+                database.execute(
+                    "INSERT INTO s (a, b) VALUES "
+                    + ", ".join(f"({i}, {i}.5)" for i in range(2000))
+                )
+                for _ in range(5):
+                    result = database.execute(query)  # feedback marks replans
+                    if [row[1] for row in result.rows] != [0.0, 0.5, 1.0]:
+                        failures.append((worker_id, result.rows))
+            except Exception as error:  # pragma: no cover
+                failures.append((worker_id, repr(error)))
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "worker deadlocked"
+        assert not failures, failures
+        # Replans happened and the cache survived them without corruption.
+        assert cache.stats()["replans"] >= 1

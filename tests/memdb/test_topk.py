@@ -1,0 +1,196 @@
+"""Edge audit for LIMIT/OFFSET and the top-k (LIMIT below ORDER BY) operator.
+
+The satellite checklist for the top-k operator: LIMIT 0, OFFSET beyond the
+row count, negative LIMIT/OFFSET, and ties under ORDER BY with
+non-deterministic input order must all match SQLite's semantics — and the
+partition-based top-k path must return byte-identical rows to the full
+sort-then-slice path it replaces (memdb's tie order is the stable input
+order, a valid choice SQLite permits).
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.backends.memdb import MemDatabase
+from repro.backends.memdb.engine import PlanCache
+from repro.backends.memdb.executor import top_k_indices
+from repro.backends.memdb.optimizer.cost import CostModel
+from repro.backends.memdb.parser import parse_one
+
+
+def _db(enable_topk=True, rows=()):
+    db = MemDatabase(plan_cache=PlanCache(maxsize=8), enable_topk=enable_topk)
+    db.execute("CREATE TABLE t (id BIGINT NOT NULL, k BIGINT NOT NULL, v DOUBLE NOT NULL)")
+    if rows:
+        values = ", ".join(f"({i}, {k}, {v!r})" for i, (k, v) in enumerate(rows))
+        db.execute(f"INSERT INTO t (id, k, v) VALUES {values}")
+    return db
+
+
+def _sqlite(rows):
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE t (id BIGINT NOT NULL, k BIGINT NOT NULL, v DOUBLE NOT NULL)")
+    connection.executemany("INSERT INTO t VALUES (?, ?, ?)", [(i, k, v) for i, (k, v) in enumerate(rows)])
+    return connection
+
+
+#: Tie-heavy rows in deliberately scrambled (non-sorted) input order.
+_ROWS = [(3, 0.5), (1, 2.5), (3, 1.5), (2, 0.5), (1, 0.5), (2, 2.5), (1, 1.5), (3, 2.5), (2, 1.5), (0, 9.0)]
+
+
+class TestLimitOffsetSemantics:
+    """LIMIT/OFFSET must follow SQLite: negative limit = all, negative offset = 0."""
+
+    @pytest.mark.parametrize(
+        "tail",
+        [
+            "LIMIT 0",
+            "LIMIT 3",
+            "LIMIT 3 OFFSET 2",
+            "LIMIT 3 OFFSET 100",     # offset beyond the row count -> empty
+            "LIMIT 100 OFFSET 8",     # limit beyond the remaining rows
+            "LIMIT -1",               # negative limit = unlimited
+            "LIMIT -1 OFFSET 4",
+            "LIMIT 2 OFFSET -5",      # negative offset = 0
+            "LIMIT 0 OFFSET 0",
+        ],
+    )
+    def test_matches_sqlite_with_total_order(self, tail):
+        query = f"SELECT id, k, v FROM t ORDER BY k, v, id {tail}"
+        expected = _sqlite(_ROWS).execute(query).fetchall()
+        actual = _db(rows=_ROWS).execute(query).rows
+        assert actual == expected
+
+    def test_offset_without_order_by(self):
+        # LIMIT/OFFSET applies to whatever order the pipeline produced; memdb
+        # scans in insertion order, same as SQLite's rowid order here.
+        query = "SELECT id FROM t LIMIT 4 OFFSET 3"
+        expected = _sqlite(_ROWS).execute(query).fetchall()
+        assert _db(rows=_ROWS).execute(query).rows == expected
+
+    def test_offset_requires_limit_keyword(self):
+        # Bare OFFSET without LIMIT is not part of the supported grammar.
+        from repro.errors import SQLParseError
+
+        with pytest.raises(SQLParseError):
+            _db(rows=_ROWS).execute("SELECT id FROM t OFFSET 2")
+
+
+class TestTopKTies:
+    """Ties resolved identically by top-k and full sort, acceptably by SQLite."""
+
+    def test_topk_equals_sort_then_slice_under_ties(self):
+        query = "SELECT id, k FROM t ORDER BY k LIMIT 4"
+        with_topk = _db(enable_topk=True, rows=_ROWS).execute(query).rows
+        without = _db(enable_topk=False, rows=_ROWS).execute(query).rows
+        assert with_topk == without
+
+    def test_tied_key_values_match_sqlite(self):
+        # Which tied row survives the cut is implementation-defined, but the
+        # multiset of ORDER BY key values in the prefix is not.
+        query = "SELECT k FROM t ORDER BY k LIMIT 5"
+        expected = sorted(row[0] for row in _sqlite(_ROWS).execute(query).fetchall())
+        actual = sorted(row[0] for row in _db(rows=_ROWS).execute(query).rows)
+        assert actual == expected
+
+    def test_tie_resolution_is_input_order_stable(self):
+        # memdb's tie resolution is the stable input order: after the single
+        # k=0 row, the k=1 rows appear in insertion order (ids 1, 4, ...).
+        result = _db(rows=_ROWS).execute("SELECT id FROM t ORDER BY k LIMIT 3").rows
+        assert [row[0] for row in result] == [9, 1, 4]
+
+    def test_desc_with_offset_matches_sqlite(self):
+        query = "SELECT id, k, v FROM t ORDER BY v DESC, id LIMIT 3 OFFSET 1"
+        expected = _sqlite(_ROWS).execute(query).fetchall()
+        assert _db(rows=_ROWS).execute(query).rows == expected
+
+
+class TestTopKIndicesUnit:
+    def _keys(self, *columns):
+        return [np.asarray(column, dtype=np.float64) for column in columns]
+
+    def test_matches_full_lexsort_prefix(self):
+        rng = np.random.default_rng(7)
+        secondary = rng.integers(0, 5, size=500).astype(np.float64)
+        primary = rng.integers(0, 20, size=500).astype(np.float64)
+        keys = [secondary, primary]
+        for k in (0, 1, 7, 100, 499, 500, 600):
+            expected = np.lexsort(keys)[:k]
+            assert np.array_equal(top_k_indices(keys, k), expected)
+
+    def test_nan_cutoff_degrades_to_full_sort(self):
+        primary = np.asarray([np.nan, 1.0, np.nan, 0.0])
+        keys = [primary]
+        for k in (1, 2, 3, 4):
+            assert np.array_equal(top_k_indices(keys, k), np.lexsort(keys)[:k])
+
+    def test_heavily_tied_primary_key(self):
+        primary = np.zeros(64)
+        secondary = np.arange(64, dtype=np.float64)[::-1]
+        keys = [secondary, primary]
+        assert np.array_equal(top_k_indices(keys, 5), np.lexsort(keys)[:5])
+
+    def test_string_keys(self):
+        primary = np.asarray(["b", "a", "c", "a", "b"], dtype=str)
+        keys = [primary]
+        assert np.array_equal(top_k_indices(keys, 3), np.lexsort(keys)[:3])
+
+
+class TestTopKDecision:
+    def test_large_input_small_k_chooses_topk(self):
+        model = CostModel({}, None)
+        select = parse_one("SELECT t.a FROM t ORDER BY t.a LIMIT 5")
+        decision = model.topk_decision(select)
+        assert decision is not None and decision.use_topk  # default 1000-row estimate
+
+    def test_no_limit_means_no_decision(self):
+        model = CostModel({}, None)
+        assert model.topk_decision(parse_one("SELECT t.a FROM t ORDER BY t.a")) is None
+
+    def test_negative_limit_means_no_decision(self):
+        model = CostModel({}, None)
+        assert model.topk_decision(parse_one("SELECT t.a FROM t ORDER BY t.a LIMIT -1")) is None
+
+    def test_disabled_model_never_chooses_topk(self):
+        model = CostModel({}, None, enable_topk=False)
+        decision = model.topk_decision(parse_one("SELECT t.a FROM t ORDER BY t.a LIMIT 5"))
+        assert decision is not None and not decision.use_topk
+
+    def test_offset_extends_k(self):
+        model = CostModel({}, None)
+        decision = model.topk_decision(
+            parse_one("SELECT t.a FROM t ORDER BY t.a LIMIT 5 OFFSET 7")
+        )
+        assert decision.k == 12
+
+    def test_explain_reports_topk(self):
+        db = _db(rows=_ROWS * 30)
+        plan = "\n".join(
+            row[0] for row in db.execute("EXPLAIN SELECT id FROM t ORDER BY k LIMIT 3").rows
+        )
+        assert "top-k (k=3)" in plan
+
+    def test_explain_reports_sort_when_disabled(self):
+        db = _db(enable_topk=False, rows=_ROWS * 30)
+        plan = "\n".join(
+            row[0] for row in db.execute("EXPLAIN SELECT id FROM t ORDER BY k LIMIT 3").rows
+        )
+        assert "sort+limit" in plan
+
+
+class TestLimitLiteralValidation:
+    def test_non_integral_limit_rejected_like_sqlite(self):
+        from repro.errors import SQLParseError
+
+        db = _db(rows=_ROWS)
+        with pytest.raises(SQLParseError, match="datatype mismatch"):
+            db.execute("SELECT id FROM t ORDER BY k LIMIT 2.5")
+        with pytest.raises(SQLParseError, match="datatype mismatch"):
+            db.execute("SELECT id FROM t ORDER BY k LIMIT 2 OFFSET 1.5")
+
+    def test_integral_float_limit_accepted_like_sqlite(self):
+        db = _db(rows=_ROWS)
+        result = db.execute("SELECT id FROM t ORDER BY k, v, id LIMIT 2.0")
+        assert len(result.rows) == 2

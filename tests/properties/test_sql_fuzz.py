@@ -1,0 +1,544 @@
+"""Grammar-based differential SQL fuzzing: memdb vs SQLite (vs DuckDB).
+
+Hypothesis generates random typed tables plus random SELECT / WITH queries
+(joins, group-by, order-by / limit / offset, scalar expressions, CTE
+chains) at the AST level — shrinking therefore simplifies the *query
+structure*, not characters of a string — and asserts that the embedded
+engine returns exactly the rows SQLite returns, with the optimizer on and
+off, cold and plan-cache-warm, and across a mid-test data shift (which
+exercises statistics invalidation and the adaptive re-plan hook).
+
+The generated subset deliberately stays inside the semantics both engines
+share (documented divergences are excluded by construction):
+
+* no NULLs in the data — memdb encodes NULL as NaN, which poisons SUM()
+  where SQLite skips NULLs;
+* ``/`` may yield NULL (zero divisor) in *projections* only — inside WHERE,
+  three-valued logic and numpy booleans disagree under NOT;
+* ``%`` only between integer operands (SQLite casts floats to INTEGER,
+  memdb keeps fmod semantics, and the engines disagree with each other);
+* whenever LIMIT / OFFSET is generated, the ORDER BY ends in a key that is
+  unique per output row, because the *content* of a limited result under
+  ties is implementation-defined in every engine.
+
+Queries without LIMIT are compared as row multisets; limited queries are
+compared in exact order.  The deep profile (``-m slow``) runs the same
+grammar with a much larger example budget.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backends import duckdb_available
+from repro.backends.memdb import MemDatabase
+from repro.backends.memdb.engine import PlanCache
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+#: Bounded tier-1 profile: deterministic (fixed derivation), small budget.
+#: The four fuzz tests below sum to >= 200 generated queries per run.
+_FAST = settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: Deep profile, opt-in via ``-m slow``.
+_DEEP = settings(
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Schema / data generation
+# ---------------------------------------------------------------------------
+
+_INT, _FLOAT = "int", "float"
+
+
+@st.composite
+def _tables(draw, count: int = 1):
+    """Random typed tables: a unique ``id`` plus 1-3 value columns each."""
+    tables = []
+    for index in range(count):
+        name = f"t{index}"
+        n_values = draw(st.integers(min_value=1, max_value=3))
+        columns = [("id", _INT)]
+        for c in range(n_values):
+            kind = draw(st.sampled_from([_INT, _FLOAT]))
+            columns.append((f"c{c}", kind))
+        rows = draw(st.integers(min_value=0, max_value=20))
+        data = []
+        for row_id in range(rows):
+            row = [row_id]
+            for _name, kind in columns[1:]:
+                if kind == _INT:
+                    row.append(draw(st.integers(min_value=-8, max_value=8)))
+                else:
+                    # Quarter-steps: exact in binary, tie-heavy by design.
+                    row.append(draw(st.integers(min_value=-24, max_value=24)) / 4.0)
+            data.append(row)
+        tables.append({"name": name, "columns": columns, "rows": data})
+    return tables
+
+
+def _ddl(table) -> list[str]:
+    decls = ", ".join(
+        f"{name} {'BIGINT' if kind == _INT else 'DOUBLE'} NOT NULL"
+        for name, kind in table["columns"]
+    )
+    statements = [f"CREATE TABLE {table['name']} ({decls})"]
+    if table["rows"]:
+        names = ", ".join(name for name, _ in table["columns"])
+        values = ", ".join(
+            "(" + ", ".join(repr(value) for value in row) + ")" for row in table["rows"]
+        )
+        statements.append(f"INSERT INTO {table['name']} ({names}) VALUES {values}")
+    return statements
+
+
+def _columns_of(table, kind=None):
+    return [
+        (f"{table['name']}.{name}", k)
+        for name, k in table["columns"]
+        if kind is None or k == kind
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Expression grammar
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _expr(draw, columns, depth: int = 2, division: bool = False):
+    """A scalar expression over ``columns``; returns (sql, kind).
+
+    ``division`` additionally allows ``/`` (and integer ``%``) — safe in
+    projections, excluded from predicates and ORDER BY keys (NULL vs NaN
+    ordering / three-valued logic divergences).
+    """
+    if depth <= 0 or draw(st.booleans()):
+        if columns and draw(st.integers(min_value=0, max_value=3)) > 0:
+            return draw(st.sampled_from(columns))
+        if draw(st.booleans()):
+            return str(draw(st.integers(min_value=-9, max_value=9))), _INT
+        return repr(draw(st.integers(min_value=-12, max_value=12)) / 4.0), _FLOAT
+    choice = draw(st.integers(min_value=0, max_value=5 if division else 3))
+    if choice == 3:
+        inner, kind = draw(_expr(columns, depth - 1, division))
+        return f"abs({inner})", kind
+    left, left_kind = draw(_expr(columns, depth - 1, division))
+    right, right_kind = draw(_expr(columns, depth - 1, division))
+    kind = _INT if (left_kind, right_kind) == (_INT, _INT) else _FLOAT
+    if choice <= 2:
+        operator = ["+", "-", "*"][choice]
+        return f"({left} {operator} {right})", kind
+    if choice == 4:
+        return f"({left} / {right})", kind
+    # Integer-only modulo; regenerate integer operands when needed.
+    if left_kind != _INT:
+        left = str(draw(st.integers(min_value=-9, max_value=9)))
+    if right_kind != _INT:
+        right = str(draw(st.integers(min_value=-9, max_value=9)))
+    return f"({left} % {right})", _INT
+
+
+@st.composite
+def _predicate(draw, columns, depth: int = 2):
+    """A WHERE/HAVING-safe boolean expression (no division, no NOT)."""
+    if depth <= 0 or draw(st.booleans()):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 3 and columns:
+            column, column_kind = draw(st.sampled_from(columns))
+            if column_kind == _INT:
+                values = draw(
+                    st.lists(st.integers(min_value=-8, max_value=8), min_size=1, max_size=4)
+                )
+                negated = draw(st.booleans())
+                rendered = ", ".join(str(v) for v in values)
+                return f"{column} {'NOT IN' if negated else 'IN'} ({rendered})"
+        left, _ = draw(_expr(columns, depth=1))
+        right, _ = draw(_expr(columns, depth=1))
+        operator = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        return f"{left} {operator} {right}"
+    connective = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(_predicate(columns, depth - 1))
+    right = draw(_predicate(columns, depth - 1))
+    return f"({left} {connective} {right})"
+
+
+@st.composite
+def _case_expr(draw, columns):
+    condition = draw(_predicate(columns, depth=1))
+    then, then_kind = draw(_expr(columns, depth=1))
+    otherwise, other_kind = draw(_expr(columns, depth=1))
+    kind = _INT if (then_kind, other_kind) == (_INT, _INT) else _FLOAT
+    return f"CASE WHEN {condition} THEN {then} ELSE {otherwise} END", kind
+
+
+@st.composite
+def _projection_expr(draw, columns):
+    if draw(st.integers(min_value=0, max_value=4)) == 0:
+        return draw(_case_expr(columns))
+    return draw(_expr(columns, depth=2, division=True))
+
+
+@st.composite
+def _limit_tail(draw, unique_keys, extra_order_columns):
+    """ORDER BY ... [LIMIT n [OFFSET m]] ending in a total order.
+
+    ``unique_keys`` identify an output row uniquely; optional tie-heavy
+    leading keys exercise the top-k operator's tie handling.
+    """
+    order: list[str] = []
+    if extra_order_columns and draw(st.booleans()):
+        column, _kind = draw(st.sampled_from(extra_order_columns))
+        order.append(f"{column} {draw(st.sampled_from(['ASC', 'DESC']))}")
+    for key in unique_keys:
+        order.append(f"{key} {draw(st.sampled_from(['ASC', 'DESC']))}")
+    tail = f" ORDER BY {', '.join(order)}"
+    limited = draw(st.booleans())
+    if limited:
+        limit = draw(st.sampled_from([0, 1, 2, 3, 5, 10, 25, -1]))
+        tail += f" LIMIT {limit}"
+        if draw(st.booleans()):
+            offset = draw(st.sampled_from([0, 1, 2, 5, 40, -3]))
+            tail += f" OFFSET {offset}"
+    return tail, limited
+
+
+# ---------------------------------------------------------------------------
+# Query shapes
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _simple_query(draw, tables):
+    table = tables[0]
+    columns = _columns_of(table)
+    distinct = draw(st.booleans())
+    if distinct:
+        # Real deduplication (no unique id in the projection), division-free
+        # expressions (NaN-vs-NULL dedup diverges), multiset comparison.
+        items = []
+        for position in range(draw(st.integers(min_value=1, max_value=3))):
+            expression, _ = draw(_expr(columns, depth=2, division=False))
+            items.append(f"{expression} AS e{position}")
+        sql = f"SELECT DISTINCT {', '.join(items)} FROM {table['name']}"
+        if draw(st.booleans()):
+            sql += f" WHERE {draw(_predicate(columns))}"
+        return sql, False
+    items = [f"{table['name']}.id AS id0"]
+    for position in range(draw(st.integers(min_value=1, max_value=3))):
+        expression, _ = draw(_projection_expr(columns))
+        items.append(f"{expression} AS e{position}")
+    sql = f"SELECT {', '.join(items)} FROM {table['name']}"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_predicate(columns))}"
+    tail, _limited = draw(_limit_tail(["id0"], columns))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+@st.composite
+def _join_query(draw, tables):
+    left, right = tables[0], tables[1]
+    left_ints = _columns_of(left, _INT)
+    right_ints = _columns_of(right, _INT)
+    left_key, _ = draw(st.sampled_from(left_ints))
+    right_key, _ = draw(st.sampled_from(right_ints))
+    all_columns = _columns_of(left) + _columns_of(right)
+    items = [f"{left['name']}.id AS id0", f"{right['name']}.id AS id1"]
+    for position in range(draw(st.integers(min_value=1, max_value=2))):
+        expression, _ = draw(_projection_expr(all_columns))
+        items.append(f"{expression} AS e{position}")
+    sql = (
+        f"SELECT {', '.join(items)} FROM {left['name']} "
+        f"JOIN {right['name']} ON {left_key} = {right_key}"
+    )
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_predicate(all_columns))}"
+    tail, _limited = draw(_limit_tail(["id0", "id1"], all_columns))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+@st.composite
+def _grouped_query(draw, tables):
+    table = tables[0]
+    columns = _columns_of(table)
+    value_columns = [c for c in columns if not c[0].endswith(".id")]
+    keys = draw(
+        st.lists(st.sampled_from(value_columns), min_size=1, max_size=2, unique_by=lambda c: c[0])
+    )
+    items = [f"{column} AS k{i}" for i, (column, _) in enumerate(keys)]
+    aggregates = ["COUNT(*) AS n"]
+    for position in range(draw(st.integers(min_value=1, max_value=2))):
+        function = draw(st.sampled_from(["SUM", "MIN", "MAX", "AVG", "COUNT"]))
+        argument, _ = draw(_expr(columns, depth=1, division=False))
+        aggregates.append(f"{function}({argument}) AS a{position}")
+    sql = (
+        f"SELECT {', '.join(items + aggregates)} FROM {table['name']}"
+    )
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_predicate(columns))}"
+    sql += f" GROUP BY {', '.join(column for column, _ in keys)}"
+    if draw(st.booleans()):
+        sql += f" HAVING COUNT(*) >= {draw(st.integers(min_value=1, max_value=3))}"
+    key_aliases = [f"k{i}" for i in range(len(keys))]
+    tail, _limited = draw(_limit_tail(key_aliases, []))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+@st.composite
+def _cte_query(draw, tables):
+    """A 1-2 level CTE chain over t0, optionally joined with t1."""
+    base = tables[0]
+    base_columns = _columns_of(base)
+    int_columns = _columns_of(base, _INT)
+    body_items = [f"{base['name']}.id AS id"]
+    exported = [("c0.id", _INT)]
+    for position, (column, kind) in enumerate(base_columns[1:]):
+        body_items.append(f"{column} AS v{position}")
+        exported.append((f"c0.v{position}", kind))
+    expression, kind = draw(_expr(base_columns, depth=2, division=False))
+    body_items.append(f"{expression} AS ex")
+    exported.append(("c0.ex", kind))
+    body = f"SELECT {', '.join(body_items)} FROM {base['name']}"
+    if draw(st.booleans()):
+        body += f" WHERE {draw(_predicate(base_columns))}"
+    ctes = [f"c0 AS ({body})"]
+
+    chain = draw(st.booleans())
+    if chain:
+        inner_items = [f"c0.id AS id"] + [
+            f"{column} AS w{i}" for i, (column, _kind) in enumerate(exported[1:])
+        ]
+        inner = f"SELECT {', '.join(inner_items)} FROM c0"
+        if draw(st.booleans()):
+            inner += f" WHERE {draw(_predicate(exported))}"
+        ctes.append(f"c1 AS ({inner})")
+        consumer_name = "c1"
+        consumer_columns = [("c1.id", _INT)] + [
+            (f"c1.w{i}", kind) for i, (_c, kind) in enumerate(exported[1:])
+        ]
+    else:
+        consumer_name = "c0"
+        consumer_columns = exported
+
+    join = len(tables) > 1 and draw(st.booleans())
+    items = [f"{consumer_name}.id AS id0"]
+    unique = ["id0"]
+    all_columns = list(consumer_columns)
+    from_clause = f"FROM {consumer_name}"
+    if join:
+        other = tables[1]
+        other_ints = _columns_of(other, _INT)
+        left_key = draw(st.sampled_from([c for c, k in consumer_columns if k == _INT]))
+        right_key, _ = draw(st.sampled_from(other_ints))
+        from_clause += f" JOIN {other['name']} ON {left_key} = {right_key}"
+        items.append(f"{other['name']}.id AS id1")
+        unique.append("id1")
+        all_columns += _columns_of(other)
+    for position in range(draw(st.integers(min_value=1, max_value=2))):
+        expression, _ = draw(_projection_expr(all_columns))
+        items.append(f"{expression} AS e{position}")
+    sql = f"WITH {', '.join(ctes)} SELECT {', '.join(items)} {from_clause}"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_predicate(all_columns))}"
+    tail, _limited = draw(_limit_tail(unique, all_columns))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+# ---------------------------------------------------------------------------
+# Differential harness
+# ---------------------------------------------------------------------------
+
+
+def _normalize(value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return round(float(value), 7)
+    if isinstance(value, (int, float)):
+        number = float(value)
+        if number != number:  # NaN encodes NULL in memdb
+            return None
+        return round(number, 7)
+    return value
+
+
+def _normalize_rows(rows):
+    return [tuple(_normalize(value) for value in row) for row in rows]
+
+
+def _sort_key(row):
+    return tuple((value is None, value if value is not None else 0.0) for value in row)
+
+
+def _run_sqlite(connection, sql: str):
+    return connection.execute(sql).fetchall()
+
+
+def _run_duckdb(statements, queries):
+    import duckdb
+
+    connection = duckdb.connect()
+    for statement in statements:
+        connection.execute(statement)
+    return [connection.execute(query).fetchall() for query in queries]
+
+
+def _assert_rows_match(expected, actual, ordered: bool, label: str, sql: str) -> None:
+    expected = _normalize_rows(expected)
+    actual = _normalize_rows(actual)
+    if not ordered:
+        expected = sorted(expected, key=_sort_key)
+        actual = sorted(actual, key=_sort_key)
+    assert actual == expected, f"{label} diverged on:\n{sql}\nexpected {expected}\nactual   {actual}"
+
+
+def _shift_statements(tables, draw_rows):
+    """Extra INSERTs that change every table's distribution mid-test."""
+    statements = []
+    for table in tables:
+        start = len(table["rows"])
+        values = []
+        for offset, extra in enumerate(draw_rows):
+            row = [start + offset]
+            for _name, kind in table["columns"][1:]:
+                row.append(int(extra) if kind == _INT else extra / 2.0)
+            values.append("(" + ", ".join(repr(v) for v in row) + ")")
+        if values:
+            names = ", ".join(name for name, _ in table["columns"])
+            statements.append(f"INSERT INTO {table['name']} ({names}) VALUES {', '.join(values)}")
+    return statements
+
+
+def _differential_check(tables, query, draw_analyze: bool, shift_rows) -> None:
+    sql, ordered = query
+    setup = [statement for table in tables for statement in _ddl(table)]
+
+    sqlite_connection = sqlite3.connect(":memory:")
+    for statement in setup:
+        sqlite_connection.execute(statement)
+
+    optimized = MemDatabase(plan_cache=PlanCache(maxsize=32))
+    plain = MemDatabase(plan_cache=PlanCache(maxsize=32), enable_optimizer=False)
+    for statement in setup:
+        optimized.execute(statement)
+        plain.execute(statement)
+    if draw_analyze:
+        optimized.execute("ANALYZE")
+
+    expected = _run_sqlite(sqlite_connection, sql)
+    for label, engine in (("memdb[optimizer]", optimized), ("memdb[plain]", plain)):
+        _assert_rows_match(expected, engine.execute(sql).rows, ordered, label, sql)
+        # Second execution re-binds the cached plan (and may re-plan via
+        # adaptive feedback): must be byte-identical to the cold run.
+        _assert_rows_match(expected, engine.execute(sql).rows, ordered, label + "[warm]", sql)
+
+    if duckdb_available():
+        (duck_rows,) = _run_duckdb(setup, [sql])
+        _assert_rows_match(expected, duck_rows, ordered, "duckdb", sql)
+
+    if shift_rows:
+        shift = _shift_statements(tables, shift_rows)
+        for statement in shift:
+            sqlite_connection.execute(statement)
+            optimized.execute(statement)
+            plain.execute(statement)
+        expected = _run_sqlite(sqlite_connection, sql)
+        for label, engine in (("memdb[optimizer+shift]", optimized), ("memdb[plain+shift]", plain)):
+            _assert_rows_match(expected, engine.execute(sql).rows, ordered, label, sql)
+            _assert_rows_match(expected, engine.execute(sql).rows, ordered, label + "[warm]", sql)
+
+    sqlite_connection.close()
+
+
+_shift_strategy = st.lists(st.integers(min_value=-30, max_value=30), min_size=0, max_size=12)
+
+
+# ---------------------------------------------------------------------------
+# Bounded tier-1 profile (>= 200 generated queries per run)
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_single_table_matches_sqlite(data):
+    tables = data.draw(_tables(count=1))
+    query = data.draw(_simple_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_joins_match_sqlite(data):
+    tables = data.draw(_tables(count=2))
+    query = data.draw(_join_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_group_by_matches_sqlite(data):
+    tables = data.draw(_tables(count=1))
+    query = data.draw(_grouped_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_cte_chains_match_sqlite(data):
+    tables = data.draw(_tables(count=2))
+    query = data.draw(_cte_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+# ---------------------------------------------------------------------------
+# Deep profile (-m slow)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "shape", ["simple", "join", "grouped", "cte"], ids=["simple", "join", "grouped", "cte"]
+)
+def test_fuzz_deep_profile(shape):
+    strategies = {
+        "simple": (1, _simple_query),
+        "join": (2, _join_query),
+        "grouped": (1, _grouped_query),
+        "cte": (2, _cte_query),
+    }
+    count, shape_strategy = strategies[shape]
+
+    @given(data=st.data())
+    @_DEEP
+    def run(data):
+        tables = data.draw(_tables(count=count))
+        query = data.draw(shape_strategy(tables))
+        _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+    run()
