@@ -51,6 +51,8 @@ from .optimizer import (
     select_shape,
 )
 from .optimizer.rewrite import referenced_stored_tables
+from .parallel import WorkerPool, parallel_env_enabled, shared_worker_pool
+from .parallel.pool import default_worker_count
 from .parser import parse_sql
 from .planner import CompiledCreateTableAs, CompiledScript, compile_statement
 from .table import Table, dtype_for_sql_type
@@ -74,9 +76,12 @@ class CachedScript:
     table are excluded — a replay reproduces that product itself).  The
     cache revalidates the fingerprint on every hit, so the same SQL text
     executed against a structurally different catalog recompiles instead of
-    re-binding stale plans.  ``optimizer_enabled`` records which pipeline
-    produced the plans, so an optimizer-off database never executes
-    optimizer-rewritten plans from a shared cache (or vice versa).
+    re-binding stale plans.  ``flavor`` records which compilation pipeline
+    produced the plans (see :meth:`MemDatabase.plan_flavor`), so an
+    optimizer-off database never executes optimizer-rewritten plans from a
+    shared cache, and a plan carrying one engine's costed parallel
+    decisions is never re-bound by an engine with a different parallel
+    configuration (or vice versa).
 
     ``replan`` is the adaptive re-optimization hook: when an execution
     observes block cardinalities far above the plan's estimates, the engine
@@ -84,17 +89,17 @@ class CachedScript:
     as a miss, so the text re-optimizes against the corrected statistics.
     """
 
-    __slots__ = ("items", "schemas", "optimizer_enabled", "replan")
+    __slots__ = ("items", "schemas", "flavor", "replan")
 
     def __init__(
         self,
         items: list[CompiledStatement],
         schemas: dict[str, tuple],
-        optimizer_enabled: bool = True,
+        flavor: object = True,
     ) -> None:
         self.items = items
         self.schemas = schemas
-        self.optimizer_enabled = optimizer_enabled
+        self.flavor = flavor
         self.replan = False
 
     def is_valid(self, catalog: Mapping[str, Table]) -> bool:
@@ -160,12 +165,15 @@ class PlanCache:
         "_lock",
     )
 
-    #: Cache keys are ``(optimizer_enabled, sql)``: optimizer-on and
-    #: optimizer-off compilations of the same text are distinct entries, so
-    #: an ablation pair sharing one cache can both stay warm instead of
-    #: thrashing (and an optimizer-off database can never execute rewritten
-    #: plans).
-    _Key = tuple[bool, str]
+    #: Cache keys are ``(flavor, sql)``: different compilation flavors of
+    #: the same text — optimizer on vs off, and distinct parallel
+    #: configurations (plans bake their costed ParallelDecision) — are
+    #: distinct entries, so an ablation pair sharing one cache can both
+    #: stay warm instead of thrashing, and no engine ever re-binds a plan
+    #: compiled under another engine's physical-choice settings.  Plain
+    #: ``True``/``False`` flavors are the historical optimizer-on/off keys
+    #: (what every non-parallel engine still uses).
+    _Key = tuple[object, str]
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = int(maxsize)
@@ -182,15 +190,17 @@ class PlanCache:
         self,
         sql: str,
         catalog: Mapping[str, Table] | None = None,
-        optimizer_enabled: bool = True,
+        flavor: object = True,
     ) -> CachedScript | None:
         """The cached compilation of a script, updating LRU order and stats.
 
         ``catalog`` (the calling database's tables) enables the schema
         fingerprint check; a stale entry is dropped and reported as a miss.
-        ``optimizer_enabled`` selects the compilation flavor being looked up.
+        ``flavor`` selects the compilation flavor being looked up (the
+        engine's :meth:`MemDatabase.plan_flavor`; plain booleans are the
+        optimizer-on/off flavors of non-parallel engines).
         """
-        key = (bool(optimizer_enabled), sql)
+        key = (flavor, sql)
         with self._lock:
             for store in (self._plans, self._parsed):
                 entry = store.get(key)
@@ -217,10 +227,10 @@ class PlanCache:
         self,
         sql: str,
         catalog: Mapping[str, Table] | None = None,
-        optimizer_enabled: bool = True,
+        flavor: object = True,
     ) -> str:
         """Provenance of a text without touching counters: hit / stale / miss."""
-        key = (bool(optimizer_enabled), sql)
+        key = (flavor, sql)
         with self._lock:
             for store in (self._plans, self._parsed):
                 entry = store.get(key)
@@ -232,14 +242,14 @@ class PlanCache:
                     return "hit"
             return "miss"
 
-    def mark_replan(self, sql: str, optimizer_enabled: bool = True) -> bool:
+    def mark_replan(self, sql: str, flavor: object = True) -> bool:
         """Flag a cached script for re-planning on its next lookup.
 
         Called by adaptive feedback when observed block cardinalities exceed
         the plan's estimates beyond the engine's threshold.  Returns True
         when an entry was flagged (False when the text is no longer cached).
         """
-        key = (bool(optimizer_enabled), sql)
+        key = (flavor, sql)
         with self._lock:
             for store in (self._plans, self._parsed):
                 entry = store.get(key)
@@ -264,7 +274,7 @@ class PlanCache:
             if len(sql) > self.PARSE_ONLY_MAX_SQL_CHARS:
                 return
             store = self._parsed
-        key = (entry.optimizer_enabled, sql)
+        key = (entry.flavor, sql)
         with self._lock:
             store[key] = entry
             store.move_to_end(key)
@@ -303,12 +313,10 @@ class PlanCache:
             return len(self._plans) + len(self._parsed)
 
     def __contains__(self, sql: str) -> bool:
-        """True when either compilation flavor of the text is cached."""
+        """True when any compilation flavor of the text is cached."""
         with self._lock:
             return any(
-                (flavor, sql) in store
-                for store in (self._plans, self._parsed)
-                for flavor in (True, False)
+                key[1] == sql for store in (self._plans, self._parsed) for key in store
             )
 
 
@@ -364,6 +372,20 @@ class MemDatabase:
     enable_topk:
         When False the cost model never chooses the bounded top-k operator
         for ORDER BY ... LIMIT (benchmark ablation of sort-then-slice).
+    enable_parallel:
+        Morsel-driven parallel execution (see :mod:`.parallel`): compiled
+        query blocks whose costed :class:`~.optimizer.cost.ParallelDecision`
+        expects a net win run their scans, filters, hash-join probes and
+        partitioned aggregations across a shared worker pool.  Results are
+        byte-identical to serial execution.  ``None`` (the default) follows
+        the ``REPRO_MEMDB_PARALLEL`` environment variable (off when unset).
+    parallel_workers / parallel_threshold_rows / worker_pool:
+        Tuning knobs for the parallel subsystem: the worker count the cost
+        model plans for, an explicit serial-vs-parallel break-even override
+        (0 forces parallel operators onto any non-empty input — used by the
+        differential tests), and an injected :class:`~.parallel.WorkerPool`
+        (default: one pool shared process-wide, so fresh engines per sweep
+        point reuse warm threads).
     """
 
     #: Actual/estimated ratio above which a block triggers re-planning.
@@ -381,6 +403,10 @@ class MemDatabase:
         enable_topk: bool = True,
         adaptive_threshold: float | None = None,
         adaptive_min_rows: int | None = None,
+        enable_parallel: bool | None = None,
+        parallel_workers: int | None = None,
+        parallel_threshold_rows: int | None = None,
+        worker_pool: WorkerPool | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
         self._plan_cache = _SHARED_PLAN_CACHE if plan_cache is None else plan_cache
@@ -388,6 +414,32 @@ class MemDatabase:
         self.enable_optimizer = bool(enable_optimizer)
         self.enable_adaptive = bool(enable_adaptive) and self.enable_optimizer
         self.enable_topk = bool(enable_topk)
+        if enable_parallel is None:
+            enable_parallel = bool(parallel_env_enabled())
+        self.enable_parallel = bool(enable_parallel)
+        self._worker_pool = worker_pool
+        self.parallel_workers = (
+            int(parallel_workers)
+            if parallel_workers is not None
+            else (worker_pool.workers if worker_pool is not None else default_worker_count())
+        )
+        self.parallel_threshold_rows = (
+            None if parallel_threshold_rows is None else int(parallel_threshold_rows)
+        )
+        self._parallel_executions = 0
+        # Compilation flavor for plan-cache keys.  Compiled plans bake the
+        # costed ParallelDecision, so engines whose parallel configuration
+        # differs must never share cache entries; non-parallel engines keep
+        # the historical optimizer-on/off boolean key.
+        if not self.enable_parallel:
+            self._plan_flavor: object = self.enable_optimizer
+        else:
+            self._plan_flavor = (
+                self.enable_optimizer,
+                "parallel",
+                self.parallel_workers,
+                self.parallel_threshold_rows,
+            )
         self.adaptive_threshold = (
             self.ADAPTIVE_THRESHOLD if adaptive_threshold is None else float(adaptive_threshold)
         )
@@ -404,6 +456,11 @@ class MemDatabase:
     def plan_cache(self) -> PlanCache:
         """The plan cache this database compiles into."""
         return self._plan_cache
+
+    @property
+    def plan_flavor(self) -> object:
+        """This engine's plan-cache compilation flavor (see :class:`PlanCache`)."""
+        return self._plan_flavor
 
     def plan_cache_stats(self) -> dict:
         """Hit/miss/eviction statistics of the plan cache."""
@@ -442,6 +499,7 @@ class MemDatabase:
             "threshold": self.adaptive_threshold,
             "replans": self._optimizer_counters.get("adaptive_replans", 0),
             "corrections": self._optimizer_counters.get("feedback_corrections", 0),
+            "decays": self._optimizer_counters.get("feedback_decays", 0),
             "events": list(self._adaptive_events),
         }
 
@@ -451,7 +509,38 @@ class MemDatabase:
             self._statistics,
             enabled=self.enable_optimizer,
             enable_topk=self.enable_topk,
+            enable_parallel=self.enable_parallel,
+            parallel_workers=self.parallel_workers,
+            parallel_threshold_rows=self.parallel_threshold_rows,
         )
+
+    # ------------------------------------------------------ parallel runtime
+
+    def worker_pool(self) -> WorkerPool | None:
+        """The morsel pool compiled plans execute on (None = serial engine).
+
+        The engine owns the binding, not the threads: by default every
+        parallel engine shares the process-wide pool (mirroring the shared
+        plan cache), while an injected pool stays private to this engine.
+        """
+        if not self.enable_parallel:
+            return None
+        if self._worker_pool is not None:
+            return self._worker_pool
+        return shared_worker_pool()
+
+    def parallel_stats(self) -> dict:
+        """Parallel-subsystem state: configuration plus pool usage counters."""
+        pool = self._worker_pool
+        if pool is None and self.enable_parallel:
+            pool = shared_worker_pool()
+        return {
+            "enabled": self.enable_parallel,
+            "workers": self.parallel_workers,
+            "threshold_rows": self.parallel_threshold_rows,
+            "parallel_plan_executions": self._parallel_executions,
+            "pool": pool.stats() if pool is not None else {},
+        }
 
     def _record_report(self, report: OptimizerReport | None) -> None:
         if report is None:
@@ -486,6 +575,22 @@ class MemDatabase:
             return self.table(name).estimated_bytes()
         return sum(table.estimated_bytes() for table in self._tables.values())
 
+    def create_table_from_columns(self, name: str, columns: Mapping[str, np.ndarray]) -> Table:
+        """Bulk-load a table straight from numpy columns (no SQL round-trip).
+
+        The columnar fast path for benchmark and service loaders: building a
+        million-row table from INSERT literals would spend orders of
+        magnitude longer tokenizing than the engine spends executing.  The
+        table participates in everything a CREATE'd table does (statistics
+        invalidation included).
+        """
+        if name in self._tables:
+            raise SQLExecutionError(f"table {name!r} already exists")
+        table = Table(name, {column: np.asarray(values) for column, values in columns.items()})
+        self._tables[name] = table
+        self._statistics.invalidate(name)
+        return table
+
     def clear(self) -> None:
         """Drop every table (and the adaptive state observed against them)."""
         self._tables.clear()
@@ -503,7 +608,7 @@ class MemDatabase:
         cached plans against the current catalog after the schema
         fingerprint of every referenced table revalidates.
         """
-        cached = self._plan_cache.get(sql, self._tables, self.enable_optimizer)
+        cached = self._plan_cache.get(sql, self._tables, self.plan_flavor)
         result = QueryResult([], [])
         if cached is not None:
             for item in cached.items:
@@ -536,7 +641,7 @@ class MemDatabase:
             if isinstance(statement, (CreateTable, CreateTableAs, DropTable)):
                 touched_by_ddl.add(statement.name)
         if cacheable:
-            entry = CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
+            entry = CachedScript(items, schemas, flavor=self.plan_flavor)
             if sql in self._pending_replans:
                 # Feedback from this very execution already disqualified the
                 # plans: cache the entry pre-flagged so the next lookup
@@ -582,7 +687,7 @@ class MemDatabase:
         Returns ``"hit"`` when the text was already cached and ``"prepared"``
         after a fresh compilation.
         """
-        if self._plan_cache.get(sql, self._tables, self.enable_optimizer) is not None:
+        if self._plan_cache.get(sql, self._tables, self.plan_flavor) is not None:
             return "hit"
         statements = parse_sql(sql)
         offenders = [type(s).__name__ for s in statements if not isinstance(s, (Select, WithSelect))]
@@ -596,7 +701,7 @@ class MemDatabase:
         for statement in statements:
             items.append(self._compile_one(optimizer, statement, schemas, set()))
         self._plan_cache.put(
-            sql, CachedScript(items, schemas, optimizer_enabled=self.enable_optimizer)
+            sql, CachedScript(items, schemas, flavor=self.plan_flavor)
         )
         return "prepared"
 
@@ -618,10 +723,14 @@ class MemDatabase:
         )
         actuals: dict[str, int] = {}
         trace = actuals.__setitem__ if collect else None
+        pool = self.worker_pool()
+        script = plan.script if isinstance(plan, CompiledCreateTableAs) else plan
+        if pool is not None and script.uses_parallel():
+            self._parallel_executions += 1
         if isinstance(plan, CompiledCreateTableAs):
-            result = self._run_compiled_create(plan, trace=trace)
+            result = self._run_compiled_create(plan, trace=trace, pool=pool)
         else:
-            result = self._materialize(*plan.execute(self._tables, trace=trace))
+            result = self._materialize(*plan.execute(self._tables, trace=trace, pool=pool))
         if collect and actuals:
             self._adaptive_feedback(sql, item, actuals)
         return result
@@ -699,12 +808,40 @@ class MemDatabase:
                             self._optimizer_counters.get("feedback_corrections", 0) + 1
                         )
                 triggered.append(event)
+            elif (
+                select is not None
+                and select.source is not None
+                and select.source.name in self._tables
+            ):
+                # The decay half of the loop: a corrected block whose
+                # estimate now grossly overshoots ages its factor (see
+                # StatisticsCatalog.observe_correction); once it decays,
+                # re-plan so the cheaper operators get picked up.
+                decayed = self._statistics.observe_correction(
+                    select.source.name,
+                    select_shape(select),
+                    actual / estimated,
+                    self.adaptive_threshold,
+                )
+                if decayed is not None:
+                    triggered.append(
+                        {
+                            "block": info.label,
+                            "estimated": estimated,
+                            "actual": int(actual),
+                            "q_error": actual / estimated,
+                            "decay": {"table": select.source.name, "factor": decayed},
+                        }
+                    )
+                    self._optimizer_counters["feedback_decays"] = (
+                        self._optimizer_counters.get("feedback_decays", 0) + 1
+                    )
             # Later blocks scan earlier ones by name: estimate them against
             # the measured cardinality, not the stale guess.
             model.set_derived_rows(info.label, float(actual))
         if not triggered:
             return
-        if not self._plan_cache.mark_replan(sql, self.enable_optimizer):
+        if not self._plan_cache.mark_replan(sql, self.plan_flavor):
             if len(self._pending_replans) < 64:
                 self._pending_replans.add(sql)
         self._optimizer_counters["adaptive_replans"] = (
@@ -755,10 +892,12 @@ class MemDatabase:
         rows = [tuple(row) for row in zip(*materialized)] if materialized else []
         return QueryResult(list(names), rows)
 
-    def _run_compiled_create(self, plan: CompiledCreateTableAs, trace=None) -> QueryResult:
+    def _run_compiled_create(
+        self, plan: CompiledCreateTableAs, trace=None, pool: WorkerPool | None = None
+    ) -> QueryResult:
         if plan.name in self._tables:
             raise SQLExecutionError(f"table {plan.name!r} already exists")
-        names, columns = plan.script.execute(self._tables, trace=trace)
+        names, columns = plan.script.execute(self._tables, trace=trace, pool=pool)
         self._tables[plan.name] = Table(plan.name, {name: columns[name] for name in names})
         self._statistics.invalidate(plan.name)
         return QueryResult([], [], rowcount=self._tables[plan.name].num_rows)
@@ -826,7 +965,7 @@ class MemDatabase:
         per-relation cardinalities plus wall time next to the estimates.
         """
         cache_state = self._plan_cache.peek_state(
-            statement.inner_sql, self._tables, self.enable_optimizer
+            statement.inner_sql, self._tables, self.plan_flavor
         )
         optimized, report, cost = self._optimizer().optimize(statement.statement)
         plan = compile_statement(optimized, cost)
@@ -865,13 +1004,19 @@ class MemDatabase:
     def _run_script_with_actuals(self, script: CompiledScript) -> tuple[list[tuple[str, int]], int]:
         """Execute a compiled script, capturing per-block actual cardinalities."""
         cardinalities: list[tuple[str, int]] = []
-        _names, columns = script.execute(self._tables, trace=lambda label, rows: cardinalities.append((label, rows)))
+        _names, columns = script.execute(
+            self._tables,
+            trace=lambda label, rows: cardinalities.append((label, rows)),
+            pool=self.worker_pool(),
+        )
         rowcount = len(next(iter(columns.values()))) if columns else 0
         return cardinalities, rowcount
 
     def _run_create_with_actuals(self, plan: CompiledCreateTableAs) -> tuple[list[tuple[str, int]], int]:
         cardinalities: list[tuple[str, int]] = []
         result = self._run_compiled_create(
-            plan, trace=lambda label, rows: cardinalities.append((label, rows))
+            plan,
+            trace=lambda label, rows: cardinalities.append((label, rows)),
+            pool=self.worker_pool(),
         )
         return cardinalities, result.rowcount

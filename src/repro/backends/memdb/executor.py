@@ -536,6 +536,14 @@ def split_join_condition(
     raise SQLExecutionError("JOIN condition must compare one side per table")
 
 
+def _evaluate_serial(frame: Frame, length: int, expression: Expression) -> np.ndarray:
+    return ExpressionEvaluator(frame, length).evaluate(expression)
+
+
+def _gather_serial(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    return values[indices]
+
+
 def hash_join_frames(
     left_frame: Frame,
     left_length: int,
@@ -543,17 +551,30 @@ def hash_join_frames(
     right_length: int,
     left_key_expr: Expression,
     right_key_expr: Expression,
+    evaluate: "Callable[[Frame, int, Expression], np.ndarray] | None" = None,
+    join: "Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]] | None" = None,
+    gather: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None,
 ) -> tuple[Frame, int]:
-    """Inner-join two frames on pre-split key expressions, merging their columns."""
-    left_keys = ExpressionEvaluator(left_frame, left_length).evaluate(left_key_expr)
-    right_keys = ExpressionEvaluator(right_frame, right_length).evaluate(right_key_expr)
-    left_idx, right_idx = join_indices(left_keys, right_keys)
+    """Inner-join two frames on pre-split key expressions, merging their columns.
+
+    ``evaluate`` / ``join`` / ``gather`` override the kernel strategies (the
+    morsel-parallel path passes its pool-backed variants); the defaults are
+    the serial kernels.  There is exactly one body for the column-merge
+    discipline — ambiguous bare names, length-mismatch passthrough — so the
+    serial and parallel joins can never diverge on it.
+    """
+    evaluate = evaluate or _evaluate_serial
+    join = join or join_indices
+    gather = gather or _gather_serial
+    left_keys = evaluate(left_frame, left_length, left_key_expr)
+    right_keys = evaluate(right_frame, right_length, right_key_expr)
+    left_idx, right_idx = join(left_keys, right_keys)
 
     merged: Frame = {}
     for key, values in left_frame.items():
-        merged[key] = values[left_idx] if len(values) == left_length else values
+        merged[key] = gather(values, left_idx) if len(values) == left_length else values
     for key, values in right_frame.items():
-        gathered = values[right_idx] if len(values) == right_length else values
+        gathered = gather(values, right_idx) if len(values) == right_length else values
         if key in merged and "." not in key:
             # Ambiguous bare column name: keep only the qualified forms.
             del merged[key]
@@ -584,12 +605,21 @@ def item_output_name(item: SelectItem, position: int) -> str:
 
 
 def plain_projection(
-    items: Sequence[SelectItem], frame: Frame, length: int
+    items: Sequence[SelectItem],
+    frame: Frame,
+    length: int,
+    evaluate: "Callable[[Expression], np.ndarray] | None" = None,
 ) -> tuple[list[str], dict[str, np.ndarray]]:
-    """Evaluate a non-aggregating projection (including ``*`` expansion)."""
+    """Evaluate a non-aggregating projection (including ``*`` expansion).
+
+    ``evaluate`` overrides the expression strategy (the morsel-parallel
+    path passes its pool-backed evaluator); the ``*`` expansion and output
+    naming have exactly one body either way.
+    """
     names: list[str] = []
     columns: dict[str, np.ndarray] = {}
-    evaluator = ExpressionEvaluator(frame, length)
+    if evaluate is None:
+        evaluate = ExpressionEvaluator(frame, length).evaluate
     for position, item in enumerate(items):
         if isinstance(item.expression, Star):
             for key, values in frame.items():
@@ -603,7 +633,7 @@ def plain_projection(
             continue
         name = item_output_name(item, position)
         names.append(name)
-        columns[name] = evaluator.evaluate(item.expression)
+        columns[name] = evaluate(item.expression)
     return names, columns
 
 
@@ -656,6 +686,39 @@ def grouped_projection(select: Select, frame: Frame, length: int) -> tuple[list[
     return names, columns
 
 
+#: Highest Unicode code point; the reverse-collation terminator.
+_REVERSE_COLLATION_MAX = 0x10FFFF
+
+
+def _reverse_collation(values: np.ndarray) -> np.ndarray:
+    """Map strings to keys whose *ascending* order is the originals' DESC order.
+
+    Each code point ``c`` maps to ``MAX - c`` — an injective, strictly
+    order-reversing flip over the whole code space — and the NUL padding of
+    numpy's fixed-width unicode layout maps to ``MAX`` itself, above every
+    flipped real code point, so a string sorts *after* its own proper
+    prefixes: exactly the descending total order SQLite's byte-wise
+    collation produces (UTF-8 byte order equals code-point order).  Equal
+    inputs map to equal keys, which keeps stable sorts stable and lets
+    :func:`top_k_indices` partition on the transformed key directly — this
+    is what makes the bounded top-k operator available to ``ORDER BY
+    <text> DESC`` queries.
+
+    The whole transform runs on the UCS-4 code-unit view (one vectorized
+    pass, no per-character Python), so a multi-million-row DESC key costs a
+    handful of array ops.  Strings containing literal NULs collapse with
+    the padding (unreachable through the SQL layer).
+    """
+    text = np.ascontiguousarray(values.astype(str))
+    if text.size == 0 or text.dtype.itemsize == 0:
+        return text
+    width = text.dtype.itemsize // 4
+    codes = text.view(np.uint32).reshape(len(text), width)
+    # MAX - 0 = MAX: the padding maps to the top value with no extra pass.
+    flipped = np.uint32(_REVERSE_COLLATION_MAX) - codes
+    return np.ascontiguousarray(flipped).view(f"<U{width}").reshape(len(text))
+
+
 def _order_keys(
     columns: dict[str, np.ndarray],
     order_by: Sequence[OrderItem],
@@ -673,7 +736,7 @@ def _order_keys(
             if sortable.dtype.kind == "f":
                 sortable = -sortable
             else:
-                raise SQLExecutionError("DESC ordering on text columns is not supported")
+                sortable = _reverse_collation(sortable)
         keys.append(sortable)
     return keys
 

@@ -31,7 +31,14 @@ from typing import Mapping, Optional
 
 from ..ast_nodes import CreateTableAs, Select, Statement, WithSelect
 from ..table import Table
-from .cost import CostModel, FusionDecision, JoinOrderDecision, TopKDecision, select_shape
+from .cost import (
+    CostModel,
+    FusionDecision,
+    JoinOrderDecision,
+    ParallelDecision,
+    TopKDecision,
+    select_shape,
+)
 from .explain import ActualRun, OptimizerReport, QueryPlanInfo, render_explain
 from .rewrite import RewriteLog, rewrite_statement
 from .stats import ColumnStats, StatisticsCatalog, TableStats
@@ -44,6 +51,7 @@ __all__ = [
     "JoinOrderDecision",
     "Optimizer",
     "OptimizerReport",
+    "ParallelDecision",
     "QueryPlanInfo",
     "RewriteLog",
     "StatisticsCatalog",
@@ -63,15 +71,28 @@ class Optimizer:
         statistics: Optional[StatisticsCatalog] = None,
         enabled: bool = True,
         enable_topk: bool = True,
+        enable_parallel: bool = False,
+        parallel_workers: int = 1,
+        parallel_threshold_rows: float | None = None,
     ) -> None:
         self._catalog = catalog
         self._statistics = statistics
         self.enabled = enabled
         self.enable_topk = enable_topk
+        self.enable_parallel = enable_parallel
+        self.parallel_workers = parallel_workers
+        self.parallel_threshold_rows = parallel_threshold_rows
 
     def cost_model(self) -> CostModel:
         """A cost model bound to the current catalog and statistics."""
-        return CostModel(self._catalog, self._statistics, enable_topk=self.enable_topk)
+        return CostModel(
+            self._catalog,
+            self._statistics,
+            enable_topk=self.enable_topk,
+            enable_parallel=self.enable_parallel,
+            parallel_workers=self.parallel_workers,
+            parallel_threshold_rows=self.parallel_threshold_rows,
+        )
 
     def optimize(self, statement: Statement) -> tuple[Statement, OptimizerReport, CostModel]:
         """Optimize one parsed statement.

@@ -65,6 +65,11 @@ RANGE_SELECTIVITY = 1.0 / 3.0
 GENERIC_SELECTIVITY = 0.25
 #: Estimated comparisons per row of a bounded-heap top-k pass.
 TOPK_ROW_COST = 1.0
+#: Scheduling overhead of one morsel-parallel block, in row-equivalents:
+#: dispatching morsels to the pool and merging their results costs about as
+#: much as scanning this many rows serially.  The serial-vs-parallel
+#: break-even follows as ``rows / workers + OVERHEAD < rows``.
+PARALLEL_OVERHEAD_ROWS = 16_384.0
 
 
 def _conjunct_shape(conjunct: Expression) -> str:
@@ -183,6 +188,41 @@ class TopKDecision:
         )
 
 
+@dataclass(frozen=True)
+class ParallelDecision:
+    """Costed choice between serial and morsel-parallel block execution.
+
+    ``estimated_rows`` is the block's pre-limit input-cardinality bound (the
+    driving size of its scans, probes and aggregations).  The parallel cost
+    divides that work across the workers and adds the pool's scheduling
+    overhead; the block runs parallel only when the model expects a net win,
+    so small blocks — where dispatch would dominate — stay serial.  Results
+    are byte-identical either way; the choice is purely a matter of cost.
+    """
+
+    eligible: bool
+    use_parallel: bool
+    workers: int = 1
+    estimated_rows: float = 0.0
+    serial_cost: float = math.inf
+    parallel_cost: float = math.inf
+    reason: str = ""
+
+    def describe(self) -> str:
+        if not self.eligible:
+            return f"serial ({self.reason or 'parallel execution disabled'})"
+        if self.use_parallel:
+            return (
+                f"morsel-parallel ({self.workers} workers)"
+                f" [cost {self.parallel_cost:.1f} < serial {self.serial_cost:.1f},"
+                f" est input ~{self.estimated_rows:.0f}]"
+            )
+        return (
+            f"serial [cost {self.serial_cost:.1f}"
+            f" <= parallel {self.parallel_cost:.1f}, est input ~{self.estimated_rows:.0f}]"
+        )
+
+
 def ordered_prefix_rows(select: Select) -> Optional[int]:
     """``LIMIT + OFFSET`` when the query needs only an ordered prefix.
 
@@ -211,11 +251,22 @@ class CostModel:
         statistics: StatisticsCatalog | None = None,
         derived_rows: Mapping[str, float] | None = None,
         enable_topk: bool = True,
+        enable_parallel: bool = False,
+        parallel_workers: int = 1,
+        parallel_threshold_rows: float | None = None,
     ) -> None:
         self._catalog = catalog or {}
         self._statistics = statistics
         self._derived = dict(derived_rows or {})
         self.enable_topk = bool(enable_topk)
+        self.enable_parallel = bool(enable_parallel)
+        self.parallel_workers = max(1, int(parallel_workers))
+        #: Optional break-even override: when set, a block goes parallel as
+        #: soon as its estimated rows reach this value (tests force the
+        #: parallel operators onto tiny inputs with 0).
+        self.parallel_threshold_rows = (
+            None if parallel_threshold_rows is None else float(parallel_threshold_rows)
+        )
 
     # ----------------------------------------------------------- primitives
 
@@ -596,6 +647,37 @@ class CostModel:
             estimated_input_rows=rows,
             sort_cost=sort_cost,
             topk_cost=topk_cost,
+        )
+
+    def parallel_decision(self, select: Select) -> ParallelDecision:
+        """Cost morsel-parallel execution of one block against serial.
+
+        The driving size is the larger of the base scan and the pre-limit
+        block cardinality (a selective filter still has to *scan* every
+        input row, and a fan-out join has to probe and aggregate every
+        output row).  Work parallelizes across the workers; the pool's
+        dispatch-and-merge overhead is charged per block.
+        """
+        workers = self.parallel_workers
+        if not self.enable_parallel or workers < 2:
+            reason = "parallel execution disabled" if not self.enable_parallel else "single worker"
+            return ParallelDecision(eligible=False, use_parallel=False, workers=workers, reason=reason)
+        rows = self.estimate_select_input_rows(select)
+        if select.source is not None:
+            rows = max(rows, self.table_rows(select.source.name))
+        serial_cost = rows
+        if self.parallel_threshold_rows is not None:
+            overhead = self.parallel_threshold_rows * (workers - 1) / workers
+        else:
+            overhead = PARALLEL_OVERHEAD_ROWS
+        parallel_cost = rows / workers + overhead
+        return ParallelDecision(
+            eligible=True,
+            use_parallel=parallel_cost < serial_cost,
+            workers=workers,
+            estimated_rows=rows,
+            serial_cost=serial_cost,
+            parallel_cost=parallel_cost,
         )
 
     def _table_width(self, name: str) -> int:

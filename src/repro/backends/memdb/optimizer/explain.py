@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .cost import FusionDecision, JoinOrderDecision, TopKDecision
+from .cost import FusionDecision, JoinOrderDecision, ParallelDecision, TopKDecision
 from .rewrite import RewriteLog
 
 
@@ -144,6 +144,9 @@ def _physical_description(compiled) -> str:
     """One-line description of a CompiledQuery's physical strategy."""
     topk: Optional[TopKDecision] = getattr(compiled, "topk", None)
     tail = "" if topk is None else f" -> {topk.describe()}"
+    parallel: Optional[ParallelDecision] = getattr(compiled, "parallel", None)
+    if parallel is not None and parallel.eligible:
+        tail += f" [{parallel.describe()}]"
     decision: Optional[FusionDecision] = getattr(compiled, "fusion", None)
     if decision is not None and decision.eligible:
         return decision.describe() + tail

@@ -30,6 +30,15 @@ and operators, literals elided) because that is what survives re-planning,
 and they are dropped together with the table's statistics on DML — fresh
 data invalidates old observations exactly like it invalidates old
 histograms (the incremental, update-aware view of query answering).
+
+Corrections also *age*: a workload can drift back (literals move into a
+sparse region, correlated predicates stop correlating) without any DML ever
+touching the table, which would otherwise pin a stale pessimistic factor
+forever.  :meth:`StatisticsCatalog.observe_correction` watches every
+corrected block's actual-vs-estimated ratio; after
+:data:`CORRECTION_DECAY_AFTER` consecutive gross overestimates the factor
+decays toward 1 (re-anchored to the observed level), so estimates recover
+for workloads that drift both ways.
 """
 
 from __future__ import annotations
@@ -55,6 +64,10 @@ HISTOGRAM_BUCKETS = 16
 #: an estimate: the UES discipline guarantees estimates never underestimate
 #: with fresh statistics, so only observed underestimates are actionable).
 CORRECTION_MAX = 1e9
+#: Consecutive gross-overestimate observations of a corrected block before
+#: its factor decays: one outlier execution (an unusually selective literal)
+#: must not throw away a correction the rest of the workload still needs.
+CORRECTION_DECAY_AFTER = 3
 
 
 @dataclass(frozen=True)
@@ -282,18 +295,24 @@ class StatisticsCatalog:
     __slots__ = (
         "_tables",
         "_corrections",
+        "_overestimate_streaks",
         "analyze_count",
         "invalidation_count",
         "feedback_count",
+        "decay_count",
     )
 
     def __init__(self) -> None:
         self._tables: dict[str, TableStats] = {}
         #: (table name, predicate shape) -> multiplicative correction (>= 1).
         self._corrections: dict[tuple[str, str], float] = {}
+        #: Consecutive observations where a corrected estimate grossly
+        #: overshot the actual (the decay/aging trigger).
+        self._overestimate_streaks: dict[tuple[str, str], int] = {}
         self.analyze_count = 0
         self.invalidation_count = 0
         self.feedback_count = 0
+        self.decay_count = 0
 
     def analyze(self, table: Table) -> TableStats:
         """Compute and store fresh statistics for one table.
@@ -329,6 +348,7 @@ class StatisticsCatalog:
             self.invalidation_count += len(self._tables)
         self._tables.clear()
         self._corrections.clear()
+        self._overestimate_streaks.clear()
 
     def table_names(self) -> list[str]:
         """Names of all analyzed tables."""
@@ -349,8 +369,45 @@ class StatisticsCatalog:
         updated = self._corrections.get(key, 1.0) * max(ratio, 0.0)
         updated = min(max(updated, 1.0), CORRECTION_MAX)
         self._corrections[key] = updated
+        self._overestimate_streaks.pop(key, None)
         self.feedback_count += 1
         return updated
+
+    def observe_correction(self, table: str, shape: str, ratio: float, threshold: float) -> float | None:
+        """Age a correction from one observed actual/estimated ``ratio``.
+
+        The decay half of the feedback loop (record_correction is the
+        growth half): a workload that drifted *down* again — the data
+        shrank back, or the literals moved to a sparse region — keeps
+        producing ``ratio`` far below 1 against the corrected estimate.
+        After :data:`CORRECTION_DECAY_AFTER` *consecutive* observations
+        where the estimate overshot by more than ``threshold``x, the factor
+        re-anchors to the observed level (``factor * ratio``, clamped to
+        >= 1), so estimates recover instead of staying pessimized forever.
+        Any observation inside the threshold band resets the streak.
+
+        Returns the decayed factor, or ``None`` when nothing changed.
+        """
+        key = (table, shape)
+        factor = self._corrections.get(key)
+        if factor is None or factor <= 1.0:
+            self._overestimate_streaks.pop(key, None)
+            return None
+        if ratio * max(threshold, 1.0) > 1.0:
+            # The corrected estimate is within a threshold factor of the
+            # actual (or still underestimating): the correction is earning
+            # its keep, so the streak restarts.
+            self._overestimate_streaks.pop(key, None)
+            return None
+        streak = self._overestimate_streaks.get(key, 0) + 1
+        if streak < CORRECTION_DECAY_AFTER:
+            self._overestimate_streaks[key] = streak
+            return None
+        self._overestimate_streaks.pop(key, None)
+        decayed = min(max(factor * max(ratio, 0.0), 1.0), CORRECTION_MAX)
+        self._corrections[key] = decayed
+        self.decay_count += 1
+        return decayed
 
     def correction(self, table: str, shape: str) -> float:
         """The correction factor for one (table, predicate shape), default 1."""
@@ -363,6 +420,8 @@ class StatisticsCatalog:
     def _drop_corrections(self, table: str) -> None:
         for key in [key for key in self._corrections if key[0] == table]:
             del self._corrections[key]
+        for key in [key for key in self._overestimate_streaks if key[0] == table]:
+            del self._overestimate_streaks[key]
 
     # --------------------------------------------------------------- summary
 
@@ -373,6 +432,7 @@ class StatisticsCatalog:
             "analyze_count": self.analyze_count,
             "invalidation_count": self.invalidation_count,
             "feedback_count": self.feedback_count,
+            "decay_count": self.decay_count,
             "corrections": {
                 f"{table}|{shape}": factor
                 for (table, shape), factor in sorted(self._corrections.items())

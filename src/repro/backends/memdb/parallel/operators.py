@@ -1,0 +1,460 @@
+"""Morsel-parallel operator variants, byte-identical to the serial executor.
+
+Every function here reproduces one serial operator from :mod:`..executor`
+(or the fused join-aggregate from :mod:`..planner`) with the work split
+across a :class:`~.pool.WorkerPool`, under the merge disciplines that make
+the output *bit-for-bit* equal to the serial result:
+
+* **Row-parallel operators** (expression evaluation, scan filters, the
+  hash-join probe) split the input into contiguous morsels and concatenate
+  per-morsel results in morsel order.  All expression kernels are
+  elementwise and the probe's ``searchsorted`` is a pure function of the
+  (serially built) sorted build side, so concatenation *is* the serial
+  answer.
+* **Partitioned aggregation** splits rows by a hash of the *group key* —
+  never by row range — so every group's rows land in exactly one partition,
+  in input order.  Per-group accumulation (``np.bincount`` is a sequential
+  C loop) therefore adds the same floats in the same order as the serial
+  single-pass aggregate, which keeps even non-associative float sums
+  identical.  The merge scatters each partition's groups into the globally
+  key-sorted output (partitions are disjoint in key space, so the sorted
+  concatenation of their unique keys equals the serial ``np.unique`` order).
+
+Shapes the disciplines cannot cover exactly fall back to the serial
+operator by returning ``None`` (NaN group keys, whose partitioning would
+have to reproduce ``np.unique``'s NaN handling; object-dtype keys; nested
+aggregate expressions): the caller runs the serial code, so the fallback is
+invisible except in the pool counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ast_nodes import Expression, FunctionCall, Select, SelectItem, Star
+from ..executor import (
+    ExpressionEvaluator,
+    Frame,
+    apply_filter,
+    contains_aggregate,
+    hash_join_frames,
+    item_output_name,
+    join_indices,
+    plain_projection,
+)
+from .morsel import morsel_ranges
+from .pool import WorkerPool
+
+
+def _slice_frame(frame: Frame, length: int, start: int, stop: int) -> Frame:
+    """A morsel view of a frame (row-aligned columns sliced, others passed)."""
+    return {
+        key: values[start:stop] if len(values) == length else values
+        for key, values in frame.items()
+    }
+
+
+def _aligned(frame: Frame, length: int) -> bool:
+    return all(len(values) == length for values in frame.values())
+
+
+# ---------------------------------------------------------------------------
+# Row-parallel operators
+# ---------------------------------------------------------------------------
+
+
+def parallel_evaluate(
+    frame: Frame, length: int, expression: Expression, pool: WorkerPool
+) -> np.ndarray:
+    """Evaluate an expression morsel-wise; identical to the serial evaluator.
+
+    Every expression kernel in :class:`ExpressionEvaluator` is elementwise,
+    so concatenating per-morsel results in morsel order reproduces the
+    whole-column evaluation exactly.
+    """
+    ranges = morsel_ranges(length, pool.workers)
+    if len(ranges) <= 1:
+        return ExpressionEvaluator(frame, length).evaluate(expression)
+
+    def evaluate(bounds: tuple[int, int]) -> np.ndarray:
+        start, stop = bounds
+        morsel = _slice_frame(frame, length, start, stop)
+        return ExpressionEvaluator(morsel, stop - start).evaluate(expression)
+
+    return np.concatenate(pool.map(evaluate, ranges))
+
+
+def parallel_apply_filter(
+    frame: Frame, length: int, predicate: Expression, pool: WorkerPool
+) -> tuple[Frame, int]:
+    """Filter a frame by a predicate, mask and gather both morsel-parallel."""
+    ranges = morsel_ranges(length, pool.workers)
+    if len(ranges) <= 1 or not _aligned(frame, length):
+        return apply_filter(frame, length, predicate)
+
+    keys = list(frame.keys())
+
+    def filter_morsel(bounds: tuple[int, int]) -> tuple[list[np.ndarray], int]:
+        start, stop = bounds
+        morsel = _slice_frame(frame, length, start, stop)
+        mask = ExpressionEvaluator(morsel, stop - start).evaluate(predicate).astype(bool)
+        return [morsel[key][mask] for key in keys], int(mask.sum())
+
+    pieces = pool.map(filter_morsel, ranges)
+    filtered = {
+        key: np.concatenate([piece[0][position] for piece in pieces])
+        for position, key in enumerate(keys)
+    }
+    return filtered, int(sum(piece[1] for piece in pieces))
+
+
+def parallel_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray, pool: WorkerPool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Morsel-parallel probe of the sort-based equi-join (exact replica).
+
+    The build side (sort of the right keys) stays serial — it is one stable
+    ``argsort`` — while the probe side is split into morsels: each morsel's
+    ``searchsorted`` bounds, match counts and within-row offsets are pure
+    per-row functions, so the concatenation equals the serial
+    :func:`~..executor.join_indices` output including tie order.
+    """
+    left = np.asarray(left_keys)
+    right = np.asarray(right_keys)
+    if left.dtype == object or right.dtype == object:
+        return join_indices(left, right)  # dict-bucket path stays serial
+
+    left_map = right_map = None
+    if left.dtype.kind == "f":
+        keep = ~np.isnan(left)
+        if not keep.all():
+            left_map = np.flatnonzero(keep)
+            left = left[left_map]
+    if right.dtype.kind == "f":
+        keep = ~np.isnan(right)
+        if not keep.all():
+            right_map = np.flatnonzero(keep)
+            right = right[right_map]
+
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+
+    ranges = morsel_ranges(int(left.size), pool.workers)
+
+    def probe(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        start, stop = bounds
+        segment = left[start:stop]
+        lo = np.searchsorted(sorted_right, segment, side="left")
+        hi = np.searchsorted(sorted_right, segment, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        left_idx = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+        starts = np.repeat(lo, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+        return left_idx, order[starts + within]
+
+    if len(ranges) <= 1:
+        pieces = [probe(bounds) for bounds in ranges] if ranges else []
+    else:
+        pieces = pool.map(probe, ranges)
+    if pieces:
+        left_idx = np.concatenate([piece[0] for piece in pieces])
+        right_idx = np.concatenate([piece[1] for piece in pieces])
+    else:
+        left_idx = np.empty(0, dtype=np.int64)
+        right_idx = np.empty(0, dtype=np.int64)
+    if left_map is not None:
+        left_idx = left_map[left_idx]
+    if right_map is not None:
+        right_idx = right_map[right_idx]
+    return left_idx, right_idx
+
+
+def parallel_gather(values: np.ndarray, indices: np.ndarray, pool: WorkerPool) -> np.ndarray:
+    """``values[indices]`` with the gather split into morsels of ``indices``."""
+    ranges = morsel_ranges(int(indices.size), pool.workers)
+    if len(ranges) <= 1:
+        return values[indices]
+    pieces = pool.map(lambda bounds: np.take(values, indices[bounds[0]:bounds[1]]), ranges)
+    return np.concatenate(pieces)
+
+
+def parallel_hash_join_frames(
+    left_frame: Frame,
+    left_length: int,
+    right_frame: Frame,
+    right_length: int,
+    left_key_expr: Expression,
+    right_key_expr: Expression,
+    pool: WorkerPool,
+) -> tuple[Frame, int]:
+    """:func:`~..executor.hash_join_frames` with pool-backed kernels.
+
+    The column-merge body lives in the serial function — only the evaluate,
+    probe and gather strategies are swapped — so the two paths share one
+    implementation of the merge rules.
+    """
+    return hash_join_frames(
+        left_frame,
+        left_length,
+        right_frame,
+        right_length,
+        left_key_expr,
+        right_key_expr,
+        evaluate=lambda frame, length, expr: parallel_evaluate(frame, length, expr, pool),
+        join=lambda left, right: parallel_join_indices(left, right, pool),
+        gather=lambda values, indices: parallel_gather(values, indices, pool),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partitioned aggregation
+# ---------------------------------------------------------------------------
+
+
+def _partition_ids(keys: np.ndarray, partitions: int) -> np.ndarray | None:
+    """Partition id per row (same key value -> same partition), or None.
+
+    Float keys are normalized with ``+ 0.0`` so ``-0.0`` and ``0.0`` — equal
+    as group keys — share a bit pattern before hashing.  NaN keys return
+    ``None``: partitioning them correctly would have to reproduce
+    ``np.unique``'s NaN collapsing, so those (rare, NULL-keyed) groupings
+    stay serial.
+    """
+    if keys.dtype.kind in "iub":
+        return keys.astype(np.int64) % partitions
+    if keys.dtype.kind == "f":
+        if np.isnan(keys).any():
+            return None
+        bits = (keys.astype(np.float64) + 0.0).view(np.int64)
+        return bits % partitions
+    return None
+
+
+class _PartitionedGroups:
+    """Group structure from a key-hash partitioning, merged in key order.
+
+    Exposes exactly what the serial aggregates consume — globally sorted
+    unique keys, first-occurrence indices, the per-row inverse — plus
+    per-partition machinery so each aggregate accumulates a group's rows in
+    input order (the serial ``bincount`` order).
+    """
+
+    __slots__ = ("unique_values", "first_indices", "inverse", "num_groups", "_parts")
+
+    def __init__(self, keys: np.ndarray, pool: WorkerPool) -> None:
+        partitions = max(2, pool.workers)
+        part_ids = _partition_ids(keys, partitions)
+        if part_ids is None:
+            raise ValueError("keys cannot be partitioned exactly")
+        buckets = [np.flatnonzero(part_ids == p) for p in range(partitions)]
+        buckets = [rows for rows in buckets if len(rows)]
+
+        def factorize(rows: np.ndarray):
+            sub = keys[rows]
+            unique, first, inverse = np.unique(sub, return_index=True, return_inverse=True)
+            return rows, unique, rows[first], inverse.ravel()
+
+        parts = pool.map(factorize, buckets)
+
+        all_unique = (
+            np.concatenate([part[1] for part in parts]) if parts else keys[:0]
+        )
+        order = np.argsort(all_unique, kind="stable")
+        self.unique_values = all_unique[order]
+        self.num_groups = int(len(order))
+        all_first = (
+            np.concatenate([part[2] for part in parts])
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self.first_indices = all_first[order]
+        # Local group slot -> global (key-sorted) group id.
+        global_of = np.empty(self.num_groups, dtype=np.int64)
+        global_of[order] = np.arange(self.num_groups, dtype=np.int64)
+        self.inverse = np.empty(len(keys), dtype=np.int64)
+        self._parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        base = 0
+        for rows, unique, _first, inverse in parts:
+            ids = global_of[base : base + len(unique)]
+            self.inverse[rows] = ids[inverse]
+            self._parts.append((rows, inverse, ids))
+            base += len(unique)
+
+    # ------------------------------------------------------------- aggregates
+
+    def counts(self) -> np.ndarray:
+        """Per-group row counts (identical to ``np.bincount(inverse)``)."""
+        result = np.zeros(self.num_groups, dtype=np.int64)
+        for rows, inverse, ids in self._parts:
+            result[ids] = np.bincount(inverse, minlength=len(ids))
+        return result
+
+    def sums(self, weights: np.ndarray, pool: WorkerPool) -> np.ndarray:
+        """Per-group float sums, each group accumulated in input order.
+
+        A group's rows all live in one partition with ascending row indices,
+        and ``np.bincount`` adds them sequentially — the same float-addition
+        order as the serial single-pass ``bincount``, hence identical bits.
+        """
+        result = np.zeros(self.num_groups, dtype=np.float64)
+
+        def partial(part: tuple[np.ndarray, np.ndarray, np.ndarray]):
+            rows, inverse, ids = part
+            return ids, np.bincount(inverse, weights=weights[rows], minlength=len(ids))
+
+        for ids, sums in pool.map(partial, self._parts):
+            result[ids] = sums
+        return result
+
+    def reduce_minmax(self, values: np.ndarray, minimum: bool, pool: WorkerPool) -> np.ndarray:
+        """Per-group MIN/MAX via the serial ``reduceat`` discipline per partition."""
+        result = np.full(self.num_groups, np.nan)
+        reducer = np.minimum if minimum else np.maximum
+
+        def partial(part: tuple[np.ndarray, np.ndarray, np.ndarray]):
+            rows, inverse, ids = part
+            sub = values[rows]
+            order = np.argsort(inverse, kind="stable")
+            sorted_inverse = inverse[order]
+            sorted_values = sub[order]
+            boundaries = np.concatenate(([0], np.flatnonzero(np.diff(sorted_inverse)) + 1))
+            return ids[sorted_inverse[boundaries]], reducer.reduceat(sorted_values, boundaries)
+
+        for ids, reduced in pool.map(partial, [p for p in self._parts if len(p[0])]):
+            result[ids] = reduced
+        return result
+
+
+def partitioned_groups(keys: np.ndarray, pool: WorkerPool) -> _PartitionedGroups | None:
+    """Build the partitioned group structure, or ``None`` when not exact."""
+    try:
+        return _PartitionedGroups(keys, pool)
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Projection-level operators
+# ---------------------------------------------------------------------------
+
+
+def parallel_plain_projection(
+    items: Sequence[SelectItem], frame: Frame, length: int, pool: WorkerPool
+) -> tuple[list[str], dict[str, np.ndarray]]:
+    """:func:`~..executor.plain_projection` with the pool-backed evaluator."""
+    return plain_projection(
+        items,
+        frame,
+        length,
+        evaluate=lambda expression: parallel_evaluate(frame, length, expression, pool),
+    )
+
+
+#: Aggregate calls the partitioned merge reproduces exactly.
+_PARTITIONED_AGGREGATES = frozenset({"count", "sum", "total", "avg", "min", "max"})
+
+
+def parallel_grouped_projection(
+    select: Select, frame: Frame, length: int, pool: WorkerPool
+) -> tuple[list[str], dict[str, np.ndarray]] | None:
+    """Partitioned replica of :func:`~..executor.grouped_projection`.
+
+    Covers the partitionable shape — exactly one GROUP BY key, no HAVING, no
+    DISTINCT aggregates, and top-level aggregate calls (or aggregate-free
+    expressions, which take each group's first row like the serial path).
+    Anything else returns ``None`` and runs serially.
+    """
+    if (
+        len(select.group_by) != 1
+        or select.having is not None
+        or length == 0
+        or any(isinstance(item.expression, Star) for item in select.items)
+    ):
+        return None
+    for item in select.items:
+        expression = item.expression
+        if not contains_aggregate(expression):
+            continue
+        if (
+            not isinstance(expression, FunctionCall)
+            or expression.name not in _PARTITIONED_AGGREGATES
+            or expression.distinct
+            or len(expression.arguments) > 1
+            or any(contains_aggregate(argument) for argument in expression.arguments)
+        ):
+            return None
+        if (expression.is_star or not expression.arguments) and expression.name != "count":
+            # SUM(*)/AVG(*)/... are errors; the serial path raises them.
+            return None
+
+    # The serial path casts group keys to float64 before factorizing; the
+    # partitioning must hash the *cast* values to land in the same groups.
+    key_values = parallel_evaluate(frame, length, select.group_by[0], pool).astype(np.float64)
+    groups = partitioned_groups(key_values, pool)
+    if groups is None:
+        return None
+
+    counts = groups.counts()
+    names: list[str] = []
+    columns: dict[str, np.ndarray] = {}
+    for position, item in enumerate(select.items):
+        name = item_output_name(item, position)
+        names.append(name)
+        expression = item.expression
+        if not contains_aggregate(expression):
+            full = parallel_evaluate(frame, length, expression, pool)
+            columns[name] = full[groups.first_indices]
+            continue
+        call = expression
+        assert isinstance(call, FunctionCall)
+        if call.is_star or not call.arguments:
+            columns[name] = counts.copy()
+            continue
+        values = parallel_evaluate(frame, length, call.arguments[0], pool).astype(np.float64)
+        if call.name == "count":
+            columns[name] = counts.copy()
+        elif call.name in ("sum", "total"):
+            sums = groups.sums(values, pool)
+            columns[name] = np.where(counts == 0, np.nan, sums) if call.name == "sum" else sums
+        elif call.name == "avg":
+            sums = groups.sums(values, pool)
+            columns[name] = np.where(counts == 0, np.nan, sums / np.maximum(counts, 1))
+        else:
+            columns[name] = groups.reduce_minmax(values, minimum=call.name == "min", pool=pool)
+    return names, columns
+
+
+def parallel_fused_aggregate(
+    joined: Frame,
+    joined_length: int,
+    key_expr: Expression,
+    outputs: Sequence[tuple[str, str, Expression | None]],
+    pool: WorkerPool,
+) -> tuple[list[str], dict[str, np.ndarray]] | None:
+    """Partitioned replica of the fused join-aggregate's grouping stage.
+
+    ``outputs`` is the fused operator's (name, kind, argument) list.  The
+    group key keeps its native dtype here (the fused path never casts), so
+    integer state indices — the paper's hot key — partition exactly.
+    """
+    if joined_length == 0:
+        return None
+    key_values = parallel_evaluate(joined, joined_length, key_expr, pool)
+    groups = partitioned_groups(key_values, pool)
+    if groups is None:
+        return None
+    names: list[str] = []
+    columns: dict[str, np.ndarray] = {}
+    for name, kind, argument in outputs:
+        names.append(name)
+        if kind == "key":
+            columns[name] = key_values[groups.first_indices]
+        elif kind == "count":
+            columns[name] = groups.counts()
+        else:
+            weights = parallel_evaluate(joined, joined_length, argument, pool).astype(np.float64)
+            columns[name] = groups.sums(weights, pool)
+    return names, columns

@@ -1,0 +1,177 @@
+"""The shared worker pool behind morsel-driven execution.
+
+:class:`WorkerPool` wraps a lazily created :class:`ThreadPoolExecutor`.
+Threads (not processes) are the right vehicle *inside* the engine: the
+operators hand whole numpy buffers to kernels that release the GIL, and the
+column arrays are shared read-only, so there is nothing to serialize.
+Process-level parallelism lives one layer up, in the job service's
+process-backed batch tier (see :mod:`repro.service.jobs`).
+
+The pool is deliberately forgiving around lifecycle races: after
+:meth:`shutdown` (or when an input is too small to split) ``map`` runs the
+tasks inline on the calling thread, so an engine holding a reference to a
+closed pool degrades to serial execution instead of failing mid-query.
+Exceptions raised by a morsel task propagate to the caller unchanged, with
+the remaining tasks cancelled best-effort.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment switch: ``REPRO_MEMDB_PARALLEL=1`` turns the parallel path on
+#: for every engine that does not configure it explicitly (used by CI to run
+#: the whole tier-1 suite over the parallel operators).
+PARALLEL_ENV_VAR = "REPRO_MEMDB_PARALLEL"
+#: Optional worker-count override for env-enabled runs.
+PARALLEL_WORKERS_ENV_VAR = "REPRO_MEMDB_PARALLEL_WORKERS"
+
+_TRUE_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def parallel_env_enabled() -> bool | None:
+    """The ``REPRO_MEMDB_PARALLEL`` setting: True/False, or None when unset."""
+    raw = os.environ.get(PARALLEL_ENV_VAR)
+    if raw is None or raw.strip() == "":
+        return None
+    return raw.strip().lower() in _TRUE_VALUES
+
+
+def default_worker_count() -> int:
+    """Worker count when none is configured.
+
+    At least 2 — an explicitly enabled parallel engine must exercise the
+    morsel/merge machinery even on a single-core host — and at most 8
+    (beyond that the memory bandwidth of columnar scans is the limit).
+    """
+    override = os.environ.get(PARALLEL_WORKERS_ENV_VAR)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """A lazily started thread pool with ordered map and usage counters."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = int(workers) if workers else default_worker_count()
+        if self.workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.batches = 0
+        self.tasks = 0
+        self.inline_batches = 0
+        self.errors = 0
+
+    # ---------------------------------------------------------------- running
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        """Run ``fn`` over ``items``, returning results in input order.
+
+        Single-item batches, a closed pool, and a single-worker pool run
+        inline on the calling thread (counted separately).  The first task
+        exception is re-raised; remaining tasks are cancelled best-effort.
+        """
+        items = list(items)
+        executor = self._acquire_executor() if len(items) > 1 else None
+        if executor is None:
+            with self._lock:
+                self.inline_batches += 1
+                self.tasks += len(items)
+            return [fn(item) for item in items]
+        with self._lock:
+            self.batches += 1
+            self.tasks += len(items)
+        futures = [executor.submit(fn, item) for item in items]
+        results: list[_R] = []
+        error: BaseException | None = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                error = exc
+        if error is not None:
+            with self._lock:
+                self.errors += 1
+            raise error
+        return results
+
+    def run(self, thunks: Sequence[Callable[[], _R]]) -> list[_R]:
+        """Run independent zero-argument tasks, results in input order."""
+        return self.map(lambda thunk: thunk(), thunks)
+
+    def _acquire_executor(self) -> ThreadPoolExecutor | None:
+        if self.workers < 2:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="memdb-morsel"
+                )
+            return self._executor
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def active(self) -> bool:
+        """True while the pool accepts parallel work (not shut down)."""
+        with self._lock:
+            return not self._closed
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; later ``map`` calls run inline.  Idempotent."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        """Usage counters plus the configured worker count."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "batches": self.batches,
+                "tasks": self.tasks,
+                "inline_batches": self.inline_batches,
+                "errors": self.errors,
+                "active": not self._closed,
+            }
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(workers={self.workers}, active={self.active})"
+
+
+#: Process-wide pool shared by every engine that is not given its own —
+#: mirrors the shared plan cache: sweeps tearing down a database per point
+#: keep reusing warm threads.
+_SHARED_POOL: WorkerPool | None = None
+_SHARED_POOL_LOCK = threading.Lock()
+
+
+def shared_worker_pool() -> WorkerPool:
+    """The process-wide morsel worker pool (created on first use)."""
+    global _SHARED_POOL
+    with _SHARED_POOL_LOCK:
+        if _SHARED_POOL is None or not _SHARED_POOL.active:
+            _SHARED_POOL = WorkerPool()
+        return _SHARED_POOL

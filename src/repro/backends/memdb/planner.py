@@ -67,7 +67,18 @@ from .executor import (
     select_has_aggregates,
     split_join_condition,
 )
-from .optimizer.cost import CostModel, FusionDecision, TopKDecision
+from .optimizer.cost import CostModel, FusionDecision, ParallelDecision, TopKDecision
+from .parallel import (
+    WorkerPool,
+    parallel_apply_filter,
+    parallel_evaluate,
+    parallel_fused_aggregate,
+    parallel_gather,
+    parallel_grouped_projection,
+    parallel_hash_join_frames,
+    parallel_join_indices,
+    parallel_plain_projection,
+)
 from .table import Table
 
 #: Resolves a table name to a Table (catalog + CTE environment lookup).
@@ -154,11 +165,14 @@ class _ScanOp:
         self.binding = binding
         self.filter = filter
 
-    def run(self, resolve: Resolver) -> tuple[Frame, int]:
+    def run(self, resolve: Resolver, pool: WorkerPool | None = None) -> tuple[Frame, int]:
         table = resolve(self.name)
         frame, length = table.frame(self.binding), table.num_rows
         if self.filter is not None:
-            frame, length = apply_filter(frame, length, self.filter)
+            if pool is not None:
+                frame, length = parallel_apply_filter(frame, length, self.filter, pool)
+            else:
+                frame, length = apply_filter(frame, length, self.filter)
         return frame, length
 
 
@@ -181,11 +195,17 @@ class _JoinOp:
         else:
             self.left_key, self.right_key = split
 
-    def run(self, frame: Frame, length: int, resolve: Resolver) -> tuple[Frame, int]:
-        right_frame, right_length = self.scan.run(resolve)
+    def run(
+        self, frame: Frame, length: int, resolve: Resolver, pool: WorkerPool | None = None
+    ) -> tuple[Frame, int]:
+        right_frame, right_length = self.scan.run(resolve, pool)
         left_key, right_key = self.left_key, self.right_key
         if left_key is None:
             left_key, right_key = split_join_condition(self.condition, frame, right_frame)
+        if pool is not None:
+            return parallel_hash_join_frames(
+                frame, length, right_frame, right_length, left_key, right_key, pool
+            )
         return hash_join_frames(frame, length, right_frame, right_length, left_key, right_key)
 
 
@@ -218,23 +238,42 @@ class _FusedJoinAggregateOp:
         self.outputs = outputs
         self.needed = needed
 
-    def run(self, resolve: Resolver) -> tuple[list[str], dict[str, np.ndarray]]:
-        left_frame, left_length = self.left_scan.run(resolve)
-        right_frame, right_length = self.right_scan.run(resolve)
-        left_keys = ExpressionEvaluator(left_frame, left_length).evaluate(self.left_key)
-        right_keys = ExpressionEvaluator(right_frame, right_length).evaluate(self.right_key)
-        left_idx, right_idx = join_indices(left_keys, right_keys)
+    def run(
+        self, resolve: Resolver, pool: WorkerPool | None = None
+    ) -> tuple[list[str], dict[str, np.ndarray]]:
+        left_frame, left_length = self.left_scan.run(resolve, pool)
+        right_frame, right_length = self.right_scan.run(resolve, pool)
+        if pool is not None:
+            left_keys = parallel_evaluate(left_frame, left_length, self.left_key, pool)
+            right_keys = parallel_evaluate(right_frame, right_length, self.right_key, pool)
+            left_idx, right_idx = parallel_join_indices(left_keys, right_keys, pool)
+        else:
+            left_keys = ExpressionEvaluator(left_frame, left_length).evaluate(self.left_key)
+            right_keys = ExpressionEvaluator(right_frame, right_length).evaluate(self.right_key)
+            left_idx, right_idx = join_indices(left_keys, right_keys)
 
         joined: Frame = {}
         for ref in self.needed:
             key = ref.key()
             if key in left_frame:
-                joined[key] = left_frame[key][left_idx]
+                source, indices = left_frame[key], left_idx
             elif key in right_frame:
-                joined[key] = right_frame[key][right_idx]
+                source, indices = right_frame[key], right_idx
             else:
                 raise SQLExecutionError(f"unknown column {key!r} in fused join-aggregate")
+            joined[key] = (
+                parallel_gather(source, indices, pool) if pool is not None else source[indices]
+            )
         joined_length = len(left_idx)
+        if pool is not None:
+            # Partitioned partial-then-merge aggregation; falls back to the
+            # serial factorization below when the key cannot be partitioned
+            # exactly (NaN/object keys) — results are identical either way.
+            aggregated = parallel_fused_aggregate(
+                joined, joined_length, self.key_expr, self.outputs, pool
+            )
+            if aggregated is not None:
+                return aggregated
         evaluator = ExpressionEvaluator(joined, joined_length)
 
         key_values = evaluator.evaluate(self.key_expr)
@@ -278,9 +317,23 @@ class CompiledQuery:
     ``ORDER BY ... LIMIT`` tails: the cost model chooses between the
     bounded top-k selection and full sort-then-slice at compile time
     (``self.topk``), and the compiled plan executes whichever was chosen.
+    Serial versus morsel-parallel execution of the block's operators is the
+    third costed physical choice (``self.parallel``); the executing engine
+    supplies the worker pool, so a cached plan runs serially on engines
+    without one.
     """
 
-    __slots__ = ("select", "source", "joins", "fused", "has_aggregates", "grouped", "fusion", "topk")
+    __slots__ = (
+        "select",
+        "source",
+        "joins",
+        "fused",
+        "has_aggregates",
+        "grouped",
+        "fusion",
+        "topk",
+        "parallel",
+    )
 
     def __init__(self, select: Select, cost: CostModel | None = None) -> None:
         self.select = select
@@ -289,6 +342,7 @@ class CompiledQuery:
         self.fusion: FusionDecision | None = None
         model = cost if cost is not None else CostModel()
         self.topk: TopKDecision | None = model.topk_decision(select)
+        self.parallel: ParallelDecision = model.parallel_decision(select)
         fused = _compile_fused(select) if self.grouped else None
         if fused is not None:
             self.fusion = model.fusion_decision(select, len(fused.needed))
@@ -316,17 +370,23 @@ class CompiledQuery:
             bindings.append(join.source.binding)
 
     def execute(
-        self, resolve: Resolver, observe=None
+        self, resolve: Resolver, observe=None, pool: WorkerPool | None = None
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run the plan against the given name resolver; returns (names, columns).
 
         ``observe`` receives the block's pre-limit row count (see
-        :func:`~.executor.postprocess_select`).
+        :func:`~.executor.postprocess_select`).  ``pool`` is the executing
+        engine's morsel worker pool; it is only used when this block's
+        costed :class:`ParallelDecision` chose parallel execution, so plans
+        cached by one engine run correctly (serially) on engines without a
+        pool.
         """
         select = self.select
         use_topk = None if self.topk is None else self.topk.use_topk
+        if pool is not None and not self.parallel.use_parallel:
+            pool = None
         if self.fused is not None:
-            names, columns = self.fused.run(resolve)
+            names, columns = self.fused.run(resolve, pool)
             return postprocess_select(
                 select, names, columns, None, 0, self.has_aggregates,
                 use_topk=use_topk, observe=observe,
@@ -336,17 +396,28 @@ class CompiledQuery:
             frame: Frame = {}
             length = 1
         else:
-            frame, length = self.source.run(resolve)
+            frame, length = self.source.run(resolve, pool)
         for join in self.joins:
-            frame, length = join.run(frame, length, resolve)
+            frame, length = join.run(frame, length, resolve, pool)
 
         if select.where is not None:
-            mask = ExpressionEvaluator(frame, length).evaluate(select.where).astype(bool)
-            frame = {key: values[mask] for key, values in frame.items()}
-            length = int(mask.sum())
+            if pool is not None:
+                frame, length = parallel_apply_filter(frame, length, select.where, pool)
+            else:
+                mask = ExpressionEvaluator(frame, length).evaluate(select.where).astype(bool)
+                frame = {key: values[mask] for key, values in frame.items()}
+                length = int(mask.sum())
 
         if self.grouped:
-            names, columns = grouped_projection(select, frame, length)
+            names = columns = None
+            if pool is not None:
+                aggregated = parallel_grouped_projection(select, frame, length, pool)
+                if aggregated is not None:
+                    names, columns = aggregated
+            if names is None:
+                names, columns = grouped_projection(select, frame, length)
+        elif pool is not None:
+            names, columns = parallel_plain_projection(select.items, frame, length, pool)
         else:
             names, columns = plain_projection(select.items, frame, length)
         return postprocess_select(
@@ -364,10 +435,17 @@ class CompiledScript:
         self.ctes = ctes
         self.query = query
 
+    def uses_parallel(self) -> bool:
+        """True when at least one block's costed decision chose parallel."""
+        return any(
+            plan.parallel.use_parallel for _name, plan in self.ctes
+        ) or self.query.parallel.use_parallel
+
     def execute(
         self,
         catalog: Mapping[str, Table],
         trace: Callable[[str, int], None] | None = None,
+        pool: WorkerPool | None = None,
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run CTEs then the main query against a table catalog.
 
@@ -391,12 +469,12 @@ class CompiledScript:
         observed: list[int] = []
         observe = observed.append if trace is not None else None
         for name, plan in self.ctes:
-            names, columns = plan.execute(resolve, observe=observe)
+            names, columns = plan.execute(resolve, observe=observe, pool=pool)
             ctes[name] = Table(name, {column: columns[column] for column in names})
             if trace is not None:
                 trace(name, observed[-1] if observed else ctes[name].num_rows)
                 observed.clear()
-        names, columns = self.query.execute(resolve, observe=observe)
+        names, columns = self.query.execute(resolve, observe=observe, pool=pool)
         if trace is not None:
             output_rows = len(next(iter(columns.values()))) if columns else 0
             trace("main", observed[-1] if observed else output_rows)

@@ -43,6 +43,13 @@ class MemDBBackend(RelationalBackend):
     enable_topk:
         Allow the costed top-k operator for ORDER BY ... LIMIT; disable to
         force full sort-then-slice (benchmark ablation).
+    enable_parallel / parallel_workers / parallel_threshold_rows:
+        Morsel-driven parallel execution of compiled plans (scans, filters,
+        hash-join probes, partitioned aggregation) on the engine's shared
+        worker pool; per-block serial-vs-parallel choices are costed (with
+        an optional break-even override in estimated rows), and results
+        stay byte-identical to serial execution.  ``enable_parallel=None``
+        follows the ``REPRO_MEMDB_PARALLEL`` environment variable.
     """
 
     name = "memdb"
@@ -61,6 +68,9 @@ class MemDBBackend(RelationalBackend):
         enable_optimizer: bool = True,
         enable_adaptive: bool = True,
         enable_topk: bool = True,
+        enable_parallel: bool | None = None,
+        parallel_workers: int | None = None,
+        parallel_threshold_rows: int | None = None,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -75,6 +85,9 @@ class MemDBBackend(RelationalBackend):
         self._enable_optimizer = enable_optimizer
         self._enable_adaptive = enable_adaptive
         self._enable_topk = enable_topk
+        self._enable_parallel = enable_parallel
+        self._parallel_workers = parallel_workers
+        self._parallel_threshold_rows = parallel_threshold_rows
         self._database: MemDatabase | None = None
         self._connected = False
 
@@ -87,6 +100,9 @@ class MemDBBackend(RelationalBackend):
                 enable_optimizer=self._enable_optimizer,
                 enable_adaptive=self._enable_adaptive,
                 enable_topk=self._enable_topk,
+                enable_parallel=self._enable_parallel,
+                parallel_workers=self._parallel_workers,
+                parallel_threshold_rows=self._parallel_threshold_rows,
             )
         else:
             self._database.clear()
@@ -127,22 +143,27 @@ class MemDBBackend(RelationalBackend):
             provenance["plan_cache"] = {"prepared": False, "reason": "plan cache disabled"}
             return
         query = translation.cte_query(pretty=False)
-        # Text-only peek (no catalog): a stale entry is caught and recompiled
-        # by the schema-fingerprint check at execution time.
-        if cache.peek_state(query, catalog=None, optimizer_enabled=self._enable_optimizer) == "hit":
-            provenance["plan_cache"] = {"prepared": True, "state_at_compile": "hit"}
-            return
-        # The setup statements are executed in full (not DDL-only): the cost
-        # model falls back to live catalog row counts when ANALYZE has not
-        # run, so preparing against empty tables would cache plans costed at
-        # zero cardinality for every later execution.  Gate tables are tiny
-        # (<= 4 rows each, deduplicated per distinct gate), so a cold
-        # compile's extra setup is bounded; warm compiles skip it above.
+        # The engine owns the plan-cache flavor (optimizer + parallel
+        # configuration), so connect first — a fresh engine is cheap — and
+        # peek with its flavor.  Text-only peek (no catalog): a stale entry
+        # is caught and recompiled by the schema-fingerprint check at
+        # execution time.
         self._connect()
         try:
+            database = self._require_database()
+            if cache.peek_state(query, catalog=None, flavor=database.plan_flavor) == "hit":
+                provenance["plan_cache"] = {"prepared": True, "state_at_compile": "hit"}
+                return
+            # The setup statements are executed in full (not DDL-only): the
+            # cost model falls back to live catalog row counts when ANALYZE
+            # has not run, so preparing against empty tables would cache
+            # plans costed at zero cardinality for every later execution.
+            # Gate tables are tiny (<= 4 rows each, deduplicated per
+            # distinct gate), so a cold compile's extra setup is bounded;
+            # warm compiles return early above.
             for statement in translation.setup_statements():
                 self._execute(statement)
-            outcome = self._require_database().prepare(query)
+            outcome = database.prepare(query)
         finally:
             self._disconnect()
         provenance["plan_cache"] = {"prepared": True, "state_at_compile": outcome}
@@ -151,9 +172,23 @@ class MemDBBackend(RelationalBackend):
         provenance = {"plan_cache": self.plan_cache_stats()}
         if self._database is not None:
             # Surface the adaptive loop's activity (re-plans requested,
-            # corrections learned) on the executable, next to the cache state.
+            # corrections learned) on the executable, next to the cache state,
+            # plus the parallel subsystem's per-execution counters.
             provenance["adaptive"] = self._database.adaptive_stats()
+            provenance["parallel"] = self._database.parallel_stats()
         return provenance
+
+    def parallel_stats(self) -> dict:
+        """Morsel-parallel subsystem state (configuration + pool counters)."""
+        if self._database is None:
+            return {
+                "enabled": bool(self._enable_parallel),
+                "workers": self._parallel_workers,
+                "threshold_rows": None,
+                "parallel_plan_executions": 0,
+                "pool": {},
+            }
+        return self._database.parallel_stats()
 
     def optimizer_stats(self) -> dict:
         """Optimizer activity counters + statistics-catalog summary.
@@ -170,8 +205,12 @@ class MemDBBackend(RelationalBackend):
         return self._database.optimizer_stats()
 
     def engine_stats(self) -> dict:
-        """One dict bundling plan-cache and optimizer statistics (reporting)."""
-        return {"plan_cache": self.plan_cache_stats(), "optimizer": self.optimizer_stats()}
+        """One dict bundling plan-cache, optimizer and parallel statistics."""
+        return {
+            "plan_cache": self.plan_cache_stats(),
+            "optimizer": self.optimizer_stats(),
+            "parallel": self.parallel_stats(),
+        }
 
     # --------------------------------------------------------------- explain
 

@@ -165,17 +165,26 @@ class BenchmarkRunner:
         fixed memory limit" claim: every method gets the same budget, the
         workload is swept upward, and the largest successful width is
         recorded (0 if even the smallest size fails).
+
+        The sweep routes through the compile–bind–execute lifecycle with
+        *one instance per method* instead of a fresh ``run()`` per (method,
+        size): circuits are built once for all methods, each size compiles
+        into a reusable executable, and a persistent backend keeps its
+        engine — and the process-wide plan cache binding — warm across the
+        whole sweep, so the capacity probe measures simulation limits, not
+        repeated setup cost.
         """
         workload = get_workload(workload) if isinstance(workload, str) else workload
+        sizes = sorted(candidate_sizes)
+        circuits = {num_qubits: workload.build(num_qubits) for num_qubits in sizes}
         best: dict[str, int] = {name: 0 for name in self.methods}
-        for num_qubits in sorted(candidate_sizes):
-            circuit = workload.build(num_qubits)
-            for method_name, factory in self.methods.items():
-                simulator = factory()
-                if getattr(simulator, "max_state_bytes", None) is None:
-                    simulator.max_state_bytes = max_state_bytes
+        for method_name, factory in self.methods.items():
+            simulator = factory()
+            if getattr(simulator, "max_state_bytes", None) is None:
+                simulator.max_state_bytes = max_state_bytes
+            for num_qubits in sizes:
                 try:
-                    simulator.run(circuit)
+                    simulator.compile(circuits[num_qubits]).bind().execute()
                 except QymeraError:
                     continue
                 best[method_name] = max(best[method_name], num_qubits)

@@ -7,20 +7,92 @@ needed for that: :class:`Parameter` is a named placeholder, and
 :class:`ParameterExpression` is a deferred arithmetic expression over
 parameters and constants that can be *bound* to floats later.
 
-The design intentionally avoids a full CAS: expressions are closures over an
-operation tree, which is enough for rotation angles such as ``2 * theta + pi/4``
-or ``sin(gamma)``.
+The design intentionally avoids a full CAS: expressions are built from small
+evaluator objects over an operation tree, which is enough for rotation angles
+such as ``2 * theta + pi/4`` or ``sin(gamma)``.  Evaluators are plain
+module-level classes (not closures) so parameterized circuits *pickle* — the
+job service's process-backed batch tier ships circuit templates to spawned
+worker processes.
 """
 
 from __future__ import annotations
 
 import math
+import operator
 from typing import Callable, Iterable, Mapping, Union
 
 from ..errors import ParameterError
 
 Numeric = Union[int, float]
 ParameterValue = Union["ParameterExpression", Numeric]
+
+
+class _ConstEvaluator:
+    """Evaluator of a constant leaf."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self, _assignment: Mapping["Parameter", float]) -> float:
+        return self.value
+
+
+class _LookupEvaluator:
+    """Evaluator of a bare parameter leaf (looks itself up by identity)."""
+
+    __slots__ = ("parameter",)
+
+    def __init__(self, parameter: "Parameter") -> None:
+        self.parameter = parameter
+
+    def __call__(self, assignment: Mapping["Parameter", float]) -> float:
+        if self.parameter not in assignment:
+            raise ParameterError(f"parameter {self.parameter.name!r} is unbound")
+        return assignment[self.parameter]
+
+
+class _BinaryEvaluator:
+    """Evaluator applying a binary operator to two sub-evaluators."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: Callable[[float, float], float], left, right) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __call__(self, assignment: Mapping["Parameter", float]) -> float:
+        return self.op(self.left(assignment), self.right(assignment))
+
+
+class _UnaryEvaluator:
+    """Evaluator applying a unary function to a sub-evaluator."""
+
+    __slots__ = ("op", "inner")
+
+    def __init__(self, op: Callable[[float], float], inner) -> None:
+        self.op = op
+        self.inner = inner
+
+    def __call__(self, assignment: Mapping["Parameter", float]) -> float:
+        return self.op(self.inner(assignment))
+
+
+class _PartialEvaluator:
+    """Evaluator with some parameters pre-bound (the result of ``bind``)."""
+
+    __slots__ = ("captured", "inner")
+
+    def __init__(self, captured: dict, inner) -> None:
+        self.captured = captured
+        self.inner = inner
+
+    def __call__(self, assignment: Mapping["Parameter", float]) -> float:
+        merged = dict(self.captured)
+        merged.update(assignment)
+        return self.inner(merged)
 
 
 class ParameterExpression:
@@ -70,13 +142,7 @@ class ParameterExpression:
             return float(self._evaluator(relevant))
 
         captured = dict(relevant)
-        inner = self._evaluator
-
-        def evaluator(assignment: Mapping[Parameter, float]) -> float:
-            merged = dict(captured)
-            merged.update(assignment)
-            return inner(merged)
-
+        evaluator = _PartialEvaluator(captured, self._evaluator)
         bound_bits = ", ".join(f"{p.name}={v:g}" for p, v in sorted(captured.items(), key=lambda kv: kv[0].name))
         text = f"({self._text})[{bound_bits}]" if bound_bits else self._text
         return ParameterExpression(frozenset(remaining), evaluator, text)
@@ -96,8 +162,7 @@ class ParameterExpression:
         if isinstance(value, ParameterExpression):
             return value
         if isinstance(value, (int, float)):
-            const = float(value)
-            return ParameterExpression(frozenset(), lambda _a, c=const: c, f"{value:g}")
+            return ParameterExpression(frozenset(), _ConstEvaluator(float(value)), f"{value:g}")
         raise TypeError(f"cannot use {type(value).__name__} in a parameter expression")
 
     def _binary(self, other: ParameterValue, op: Callable[[float, float], float], symbol: str, *, reflected: bool = False) -> "ParameterExpression":
@@ -106,51 +171,44 @@ class ParameterExpression:
         except TypeError:
             return NotImplemented  # type: ignore[return-value]
         left, right = (rhs, self) if reflected else (self, rhs)
-
-        def evaluator(assignment: Mapping[Parameter, float]) -> float:
-            return op(left._evaluator(assignment), right._evaluator(assignment))
-
+        evaluator = _BinaryEvaluator(op, left._evaluator, right._evaluator)
         text = f"({left._text} {symbol} {right._text})"
         return ParameterExpression(left._parameters | right._parameters, evaluator, text)
 
     def __add__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a + b, "+")
+        return self._binary(other, operator.add, "+")
 
     def __radd__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a + b, "+", reflected=True)
+        return self._binary(other, operator.add, "+", reflected=True)
 
     def __sub__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a - b, "-")
+        return self._binary(other, operator.sub, "-")
 
     def __rsub__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a - b, "-", reflected=True)
+        return self._binary(other, operator.sub, "-", reflected=True)
 
     def __mul__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a * b, "*")
+        return self._binary(other, operator.mul, "*")
 
     def __rmul__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a * b, "*", reflected=True)
+        return self._binary(other, operator.mul, "*", reflected=True)
 
     def __truediv__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a / b, "/")
+        return self._binary(other, operator.truediv, "/")
 
     def __rtruediv__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a / b, "/", reflected=True)
+        return self._binary(other, operator.truediv, "/", reflected=True)
 
     def __pow__(self, other: ParameterValue) -> "ParameterExpression":
-        return self._binary(other, lambda a, b: a ** b, "**")
+        return self._binary(other, operator.pow, "**")
 
     def __neg__(self) -> "ParameterExpression":
-        return self._binary(-1.0, lambda a, b: a * b, "*")
+        return self._binary(-1.0, operator.mul, "*")
 
     # unary math helpers -----------------------------------------------------
 
     def _unary(self, op: Callable[[float], float], name: str) -> "ParameterExpression":
-        inner = self._evaluator
-
-        def evaluator(assignment: Mapping[Parameter, float]) -> float:
-            return op(inner(assignment))
-
+        evaluator = _UnaryEvaluator(op, self._evaluator)
         return ParameterExpression(self._parameters, evaluator, f"{name}({self._text})")
 
     def sin(self) -> "ParameterExpression":
@@ -188,16 +246,7 @@ class Parameter(ParameterExpression):
         if not name or not isinstance(name, str):
             raise ParameterError("parameter name must be a non-empty string")
         self._name = name
-        super().__init__(
-            frozenset({self}),
-            lambda assignment: self._lookup(assignment),
-            name,
-        )
-
-    def _lookup(self, assignment: Mapping["Parameter", float]) -> float:
-        if self not in assignment:
-            raise ParameterError(f"parameter {self._name!r} is unbound")
-        return assignment[self]
+        super().__init__(frozenset({self}), _LookupEvaluator(self), name)
 
     @property
     def name(self) -> str:
@@ -209,6 +258,13 @@ class Parameter(ParameterExpression):
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Parameter) and other._name == self._name
+
+    def __reduce__(self):
+        # The evaluator closure is rebuilt by __init__, and names are the
+        # identity, so a Parameter round-trips pickling by name alone.  This
+        # is what lets parameterized circuits travel to the job service's
+        # process-backed workers.
+        return (Parameter, (self._name,))
 
     def __repr__(self) -> str:
         return f"Parameter({self._name!r})"

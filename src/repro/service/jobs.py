@@ -14,13 +14,24 @@ Every job goes through the same pipeline the synchronous API uses:
 ``execute_batch`` for grids).  :class:`QymeraSession` and the benchmark
 drivers are thin clients of this pipeline; the service adds queueing,
 polling and streaming on top.
+
+Two execution tiers serve the work.  The default **thread tier** runs each
+job on the worker thread pool — cheap, shares one address space, and fast
+whenever the engines release the GIL (numpy kernels, I/O).  The optional
+**process-backed batch tier** (``process_workers``) fans ``param_grid``
+sweeps out in chunks to spawned worker processes, each compiling the
+circuit once per chunk and keeping warm engines between chunks: CPU-bound
+multi-user sweep traffic scales past the GIL entirely, at the cost of
+pickling the circuit and results across the process boundary.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import pickle
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
@@ -96,6 +107,51 @@ def make_method(method: str, **options) -> BaseSimulator:
     raise QymeraError(
         f"unknown simulation method {method!r}; available: {sorted(set(backends) | set(simulators))}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Process-backed batch tier
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process method cache, keyed by (method, pickled canonical
+#: options): repeated chunks of the same sweep reuse a warm engine — and
+#: with it the child's process-wide memdb plan cache — exactly like the
+#: thread tier's EnginePool, just one cache per worker process.
+_PROCESS_METHODS: dict[tuple[str, bytes], BaseSimulator] = {}
+
+
+def _process_method_key(method: str, options: Mapping[str, object]) -> tuple[str, bytes]:
+    # Key by the *pickled value state* of the options, never by repr: an
+    # identity-based repr embeds an address that the allocator can recycle
+    # onto a differently-configured object, silently aliasing engines (the
+    # hazard _OptionToken guards against on the thread tier).  Pickle bytes
+    # encode exactly the state the engine in this process was built from —
+    # options reached the worker pickled in the first place — so equal
+    # bytes imply an equivalently-configured engine, and a spurious
+    # mismatch merely builds a fresh one.
+    rendered = pickle.dumps(sorted(options.items(), key=lambda item: str(item[0])))
+    return method, rendered
+
+
+def _execute_grid_chunk(
+    method: str,
+    options: dict,
+    circuit: "QuantumCircuit",
+    points: list[dict],
+) -> list["SimulationResult"]:
+    """Worker-process entry point: compile once, execute one grid chunk.
+
+    Runs in a spawned worker with no shared state; everything it needs
+    (method name, options, circuit template, parameter points) arrives
+    pickled, and the per-point results are pickled back.
+    """
+    key = _process_method_key(method, options)
+    engine = _PROCESS_METHODS.get(key)
+    if engine is None:
+        engine = make_method(method, **options)
+        _PROCESS_METHODS[key] = engine
+    executable = engine.compile(circuit)
+    return [executable.bind(point).execute() for point in points]
 
 
 class EnginePool:
@@ -326,6 +382,20 @@ class JobService:
         evicts the oldest *terminal* handles beyond this bound (running and
         queued jobs are never evicted), so a long-running service does not
         accumulate every past job's result states.  ``None`` retains all.
+    process_workers:
+        Size of the **process-backed batch tier**: when set, ``param_grid``
+        sweeps are split into chunks and executed on a pool of spawned
+        worker processes, each compiling the circuit once and keeping warm
+        engines between chunks.  Threads only escape the GIL inside numpy
+        kernels; CPU-bound multi-user sweep traffic scales past it entirely
+        on this tier.  Jobs whose payload (circuit, options, grid) does not
+        pickle fall back to the thread tier transparently.  Single-point
+        jobs always run on threads (a process round-trip costs more than it
+        can win back on one point).
+    process_chunk_points:
+        Grid points per process-tier chunk (default: grid split evenly, two
+        chunks per worker, so chunk completions stream results back while
+        later chunks still run).
     """
 
     def __init__(
@@ -333,19 +403,31 @@ class JobService:
         max_workers: int = 4,
         pool: EnginePool | None = None,
         max_retained_jobs: int | None = 256,
+        process_workers: int | None = None,
+        process_chunk_points: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise QymeraError("JobService needs at least one worker")
         if max_retained_jobs is not None and max_retained_jobs < 1:
             raise QymeraError("max_retained_jobs must be positive (or None to retain all)")
+        if process_workers is not None and process_workers < 1:
+            raise QymeraError("process_workers must be positive when given")
+        if process_chunk_points is not None and process_chunk_points < 1:
+            raise QymeraError("process_chunk_points must be positive when given")
         self.max_workers = int(max_workers)
         self.max_retained_jobs = max_retained_jobs
+        self.process_workers = process_workers
+        self.process_chunk_points = process_chunk_points
         self.pool = pool if pool is not None else EnginePool()
         self._executor: ThreadPoolExecutor | None = None
+        self._process_executor: ProcessPoolExecutor | None = None
         self._jobs: dict[int, JobHandle] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
+        self._process_chunks = 0
+        self._process_points = 0
+        self._process_fallbacks = 0
 
     # ------------------------------------------------------------ submission
 
@@ -404,6 +486,12 @@ class JobService:
         # Any escape — QymeraError or not (bad constructor kwargs raise
         # TypeError, bad parameter values ValueError) — must land the job in
         # a terminal state, or result()/stream() callers block forever.
+        if request.param_grid is not None and self._use_process_tier(request):
+            try:
+                self._run_grid_in_processes(handle, request)
+            except Exception as exc:
+                handle._transition(JOB_ERROR, exc)
+            return
         try:
             key, engine = self.pool.acquire(request.method, request.options)
         except Exception as exc:
@@ -424,6 +512,86 @@ class JobService:
             handle._transition(JOB_ERROR, exc)
         finally:
             self.pool.release(key, engine)
+
+    # -------------------------------------------------- process-backed tier
+
+    def _use_process_tier(self, request: JobRequest) -> bool:
+        """Route a grid job to worker processes when possible.
+
+        The payload must survive pickling (spawned workers receive it
+        serialized); anything that does not — exotic options, closures in a
+        circuit — silently stays on the thread tier, counted in the stats.
+        """
+        if self.process_workers is None or not request.param_grid:
+            return False
+        try:
+            # Probe with one representative point, not the whole grid: the
+            # circuit and options dominate picklability (points are plain
+            # name->float dicts), and each chunk pickles its own points at
+            # submit time anyway — serializing a large grid twice would
+            # stall the worker thread before the first chunk dispatches.
+            pickle.dumps(
+                (request.circuit, dict(request.options), dict(request.param_grid[0]))
+            )
+        except Exception:
+            with self._lock:
+                self._process_fallbacks += 1
+            return False
+        return True
+
+    def _acquire_process_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise QymeraError("the job service has been shut down")
+            if self._process_executor is None:
+                # Spawn (not fork): the service itself is multi-threaded, and
+                # forking a threaded process can deadlock held locks.
+                self._process_executor = ProcessPoolExecutor(
+                    max_workers=self.process_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._process_executor
+
+    def _run_grid_in_processes(self, handle: JobHandle, request: JobRequest) -> None:
+        """Fan a sweep grid out over the process pool, streaming in order.
+
+        The grid is split into contiguous chunks; each worker process
+        compiles the circuit once per chunk (warm engines persist between
+        chunks of the same method+options).  Chunk futures are drained in
+        submission order so per-point results stream back to ``stream()``
+        callers in grid order; cancellation takes effect at the next chunk
+        boundary.
+        """
+        executor = self._acquire_process_executor()
+        points = [dict(point) for point in request.param_grid or []]
+        workers = self.process_workers or 1
+        if self.process_chunk_points is not None:
+            chunk_size = self.process_chunk_points
+        else:
+            chunk_size = max(1, -(-len(points) // (workers * 2)))
+        chunks = [points[start : start + chunk_size] for start in range(0, len(points), chunk_size)]
+        options = dict(request.options)
+        futures = [
+            executor.submit(_execute_grid_chunk, request.method, options, request.circuit, chunk)
+            for chunk in chunks
+        ]
+        with self._lock:
+            self._process_chunks += len(chunks)
+            self._process_points += len(points)
+        try:
+            for future in futures:
+                if handle._cancelled:
+                    for pending in futures:
+                        pending.cancel()
+                    handle._transition(JOB_CANCELLED)
+                    return
+                for result in future.result():
+                    handle._push_result(result)
+            handle._transition(JOB_DONE)
+        except Exception as exc:
+            for pending in futures:
+                pending.cancel()
+            handle._transition(JOB_ERROR, exc)
 
     # --------------------------------------------------------------- queries
 
@@ -452,12 +620,20 @@ class JobService:
             return [self._jobs[job_id] for job_id in sorted(self._jobs)]
 
     def stats(self) -> dict:
-        """Service-level counters: jobs by status plus engine-pool activity."""
+        """Service-level counters: jobs by status, engine pool, process tier."""
         by_status: dict[str, int] = {}
         for handle in self.jobs():
             status = handle.status()
             by_status[status] = by_status.get(status, 0) + 1
-        return {"jobs": by_status, "pool": self.pool.stats()}
+        with self._lock:
+            process_tier = {
+                "enabled": self.process_workers is not None,
+                "workers": self.process_workers,
+                "chunks": self._process_chunks,
+                "points": self._process_points,
+                "fallbacks": self._process_fallbacks,
+            }
+        return {"jobs": by_status, "pool": self.pool.stats(), "process_tier": process_tier}
 
     # -------------------------------------------------------------- lifetime
 
@@ -465,10 +641,14 @@ class JobService:
         """Stop accepting work and (optionally) wait for running jobs."""
         with self._lock:
             executor = self._executor
+            process_executor = self._process_executor
             self._executor = None
+            self._process_executor = None
             self._closed = True
         if executor is not None:
             executor.shutdown(wait=wait)
+        if process_executor is not None:
+            process_executor.shutdown(wait=wait)
 
     def __enter__(self) -> "JobService":
         return self

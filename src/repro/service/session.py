@@ -202,6 +202,10 @@ class SimulationPanel:
         """The memdb adaptive re-optimization state of the pooled backend."""
         return self.engine_stats("memdb", **options)["optimizer"].get("adaptive", {})
 
+    def parallel_stats(self, **options) -> dict:
+        """The memdb morsel-parallel execution state of the pooled backend."""
+        return self.engine_stats("memdb", **options).get("parallel", {})
+
     def run(self, circuit_name: str, method: str = "sqlite", **options) -> SimulationResult:
         """Simulate a registered circuit with one method.
 

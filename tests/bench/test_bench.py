@@ -160,6 +160,34 @@ class TestRunner:
         best = runner.max_simulable_qubits("ghz", budget, candidate_sizes=[4, 6, 8, 10])
         assert best["sqlite"] > best["statevector"]
 
+    def test_max_simulable_qubits_uses_one_prepared_instance_per_method(self):
+        """The capacity sweep routes through compile-bind-execute.
+
+        One method instance per method (not per size), every run via an
+        explicit Executable: the factory call count proves the routing, the
+        compile counter proves each size compiled exactly once.
+        """
+        instances = []
+        compiles = []
+
+        class CountingSimulator(StatevectorSimulator):
+            def compile(self, circuit):
+                compiles.append(circuit.num_qubits)
+                return super().compile(circuit)
+
+        def factory():
+            simulator = CountingSimulator()
+            instances.append(simulator)
+            return simulator
+
+        runner = BenchmarkRunner(methods={"statevector": factory}, verify=False)
+        budget = 16 * (1 << 6)
+        best = runner.max_simulable_qubits("ghz", budget, candidate_sizes=[4, 6, 8])
+        assert best["statevector"] == 6
+        assert len(instances) == 1
+        assert sorted(compiles) == [4, 6, 8]
+        assert instances[0].max_state_bytes == budget
+
     def test_empty_methods_rejected(self):
         with pytest.raises(BenchmarkError):
             BenchmarkRunner(methods={})

@@ -183,10 +183,10 @@ class TestAdaptiveReplan:
         stats = db.adaptive_stats()
         assert stats["replans"] == 1
         assert stats["events"] and stats["events"][0]["q_error"] > 4
-        assert cache.peek_state(_SHIFT_QUERY, db._tables, True) == "replan"
+        assert cache.peek_state(_SHIFT_QUERY, db._tables, db.plan_flavor) == "replan"
         db.execute(_SHIFT_QUERY)  # re-plan happens on this lookup
         assert cache.stats()["replans"] == 1
-        assert cache.peek_state(_SHIFT_QUERY, db._tables, True) == "hit"
+        assert cache.peek_state(_SHIFT_QUERY, db._tables, db.plan_flavor) == "hit"
 
     def test_replanned_plan_switches_to_topk(self):
         cache = PlanCache()
@@ -387,3 +387,149 @@ class TestFeedbackHygiene:
         assert db.adaptive_stats()["events"]
         db.clear()
         assert db.adaptive_stats()["events"] == []
+
+
+# ---------------------------------------------------------------------------
+# Correction decay / aging (PR 5)
+# ---------------------------------------------------------------------------
+
+
+class TestCorrectionDecay:
+    def test_decay_needs_consecutive_observations(self):
+        catalog = StatisticsCatalog()
+        catalog.record_correction("t", "s", 16.0)
+        # Two gross overestimates, then one accurate execution: streak resets.
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        assert catalog.observe_correction("t", "s", 0.9, threshold=4.0) is None
+        assert catalog.correction("t", "s") == pytest.approx(16.0)
+        # Three consecutive gross overestimates decay the factor.
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        decayed = catalog.observe_correction("t", "s", 0.01, threshold=4.0)
+        assert decayed == pytest.approx(1.0)  # 16 * 0.01 clamps to 1
+        assert catalog.correction("t", "s") == pytest.approx(1.0)
+        assert catalog.decay_count == 1
+
+    def test_decay_reanchors_to_observed_level(self):
+        catalog = StatisticsCatalog()
+        catalog.record_correction("t", "s", 100.0)
+        for _ in range(2):
+            assert catalog.observe_correction("t", "s", 0.1, threshold=4.0) is None
+        # factor * ratio = 100 * 0.1 = 10: still > 1, so it survives partially.
+        assert catalog.observe_correction("t", "s", 0.1, threshold=4.0) == pytest.approx(10.0)
+        assert catalog.correction("t", "s") == pytest.approx(10.0)
+
+    def test_observation_without_correction_is_noop(self):
+        catalog = StatisticsCatalog()
+        assert catalog.observe_correction("t", "s", 0.001, threshold=4.0) is None
+        assert catalog.correction("t", "s") == 1.0
+        assert catalog.decay_count == 0
+
+    def test_in_band_ratio_keeps_factor(self):
+        catalog = StatisticsCatalog()
+        catalog.record_correction("t", "s", 8.0)
+        # Within a threshold factor of the actual: the correction is useful.
+        for _ in range(10):
+            assert catalog.observe_correction("t", "s", 0.5, threshold=4.0) is None
+        assert catalog.correction("t", "s") == pytest.approx(8.0)
+
+    def test_record_correction_resets_streak(self):
+        catalog = StatisticsCatalog()
+        catalog.record_correction("t", "s", 8.0)
+        catalog.observe_correction("t", "s", 0.01, threshold=4.0)
+        catalog.observe_correction("t", "s", 0.01, threshold=4.0)
+        catalog.record_correction("t", "s", 1.0)  # growth observation
+        # The streak restarted: two more overestimates do not decay yet.
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        assert catalog.observe_correction("t", "s", 0.01, threshold=4.0) is None
+        assert catalog.correction("t", "s") == pytest.approx(8.0)
+
+    def test_invalidation_drops_streaks(self):
+        catalog = StatisticsCatalog()
+        catalog.record_correction("t", "s", 8.0)
+        catalog.observe_correction("t", "s", 0.01, threshold=4.0)
+        catalog.invalidate("t")
+        assert catalog._overestimate_streaks == {}
+
+    def _correlated_db(self):
+        """512 rows with perfectly correlated x == y (independence fails)."""
+        db = MemDatabase(plan_cache=PlanCache(maxsize=8))
+        db.execute("CREATE TABLE w (x BIGINT NOT NULL, y BIGINT NOT NULL)")
+        db.execute(
+            "INSERT INTO w (x, y) VALUES "
+            + ", ".join(f"({i % 64}, {i % 64})" for i in range(512))
+        )
+        return db
+
+    def test_shrink_then_grow_workload_recovers(self):
+        """Literal drift both ways: the correction ages out, then re-learns.
+
+        No DML ever touches the table, so invalidation never fires — decay
+        is the only way back.  The workload first hits a dense region (the
+        correction is learned from the correlated underestimate), then
+        drifts to a sparse region (three consecutive gross overestimates
+        decay the factor to 1), then back to a dense region (a fresh
+        correction is learned).
+        """
+        db = self._correlated_db()
+        dense = "SELECT w.x AS x FROM w WHERE w.x >= 0 AND w.y >= 0"
+        shape = select_shape(parse_one(dense))
+
+        db.execute(dense)  # underestimate observed -> correction recorded
+        learned = db.statistics.correction("w", shape)
+        assert learned > 4.0
+
+        sparse = "SELECT w.x AS x FROM w WHERE w.x >= 63 AND w.y >= 63"
+        assert select_shape(parse_one(sparse)) == shape
+        for _ in range(3):
+            db.execute(sparse)
+        assert db.statistics.correction("w", shape) == pytest.approx(1.0)
+        stats = db.adaptive_stats()
+        assert stats["decays"] == 1
+        assert any("decay" in event for event in stats["events"])
+
+        # The workload drifts back: a fresh dense query (factor 1 at compile)
+        # underestimates again and re-learns a correction.
+        db.execute("SELECT w.x AS x FROM w WHERE w.x >= 1 AND w.y >= 1")
+        assert db.statistics.correction("w", shape) > 4.0
+
+    def test_shrink_then_grow_table_via_dml_recovers(self):
+        """The complementary path: DML invalidation clears corrections.
+
+        A table that literally shrinks (DELETE) drops its corrections with
+        its statistics; regrowing it re-learns them from fresh feedback —
+        the two recovery mechanisms (invalidation for data changes, decay
+        for workload drift) cover both directions.
+        """
+        db = self._correlated_db()
+        dense = "SELECT w.x AS x FROM w WHERE w.x >= 0 AND w.y >= 0"
+        shape = select_shape(parse_one(dense))
+        db.execute(dense)
+        assert db.statistics.correction("w", shape) > 4.0
+
+        db.execute("DELETE FROM w WHERE w.x >= 8")  # shrink
+        assert db.statistics.correction("w", shape) == 1.0
+
+        db.execute(
+            "INSERT INTO w (x, y) VALUES "
+            + ", ".join(f"({i % 64}, {i % 64})" for i in range(512))
+        )  # grow again
+        db.execute("SELECT w.x AS x FROM w WHERE w.x >= 2 AND w.y >= 2")
+        assert db.statistics.correction("w", shape) > 4.0
+
+    def test_decay_flags_replan(self):
+        """A decayed factor re-plans the flagged text on its next lookup."""
+        db = self._correlated_db()
+        dense = "SELECT w.x AS x FROM w WHERE w.x >= 0 AND w.y >= 0"
+        sparse = "SELECT w.x AS x FROM w WHERE w.x >= 63 AND w.y >= 63"
+        db.execute(dense)
+        for _ in range(2):
+            db.execute(sparse)
+        assert db.plan_cache.peek_state(sparse, db._tables, db.plan_flavor) == "hit"
+        db.execute(sparse)  # third consecutive overestimate -> decay + replan
+        assert db.plan_cache.peek_state(sparse, db._tables, db.plan_flavor) == "replan"
+        # Results stay identical across the re-plan.
+        before = db.execute(sparse).rows
+        after = db.execute(sparse).rows
+        assert before == after

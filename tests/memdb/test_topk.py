@@ -194,3 +194,112 @@ class TestLimitLiteralValidation:
         db = _db(rows=_ROWS)
         result = db.execute("SELECT id FROM t ORDER BY k, v, id LIMIT 2.0")
         assert len(result.rows) == 2
+
+
+# ---------------------------------------------------------------------------
+# DESC text keys via the reverse-collation partition key (PR 5)
+# ---------------------------------------------------------------------------
+
+
+_TEXT_ROWS = [
+    "a", "ab", "", "b", "a", "Z", "zz", "ab", "abc", "z",
+    "A", "aB", " ", "a ", "é", "e", "0", "00", "~", "ß",
+]
+
+
+def _text_db(enable_topk=True):
+    db = MemDatabase(plan_cache=PlanCache(maxsize=8), enable_topk=enable_topk)
+    db.execute("CREATE TABLE s (id BIGINT NOT NULL, name TEXT NOT NULL)")
+    values = ", ".join(f"({i}, '{text}')" for i, text in enumerate(_TEXT_ROWS))
+    db.execute(f"INSERT INTO s (id, name) VALUES {values}")
+    return db
+
+
+def _text_sqlite():
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE s (id INTEGER, name TEXT)")
+    connection.executemany("INSERT INTO s VALUES (?, ?)", list(enumerate(_TEXT_ROWS)))
+    return connection
+
+
+class TestDescTextOrdering:
+    """ORDER BY <text> DESC matches SQLite (byte-wise collation) exactly.
+
+    The audit covers the reverse-collation edge cases: empty strings,
+    proper prefixes ("a" vs "ab" vs "abc"), case (byte order, not locale),
+    spaces, non-ASCII code points (UTF-8 byte order equals code-point
+    order), and ties resolved by a secondary key.
+    """
+
+    @pytest.mark.parametrize(
+        "tail",
+        [
+            "ORDER BY s.name DESC, s.id ASC",
+            "ORDER BY s.name DESC, s.id DESC",
+            "ORDER BY s.name DESC, s.id ASC LIMIT 5",
+            "ORDER BY s.name DESC, s.id ASC LIMIT 7 OFFSET 3",
+            "ORDER BY s.name DESC, s.id DESC LIMIT 4 OFFSET 11",
+            "ORDER BY s.name ASC, s.id ASC LIMIT 6",
+            "ORDER BY s.id % 3 ASC, s.name DESC, s.id ASC",
+        ],
+    )
+    def test_matches_sqlite(self, tail):
+        db = _text_db()
+        connection = _text_sqlite()
+        sql = f"SELECT s.id AS id, s.name AS name FROM s {tail}"
+        expected = connection.execute(f"SELECT s.id, s.name FROM s {tail}").fetchall()
+        assert db.execute(sql).rows == expected
+
+    def test_topk_identical_to_sort_then_slice(self):
+        sql = "SELECT s.id AS id, s.name AS name FROM s ORDER BY s.name DESC, s.id ASC LIMIT 6"
+        assert _text_db(enable_topk=True).execute(sql).rows == _text_db(
+            enable_topk=False
+        ).execute(sql).rows
+
+    def test_topk_decision_applies_to_desc_text(self):
+        db = MemDatabase(plan_cache=PlanCache(maxsize=8))
+        db.execute("CREATE TABLE s (id BIGINT NOT NULL, name TEXT NOT NULL)")
+        rows = ", ".join(f"({i}, 'n{i % 97:02d}')" for i in range(4000))
+        db.execute(f"INSERT INTO s (id, name) VALUES {rows}")
+        plan = "\n".join(
+            row[0]
+            for row in db.execute(
+                "EXPLAIN SELECT s.id AS id, s.name AS name FROM s "
+                "ORDER BY s.name DESC, s.id ASC LIMIT 5"
+            ).rows
+        )
+        assert "top-k (k=5)" in plan
+        # And the operator's rows match SQLite on the large tied input.
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE s (id INTEGER, name TEXT)")
+        connection.executemany(
+            "INSERT INTO s VALUES (?, ?)", [(i, f"n{i % 97:02d}") for i in range(4000)]
+        )
+        expected = connection.execute(
+            "SELECT s.id, s.name FROM s ORDER BY s.name DESC, s.id ASC LIMIT 5"
+        ).fetchall()
+        actual = db.execute(
+            "SELECT s.id AS id, s.name AS name FROM s ORDER BY s.name DESC, s.id ASC LIMIT 5"
+        ).rows
+        assert actual == expected
+
+    def test_reverse_collation_is_injective_at_the_top_of_the_code_space(self):
+        # U+10FFFE and U+10FFFF must stay distinct under the flip — a clamp
+        # there would collapse them and diverge from SQLite's byte order.
+        from repro.backends.memdb.executor import _reverse_collation
+
+        values = np.array(["\U0010FFFE", "\U0010FFFF", "a"], dtype=object)
+        keys = _reverse_collation(values.astype(str))
+        order = np.argsort(keys, kind="stable")
+        # Ascending transformed order == descending original order.
+        assert [values[i] for i in order] == ["\U0010FFFF", "\U0010FFFE", "a"]
+
+    def test_desc_text_ties_keep_stable_input_order(self):
+        db = MemDatabase(plan_cache=PlanCache(maxsize=8))
+        db.execute("CREATE TABLE s (id BIGINT NOT NULL, name TEXT NOT NULL)")
+        db.execute(
+            "INSERT INTO s (id, name) VALUES (0, 'x'), (1, 'x'), (2, 'y'), (3, 'x'), (4, 'y')"
+        )
+        rows = db.execute("SELECT s.id AS id FROM s ORDER BY s.name DESC LIMIT 4").rows
+        # 'y' ties first (input order 2, 4), then 'x' ties (0, 1).
+        assert [row[0] for row in rows] == [2, 4, 0, 1]

@@ -479,6 +479,60 @@ def _differential_check(tables, query, draw_analyze: bool, shift_rows) -> None:
 _shift_strategy = st.lists(st.integers(min_value=-30, max_value=30), min_size=0, max_size=12)
 
 
+def _parallel_check(tables, query) -> None:
+    """Morsel-parallel execution must be byte-identical to serial (and SQLite).
+
+    The parallel engine forces the costed decision onto every non-empty
+    block (``parallel_threshold_rows=0``), so even the fuzzer's small tables
+    exercise the morsel merges, the partitioned aggregation and the
+    parallel join probes.  Rows are compared against the serial engine with
+    *exact* equality (no normalization): parallelism is a physical choice
+    and may not perturb a single bit.
+    """
+    from repro.backends.memdb.parallel import shared_worker_pool
+
+    sql, ordered = query
+    setup = [statement for table in tables for statement in _ddl(table)]
+
+    parallel = MemDatabase(
+        plan_cache=PlanCache(maxsize=32),
+        enable_parallel=True,
+        parallel_threshold_rows=0,
+        worker_pool=shared_worker_pool(),
+    )
+    serial = MemDatabase(plan_cache=PlanCache(maxsize=32), enable_parallel=False)
+    sqlite_connection = sqlite3.connect(":memory:")
+    for statement in setup:
+        parallel.execute(statement)
+        serial.execute(statement)
+        sqlite_connection.execute(statement)
+
+    def identical(left, right) -> bool:
+        # Exact, NaN-aware row equality (NaN == NaN positionally, no rounding).
+        if len(left) != len(right):
+            return False
+        for row_a, row_b in zip(left, right):
+            for a, b in zip(row_a, row_b):
+                both_nan = (
+                    isinstance(a, float) and isinstance(b, float) and a != a and b != b
+                )
+                if not both_nan and (a != b or type(a) is not type(b)):
+                    return False
+        return True
+
+    expected = serial.execute(sql).rows
+    for attempt in ("cold", "warm"):
+        actual = parallel.execute(sql).rows
+        assert identical(actual, expected), (
+            f"parallel[{attempt}] diverged from serial on:\n{sql}\n"
+            f"expected {expected}\nactual   {actual}"
+        )
+    _assert_rows_match(
+        _run_sqlite(sqlite_connection, sql), expected, ordered, "memdb[parallel-vs-sqlite]", sql
+    )
+    sqlite_connection.close()
+
+
 # ---------------------------------------------------------------------------
 # Bounded tier-1 profile (>= 200 generated queries per run)
 # ---------------------------------------------------------------------------
@@ -516,6 +570,28 @@ def test_fuzz_cte_chains_match_sqlite(data):
     _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
 
 
+@given(data=st.data())
+@_FAST
+def test_fuzz_parallel_execution_matches_serial(data):
+    """Grammar queries with ``enable_parallel`` on: byte-identical to serial.
+
+    Rotates through every query shape so the morsel-parallel filters, join
+    probes and partitioned aggregation all see the same adversarial grammar
+    as the serial engine.
+    """
+    shape = data.draw(st.sampled_from(["simple", "join", "grouped", "cte"]))
+    strategies = {
+        "simple": (1, _simple_query),
+        "join": (2, _join_query),
+        "grouped": (1, _grouped_query),
+        "cte": (2, _cte_query),
+    }
+    count, shape_strategy = strategies[shape]
+    tables = data.draw(_tables(count=count))
+    query = data.draw(shape_strategy(tables))
+    _parallel_check(tables, query)
+
+
 # ---------------------------------------------------------------------------
 # Deep profile (-m slow)
 # ---------------------------------------------------------------------------
@@ -540,5 +616,28 @@ def test_fuzz_deep_profile(shape):
         tables = data.draw(_tables(count=count))
         query = data.draw(shape_strategy(tables))
         _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+    run()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "shape", ["simple", "join", "grouped", "cte"], ids=["simple", "join", "grouped", "cte"]
+)
+def test_fuzz_deep_parallel_profile(shape):
+    strategies = {
+        "simple": (1, _simple_query),
+        "join": (2, _join_query),
+        "grouped": (1, _grouped_query),
+        "cte": (2, _cte_query),
+    }
+    count, shape_strategy = strategies[shape]
+
+    @given(data=st.data())
+    @_DEEP
+    def run(data):
+        tables = data.draw(_tables(count=count))
+        query = data.draw(shape_strategy(tables))
+        _parallel_check(tables, query)
 
     run()

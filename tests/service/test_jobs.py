@@ -242,3 +242,115 @@ class TestRetention:
                 service.poll(handle.job_id)
         finally:
             service.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Process-backed batch tier (PR 5)
+# ---------------------------------------------------------------------------
+
+
+class TestProcessBackedTier:
+    @pytest.fixture
+    def process_service(self):
+        service = JobService(max_workers=2, process_workers=2)
+        yield service
+        service.shutdown(wait=True)
+
+    def test_grid_results_match_thread_tier_in_order(self, process_service, service):
+        template = _qaoa_template()
+        expected = service.submit(
+            circuit=template, method="memdb", param_grid=_GRID
+        ).result(timeout=60)
+        handle = process_service.submit(circuit=template, method="memdb", param_grid=_GRID)
+        results = handle.result(timeout=180)
+        assert len(results) == len(expected) == len(_GRID)
+        for actual, reference, point in zip(results, expected, _GRID):
+            assert actual.metadata["parameter_binding"] == point
+            assert actual.state.num_nonzero == reference.state.num_nonzero
+        stats = process_service.stats()["process_tier"]
+        assert stats["enabled"] and stats["points"] == len(_GRID) and stats["fallbacks"] == 0
+
+    def test_streaming_preserves_grid_order(self, process_service):
+        handle = process_service.submit(
+            circuit=_qaoa_template(), method="memdb", param_grid=_GRID
+        )
+        bindings = [
+            result.metadata["parameter_binding"]
+            for result in process_service.stream(handle.job_id, timeout=180)
+        ]
+        assert bindings == _GRID
+
+    def test_single_point_jobs_stay_on_threads(self, process_service):
+        handle = process_service.submit(circuit=ghz_circuit(3), method="memdb")
+        handle.result(timeout=60)
+        assert process_service.stats()["process_tier"]["points"] == 0
+
+    def test_unpicklable_options_fall_back_to_threads(self, process_service):
+        import threading
+
+        # A lock in the options cannot cross the process boundary: the job
+        # must be *routed* through the thread tier (counted as a fallback)
+        # without wedging the service.  The job itself then errors — a Lock
+        # is not a valid option value — which is fine; the routing is what
+        # is under test.
+        fallback = process_service.submit(
+            circuit=_qaoa_template(),
+            method="memdb",
+            options={"max_state_bytes": threading.Lock()},
+            param_grid=_GRID[:1],
+        )
+        with pytest.raises(Exception):
+            fallback.result(timeout=60)
+        assert process_service.stats()["process_tier"]["fallbacks"] >= 1
+        # The service keeps serving process-tier jobs afterwards.
+        ok = process_service.submit(
+            circuit=_qaoa_template(), method="memdb", param_grid=_GRID[:1]
+        )
+        assert len(ok.result(timeout=180)) == 1
+
+    def test_worker_error_lands_job_in_error_state(self, process_service):
+        # Unknown parameter names raise inside the worker process.
+        handle = process_service.submit(
+            circuit=_qaoa_template(),
+            method="memdb",
+            param_grid=[{"nonsense": 1.0}],
+        )
+        with pytest.raises(Exception):
+            handle.result(timeout=180)
+        assert handle.status() == "error"
+
+    def test_reuse_across_jobs_uses_warm_workers(self, process_service):
+        template = _qaoa_template()
+        first = process_service.submit(circuit=template, method="memdb", param_grid=_GRID)
+        first.result(timeout=180)
+        second = process_service.submit(circuit=template, method="memdb", param_grid=_GRID)
+        assert len(second.result(timeout=180)) == len(_GRID)
+        stats = process_service.stats()["process_tier"]
+        assert stats["points"] == 2 * len(_GRID)
+
+    def test_shutdown_closes_process_pool(self):
+        service = JobService(max_workers=1, process_workers=1)
+        handle = service.submit(
+            circuit=_qaoa_template(), method="memdb", param_grid=_GRID[:2]
+        )
+        handle.result(timeout=180)
+        service.shutdown(wait=True)
+        with pytest.raises(QymeraError):
+            service.submit(circuit=ghz_circuit(2), method="memdb")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(QymeraError):
+            JobService(process_workers=0)
+        with pytest.raises(QymeraError):
+            JobService(process_workers=2, process_chunk_points=0)
+
+    def test_explicit_chunk_size_controls_fanout(self):
+        service = JobService(max_workers=1, process_workers=2, process_chunk_points=1)
+        try:
+            handle = service.submit(
+                circuit=_qaoa_template(), method="memdb", param_grid=_GRID
+            )
+            assert len(handle.result(timeout=180)) == len(_GRID)
+            assert service.stats()["process_tier"]["chunks"] == len(_GRID)
+        finally:
+            service.shutdown(wait=True)
