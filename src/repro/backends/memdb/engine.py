@@ -53,6 +53,7 @@ from .optimizer import (
 from .optimizer.rewrite import referenced_stored_tables
 from .parallel import WorkerPool, parallel_env_enabled, shared_worker_pool
 from .parallel.pool import default_worker_count
+from .column import DictArray, dict_encoding_default, to_pylist
 from .parser import parse_sql
 from .planner import CompiledCreateTableAs, CompiledScript, compile_statement
 from .table import Table, dtype_for_sql_type
@@ -386,6 +387,14 @@ class MemDatabase:
         differential tests), and an injected :class:`~.parallel.WorkerPool`
         (default: one pool shared process-wide, so fresh engines per sweep
         point reuse warm threads).
+    enable_dict_encoding:
+        Storage-representation ablation flag: when True (default, or
+        ``None`` with ``REPRO_MEMDB_DICT`` unset/non-zero) TEXT columns are
+        stored as dictionary-encoded int32 codes plus a sorted value
+        dictionary; when False they stay plain object arrays (the v1
+        representation).  Results are byte-identical either way — compiled
+        plans are representation-agnostic, so this flag deliberately does
+        **not** participate in the plan-cache flavor.
     """
 
     #: Actual/estimated ratio above which a block triggers re-planning.
@@ -407,8 +416,12 @@ class MemDatabase:
         parallel_workers: int | None = None,
         parallel_threshold_rows: int | None = None,
         worker_pool: WorkerPool | None = None,
+        enable_dict_encoding: bool | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
+        self.enable_dict_encoding = (
+            dict_encoding_default() if enable_dict_encoding is None else bool(enable_dict_encoding)
+        )
         self._plan_cache = _SHARED_PLAN_CACHE if plan_cache is None else plan_cache
         self._statistics = StatisticsCatalog()
         self.enable_optimizer = bool(enable_optimizer)
@@ -586,10 +599,34 @@ class MemDatabase:
         """
         if name in self._tables:
             raise SQLExecutionError(f"table {name!r} already exists")
-        table = Table(name, {column: np.asarray(values) for column, values in columns.items()})
+        table = Table(
+            name,
+            {
+                column: values if isinstance(values, DictArray) else np.asarray(values)
+                for column, values in columns.items()
+            },
+            dict_encode=self.enable_dict_encoding,
+        )
         self._tables[name] = table
         self._statistics.invalidate(name)
         return table
+
+    def storage_stats(self, name: str | None = None) -> dict:
+        """Encoded-storage accounting for one table or the whole catalog.
+
+        Reports per-column kinds (numeric / dict / object), chunk counts,
+        code + dictionary + validity-bitmap bytes, dictionary sizes and
+        rebuild counts — the numbers the columnar benchmarks surface next to
+        their speedups.
+        """
+        if name is not None:
+            return self.table(name).storage_stats()
+        tables = {table_name: table.storage_stats() for table_name, table in self._tables.items()}
+        return {
+            "dict_encoding": self.enable_dict_encoding,
+            "total_bytes": sum(stats["total_bytes"] for stats in tables.values()),
+            "tables": tables,
+        }
 
     def clear(self) -> None:
         """Drop every table (and the adaptive state observed against them)."""
@@ -886,9 +923,10 @@ class MemDatabase:
 
         ``ndarray.tolist`` converts whole columns to Python scalars at C
         speed, which beats per-value unboxing by an order of magnitude on
-        dense final states.
+        dense final states; dictionary-encoded text decodes once here, at
+        the representation boundary.
         """
-        materialized = [np.asarray(columns[name]).tolist() for name in names]
+        materialized = [to_pylist(columns[name]) for name in names]
         rows = [tuple(row) for row in zip(*materialized)] if materialized else []
         return QueryResult(list(names), rows)
 
@@ -898,7 +936,11 @@ class MemDatabase:
         if plan.name in self._tables:
             raise SQLExecutionError(f"table {plan.name!r} already exists")
         names, columns = plan.script.execute(self._tables, trace=trace, pool=pool)
-        self._tables[plan.name] = Table(plan.name, {name: columns[name] for name in names})
+        self._tables[plan.name] = Table(
+            plan.name,
+            {name: columns[name] for name in names},
+            dict_encode=self.enable_dict_encoding,
+        )
         self._statistics.invalidate(plan.name)
         return QueryResult([], [], rowcount=self._tables[plan.name].num_rows)
 
@@ -906,7 +948,9 @@ class MemDatabase:
         if statement.name in self._tables:
             raise SQLExecutionError(f"table {statement.name!r} already exists")
         column_types = [(column.name, column.type_name) for column in statement.columns]
-        self._tables[statement.name] = Table.empty(statement.name, column_types)
+        self._tables[statement.name] = Table.empty(
+            statement.name, column_types, dict_encode=self.enable_dict_encoding
+        )
         self._statistics.invalidate(statement.name)
         return QueryResult([], [], rowcount=0)
 
@@ -915,7 +959,11 @@ class MemDatabase:
             raise SQLExecutionError(f"table {statement.name!r} already exists")
         executor = SelectExecutor(self._tables)
         names, columns = executor.execute(statement.query)
-        self._tables[statement.name] = Table(statement.name, {name: columns[name] for name in names})
+        self._tables[statement.name] = Table(
+            statement.name,
+            {name: columns[name] for name in names},
+            dict_encode=self.enable_dict_encoding,
+        )
         self._statistics.invalidate(statement.name)
         return QueryResult([], [], rowcount=self._tables[statement.name].num_rows)
 

@@ -32,9 +32,21 @@ from .ast_nodes import (
     UnaryOp,
     WithSelect,
 )
+from .column import (
+    DictArray,
+    compare_values,
+    encoded_codes,
+    join_key_codes,
+    null_mask,
+    sort_keys,
+    text_codes,
+)
 from .parser import AGGREGATE_FUNCTIONS
 from .table import Table
 
+#: Compute frames map column keys to plain numpy vectors or dictionary-
+#: encoded text vectors (:class:`DictArray`); every kernel below accepts
+#: both.
 Frame = dict[str, np.ndarray]
 
 
@@ -80,9 +92,53 @@ def _frame_length(frame: Frame) -> int:
 
 
 def _broadcast(value, length: int) -> np.ndarray:
+    if isinstance(value, DictArray) and len(value) == length:
+        return value
     if isinstance(value, np.ndarray) and value.ndim == 1 and len(value) == length:
         return value
     return np.full(length, value)
+
+
+def _text_operand(values) -> tuple[np.ndarray, np.ndarray]:
+    """``(str_array, valid)`` view of a ``||`` operand.
+
+    Invalid (NULL) slots carry ``""`` in the string array; the caller
+    propagates NULL through the concatenation via the validity mask.
+    """
+    if isinstance(values, DictArray):
+        valid = ~values.is_null()
+        if len(values.dictionary):
+            text = values.dictionary[np.where(values.codes >= 0, values.codes, 0)]
+            if not valid.all():
+                text = text.copy()
+                text[~valid] = ""
+        else:
+            text = np.full(len(values), "", dtype="<U1")
+        return text, valid
+    array = np.asarray(values)
+    valid = ~null_mask(array)
+    if array.dtype == object:
+        filled = array.copy()
+        filled[~valid] = ""
+        return filled.astype(str), valid
+    if array.dtype.kind == "f" and not valid.all():
+        filled = array.astype(object)
+        filled[~valid] = ""
+        return filled.astype(str), valid
+    return array.astype(str), valid
+
+
+def _concat_strings(left, right) -> np.ndarray:
+    """SQL ``||``: string concatenation with NULL propagation."""
+    left_text, left_valid = _text_operand(left)
+    right_text, right_valid = _text_operand(right)
+    joined = np.char.add(left_text, right_text)
+    valid = left_valid & right_valid
+    if valid.all():
+        return joined
+    result = joined.astype(object)
+    result[~valid] = None
+    return result
 
 
 class ExpressionEvaluator:
@@ -114,14 +170,18 @@ class ExpressionEvaluator:
             return self._case(expression)
         if isinstance(expression, IsNull):
             operand = self.evaluate(expression.operand)
-            nulls = np.isnan(operand) if operand.dtype.kind == "f" else np.zeros(self._length, dtype=bool)
+            nulls = null_mask(operand)
             return ~nulls if expression.negated else nulls
         if isinstance(expression, InList):
             operand = self.evaluate(expression.operand)
             mask = np.zeros(self._length, dtype=bool)
             for value in expression.values:
-                mask |= operand == self.evaluate(value)
-            return ~mask if expression.negated else mask
+                mask |= compare_values("=", operand, self.evaluate(value))
+            if expression.negated:
+                # NULL NOT IN (...) is unknown, never true: a NULL operand
+                # must not pass the negated filter either.
+                return ~mask & ~null_mask(operand)
+            return mask
         if isinstance(expression, Star):
             raise SQLExecutionError("'*' is only allowed as a projection or inside COUNT(*)")
         raise SQLExecutionError(f"unsupported expression node {type(expression).__name__}")
@@ -202,24 +262,17 @@ class ExpressionEvaluator:
             if zero.any():
                 return np.where(zero, np.nan, remainder.astype(np.float64))
             return remainder
-        if operator == "=":
-            return left == right
-        if operator == "!=":
-            return left != right
-        if operator == "<":
-            return left < right
-        if operator == "<=":
-            return left <= right
-        if operator == ">":
-            return left > right
-        if operator == ">=":
-            return left >= right
+        if operator in ("=", "!=", "<", "<=", ">", ">="):
+            # One comparison kernel for every representation (numeric,
+            # object, dictionary codes) with SQL's three-valued logic
+            # collapsed to filter semantics: NULL on either side is False.
+            return compare_values(operator, left, right)
         if operator == "and":
             return left.astype(bool) & right.astype(bool)
         if operator == "or":
             return left.astype(bool) | right.astype(bool)
         if operator == "||":
-            return np.char.add(left.astype(str), right.astype(str))
+            return _concat_strings(left, right)
         raise SQLExecutionError(f"unsupported binary operator {operator!r}")
 
     def _function(self, node: FunctionCall):
@@ -250,9 +303,23 @@ class ExpressionEvaluator:
         if name == "coalesce":
             if not node.arguments:
                 raise SQLExecutionError("coalesce() needs at least one argument")
-            result = self.evaluate(node.arguments[0]).astype(float)
-            for argument in node.arguments[1:]:
-                candidate = self.evaluate(argument)
+            operands = [self.evaluate(argument) for argument in node.arguments]
+            if any(
+                isinstance(operand, DictArray) or operand.dtype.kind in ("O", "U")
+                for operand in operands
+            ):
+                # Text-capable path: fill NULL slots left to right.
+                result = np.array(np.asarray(operands[0], dtype=object), dtype=object)
+                missing = null_mask(result)
+                for candidate in operands[1:]:
+                    if not missing.any():
+                        break
+                    candidate = np.asarray(candidate, dtype=object)
+                    result[missing] = candidate[missing]
+                    missing = null_mask(result)
+                return result
+            result = operands[0].astype(float)
+            for candidate in operands[1:]:
                 result = np.where(np.isnan(result), candidate, result)
             return result
         if name in _SCALAR_FUNCTIONS and _SCALAR_FUNCTIONS[name] is not None:
@@ -407,22 +474,33 @@ class GroupedEvaluator:
                 raise SQLExecutionError(f"{name.upper()}(*) is not a valid aggregate")
             return np.bincount(self._inverse, minlength=self._num_groups).astype(np.int64)
 
-        values = self._scalar.evaluate(call.arguments[0]).astype(np.float64)
+        raw = self._scalar.evaluate(call.arguments[0])
+        is_text = isinstance(raw, DictArray) or raw.dtype.kind in ("O", "U")
+        # SQL aggregates skip NULLs: COUNT(col) counts non-NULL rows,
+        # SUM/AVG/MIN/MAX reduce the valid rows only, and an all-NULL group
+        # yields NULL (COUNT yields 0).
+        mask = ~null_mask(raw)
         if call.distinct:
-            # Deduplicate (group, value) pairs before aggregating.
-            keys = np.stack([self._inverse.astype(np.float64), values], axis=1)
+            # Deduplicate (group, value) pairs — on *exact* integer codes,
+            # so wide int64 values and NULLs dedup correctly — before
+            # aggregating.
+            keys = np.stack([self._inverse, encoded_codes(raw)], axis=1)
             _unique, unique_indices = np.unique(keys, axis=0, return_index=True)
-            mask = np.zeros(self._length, dtype=bool)
-            mask[unique_indices] = True
-        else:
-            mask = np.ones(self._length, dtype=bool)
+            distinct_mask = np.zeros(self._length, dtype=bool)
+            distinct_mask[unique_indices] = True
+            mask &= distinct_mask
 
         inverse = self._inverse[mask]
-        values = values[mask]
         counts = np.bincount(inverse, minlength=self._num_groups)
-
         if name == "count":
             return counts.astype(np.int64)
+
+        if is_text:
+            if name not in ("min", "max"):
+                raise SQLExecutionError(f"{name.upper()}() is not defined on text columns")
+            return self._reduce_text_minmax(name, raw, mask, inverse, counts)
+
+        values = raw.astype(np.float64)[mask]
         if name in ("sum", "total"):
             sums = np.bincount(inverse, weights=values, minlength=self._num_groups)
             if name == "sum":
@@ -444,6 +522,32 @@ class GroupedEvaluator:
             return result
         raise SQLExecutionError(f"unsupported aggregate {name!r}")
 
+    def _reduce_text_minmax(
+        self,
+        name: str,
+        raw,
+        mask: np.ndarray,
+        inverse: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """MIN/MAX over a text column: reduce the integer codes, decode once."""
+        all_codes, vocabulary = text_codes(raw)
+        codes = all_codes[mask]
+        result = np.empty(self._num_groups, dtype=object)
+        result[:] = None
+        if len(codes):
+            order = np.argsort(inverse, kind="stable")
+            sorted_inverse = inverse[order]
+            sorted_codes = codes[order]
+            boundaries = np.concatenate(([0], np.flatnonzero(np.diff(sorted_inverse)) + 1))
+            reducer = np.minimum if name == "min" else np.maximum
+            reduced = reducer.reduceat(sorted_codes, boundaries)
+            groups = sorted_inverse[boundaries]
+            decoded = vocabulary[reduced]
+            for group, value in zip(groups.tolist(), decoded.tolist()):
+                result[group] = value
+        return result
+
 
 # ---------------------------------------------------------------------------
 # Join machinery (shared by the interpreter and compiled plans)
@@ -456,40 +560,27 @@ def apply_filter(frame: Frame, length: int, predicate: Expression) -> tuple[Fram
     return {key: values[mask] for key, values in frame.items()}, int(mask.sum())
 
 
-def join_indices(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def join_indices(left_keys, right_keys) -> tuple[np.ndarray, np.ndarray]:
     """Row indices ``(left_idx, right_idx)`` of the inner equi-join of two key columns.
 
-    Numeric keys (the hot path: state indices are int64) use a vectorized
-    sort + ``searchsorted`` join; object keys fall back to a dict-bucket hash
-    join.  Matches are emitted in left-row order with ties in right-row order
-    — the order a build-right/probe-left hash join produces.  NULL (NaN) keys
-    never match, per SQL semantics.
+    Every key representation — int64 state indices (the hot path), floats,
+    dictionary codes, plain object strings — is translated into a shared
+    exact ``int64`` code space (:func:`join_key_codes`) and joined with one
+    vectorized sort + ``searchsorted`` kernel; the old per-row dict-bucket
+    fallback for object keys is gone (it also wrongly matched
+    ``None == None``).  Matches are emitted in left-row order with ties in
+    right-row order — the order a build-right/probe-left hash join produces.
+    NULL keys never match, per SQL semantics.
     """
-    left = np.asarray(left_keys)
-    right = np.asarray(right_keys)
-    if left.dtype == object or right.dtype == object:
-        buckets: dict[object, list[int]] = {}
-        for index, key in enumerate(right.tolist()):
-            buckets.setdefault(key, []).append(index)
-        left_list: list[int] = []
-        right_list: list[int] = []
-        for index, key in enumerate(left.tolist()):
-            for match in buckets.get(key, ()):
-                left_list.append(index)
-                right_list.append(match)
-        return np.asarray(left_list, dtype=np.int64), np.asarray(right_list, dtype=np.int64)
+    left, right, left_valid, right_valid = join_key_codes(left_keys, right_keys)
 
     left_map = right_map = None
-    if left.dtype.kind == "f":
-        keep = ~np.isnan(left)
-        if not keep.all():
-            left_map = np.flatnonzero(keep)
-            left = left[left_map]
-    if right.dtype.kind == "f":
-        keep = ~np.isnan(right)
-        if not keep.all():
-            right_map = np.flatnonzero(keep)
-            right = right[right_map]
+    if not left_valid.all():
+        left_map = np.flatnonzero(left_valid)
+        left = left[left_map]
+    if not right_valid.all():
+        right_map = np.flatnonzero(right_valid)
+        right = right[right_map]
 
     order = np.argsort(right, kind="stable")
     sorted_right = right[order]
@@ -647,12 +738,24 @@ def grouped_projection(select: Select, frame: Frame, length: int) -> tuple[list[
     """Evaluate a GROUP BY / aggregate projection (including HAVING)."""
     evaluator = ExpressionEvaluator(frame, length)
     if select.group_by:
-        key_columns = [evaluator.evaluate(expression).astype(np.float64) for expression in select.group_by]
-        stacked = np.stack(key_columns, axis=1) if key_columns else np.zeros((length, 1))
+        # Group on exact int64 codes (ints pass through, floats via a
+        # monotone bit transform, text via dictionary codes): grouping is
+        # exact for wide int64 values, all NULL keys land in one group
+        # (SQLite semantics), and group output order is still ascending key
+        # order with NULLs first.
+        code_columns = [
+            encoded_codes(evaluator.evaluate(expression)) for expression in select.group_by
+        ]
         if length:
-            _unique, first_indices, inverse = np.unique(
-                stacked, axis=0, return_index=True, return_inverse=True
-            )
+            if len(code_columns) == 1:
+                _unique, first_indices, inverse = np.unique(
+                    code_columns[0], return_index=True, return_inverse=True
+                )
+            else:
+                stacked = np.stack(code_columns, axis=1)
+                _unique, first_indices, inverse = np.unique(
+                    stacked, axis=0, return_index=True, return_inverse=True
+                )
             inverse = inverse.ravel()
             num_groups = len(first_indices)
         else:
@@ -731,13 +834,11 @@ def _order_keys(
     keys: list[np.ndarray] = []
     for item in reversed(order_by):
         values = evaluator.evaluate(item.expression)
-        sortable = values.astype(np.float64) if values.dtype.kind in "biuf" else values.astype(str)
-        if item.descending:
-            if sortable.dtype.kind == "f":
-                sortable = -sortable
-            else:
-                sortable = _reverse_collation(sortable)
-        keys.append(sortable)
+        # Exact int64 keys for every representation: NULLs sort first
+        # ascending and last descending (SQLite), text sorts on dictionary
+        # codes, and DESC is a plain negation — injective, so ties and
+        # stability behave exactly like a sort on the values.
+        keys.append(sort_keys(values, item.descending))
     return keys
 
 
@@ -838,7 +939,9 @@ def postprocess_select(
         raise SQLExecutionError("HAVING requires GROUP BY or aggregates")
 
     if select.distinct and result_length:
-        stacked = np.stack([columns[name].astype(np.float64) for name in names], axis=1)
+        # DISTINCT on exact int64 codes: NULLs compare equal (SQLite), wide
+        # int64 values never collide, text dedups on dictionary codes.
+        stacked = np.stack([encoded_codes(columns[name]) for name in names], axis=1)
         _unique, indices = np.unique(stacked, axis=0, return_index=True)
         keep = np.sort(indices)
         columns = {name: columns[name][keep] for name in names}

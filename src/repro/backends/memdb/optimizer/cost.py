@@ -682,7 +682,11 @@ class CostModel:
 
     def _table_width(self, name: str) -> int:
         if name in self._catalog:
-            return max(1, self._catalog[name].num_columns)
+            # Representation-aware width: numeric and dictionary-encoded
+            # columns move 8-byte words, object columns move Python
+            # references plus boxed values (weight 4).  All-numeric tables
+            # keep their historical per-column weight of 1.
+            return max(1, self._catalog[name].width_weight())
         stats = self.table_stats(name)
         if stats is not None and stats.columns:
             return max(1, len(stats.columns))

@@ -50,6 +50,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..column import DictArray
 from ..table import Table
 
 #: Maximum number of most-common values kept per column.
@@ -250,9 +251,45 @@ def _object_mcv(non_null: list[object], size: int) -> tuple[tuple[object, float]
     return tuple(mcv)
 
 
+def _dict_mcv(
+    counts: np.ndarray, dictionary: np.ndarray, non_null_count: int, size: int
+) -> tuple[tuple[object, float], ...]:
+    """MCV list straight from dictionary code counts (no decode pass)."""
+    ndv = int((counts > 0).sum())
+    if ndv <= 1 or size == 0:
+        return ()
+    uniform = non_null_count / ndv
+    order = np.argsort(-counts, kind="stable")
+    mcv: list[tuple[object, float]] = []
+    for index in order[:MCV_LIST_SIZE]:
+        count = int(counts[index])
+        if count < 2 or count < uniform * MCV_OVER_UNIFORM:
+            break
+        mcv.append((str(dictionary[index]), count / size))
+    return tuple(mcv)
+
+
 def _column_stats(name: str, values: np.ndarray) -> ColumnStats:
     """Compute min/max/NDV/null-fraction plus the distribution sketch."""
     size = int(len(values))
+    if isinstance(values, DictArray):
+        # Dictionary-encoded text: NDV and the MCV list fall out of one
+        # bincount over the codes — *exact*, and no object materialization.
+        codes = values.codes
+        valid = codes >= 0
+        non_null_count = int(valid.sum())
+        null_fraction = 0.0 if size == 0 else (size - non_null_count) / size
+        if non_null_count:
+            counts = np.bincount(codes[valid], minlength=len(values.dictionary))
+        else:
+            counts = np.zeros(len(values.dictionary), dtype=np.int64)
+        return ColumnStats(
+            name,
+            "O",
+            ndv=int((counts > 0).sum()),
+            null_fraction=null_fraction,
+            mcv=_dict_mcv(counts, values.dictionary, non_null_count, size),
+        )
     if values.dtype == object:
         non_null = [value for value in values.tolist() if value is not None]
         ndv = len(set(non_null))

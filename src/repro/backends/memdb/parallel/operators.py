@@ -10,7 +10,9 @@ the output *bit-for-bit* equal to the serial result:
   per-morsel results in morsel order.  All expression kernels are
   elementwise and the probe's ``searchsorted`` is a pure function of the
   (serially built) sorted build side, so concatenation *is* the serial
-  answer.
+  answer.  Dictionary-encoded text survives the round trip: morsels sliced
+  from one :class:`~..column.DictArray` share its dictionary, and
+  :func:`~..column.concat_values` concatenates their codes.
 * **Partitioned aggregation** splits rows by a hash of the *group key* —
   never by row range — so every group's rows land in exactly one partition,
   in input order.  Per-group accumulation (``np.bincount`` is a sequential
@@ -20,11 +22,16 @@ the output *bit-for-bit* equal to the serial result:
   key-sorted output (partitions are disjoint in key space, so the sorted
   concatenation of their unique keys equals the serial ``np.unique`` order).
 
-Shapes the disciplines cannot cover exactly fall back to the serial
-operator by returning ``None`` (NaN group keys, whose partitioning would
-have to reproduce ``np.unique``'s NaN handling; object-dtype keys; nested
-aggregate expressions): the caller runs the serial code, so the fallback is
-invisible except in the pool counters.
+Group keys are partitioned on the *exact int64 codes* the serial executor
+groups on (:func:`~..column.encoded_codes`): integers pass through, floats
+go through the monotone bit transform with NaN canonicalized, text becomes
+dictionary codes, and all NULL keys share one code.  Every key shape —
+NULL-heavy floats, object strings, multi-key GROUP BY — therefore
+partitions exactly; the old serial fallbacks for NaN and object keys are
+gone.  The remaining serial declines (``None`` returns) are semantic:
+HAVING clauses, DISTINCT aggregates and nested aggregate expressions run
+through the serial :class:`~..executor.GroupedEvaluator`, and malformed
+``SUM(*)``-style calls fall through so the serial path raises its error.
 """
 
 from __future__ import annotations
@@ -34,6 +41,15 @@ from typing import Sequence
 import numpy as np
 
 from ..ast_nodes import Expression, FunctionCall, Select, SelectItem, Star
+from ..column import (
+    DictArray,
+    concat_values,
+    encoded_codes,
+    gather_values,
+    join_key_codes,
+    null_mask,
+    text_codes,
+)
 from ..executor import (
     ExpressionEvaluator,
     Frame,
@@ -41,7 +57,6 @@ from ..executor import (
     contains_aggregate,
     hash_join_frames,
     item_output_name,
-    join_indices,
     plain_projection,
 )
 from .morsel import morsel_ranges
@@ -72,7 +87,9 @@ def parallel_evaluate(
 
     Every expression kernel in :class:`ExpressionEvaluator` is elementwise,
     so concatenating per-morsel results in morsel order reproduces the
-    whole-column evaluation exactly.
+    whole-column evaluation exactly.  Dictionary-encoded results stay
+    encoded: morsels of one column share its dictionary object, which
+    :func:`~..column.concat_values` recognizes and concatenates as codes.
     """
     ranges = morsel_ranges(length, pool.workers)
     if len(ranges) <= 1:
@@ -83,7 +100,7 @@ def parallel_evaluate(
         morsel = _slice_frame(frame, length, start, stop)
         return ExpressionEvaluator(morsel, stop - start).evaluate(expression)
 
-    return np.concatenate(pool.map(evaluate, ranges))
+    return concat_values(pool.map(evaluate, ranges))
 
 
 def parallel_apply_filter(
@@ -104,39 +121,36 @@ def parallel_apply_filter(
 
     pieces = pool.map(filter_morsel, ranges)
     filtered = {
-        key: np.concatenate([piece[0][position] for piece in pieces])
+        key: concat_values([piece[0][position] for piece in pieces])
         for position, key in enumerate(keys)
     }
     return filtered, int(sum(piece[1] for piece in pieces))
 
 
 def parallel_join_indices(
-    left_keys: np.ndarray, right_keys: np.ndarray, pool: WorkerPool
+    left_keys, right_keys, pool: WorkerPool
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Morsel-parallel probe of the sort-based equi-join (exact replica).
+    """Morsel-parallel probe of the code-based equi-join (exact replica).
 
-    The build side (sort of the right keys) stays serial — it is one stable
-    ``argsort`` — while the probe side is split into morsels: each morsel's
-    ``searchsorted`` bounds, match counts and within-row offsets are pure
-    per-row functions, so the concatenation equals the serial
-    :func:`~..executor.join_indices` output including tie order.
+    Both key columns are first translated into the shared exact ``int64``
+    code space (:func:`~..column.join_key_codes` — dictionary codes unioned
+    for text, the monotone bit transform for floats, NULLs flagged
+    invalid), exactly as the serial :func:`~..executor.join_indices` does.
+    The build side (sort of the right codes) stays serial — it is one
+    stable ``argsort`` — while the probe side is split into morsels: each
+    morsel's ``searchsorted`` bounds, match counts and within-row offsets
+    are pure per-row functions, so the concatenation equals the serial
+    output including tie order.
     """
-    left = np.asarray(left_keys)
-    right = np.asarray(right_keys)
-    if left.dtype == object or right.dtype == object:
-        return join_indices(left, right)  # dict-bucket path stays serial
+    left, right, left_valid, right_valid = join_key_codes(left_keys, right_keys)
 
     left_map = right_map = None
-    if left.dtype.kind == "f":
-        keep = ~np.isnan(left)
-        if not keep.all():
-            left_map = np.flatnonzero(keep)
-            left = left[left_map]
-    if right.dtype.kind == "f":
-        keep = ~np.isnan(right)
-        if not keep.all():
-            right_map = np.flatnonzero(keep)
-            right = right[right_map]
+    if not left_valid.all():
+        left_map = np.flatnonzero(left_valid)
+        left = left[left_map]
+    if not right_valid.all():
+        right_map = np.flatnonzero(right_valid)
+        right = right[right_map]
 
     order = np.argsort(right, kind="stable")
     sorted_right = right[order]
@@ -172,13 +186,19 @@ def parallel_join_indices(
     return left_idx, right_idx
 
 
-def parallel_gather(values: np.ndarray, indices: np.ndarray, pool: WorkerPool) -> np.ndarray:
-    """``values[indices]`` with the gather split into morsels of ``indices``."""
+def parallel_gather(values, indices: np.ndarray, pool: WorkerPool):
+    """``values[indices]`` with the gather split into morsels of ``indices``.
+
+    Dictionary-encoded columns gather their codes (no decode); the morsel
+    pieces share the source dictionary, so the concatenation stays encoded.
+    """
     ranges = morsel_ranges(int(indices.size), pool.workers)
     if len(ranges) <= 1:
-        return values[indices]
-    pieces = pool.map(lambda bounds: np.take(values, indices[bounds[0]:bounds[1]]), ranges)
-    return np.concatenate(pieces)
+        return gather_values(values, indices)
+    pieces = pool.map(
+        lambda bounds: gather_values(values, indices[bounds[0]:bounds[1]]), ranges
+    )
+    return concat_values(pieces)
 
 
 def parallel_hash_join_frames(
@@ -214,74 +234,88 @@ def parallel_hash_join_frames(
 # ---------------------------------------------------------------------------
 
 
-def _partition_ids(keys: np.ndarray, partitions: int) -> np.ndarray | None:
-    """Partition id per row (same key value -> same partition), or None.
+def _partition_ids(code_columns: Sequence[np.ndarray], partitions: int) -> np.ndarray:
+    """Partition id per row (equal key rows -> equal partition).
 
-    Float keys are normalized with ``+ 0.0`` so ``-0.0`` and ``0.0`` — equal
-    as group keys — share a bit pattern before hashing.  NaN keys return
-    ``None``: partitioning them correctly would have to reproduce
-    ``np.unique``'s NaN collapsing, so those (rare, NULL-keyed) groupings
-    stay serial.
+    Keys arrive as exact ``int64`` codes, so a deterministic integer mix
+    over the code columns partitions every key shape exactly — floats,
+    NULLs, text and multi-key tuples included.  Collisions only cost
+    balance, never correctness: a partition owning two key values still
+    factorizes them into separate groups.
     """
-    if keys.dtype.kind in "iub":
-        return keys.astype(np.int64) % partitions
-    if keys.dtype.kind == "f":
-        if np.isnan(keys).any():
-            return None
-        bits = (keys.astype(np.float64) + 0.0).view(np.int64)
-        return bits % partitions
-    return None
+    mixed = code_columns[0].astype(np.int64, copy=True)
+    for column in code_columns[1:]:
+        # FNV-style odd multiplier; int64 wraparound is deterministic.
+        mixed *= np.int64(0x100000001B3)
+        mixed += column
+    return mixed % partitions
 
 
 class _PartitionedGroups:
     """Group structure from a key-hash partitioning, merged in key order.
 
-    Exposes exactly what the serial aggregates consume — globally sorted
-    unique keys, first-occurrence indices, the per-row inverse — plus
+    Exposes exactly what the serial aggregates consume — first-occurrence
+    indices in global key-sorted order, the per-row inverse — plus
     per-partition machinery so each aggregate accumulates a group's rows in
-    input order (the serial ``bincount`` order).
+    input order (the serial ``bincount`` order).  Accepts one or more
+    ``int64`` code columns; multiple columns reproduce the serial
+    ``np.unique(..., axis=0)`` multi-key grouping (lexicographic order,
+    first key most significant).
     """
 
-    __slots__ = ("unique_values", "first_indices", "inverse", "num_groups", "_parts")
+    __slots__ = ("first_indices", "inverse", "num_groups", "_parts")
 
-    def __init__(self, keys: np.ndarray, pool: WorkerPool) -> None:
+    def __init__(self, code_columns: Sequence[np.ndarray], pool: WorkerPool) -> None:
+        length = len(code_columns[0])
         partitions = max(2, pool.workers)
-        part_ids = _partition_ids(keys, partitions)
-        if part_ids is None:
-            raise ValueError("keys cannot be partitioned exactly")
+        part_ids = _partition_ids(code_columns, partitions)
         buckets = [np.flatnonzero(part_ids == p) for p in range(partitions)]
         buckets = [rows for rows in buckets if len(rows)]
+        multi = len(code_columns) > 1
 
         def factorize(rows: np.ndarray):
-            sub = keys[rows]
-            unique, first, inverse = np.unique(sub, return_index=True, return_inverse=True)
+            if multi:
+                sub = np.stack([column[rows] for column in code_columns], axis=1)
+                unique, first, inverse = np.unique(
+                    sub, axis=0, return_index=True, return_inverse=True
+                )
+            else:
+                unique, first, inverse = np.unique(
+                    code_columns[0][rows], return_index=True, return_inverse=True
+                )
             return rows, unique, rows[first], inverse.ravel()
 
         parts = pool.map(factorize, buckets)
 
-        all_unique = (
-            np.concatenate([part[1] for part in parts]) if parts else keys[:0]
-        )
-        order = np.argsort(all_unique, kind="stable")
-        self.unique_values = all_unique[order]
+        if parts:
+            all_unique = np.concatenate([part[1] for part in parts], axis=0)
+            all_first = np.concatenate([part[2] for part in parts])
+        else:
+            shape = (0, len(code_columns)) if multi else 0
+            all_unique = np.empty(shape, dtype=np.int64)
+            all_first = np.empty(0, dtype=np.int64)
+        if multi:
+            # np.unique(axis=0) sorts rows lexicographically with the first
+            # column most significant; np.lexsort's *last* key is primary.
+            order = np.lexsort(
+                tuple(all_unique[:, i] for i in reversed(range(all_unique.shape[1])))
+            )
+        else:
+            order = np.argsort(all_unique, kind="stable")
         self.num_groups = int(len(order))
-        all_first = (
-            np.concatenate([part[2] for part in parts])
-            if parts
-            else np.empty(0, dtype=np.int64)
-        )
         self.first_indices = all_first[order]
         # Local group slot -> global (key-sorted) group id.
         global_of = np.empty(self.num_groups, dtype=np.int64)
         global_of[order] = np.arange(self.num_groups, dtype=np.int64)
-        self.inverse = np.empty(len(keys), dtype=np.int64)
+        self.inverse = np.empty(length, dtype=np.int64)
         self._parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         base = 0
         for rows, unique, _first, inverse in parts:
-            ids = global_of[base : base + len(unique)]
+            count = len(unique)
+            ids = global_of[base : base + count]
             self.inverse[rows] = ids[inverse]
             self._parts.append((rows, inverse, ids))
-            base += len(unique)
+            base += count
 
     # ------------------------------------------------------------- aggregates
 
@@ -292,48 +326,83 @@ class _PartitionedGroups:
             result[ids] = np.bincount(inverse, minlength=len(ids))
         return result
 
-    def sums(self, weights: np.ndarray, pool: WorkerPool) -> np.ndarray:
+    def masked_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Counts of mask-selected rows — ``COUNT(col)``'s NULL skipping."""
+        result = np.zeros(self.num_groups, dtype=np.int64)
+        for rows, inverse, ids in self._parts:
+            result[ids] = np.bincount(inverse[mask[rows]], minlength=len(ids))
+        return result
+
+    def sums(
+        self, weights: np.ndarray, pool: WorkerPool, mask: np.ndarray | None = None
+    ) -> np.ndarray:
         """Per-group float sums, each group accumulated in input order.
 
         A group's rows all live in one partition with ascending row indices,
         and ``np.bincount`` adds them sequentially — the same float-addition
         order as the serial single-pass ``bincount``, hence identical bits.
+        ``mask`` drops NULL rows first, exactly like the serial aggregate.
         """
         result = np.zeros(self.num_groups, dtype=np.float64)
 
         def partial(part: tuple[np.ndarray, np.ndarray, np.ndarray]):
             rows, inverse, ids = part
-            return ids, np.bincount(inverse, weights=weights[rows], minlength=len(ids))
+            if mask is None:
+                return ids, np.bincount(inverse, weights=weights[rows], minlength=len(ids))
+            keep = mask[rows]
+            return ids, np.bincount(
+                inverse[keep], weights=weights[rows][keep], minlength=len(ids)
+            )
 
         for ids, sums in pool.map(partial, self._parts):
             result[ids] = sums
         return result
 
-    def reduce_minmax(self, values: np.ndarray, minimum: bool, pool: WorkerPool) -> np.ndarray:
-        """Per-group MIN/MAX via the serial ``reduceat`` discipline per partition."""
-        result = np.full(self.num_groups, np.nan)
+    def reduce_minmax(
+        self,
+        values: np.ndarray,
+        minimum: bool,
+        pool: WorkerPool,
+        mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-group MIN/MAX via the serial ``reduceat`` discipline.
+
+        Returns ``(group ids, reduced values)`` covering only groups with at
+        least one mask-selected row; the caller scatters into its NULL-filled
+        result, mirroring the serial all-NULL-group handling.
+        """
         reducer = np.minimum if minimum else np.maximum
 
         def partial(part: tuple[np.ndarray, np.ndarray, np.ndarray]):
             rows, inverse, ids = part
-            sub = values[rows]
-            order = np.argsort(inverse, kind="stable")
-            sorted_inverse = inverse[order]
-            sorted_values = sub[order]
+            sub_values = values[rows]
+            sub_inverse = inverse
+            if mask is not None:
+                keep = mask[rows]
+                sub_values = sub_values[keep]
+                sub_inverse = inverse[keep]
+            if not len(sub_values):
+                return ids[:0], sub_values
+            order = np.argsort(sub_inverse, kind="stable")
+            sorted_inverse = sub_inverse[order]
+            sorted_values = sub_values[order]
             boundaries = np.concatenate(([0], np.flatnonzero(np.diff(sorted_inverse)) + 1))
             return ids[sorted_inverse[boundaries]], reducer.reduceat(sorted_values, boundaries)
 
-        for ids, reduced in pool.map(partial, [p for p in self._parts if len(p[0])]):
-            result[ids] = reduced
-        return result
+        pieces = [piece for piece in pool.map(partial, self._parts) if len(piece[0])]
+        if not pieces:
+            return np.empty(0, dtype=np.int64), values[:0]
+        return (
+            np.concatenate([piece[0] for piece in pieces]),
+            np.concatenate([piece[1] for piece in pieces]),
+        )
 
 
-def partitioned_groups(keys: np.ndarray, pool: WorkerPool) -> _PartitionedGroups | None:
-    """Build the partitioned group structure, or ``None`` when not exact."""
-    try:
-        return _PartitionedGroups(keys, pool)
-    except ValueError:
-        return None
+def partitioned_groups(
+    code_columns: Sequence[np.ndarray], pool: WorkerPool
+) -> _PartitionedGroups:
+    """Build the partitioned group structure over exact int64 code columns."""
+    return _PartitionedGroups(code_columns, pool)
 
 
 # ---------------------------------------------------------------------------
@@ -362,13 +431,15 @@ def parallel_grouped_projection(
 ) -> tuple[list[str], dict[str, np.ndarray]] | None:
     """Partitioned replica of :func:`~..executor.grouped_projection`.
 
-    Covers the partitionable shape — exactly one GROUP BY key, no HAVING, no
-    DISTINCT aggregates, and top-level aggregate calls (or aggregate-free
-    expressions, which take each group's first row like the serial path).
-    Anything else returns ``None`` and runs serially.
+    Covers GROUP BY over any number of keys — partitioned on the exact
+    ``int64`` codes the serial path factorizes on — with top-level
+    COUNT/SUM/TOTAL/AVG/MIN/MAX aggregates, NULL skipping and text MIN/MAX
+    included.  HAVING, DISTINCT aggregates, nested aggregate expressions
+    and malformed ``SUM(*)``-style calls return ``None`` and run serially
+    (the last so the serial path raises its error).
     """
     if (
-        len(select.group_by) != 1
+        not select.group_by
         or select.having is not None
         or length == 0
         or any(isinstance(item.expression, Star) for item in select.items)
@@ -390,14 +461,16 @@ def parallel_grouped_projection(
             # SUM(*)/AVG(*)/... are errors; the serial path raises them.
             return None
 
-    # The serial path casts group keys to float64 before factorizing; the
-    # partitioning must hash the *cast* values to land in the same groups.
-    key_values = parallel_evaluate(frame, length, select.group_by[0], pool).astype(np.float64)
-    groups = partitioned_groups(key_values, pool)
-    if groups is None:
-        return None
+    # Factorize on the same exact int64 codes as the serial grouped path:
+    # equal keys share a code, all NULL keys share one code, and the global
+    # key-sorted merge order equals the serial np.unique order.
+    code_columns = [
+        encoded_codes(parallel_evaluate(frame, length, expression, pool))
+        for expression in select.group_by
+    ]
+    groups = partitioned_groups(code_columns, pool)
 
-    counts = groups.counts()
+    star_counts = groups.counts()
     names: list[str] = []
     columns: dict[str, np.ndarray] = {}
     for position, item in enumerate(select.items):
@@ -411,19 +484,43 @@ def parallel_grouped_projection(
         call = expression
         assert isinstance(call, FunctionCall)
         if call.is_star or not call.arguments:
-            columns[name] = counts.copy()
+            columns[name] = star_counts.copy()
             continue
-        values = parallel_evaluate(frame, length, call.arguments[0], pool).astype(np.float64)
+        raw = parallel_evaluate(frame, length, call.arguments[0], pool)
+        is_text = isinstance(raw, DictArray) or raw.dtype.kind in ("O", "U")
+        mask = ~null_mask(raw)
+        counts = groups.masked_counts(mask)
         if call.name == "count":
-            columns[name] = counts.copy()
-        elif call.name in ("sum", "total"):
-            sums = groups.sums(values, pool)
-            columns[name] = np.where(counts == 0, np.nan, sums) if call.name == "sum" else sums
-        elif call.name == "avg":
-            sums = groups.sums(values, pool)
-            columns[name] = np.where(counts == 0, np.nan, sums / np.maximum(counts, 1))
+            columns[name] = counts
+        elif is_text:
+            if call.name not in ("min", "max"):
+                return None  # serial path raises the text-aggregate error
+            all_codes, vocabulary = text_codes(raw)
+            ids, reduced = groups.reduce_minmax(
+                all_codes, minimum=call.name == "min", pool=pool, mask=mask
+            )
+            result = np.empty(groups.num_groups, dtype=object)
+            result[:] = None
+            if len(ids):
+                decoded = vocabulary[reduced]
+                for group, value in zip(ids.tolist(), decoded.tolist()):
+                    result[group] = value
+            columns[name] = result
         else:
-            columns[name] = groups.reduce_minmax(values, minimum=call.name == "min", pool=pool)
+            values = raw.astype(np.float64)
+            if call.name in ("sum", "total"):
+                sums = groups.sums(values, pool, mask=mask)
+                columns[name] = np.where(counts == 0, np.nan, sums) if call.name == "sum" else sums
+            elif call.name == "avg":
+                sums = groups.sums(values, pool, mask=mask)
+                columns[name] = np.where(counts == 0, np.nan, sums / np.maximum(counts, 1))
+            else:
+                result = np.full(groups.num_groups, np.nan)
+                ids, reduced = groups.reduce_minmax(
+                    values, minimum=call.name == "min", pool=pool, mask=mask
+                )
+                result[ids] = reduced
+                columns[name] = result
     return names, columns
 
 
@@ -437,15 +534,16 @@ def parallel_fused_aggregate(
     """Partitioned replica of the fused join-aggregate's grouping stage.
 
     ``outputs`` is the fused operator's (name, kind, argument) list.  The
-    group key keeps its native dtype here (the fused path never casts), so
-    integer state indices — the paper's hot key — partition exactly.
+    key is factorized on its exact int64 codes (the fused serial path uses
+    the same :func:`~..column.encoded_codes`), so integer state indices —
+    the paper's hot key — as well as float and dictionary-encoded keys
+    partition exactly; the key output gathers from the evaluated column so
+    its dtype (or dictionary encoding) survives.
     """
     if joined_length == 0:
         return None
     key_values = parallel_evaluate(joined, joined_length, key_expr, pool)
-    groups = partitioned_groups(key_values, pool)
-    if groups is None:
-        return None
+    groups = partitioned_groups([encoded_codes(key_values)], pool)
     names: list[str] = []
     columns: dict[str, np.ndarray] = {}
     for name, kind, argument in outputs:

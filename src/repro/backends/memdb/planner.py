@@ -36,6 +36,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ...errors import SQLExecutionError
+from .column import encoded_codes
 from .ast_nodes import (
     BinaryOp,
     CaseExpression,
@@ -278,7 +279,13 @@ class _FusedJoinAggregateOp:
 
         key_values = evaluator.evaluate(self.key_expr)
         if joined_length:
-            _unique, first_indices, inverse = np.unique(key_values, return_index=True, return_inverse=True)
+            # Factorize on exact int64 codes (shared with the generic
+            # grouped path): int64 keys pass through, floats/text become
+            # injective order-preserving codes, all NULL keys form one
+            # group sorted first.
+            _unique, first_indices, inverse = np.unique(
+                encoded_codes(key_values), return_index=True, return_inverse=True
+            )
             num_groups = len(first_indices)
         else:
             first_indices = np.empty(0, dtype=np.int64)

@@ -1,9 +1,15 @@
-"""Columnar table storage for the embedded engine.
+"""Columnar table storage for the embedded engine (v2: encoded columns).
 
-A :class:`Table` stores each column as a numpy array (int64 for integer
-types, float64 for reals, object for strings), which is what makes the
-engine "columnar and vectorized" in the DuckDB sense: every operator works
-on whole column vectors instead of Python rows.
+A :class:`Table` stores each column as an :class:`EncodedColumn` — int64 /
+float64 chunks for numerics, dictionary-encoded ``int32`` codes plus a
+sorted value dictionary for text (object chunks in the
+``REPRO_MEMDB_DICT=0`` ablation) — with a packed validity bitmap per
+chunk.  The compute layer sees a contiguous materialization per column:
+a plain numpy array for numerics, a
+:class:`~repro.backends.memdb.column.DictArray` for encoded text.  That is
+what makes the engine "columnar and vectorized" in the DuckDB sense: every
+operator works on whole column vectors (codes where possible) instead of
+Python rows.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ...errors import SQLExecutionError
+from .column import DictArray, EncodedColumn, dict_encoding_default
 
 #: SQL type names mapped to numpy dtypes.
 _TYPE_MAP = {
@@ -36,20 +43,43 @@ def dtype_for_sql_type(type_name: str) -> type:
 
 
 class Table:
-    """A named collection of equally-long numpy columns."""
+    """A named collection of equally-long encoded columns."""
 
-    __slots__ = ("name", "_columns", "_dtypes", "_schema_signature")
+    __slots__ = ("name", "_columns", "_dtypes", "_schema_signature", "_dict_encode")
 
-    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+    def __init__(
+        self,
+        name: str,
+        columns: dict[str, np.ndarray | DictArray],
+        dict_encode: bool | None = None,
+    ) -> None:
         self.name = name
         lengths = {len(values) for values in columns.values()}
         if len(lengths) > 1:
             raise SQLExecutionError(f"table {name!r}: column lengths differ ({lengths})")
-        self._columns = {column: np.asarray(values) for column, values in columns.items()}
-        self._dtypes = {column: values.dtype for column, values in self._columns.items()}
-        # Column set and dtypes are fixed for the table's lifetime
-        # (append_rows coerces to the declared dtypes), so the signature the
-        # plan cache checks on every hit is computed exactly once.
+        # dict_encode=None is *representation-preserving*: DictArray inputs
+        # stay encoded, object arrays stay object.  CTE materialization uses
+        # this so an ablated engine (enable_dict_encoding=False) can never
+        # re-introduce the encoded representation mid-query; the engine
+        # passes an explicit flag at CREATE TABLE / INSERT sites.
+        self._dict_encode = dict_encode
+        self._columns: dict[str, EncodedColumn] = {}
+        for column, values in columns.items():
+            if isinstance(values, EncodedColumn):
+                self._columns[column] = values
+            elif isinstance(values, DictArray):
+                self._columns[column] = EncodedColumn.from_array(values, dict_encode=dict_encode)
+            else:
+                array = np.asarray(values)
+                encode = dict_encode if array.dtype.kind in ("O", "U") else None
+                self._columns[column] = EncodedColumn.from_array(array, dict_encode=encode)
+        self._dtypes = {column: encoded.dtype for column, encoded in self._columns.items()}
+        # Column set and *logical* dtypes are fixed for the table's lifetime
+        # (append_rows coerces to the declared dtypes; dictionary growth
+        # never changes the logical type), so the signature the plan cache
+        # checks on every hit is computed exactly once.  Text columns sign
+        # as "object" regardless of encoding, keeping compiled plans
+        # representation-agnostic.
         self._schema_signature = tuple(
             (column, str(dtype)) for column, dtype in self._dtypes.items()
         )
@@ -57,13 +87,27 @@ class Table:
     # ------------------------------------------------------------- factories
 
     @classmethod
-    def empty(cls, name: str, column_types: Sequence[tuple[str, str]]) -> "Table":
+    def empty(
+        cls,
+        name: str,
+        column_types: Sequence[tuple[str, str]],
+        dict_encode: bool | None = None,
+    ) -> "Table":
         """An empty table with declared column types."""
         columns = {
             column: np.empty(0, dtype=dtype_for_sql_type(type_name))
             for column, type_name in column_types
         }
-        return cls(name, columns)
+        encode = dict_encoding_default() if dict_encode is None else bool(dict_encode)
+        table = cls(name, columns, dict_encode=encode)
+        # np.empty(0, object) materializes as an object column; re-seed text
+        # columns as empty dictionary columns when encoding is on so the
+        # first INSERT lands in the encoded representation.
+        if encode:
+            for column, type_name in column_types:
+                if dtype_for_sql_type(type_name) == object:
+                    table._columns[column] = EncodedColumn.empty(object, dict_encode=True)
+        return table
 
     # ------------------------------------------------------------ properties
 
@@ -78,15 +122,28 @@ class Table:
         if not self._columns:
             return 0
         first = next(iter(self._columns.values()))
-        return int(len(first))
+        return int(first.num_rows)
 
     @property
     def num_columns(self) -> int:
         """Number of columns."""
         return len(self._columns)
 
-    def column(self, name: str) -> np.ndarray:
-        """The numpy array backing one column."""
+    @property
+    def dict_encoded(self) -> bool:
+        """True when any text column uses dictionary encoding."""
+        if any(encoded.kind == "dict" for encoded in self._columns.values()):
+            return True
+        return bool(self._dict_encode)
+
+    def column(self, name: str) -> np.ndarray | DictArray:
+        """The contiguous vector backing one column (cached materialization)."""
+        if name not in self._columns:
+            raise SQLExecutionError(f"table {self.name!r} has no column {name!r}")
+        return self._columns[name].materialize()
+
+    def encoded_column(self, name: str) -> EncodedColumn:
+        """The storage-layer column (chunks, bitmaps, dictionary)."""
         if name not in self._columns:
             raise SQLExecutionError(f"table {self.name!r} has no column {name!r}")
         return self._columns[name]
@@ -96,15 +153,37 @@ class Table:
         return name in self._columns
 
     def estimated_bytes(self) -> int:
-        """Approximate in-memory size of the column data."""
-        return int(sum(values.nbytes for values in self._columns.values()))
+        """Approximate in-memory size of the encoded column data."""
+        return int(sum(encoded.nbytes() for encoded in self._columns.values()))
+
+    def column_width_weight(self, name: str) -> int:
+        """Relative cost-model weight of moving one value of this column."""
+        if name not in self._columns:
+            return 1
+        return self._columns[name].width_weight()
+
+    def width_weight(self) -> int:
+        """Summed column weights (cost model's representation-aware width)."""
+        if not self._columns:
+            return 1
+        return sum(encoded.width_weight() for encoded in self._columns.values())
+
+    def storage_stats(self) -> dict:
+        """Storage accounting per column plus table totals."""
+        columns = {name: encoded.storage_stats() for name, encoded in self._columns.items()}
+        return {
+            "rows": self.num_rows,
+            "dict_encoded": self.dict_encoded,
+            "total_bytes": self.estimated_bytes(),
+            "columns": columns,
+        }
 
     def schema_signature(self) -> tuple[tuple[str, str], ...]:
-        """Column names and dtypes in declaration order (fixed at construction).
+        """Column names and logical dtypes in declaration order.
 
         The plan cache fingerprints compiled scripts on this signature so a
         dropped-and-recreated table with a different shape can never re-bind
-        a stale plan.
+        a stale plan.  Dictionary growth does not change the signature.
         """
         return self._schema_signature
 
@@ -138,8 +217,7 @@ class Table:
             column: self._coerce_values(column, by_column[column]) for column in self.column_names
         }
         for column, new_values in converted.items():
-            existing = self._columns[column]
-            self._columns[column] = np.concatenate([existing, new_values]) if existing.size else new_values
+            self._columns[column].append(new_values)
         return len(rows)
 
     def _coerce_values(self, column: str, values: list[object]) -> np.ndarray:
@@ -152,6 +230,11 @@ class Table:
         dtype = self._dtypes[column]
         kind = np.dtype(dtype).kind if dtype != object else "O"
         if kind == "O":
+            for value in values:
+                if value is not None and not isinstance(value, str):
+                    raise SQLExecutionError(
+                        f"cannot insert {value!r} into text column {column!r} of table {self.name!r}"
+                    )
             chunk = np.empty(len(values), dtype=object)
             chunk[:] = values
             return chunk
@@ -182,11 +265,12 @@ class Table:
                 raise SQLExecutionError(
                     f"integer out of 64-bit range for column {column!r} of table {self.name!r}"
                 ) from None
-        # Float column: numbers and numeric strings; NULL becomes NaN.
+        # Float column: numbers only; NULL becomes NaN.  Strings — numeric
+        # or not — are rejected: '1.5' silently coercing into a DOUBLE
+        # column violated declared-dtype strictness (integer columns keep
+        # their string affinity because that path is lossless).
         coerced: list[float] = []
         for value in values:
-            if isinstance(value, str):
-                value = self._parse_numeric_string(value, column, "real")
             if value is None:
                 coerced.append(float("nan"))
             elif isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool):
@@ -213,28 +297,41 @@ class Table:
         keep = ~mask
         deleted = int(mask.sum())
         for column in self.column_names:
-            self._columns[column] = self._columns[column][keep]
+            self._columns[column].delete_where(keep)
         return deleted
 
     # ----------------------------------------------------------------- views
 
-    def frame(self, binding: str | None = None) -> dict[str, np.ndarray]:
+    def frame(self, binding: str | None = None) -> dict[str, np.ndarray | DictArray]:
         """Column dictionary keyed by both qualified and bare names."""
         binding = binding or self.name
-        frame: dict[str, np.ndarray] = {}
-        for column, values in self._columns.items():
+        frame: dict[str, np.ndarray | DictArray] = {}
+        for column in self._columns:
+            values = self._columns[column].materialize()
             frame[f"{binding}.{column}"] = values
             frame.setdefault(column, values)
         return frame
 
     def rows(self) -> list[tuple]:
         """Materialize all rows as Python tuples (column order preserved)."""
-        columns = [self._columns[name] for name in self.column_names]
-        return [tuple(column[index].item() if hasattr(column[index], "item") else column[index] for column in columns) for index in range(self.num_rows)]
+        columns = [self.column(name) for name in self.column_names]
+        return [
+            tuple(
+                column[index].item() if hasattr(column[index], "item") else column[index]
+                for column in columns
+            )
+            for index in range(self.num_rows)
+        ]
 
     def copy(self, name: str | None = None) -> "Table":
         """A deep copy (used when a CTE result must not alias a stored table)."""
-        return Table(name or self.name, {column: values.copy() for column, values in self._columns.items()})
+        clone = Table.__new__(Table)
+        clone.name = name or self.name
+        clone._dict_encode = self._dict_encode
+        clone._columns = {column: encoded.copy() for column, encoded in self._columns.items()}
+        clone._dtypes = dict(self._dtypes)
+        clone._schema_signature = self._schema_signature
+        return clone
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, columns={self.column_names}, rows={self.num_rows})"

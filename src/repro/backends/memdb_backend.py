@@ -50,6 +50,12 @@ class MemDBBackend(RelationalBackend):
         an optional break-even override in estimated rows), and results
         stay byte-identical to serial execution.  ``enable_parallel=None``
         follows the ``REPRO_MEMDB_PARALLEL`` environment variable.
+    enable_dict_encoding:
+        Dictionary-encode TEXT columns (int32 codes + sorted value
+        dictionary) in the embedded engine's columnar storage; results are
+        byte-identical either way (benchmark ablation).
+        ``enable_dict_encoding=None`` follows the ``REPRO_MEMDB_DICT``
+        environment variable (default on).
     """
 
     name = "memdb"
@@ -71,6 +77,7 @@ class MemDBBackend(RelationalBackend):
         enable_parallel: bool | None = None,
         parallel_workers: int | None = None,
         parallel_threshold_rows: int | None = None,
+        enable_dict_encoding: bool | None = None,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -88,6 +95,7 @@ class MemDBBackend(RelationalBackend):
         self._enable_parallel = enable_parallel
         self._parallel_workers = parallel_workers
         self._parallel_threshold_rows = parallel_threshold_rows
+        self._enable_dict_encoding = enable_dict_encoding
         self._database: MemDatabase | None = None
         self._connected = False
 
@@ -103,6 +111,7 @@ class MemDBBackend(RelationalBackend):
                 enable_parallel=self._enable_parallel,
                 parallel_workers=self._parallel_workers,
                 parallel_threshold_rows=self._parallel_threshold_rows,
+                enable_dict_encoding=self._enable_dict_encoding,
             )
         else:
             self._database.clear()
@@ -204,12 +213,24 @@ class MemDBBackend(RelationalBackend):
             }
         return self._database.optimizer_stats()
 
+    def storage_stats(self) -> dict:
+        """Columnar storage accounting of the live tables (empty when idle).
+
+        Per table: rows, whether text columns are dictionary-encoded, and
+        per-column code/dictionary/validity-bitmap byte sizes (see
+        :meth:`~.memdb.engine.MemDatabase.storage_stats`).
+        """
+        if self._database is None:
+            return {"dict_encoding": self._enable_dict_encoding, "total_bytes": 0, "tables": {}}
+        return self._database.storage_stats()
+
     def engine_stats(self) -> dict:
-        """One dict bundling plan-cache, optimizer and parallel statistics."""
+        """One dict bundling plan-cache, optimizer, parallel and storage stats."""
         return {
             "plan_cache": self.plan_cache_stats(),
             "optimizer": self.optimizer_stats(),
             "parallel": self.parallel_stats(),
+            "storage": self.storage_stats(),
         }
 
     # --------------------------------------------------------------- explain

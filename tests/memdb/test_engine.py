@@ -216,9 +216,18 @@ class TestInsertTyping:
         rows = typed.execute("SELECT n FROM typed").rows
         assert rows == [(2,)]
 
-    def test_numeric_strings_coerce_like_sqlite_affinity(self, typed):
-        typed.execute("INSERT INTO typed (n, x, label) VALUES ('2', '0.5', 'a')")
+    def test_integer_strings_coerce_like_sqlite_affinity(self, typed):
+        # Integer strings store losslessly (SQLite INTEGER affinity)...
+        typed.execute("INSERT INTO typed (n, x, label) VALUES ('2', 0.5, 'a')")
         assert typed.execute("SELECT n, x FROM typed").rows == [(2, 0.5)]
+
+    def test_numeric_string_into_real_column_rejected(self, typed):
+        # ...but a numeric string into a DOUBLE column is a type error: the
+        # old silent '1.5' -> 1.5 coercion violated declared-dtype
+        # strictness (regression test for the float-column string leak).
+        with pytest.raises(SQLExecutionError, match="real column"):
+            typed.execute("INSERT INTO typed (n, x, label) VALUES (1, '1.5', 'a')")
+        assert typed.row_count("typed") == 0
 
     def test_non_numeric_string_into_integer_column_rejected(self, typed):
         with pytest.raises(SQLExecutionError, match="integer column"):

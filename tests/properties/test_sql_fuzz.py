@@ -8,11 +8,21 @@ engine returns exactly the rows SQLite returns, with the optimizer on and
 off, cold and plan-cache-warm, and across a mid-test data shift (which
 exercises statistics invalidation and the adaptive re-plan hook).
 
+Two table families drive the grammar: the original NOT NULL numeric
+tables, and a NULL-heavy family with nullable DOUBLE and TEXT columns
+(empty strings, unicode, and NULL literals in the INSERTed data) whose
+query shapes add ``IS [NOT] NULL`` predicates, text comparisons and IN
+lists, text equality joins (NULL keys never match), and grouped queries
+with NULL-skipping aggregates and text MIN/MAX — exercising the
+dictionary-encoded storage, validity bitmaps, and three-valued comparison
+kernels against SQLite's reference semantics.
+
 The generated subset deliberately stays inside the semantics both engines
 share (documented divergences are excluded by construction):
 
-* no NULLs in the data — memdb encodes NULL as NaN, which poisons SUM()
-  where SQLite skips NULLs;
+* no NOT in predicates — with negation excluded, collapsing NULL
+  comparisons to FALSE is equivalent to SQL's top-level three-valued
+  filter semantics, so the engines agree on every WHERE;
 * ``/`` may yield NULL (zero divisor) in *projections* only — inside WHERE,
   three-valued logic and numpy booleans disagree under NOT;
 * ``%`` only between integer operands (SQLite casts floats to INTEGER,
@@ -62,7 +72,11 @@ _DEEP = settings(
 # Schema / data generation
 # ---------------------------------------------------------------------------
 
-_INT, _FLOAT = "int", "float"
+_INT, _FLOAT, _TEXT = "int", "float", "text"
+
+#: Text literal pool: empty string, unicode beyond ASCII, a digit-string
+#: (must NOT coerce into numeric columns), near-collisions for collation.
+_TEXT_VALUES = ["", "a", "b", "ab", "ba", "zz", "é", "Ω", "näive", "0", " "]
 
 
 @st.composite
@@ -91,16 +105,25 @@ def _tables(draw, count: int = 1):
     return tables
 
 
+_SQL_TYPES = {_INT: "BIGINT", _FLOAT: "DOUBLE", _TEXT: "TEXT"}
+
+
+def _sql_literal(value) -> str:
+    return "NULL" if value is None else repr(value)
+
+
 def _ddl(table) -> list[str]:
+    nullable = table.get("nullable", set())
     decls = ", ".join(
-        f"{name} {'BIGINT' if kind == _INT else 'DOUBLE'} NOT NULL"
+        f"{name} {_SQL_TYPES[kind]}{'' if name in nullable else ' NOT NULL'}"
         for name, kind in table["columns"]
     )
     statements = [f"CREATE TABLE {table['name']} ({decls})"]
     if table["rows"]:
         names = ", ".join(name for name, _ in table["columns"])
         values = ", ".join(
-            "(" + ", ".join(repr(value) for value in row) + ")" for row in table["rows"]
+            "(" + ", ".join(_sql_literal(value) for value in row) + ")"
+            for row in table["rows"]
         )
         statements.append(f"INSERT INTO {table['name']} ({names}) VALUES {values}")
     return statements
@@ -112,6 +135,40 @@ def _columns_of(table, kind=None):
         for name, k in table["columns"]
         if kind is None or k == kind
     ]
+
+
+@st.composite
+def _null_tables(draw, count: int = 1):
+    """NULL-heavy tables: NOT NULL ``id`` plus nullable DOUBLE/TEXT columns."""
+    tables = []
+    for index in range(count):
+        name = f"t{index}"
+        columns = [("id", _INT)]
+        for c in range(draw(st.integers(min_value=0, max_value=2))):
+            columns.append((f"f{c}", _FLOAT))
+        for c in range(draw(st.integers(min_value=1, max_value=2))):
+            columns.append((f"s{c}", _TEXT))
+        rows = draw(st.integers(min_value=0, max_value=20))
+        data = []
+        for row_id in range(rows):
+            row = [row_id]
+            for _name, kind in columns[1:]:
+                if draw(st.integers(min_value=0, max_value=3)) == 0:
+                    row.append(None)
+                elif kind == _FLOAT:
+                    row.append(draw(st.integers(min_value=-24, max_value=24)) / 4.0)
+                else:
+                    row.append(draw(st.sampled_from(_TEXT_VALUES)))
+            data.append(row)
+        tables.append(
+            {
+                "name": name,
+                "columns": columns,
+                "rows": data,
+                "nullable": {column for column, _kind in columns[1:]},
+            }
+        )
+    return tables
 
 
 # ---------------------------------------------------------------------------
@@ -371,6 +428,161 @@ def _cte_query(draw, tables):
 
 
 # ---------------------------------------------------------------------------
+# NULL-heavy query shapes (nullable DOUBLE / TEXT tables)
+# ---------------------------------------------------------------------------
+
+
+def _split_null_columns(table):
+    """(numeric columns incl. id, text column names, nullable column names)."""
+    name = table["name"]
+    numeric = [(f"{name}.id", _INT)] + [
+        (f"{name}.{column}", kind)
+        for column, kind in table["columns"][1:]
+        if kind == _FLOAT
+    ]
+    texts = [f"{name}.{column}" for column, kind in table["columns"][1:] if kind == _TEXT]
+    nullable = [f"{name}.{column}" for column in sorted(table.get("nullable", ()))]
+    return numeric, texts, nullable
+
+
+@st.composite
+def _null_predicate(draw, numeric_columns, nullable_columns, text_columns, depth: int = 2):
+    """WHERE-safe predicate over NULL-able data: IS [NOT] NULL, text
+    comparisons / IN lists (no NULL elements), numeric comparisons.  NOT is
+    excluded, so NULL-collapses-to-FALSE matches SQL filter semantics."""
+    if depth <= 0 or draw(st.booleans()):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0 and nullable_columns:
+            column = draw(st.sampled_from(nullable_columns))
+            negated = "NOT " if draw(st.booleans()) else ""
+            return f"{column} IS {negated}NULL"
+        if kind == 1 and text_columns:
+            column = draw(st.sampled_from(text_columns))
+            if draw(st.booleans()):
+                operator = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+                return f"{column} {operator} {draw(st.sampled_from(_TEXT_VALUES))!r}"
+            values = draw(
+                st.lists(st.sampled_from(_TEXT_VALUES), min_size=1, max_size=3, unique=True)
+            )
+            rendered = ", ".join(repr(value) for value in values)
+            return f"{column} {'NOT IN' if draw(st.booleans()) else 'IN'} ({rendered})"
+        if kind == 2 and len(text_columns) >= 2:
+            left, right = draw(st.permutations(text_columns))[:2]
+            return f"{left} {draw(st.sampled_from(['=', '!=', '<', '>']))} {right}"
+        left, _ = draw(_expr(numeric_columns, depth=1))
+        right, _ = draw(_expr(numeric_columns, depth=1))
+        operator = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        return f"{left} {operator} {right}"
+    connective = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(_null_predicate(numeric_columns, nullable_columns, text_columns, depth - 1))
+    right = draw(_null_predicate(numeric_columns, nullable_columns, text_columns, depth - 1))
+    return f"({left} {connective} {right})"
+
+
+@st.composite
+def _null_simple_query(draw, tables):
+    """Projections / filters / order-limit tails over one NULL-heavy table."""
+    table = tables[0]
+    numeric, texts, nullable = _split_null_columns(table)
+    items = [f"{table['name']}.id AS id0"]
+    for position in range(draw(st.integers(min_value=1, max_value=3))):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 0 and texts:
+            items.append(f"{draw(st.sampled_from(texts))} AS e{position}")
+        elif choice == 1 and texts:
+            # || propagates NULL in both engines.
+            suffix = draw(st.sampled_from(["!", "x", ""]))
+            items.append(f"({draw(st.sampled_from(texts))} || {suffix!r}) AS e{position}")
+        else:
+            expression, _ = draw(_projection_expr(numeric))
+            items.append(f"{expression} AS e{position}")
+    sql = f"SELECT {', '.join(items)} FROM {table['name']}"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_null_predicate(numeric, nullable, texts))}"
+    tail, _limited = draw(_limit_tail(["id0"], [(column, _TEXT) for column in texts]))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+@st.composite
+def _null_text_join_query(draw, tables):
+    """Equality join on nullable TEXT keys (NULL keys never match)."""
+    left, right = tables[0], tables[1]
+    left_numeric, left_texts, left_nullable = _split_null_columns(left)
+    right_numeric, right_texts, right_nullable = _split_null_columns(right)
+    left_key = draw(st.sampled_from(left_texts))
+    right_key = draw(st.sampled_from(right_texts))
+    numeric = left_numeric + right_numeric
+    texts = left_texts + right_texts
+    nullable = left_nullable + right_nullable
+    items = [f"{left['name']}.id AS id0", f"{right['name']}.id AS id1"]
+    for position in range(draw(st.integers(min_value=1, max_value=2))):
+        if texts and draw(st.booleans()):
+            items.append(f"{draw(st.sampled_from(texts))} AS e{position}")
+        else:
+            expression, _ = draw(_projection_expr(numeric))
+            items.append(f"{expression} AS e{position}")
+    sql = (
+        f"SELECT {', '.join(items)} FROM {left['name']} "
+        f"JOIN {right['name']} ON {left_key} = {right_key}"
+    )
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_null_predicate(numeric, nullable, texts))}"
+    tail, _limited = draw(_limit_tail(["id0", "id1"], [(column, _TEXT) for column in texts]))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+@st.composite
+def _null_grouped_query(draw, tables):
+    """GROUP BY over nullable text/float keys (multi-key included) with
+    NULL-skipping aggregates and text MIN/MAX."""
+    table = tables[0]
+    numeric, texts, nullable = _split_null_columns(table)
+    value_columns = [
+        (f"{table['name']}.{column}", kind) for column, kind in table["columns"][1:]
+    ]
+    keys = draw(
+        st.lists(
+            st.sampled_from(value_columns), min_size=1, max_size=2, unique_by=lambda c: c[0]
+        )
+    )
+    items = [f"{column} AS k{i}" for i, (column, _kind) in enumerate(keys)]
+    aggregates = ["COUNT(*) AS n"]
+    for position in range(draw(st.integers(min_value=1, max_value=2))):
+        target, target_kind = draw(st.sampled_from(value_columns))
+        if target_kind == _TEXT:
+            function = draw(st.sampled_from(["COUNT", "MIN", "MAX"]))
+        else:
+            function = draw(st.sampled_from(["COUNT", "SUM", "MIN", "MAX", "AVG"]))
+        aggregates.append(f"{function}({target}) AS a{position}")
+    sql = f"SELECT {', '.join(items + aggregates)} FROM {table['name']}"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(_null_predicate(numeric, nullable, texts))}"
+    sql += f" GROUP BY {', '.join(column for column, _kind in keys)}"
+    if draw(st.booleans()):
+        sql += f" HAVING COUNT(*) >= {draw(st.integers(min_value=1, max_value=3))}"
+    key_aliases = [f"k{i}" for i in range(len(keys))]
+    tail, _limited = draw(_limit_tail(key_aliases, []))
+    if draw(st.booleans()):
+        sql += tail
+        return sql, True
+    return sql, False
+
+
+#: NULL-heavy shapes: shape -> (table count, strategy).
+_NULL_SHAPES = {
+    "simple": (1, _null_simple_query),
+    "join": (2, _null_text_join_query),
+    "grouped": (1, _null_grouped_query),
+}
+
+
+# ---------------------------------------------------------------------------
 # Differential harness
 # ---------------------------------------------------------------------------
 
@@ -427,8 +639,17 @@ def _shift_statements(tables, draw_rows):
         for offset, extra in enumerate(draw_rows):
             row = [start + offset]
             for _name, kind in table["columns"][1:]:
-                row.append(int(extra) if kind == _INT else extra / 2.0)
-            values.append("(" + ", ".join(repr(v) for v in row) + ")")
+                if kind == _INT:
+                    row.append(int(extra))
+                elif kind == _FLOAT:
+                    row.append(extra / 2.0)
+                else:
+                    # Deterministic text/NULL from the drawn integer: grows
+                    # the dictionary (and the NULL population) mid-test.
+                    row.append(
+                        None if extra % 5 == 0 else _TEXT_VALUES[int(extra) % len(_TEXT_VALUES)]
+                    )
+            values.append("(" + ", ".join(_sql_literal(v) for v in row) + ")")
         if values:
             names = ", ".join(name for name, _ in table["columns"])
             statements.append(f"INSERT INTO {table['name']} ({names}) VALUES {', '.join(values)}")
@@ -592,6 +813,48 @@ def test_fuzz_parallel_execution_matches_serial(data):
     _parallel_check(tables, query)
 
 
+@given(data=st.data())
+@_FAST
+def test_fuzz_nulls_single_table_matches_sqlite(data):
+    """NULL-heavy projections/filters: IS [NOT] NULL, text compares, ||."""
+    tables = data.draw(_null_tables(count=1))
+    query = data.draw(_null_simple_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_null_text_joins_match_sqlite(data):
+    """Equality joins on nullable TEXT keys: NULL keys never match."""
+    tables = data.draw(_null_tables(count=2))
+    query = data.draw(_null_text_join_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_null_group_by_matches_sqlite(data):
+    """GROUP BY nullable text/float keys; NULL-skipping and text MIN/MAX."""
+    tables = data.draw(_null_tables(count=1))
+    query = data.draw(_null_grouped_query(tables))
+    _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
+
+
+@given(data=st.data())
+@_FAST
+def test_fuzz_parallel_null_and_text_matches_serial(data):
+    """NULL-heavy shapes under morsel-parallel execution: bit-identical.
+
+    Exercises the exact-code partitioned aggregation over NULL and text
+    keys (including multi-key GROUP BY) and the code-space parallel join.
+    """
+    shape = data.draw(st.sampled_from(sorted(_NULL_SHAPES)))
+    count, shape_strategy = _NULL_SHAPES[shape]
+    tables = data.draw(_null_tables(count=count))
+    query = data.draw(shape_strategy(tables))
+    _parallel_check(tables, query)
+
+
 # ---------------------------------------------------------------------------
 # Deep profile (-m slow)
 # ---------------------------------------------------------------------------
@@ -639,5 +902,20 @@ def test_fuzz_deep_parallel_profile(shape):
         tables = data.draw(_tables(count=count))
         query = data.draw(shape_strategy(tables))
         _parallel_check(tables, query)
+
+    run()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape", sorted(_NULL_SHAPES), ids=sorted(_NULL_SHAPES))
+def test_fuzz_deep_null_profile(shape):
+    count, shape_strategy = _NULL_SHAPES[shape]
+
+    @given(data=st.data())
+    @_DEEP
+    def run(data):
+        tables = data.draw(_null_tables(count=count))
+        query = data.draw(shape_strategy(tables))
+        _differential_check(tables, query, data.draw(st.booleans()), data.draw(_shift_strategy))
 
     run()
