@@ -26,6 +26,8 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ...errors import SQLExecutionError
+from ...obs.schema import unified_engine_stats
+from ...obs.tracing import Tracer, current_span, shared_tracer, tracing_env_enabled
 from .ast_nodes import (
     Analyze,
     CreateTable,
@@ -201,6 +203,21 @@ class PlanCache:
         engine's :meth:`MemDatabase.plan_flavor`; plain booleans are the
         optimizer-on/off flavors of non-parallel engines).
         """
+        return self.get_with_state(sql, catalog, flavor)[0]
+
+    def get_with_state(
+        self,
+        sql: str,
+        catalog: Mapping[str, Table] | None = None,
+        flavor: object = True,
+    ) -> "tuple[CachedScript | None, str]":
+        """Like :meth:`get`, also reporting the lookup's provenance.
+
+        The second element is ``hit`` / ``stale`` / ``replan`` / ``miss`` —
+        what :meth:`peek_state` would have said, but computed inside the one
+        real lookup so a traced execution does not pay the schema-fingerprint
+        validation twice.
+        """
         key = (flavor, sql)
         with self._lock:
             for store in (self._plans, self._parsed):
@@ -212,17 +229,17 @@ class PlanCache:
                         del store[key]
                         self.replans += 1
                         self.misses += 1
-                        return None
+                        return None, "replan"
                     if catalog is not None and not entry.is_valid(catalog):
                         del store[key]
                         self.invalidations += 1
                         self.misses += 1
-                        return None
+                        return None, "stale"
                     store.move_to_end(key)
                     self.hits += 1
-                    return entry
+                    return entry, "hit"
             self.misses += 1
-            return None
+            return None, "miss"
 
     def peek_state(
         self,
@@ -242,6 +259,28 @@ class PlanCache:
                         return "stale"
                     return "hit"
             return "miss"
+
+    def peek_entry(
+        self,
+        sql: str,
+        catalog: Mapping[str, Table] | None = None,
+        flavor: object = True,
+    ) -> "CachedScript | None":
+        """The cached entry without touching counters or LRU order.
+
+        The slow-query log's plan-snapshot provider uses this: rendering a
+        forensic EXPLAIN for an already-executed query must not inflate hit
+        statistics or keep the entry artificially warm.  Stale and
+        replan-flagged entries are still returned — the snapshot describes
+        the plan that actually ran.
+        """
+        key = (flavor, sql)
+        with self._lock:
+            for store in (self._plans, self._parsed):
+                entry = store.get(key)
+                if entry is not None:
+                    return entry
+            return None
 
     def mark_replan(self, sql: str, flavor: object = True) -> bool:
         """Flag a cached script for re-planning on its next lookup.
@@ -395,6 +434,17 @@ class MemDatabase:
         representation).  Results are byte-identical either way — compiled
         plans are representation-agnostic, so this flag deliberately does
         **not** participate in the plan-cache flavor.
+    enable_tracing / tracer:
+        Span-based query tracing (see :mod:`repro.obs`).  An explicit
+        ``tracer`` wins; otherwise ``enable_tracing=True`` attaches the
+        process-shared tracer, ``False`` disables tracing, and ``None``
+        (the default) follows ``REPRO_TRACE`` (off when unset).  Every
+        traced execution produces a span tree — cache provenance, parse /
+        optimize / plan stages on cold compilations, per-block and
+        per-operator execute spans whose row counts match EXPLAIN ANALYZE
+        actuals exactly — dispatched to the tracer's ring buffer, slow-query
+        log and export sinks.  Disabled tracing costs one branch per
+        ``execute``.
     """
 
     #: Actual/estimated ratio above which a block triggers re-planning.
@@ -417,6 +467,8 @@ class MemDatabase:
         parallel_threshold_rows: int | None = None,
         worker_pool: WorkerPool | None = None,
         enable_dict_encoding: bool | None = None,
+        enable_tracing: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
         self.enable_dict_encoding = (
@@ -464,6 +516,12 @@ class MemDatabase:
         #: Scripts whose first (cold) execution already requested a re-plan,
         #: observed before the compiled entry reached the cache.
         self._pending_replans: set[str] = set()
+        if tracer is not None:
+            self._tracer: Tracer | None = tracer
+        else:
+            if enable_tracing is None:
+                enable_tracing = bool(tracing_env_enabled())
+            self._tracer = shared_tracer() if enable_tracing else None
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -478,6 +536,31 @@ class MemDatabase:
     def plan_cache_stats(self) -> dict:
         """Hit/miss/eviction statistics of the plan cache."""
         return self._plan_cache.stats()
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The tracer executions record spans into (None = tracing disabled)."""
+        return self._tracer
+
+    def tracing_stats(self) -> dict:
+        """Tracer activity counters and sink state (``{"enabled": False}`` off)."""
+        return self._tracer.stats() if self._tracer is not None else {"enabled": False}
+
+    def engine_stats(self) -> dict:
+        """Every subsystem's statistics in the unified versioned schema.
+
+        See :func:`repro.obs.schema.unified_engine_stats`: canonical
+        ``plan_cache`` / ``optimizer`` / ``adaptive`` / ``parallel`` /
+        ``storage`` / ``tracing`` sections with roll-up aggregates;
+        ``optimizer["adaptive"]`` stays aliased for pre-schema readers.
+        """
+        return unified_engine_stats(
+            self.plan_cache_stats(),
+            self.optimizer_stats(),
+            self.parallel_stats(),
+            self.storage_stats(),
+            self.tracing_stats(),
+        )
 
     @property
     def statistics(self) -> StatisticsCatalog:
@@ -645,18 +728,64 @@ class MemDatabase:
         cached plans against the current catalog after the schema
         fingerprint of every referenced table revalidates.
         """
-        cached = self._plan_cache.get(sql, self._tables, self.plan_flavor)
+        if self._tracer is None:
+            return self._execute_script(sql)
+        return self._execute_traced(sql)
+
+    def _execute_traced(self, sql: str) -> QueryResult:
+        """The :meth:`execute` body under a root ``query`` span.
+
+        The root records cache provenance (reported by the one real lookup
+        inside :meth:`_execute_script`), the result row count, and a lazy
+        plan-snapshot provider the slow-query log renders only when its
+        threshold trips.
+        """
+        tracer = self._tracer
+        with tracer.query(sql) as root:
+            result = self._execute_script(sql, tracer=tracer)
+            root.set(rows=len(result.rows), rowcount=result.rowcount)
+            root.plan_provider = lambda: self._render_plan_snapshot(sql)
+        return result
+
+    def _render_plan_snapshot(self, sql: str) -> list[str]:
+        """EXPLAIN-style lines for a script's cached plans (slow-log forensics)."""
+        entry = self._plan_cache.peek_entry(sql, self._tables, self.plan_flavor)
+        if entry is None:
+            return ["<plan not cached>"]
+        state = self._plan_cache.peek_state(sql, self._tables, self.plan_flavor)
+        lines: list[str] = []
+        for item in entry.items:
+            lines.extend(render_explain(sql, item.report, item.plan, state, None))
+        return lines
+
+    def _execute_script(self, sql: str, tracer: Tracer | None = None) -> QueryResult:
+        if tracer is not None:
+            cached, cache_state = self._plan_cache.get_with_state(
+                sql, self._tables, self.plan_flavor
+            )
+            root = current_span()
+            if root is not None:
+                root.set(cache=cache_state)
+        else:
+            cached = self._plan_cache.get(sql, self._tables, self.plan_flavor)
         result = QueryResult([], [])
         if cached is not None:
             for item in cached.items:
-                result = self._execute_compiled(item.statement, item.plan, item=item, sql=sql)
+                result = self._execute_compiled(
+                    item.statement, item.plan, item=item, sql=sql, tracer=tracer
+                )
             return result
         # Cold path: optimize + compile each statement just before executing
         # it, so a compile-time error in statement k still leaves the effects
         # of statements 1..k-1 (matching the old parse-then-interpret order).
         # Only fully successful scripts enter the cache; EXPLAIN / ANALYZE
         # statements are never cached (their output depends on live state).
-        statements = parse_sql(sql)
+        if tracer is not None:
+            with tracer.span("parse") as span:
+                statements = parse_sql(sql)
+                span.set(statements=len(statements))
+        else:
+            statements = parse_sql(sql)
         cacheable = not any(isinstance(s, (Explain, Analyze)) for s in statements)
         optimizer = self._optimizer()
         items: list[CompiledStatement] = []
@@ -670,10 +799,16 @@ class MemDatabase:
             if isinstance(statement, (Explain, Analyze)):
                 result = self._execute_statement(statement)
                 continue
-            compiled = self._compile_one(optimizer, statement, schemas, touched_by_ddl)
+            compiled = self._compile_one(
+                optimizer, statement, schemas, touched_by_ddl, tracer=tracer
+            )
             items.append(compiled)
             result = self._execute_compiled(
-                compiled.statement, compiled.plan, item=compiled, sql=sql if cacheable else None
+                compiled.statement,
+                compiled.plan,
+                item=compiled,
+                sql=sql if cacheable else None,
+                tracer=tracer,
             )
             if isinstance(statement, (CreateTable, CreateTableAs, DropTable)):
                 touched_by_ddl.add(statement.name)
@@ -694,6 +829,7 @@ class MemDatabase:
         statement: Statement,
         schemas: dict[str, tuple],
         touched_by_ddl: set[str],
+        tracer: Tracer | None = None,
     ) -> CompiledStatement:
         """Optimize + plan one statement, accumulating its schema fingerprint.
 
@@ -701,8 +837,18 @@ class MemDatabase:
         cache-entry construction (plans, report recording, fingerprinting)
         can never diverge between the two.
         """
-        optimized, report, cost = optimizer.optimize(statement)
-        plan = compile_statement(optimized, cost)
+        if tracer is not None:
+            with tracer.span("optimize", statement=type(statement).__name__) as span:
+                optimized, report, cost = optimizer.optimize(statement)
+                if report is not None:
+                    span.set(**{k: v for k, v in report.counters().items() if v})
+            with tracer.span("plan") as span:
+                plan = compile_statement(optimized, cost)
+                if plan is not None:
+                    span.set(kind=type(plan).__name__)
+        else:
+            optimized, report, cost = optimizer.optimize(statement)
+            plan = compile_statement(optimized, cost)
         self._record_report(report)
         if plan is not None:
             for name in _referenced_tables(optimized) - touched_by_ddl:
@@ -748,8 +894,14 @@ class MemDatabase:
         plan: "CompiledScript | CompiledCreateTableAs | None",
         item: CompiledStatement | None = None,
         sql: str | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         if plan is None:
+            if tracer is not None:
+                with tracer.span("execute", statement=type(statement).__name__) as span:
+                    result = self._execute_statement(statement)
+                    span.set(rowcount=result.rowcount)
+                return result
             return self._execute_statement(statement)
         collect = (
             self.enable_adaptive
@@ -762,15 +914,33 @@ class MemDatabase:
         trace = actuals.__setitem__ if collect else None
         pool = self.worker_pool()
         script = plan.script if isinstance(plan, CompiledCreateTableAs) else plan
-        if pool is not None and script.uses_parallel():
+        parallel = pool is not None and script.uses_parallel()
+        if parallel:
             self._parallel_executions += 1
-        if isinstance(plan, CompiledCreateTableAs):
-            result = self._run_compiled_create(plan, trace=trace, pool=pool)
+        if tracer is not None:
+            with tracer.span(
+                "execute", statement=type(statement).__name__, parallel=parallel
+            ) as span:
+                result = self._run_compiled(plan, trace, pool, tracer)
+                span.set(rows=len(result.rows), rowcount=result.rowcount)
         else:
-            result = self._materialize(*plan.execute(self._tables, trace=trace, pool=pool))
+            result = self._run_compiled(plan, trace, pool, None)
         if collect and actuals:
             self._adaptive_feedback(sql, item, actuals)
         return result
+
+    def _run_compiled(
+        self,
+        plan: "CompiledScript | CompiledCreateTableAs",
+        trace,
+        pool: WorkerPool | None,
+        tracer: Tracer | None,
+    ) -> QueryResult:
+        if isinstance(plan, CompiledCreateTableAs):
+            return self._run_compiled_create(plan, trace=trace, pool=pool, tracer=tracer)
+        return self._materialize(
+            *plan.execute(self._tables, trace=trace, pool=pool, tracer=tracer)
+        )
 
     # ------------------------------------------------- adaptive re-planning
 
@@ -931,11 +1101,15 @@ class MemDatabase:
         return QueryResult(list(names), rows)
 
     def _run_compiled_create(
-        self, plan: CompiledCreateTableAs, trace=None, pool: WorkerPool | None = None
+        self,
+        plan: CompiledCreateTableAs,
+        trace=None,
+        pool: WorkerPool | None = None,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         if plan.name in self._tables:
             raise SQLExecutionError(f"table {plan.name!r} already exists")
-        names, columns = plan.script.execute(self._tables, trace=trace, pool=pool)
+        names, columns = plan.script.execute(self._tables, trace=trace, pool=pool, tracer=tracer)
         self._tables[plan.name] = Table(
             plan.name,
             {name: columns[name] for name in names},

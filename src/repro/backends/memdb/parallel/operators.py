@@ -59,6 +59,7 @@ from ..executor import (
     item_output_name,
     plain_projection,
 )
+from ....obs.tracing import annotate_current
 from .morsel import morsel_ranges
 from .pool import WorkerPool
 
@@ -172,6 +173,7 @@ def parallel_join_indices(
     if len(ranges) <= 1:
         pieces = [probe(bounds) for bounds in ranges] if ranges else []
     else:
+        annotate_current("probe_morsels", len(ranges))
         pieces = pool.map(probe, ranges)
     if pieces:
         left_idx = np.concatenate([piece[0] for piece in pieces])
@@ -271,6 +273,7 @@ class _PartitionedGroups:
         part_ids = _partition_ids(code_columns, partitions)
         buckets = [np.flatnonzero(part_ids == p) for p in range(partitions)]
         buckets = [rows for rows in buckets if len(rows)]
+        annotate_current("group_partitions", len(buckets))
         multi = len(code_columns) > 1
 
         def factorize(rows: np.ndarray):

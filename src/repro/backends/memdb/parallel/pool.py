@@ -22,6 +22,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from ....obs.tracing import annotate_current
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
@@ -89,10 +91,16 @@ class WorkerPool:
             with self._lock:
                 self.inline_batches += 1
                 self.tasks += len(items)
+            # Tracing hook: a no-op thread-local peek unless a span is open
+            # on the calling thread (the operator span of a traced query).
+            annotate_current("morsel_inline_batches")
+            annotate_current("morsel_tasks", len(items))
             return [fn(item) for item in items]
         with self._lock:
             self.batches += 1
             self.tasks += len(items)
+        annotate_current("morsel_batches")
+        annotate_current("morsel_tasks", len(items))
         futures = [executor.submit(fn, item) for item in items]
         results: list[_R] = []
         error: BaseException | None = None

@@ -36,6 +36,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ...errors import SQLExecutionError
+from ...obs.tracing import current_span
 from .column import encoded_codes
 from .ast_nodes import (
     BinaryOp,
@@ -377,7 +378,7 @@ class CompiledQuery:
             bindings.append(join.source.binding)
 
     def execute(
-        self, resolve: Resolver, observe=None, pool: WorkerPool | None = None
+        self, resolve: Resolver, observe=None, pool: WorkerPool | None = None, tracer=None
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run the plan against the given name resolver; returns (names, columns).
 
@@ -386,12 +387,18 @@ class CompiledQuery:
         engine's morsel worker pool; it is only used when this block's
         costed :class:`ParallelDecision` chose parallel execution, so plans
         cached by one engine run correctly (serially) on engines without a
-        pool.
+        pool.  ``tracer`` (a :class:`repro.obs.Tracer`, or None) records a
+        per-operator span tree; the untraced path is byte-for-byte the
+        traced path minus the spans, so enabling tracing can never change a
+        result.
         """
         select = self.select
         use_topk = None if self.topk is None else self.topk.use_topk
         if pool is not None and not self.parallel.use_parallel:
             pool = None
+        if tracer is not None:
+            return self._execute_traced(resolve, observe, pool, use_topk, tracer)
+
         if self.fused is not None:
             names, columns = self.fused.run(resolve, pool)
             return postprocess_select(
@@ -432,6 +439,88 @@ class CompiledQuery:
             use_topk=use_topk, observe=observe,
         )
 
+    def _execute_traced(
+        self, resolve: Resolver, observe, pool: WorkerPool | None, use_topk, tracer
+    ) -> tuple[list[str], dict[str, np.ndarray]]:
+        """The :meth:`execute` pipeline with a span per physical operator.
+
+        Mirrors the untraced branch operator for operator (same kernels,
+        same parallel fallbacks); each span records output rows and — via
+        :func:`repro.obs.tracing.annotate_current` called from the worker
+        pool — the morsel batch/task counts the operator fanned out.
+
+        A fused block *is* a single physical operator, so it annotates the
+        enclosing ``block`` span (whose wall time already is the operator's)
+        instead of opening a child span: the paper's hot workload is a chain
+        of fused gate steps, and one span per step instead of two keeps the
+        enabled-mode overhead inside the benchmark gate.
+        """
+        select = self.select
+        parallel = pool is not None
+        if self.fused is not None:
+            span = current_span()
+            if span is not None:
+                # Direct attr stores: this runs once per gate step on the
+                # paper's hot workload, and the kwargs repack in set() is
+                # measurable there.
+                attrs = span.attrs
+                attrs["op"] = "fused-join-aggregate"
+                attrs["table"] = self.fused.left_scan.name
+                attrs["join_table"] = self.fused.right_scan.name
+            names, columns = self.fused.run(resolve, pool)
+            return postprocess_select(
+                select, names, columns, None, 0, self.has_aggregates,
+                use_topk=use_topk, observe=observe,
+            )
+
+        if self.source is None:
+            frame: Frame = {}
+            length = 1
+        else:
+            with tracer.span(
+                "operator", op="scan", table=self.source.name, parallel=parallel
+            ) as span:
+                frame, length = self.source.run(resolve, pool)
+                span.set(rows=length)
+        for join in self.joins:
+            with tracer.span(
+                "operator", op="hash-join", table=join.scan.name, parallel=parallel
+            ) as span:
+                frame, length = join.run(frame, length, resolve, pool)
+                span.set(rows=length)
+
+        if select.where is not None:
+            with tracer.span("operator", op="filter", parallel=parallel) as span:
+                if pool is not None:
+                    frame, length = parallel_apply_filter(frame, length, select.where, pool)
+                else:
+                    mask = ExpressionEvaluator(frame, length).evaluate(select.where).astype(bool)
+                    frame = {key: values[mask] for key, values in frame.items()}
+                    length = int(mask.sum())
+                span.set(rows=length)
+
+        if self.grouped:
+            with tracer.span("operator", op="aggregate", parallel=parallel) as span:
+                names = columns = None
+                if pool is not None:
+                    aggregated = parallel_grouped_projection(select, frame, length, pool)
+                    if aggregated is not None:
+                        names, columns = aggregated
+                if names is None:
+                    names, columns = grouped_projection(select, frame, length)
+                span.set(rows=len(columns[names[0]]) if names else 0)
+        else:
+            with tracer.span("operator", op="project", parallel=parallel) as span:
+                if pool is not None:
+                    names, columns = parallel_plain_projection(select.items, frame, length, pool)
+                else:
+                    names, columns = plain_projection(select.items, frame, length)
+                span.set(rows=length)
+        return postprocess_select(
+            select, names, columns, frame, length, self.has_aggregates,
+            use_topk=use_topk, observe=observe,
+        )
+
 
 class CompiledScript:
     """A compiled ``WithSelect``: CTE plans executed in order, then the query."""
@@ -453,6 +542,7 @@ class CompiledScript:
         catalog: Mapping[str, Table],
         trace: Callable[[str, int], None] | None = None,
         pool: WorkerPool | None = None,
+        tracer=None,
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run CTEs then the main query against a table catalog.
 
@@ -462,7 +552,10 @@ class CompiledScript:
         cardinality — for blocks without LIMIT that is simply the output
         size, and for limited blocks it is the number the optimizer's
         pre-limit estimate predicts (the output size would mask any
-        misestimate behind the cap).
+        misestimate behind the cap).  ``tracer`` adds a ``block`` span per
+        CTE/main carrying the *same* pre-limit count on its ``rows`` attr —
+        a traced span tree and an EXPLAIN ANALYZE of the same execution can
+        never disagree, because they read one observation.
         """
         ctes: dict[str, Table] = {}
 
@@ -474,14 +567,34 @@ class CompiledScript:
             raise SQLExecutionError(f"no such table: {name}")
 
         observed: list[int] = []
-        observe = observed.append if trace is not None else None
+        observe = observed.append if (trace is not None or tracer is not None) else None
         for name, plan in self.ctes:
-            names, columns = plan.execute(resolve, observe=observe, pool=pool)
-            ctes[name] = Table(name, {column: columns[column] for column in names})
+            if tracer is not None:
+                with tracer.span(
+                    "block", block=name, parallel=plan.parallel.use_parallel
+                ) as span:
+                    names, columns = plan.execute(
+                        resolve, observe=observe, pool=pool, tracer=tracer
+                    )
+                    ctes[name] = Table(name, {column: columns[column] for column in names})
+                    span.attrs["rows"] = observed[-1] if observed else ctes[name].num_rows
+            else:
+                names, columns = plan.execute(resolve, observe=observe, pool=pool)
+                ctes[name] = Table(name, {column: columns[column] for column in names})
             if trace is not None:
                 trace(name, observed[-1] if observed else ctes[name].num_rows)
-                observed.clear()
-        names, columns = self.query.execute(resolve, observe=observe, pool=pool)
+            observed.clear()
+        if tracer is not None:
+            with tracer.span(
+                "block", block="main", parallel=self.query.parallel.use_parallel
+            ) as span:
+                names, columns = self.query.execute(
+                    resolve, observe=observe, pool=pool, tracer=tracer
+                )
+                output_rows = len(next(iter(columns.values()))) if columns else 0
+                span.attrs["rows"] = observed[-1] if observed else output_rows
+        else:
+            names, columns = self.query.execute(resolve, observe=observe, pool=pool)
         if trace is not None:
             output_rows = len(next(iter(columns.values()))) if columns else 0
             trace("main", observed[-1] if observed else output_rows)

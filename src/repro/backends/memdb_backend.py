@@ -11,6 +11,8 @@ identical SQL unchanged.
 from __future__ import annotations
 
 from ..errors import BackendError
+from ..obs.schema import unified_engine_stats
+from ..obs.tracing import Tracer, tracing_env_enabled
 from ..sql.dialect import MEMDB
 from ..sql.translator import SQLTranslation
 from .base import MODE_CTE, RelationalBackend
@@ -56,6 +58,12 @@ class MemDBBackend(RelationalBackend):
         byte-identical either way (benchmark ablation).
         ``enable_dict_encoding=None`` follows the ``REPRO_MEMDB_DICT``
         environment variable (default on).
+    enable_tracing / tracer:
+        Span-based query tracing (see :mod:`repro.obs` and
+        :class:`~.memdb.engine.MemDatabase`): every traced execution
+        produces a span tree, dispatched to the tracer's ring buffer,
+        slow-query log and export sinks.  An explicit ``tracer`` wins;
+        ``enable_tracing=None`` follows ``REPRO_TRACE`` (off when unset).
     """
 
     name = "memdb"
@@ -78,6 +86,8 @@ class MemDBBackend(RelationalBackend):
         parallel_workers: int | None = None,
         parallel_threshold_rows: int | None = None,
         enable_dict_encoding: bool | None = None,
+        enable_tracing: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         super().__init__(
             mode=mode,
@@ -96,6 +106,8 @@ class MemDBBackend(RelationalBackend):
         self._parallel_workers = parallel_workers
         self._parallel_threshold_rows = parallel_threshold_rows
         self._enable_dict_encoding = enable_dict_encoding
+        self._enable_tracing = enable_tracing
+        self._tracer = tracer
         self._database: MemDatabase | None = None
         self._connected = False
 
@@ -112,6 +124,8 @@ class MemDBBackend(RelationalBackend):
                 parallel_workers=self._parallel_workers,
                 parallel_threshold_rows=self._parallel_threshold_rows,
                 enable_dict_encoding=self._enable_dict_encoding,
+                enable_tracing=self._enable_tracing,
+                tracer=self._tracer,
             )
         else:
             self._database.clear()
@@ -224,14 +238,45 @@ class MemDBBackend(RelationalBackend):
             return {"dict_encoding": self._enable_dict_encoding, "total_bytes": 0, "tables": {}}
         return self._database.storage_stats()
 
+    def tracing_stats(self) -> dict:
+        """Tracer activity and sink state (config-derived until the first run)."""
+        if self._database is not None:
+            return self._database.tracing_stats()
+        if self._tracer is not None:
+            return self._tracer.stats()
+        enabled = (
+            bool(tracing_env_enabled()) if self._enable_tracing is None else self._enable_tracing
+        )
+        if not enabled:
+            return {"enabled": False}
+        return {"enabled": True, "traces": 0, "spans": 0, "ring_size": 0}
+
+    def recent_traces(self) -> list[dict]:
+        """The tracer's ring-buffered span trees, oldest first ([] untraced)."""
+        tracer = self._database.tracer if self._database is not None else self._tracer
+        return tracer.recent_traces() if tracer is not None else []
+
+    def slow_queries(self) -> list[dict]:
+        """Slow-query log entries (span tree + plan snapshot), oldest first."""
+        tracer = self._database.tracer if self._database is not None else self._tracer
+        return tracer.slow_queries() if tracer is not None else []
+
     def engine_stats(self) -> dict:
-        """One dict bundling plan-cache, optimizer, parallel and storage stats."""
-        return {
-            "plan_cache": self.plan_cache_stats(),
-            "optimizer": self.optimizer_stats(),
-            "parallel": self.parallel_stats(),
-            "storage": self.storage_stats(),
-        }
+        """Every subsystem's statistics in the unified versioned schema.
+
+        See :func:`repro.obs.schema.unified_engine_stats`: canonical
+        top-level ``plan_cache`` / ``optimizer`` / ``adaptive`` /
+        ``parallel`` / ``storage`` / ``tracing`` sections plus roll-up
+        aggregates; ``optimizer["adaptive"]`` stays aliased (same object as
+        the top-level ``adaptive``) for pre-schema readers.
+        """
+        return unified_engine_stats(
+            self.plan_cache_stats(),
+            self.optimizer_stats(),
+            self.parallel_stats(),
+            self.storage_stats(),
+            self.tracing_stats(),
+        )
 
     # --------------------------------------------------------------- explain
 

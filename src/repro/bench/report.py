@@ -133,9 +133,75 @@ def engine_stats_table(stats: dict) -> str:
                 rows.append(
                     {"subsystem": "adaptive", "counter": counter, "value": adaptive[counter]}
                 )
+    parallel = stats.get("parallel", {}) or {}
+    for counter in ("enabled", "workers", "batches", "tasks", "inline_batches", "errors"):
+        if counter in parallel:
+            rows.append({"subsystem": "parallel", "counter": counter, "value": parallel[counter]})
+    storage = stats.get("storage", {}) or {}
+    for counter, value in sorted(storage.items()):
+        if counter == "tables":
+            continue
+        rows.append({"subsystem": "storage", "counter": counter, "value": value})
+    tracing = stats.get("tracing", {}) or {}
+    for counter in ("enabled", "traces", "spans", "ring_size", "slow_queries"):
+        if counter in tracing:
+            rows.append({"subsystem": "tracing", "counter": counter, "value": tracing[counter]})
     if not rows:
         raise BenchmarkError("engine statistics contain no counters")
     return comparison_table(rows, columns=["subsystem", "counter", "value"])
+
+
+def metrics_table(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as one instrument table.
+
+    Counters and gauges get one row each; histograms get a row per summary
+    statistic (count, p50, p95, p99, max) so latency distributions read at
+    a glance next to the counters that drove them.
+    """
+    if not snapshot:
+        raise BenchmarkError("empty metrics snapshot")
+    rows = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        rows.append({"kind": "counter", "name": name, "stat": "value", "value": value})
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        rows.append({"kind": "gauge", "name": name, "stat": "value", "value": value})
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        for stat in ("count", "p50", "p95", "p99", "max"):
+            if stat in summary:
+                rows.append({"kind": "histogram", "name": name, "stat": stat, "value": summary[stat]})
+    if not rows:
+        raise BenchmarkError("metrics snapshot contains no instruments")
+    return comparison_table(rows, columns=["kind", "name", "stat", "value"])
+
+
+def trace_tree_table(trace: dict, max_depth: int | None = None) -> str:
+    """Render one query trace (a :meth:`Span.to_dict` tree) as indented text.
+
+    One line per span: indented name, wall time in milliseconds, and the
+    span's attributes (rows, operator kind, morsel counts, cache provenance)
+    in ``key=value`` form — the textual analogue of a flame graph, suitable
+    for benchmark reports and the slow-query log.
+    """
+    if not trace or "name" not in trace:
+        raise BenchmarkError("empty trace")
+    lines: list[str] = []
+
+    def render(span: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        duration = span.get("duration_s")
+        timing = f"{duration * 1e3:.3f}ms" if isinstance(duration, (int, float)) else "-"
+        attrs = span.get("attrs", {}) or {}
+        detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+        line = f"{'  ' * depth}{span.get('name', '?')}  {timing}"
+        if detail:
+            line += f"  [{detail}]"
+        lines.append(line)
+        for child in span.get("children", []) or []:
+            render(child, depth + 1)
+
+    render(trace, 0)
+    return "\n".join(lines)
 
 
 def capacity_table(max_qubits_by_method: dict[str, int], budget_bytes: int) -> str:

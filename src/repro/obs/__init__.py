@@ -1,0 +1,53 @@
+"""Observability substrate: tracing, metrics, sinks, unified stats schema.
+
+Answers the two questions the ad-hoc ``*_stats()`` dicts could not:
+"where did this query's milliseconds go?" (span-based tracing,
+:mod:`.tracing`) and "what is the service's p99 under mixed traffic?"
+(process-wide metrics registry, :mod:`.metrics`).  Finished traces flow to
+bounded sinks (:mod:`.sinks`): an in-memory ring, an optional JSON-lines
+export, and a threshold-gated slow-query log with EXPLAIN-style plan
+snapshots.  :mod:`.schema` defines the unified ``engine_stats()`` document.
+
+Tracing is ablatable: pass ``enable_tracing=True`` to an engine/backend or
+set ``REPRO_TRACE=1`` process-wide; the disabled path costs one branch.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+from .schema import ENGINE_STATS_SCHEMA_VERSION, flatten_counters, unified_engine_stats
+from .sinks import JsonlTraceSink, SlowQueryLog, TraceRingBuffer
+from .tracing import (
+    Span,
+    Tracer,
+    annotate_current,
+    current_span,
+    drain_shared_traces,
+    env_tracer,
+    maybe_span,
+    reset_shared_tracer,
+    shared_tracer,
+    tracing_env_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "ENGINE_STATS_SCHEMA_VERSION",
+    "flatten_counters",
+    "unified_engine_stats",
+    "JsonlTraceSink",
+    "SlowQueryLog",
+    "TraceRingBuffer",
+    "Span",
+    "Tracer",
+    "annotate_current",
+    "current_span",
+    "drain_shared_traces",
+    "env_tracer",
+    "maybe_span",
+    "reset_shared_tracer",
+    "shared_tracer",
+    "tracing_env_enabled",
+]

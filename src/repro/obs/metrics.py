@@ -1,0 +1,234 @@
+"""Process-wide metrics: counters, gauges, bounded histograms.
+
+The engine's self-tuning subsystems (plan cache, optimizer, adaptive
+feedback, parallel pool, encoded storage) each keep their own ad-hoc
+counters; this module provides the *shared* instrument vocabulary that the
+service layer and the tracer record into, and the snapshot format every
+stats surface renders.  Three instrument kinds cover the serving tier's
+needs:
+
+* :class:`Counter` — monotonically increasing event counts (queries run,
+  jobs cancelled, engines created);
+* :class:`Gauge` — last-write-wins level measurements (queue depth, jobs
+  running right now);
+* :class:`Histogram` — bounded-window latency distributions reporting
+  count/sum/min/max/mean plus p50/p95/p99 over the most recent
+  observations.  The window is bounded (default 1024 samples) so a
+  long-running service never accumulates unbounded state; totals
+  (``count``/``sum``) remain exact over the full lifetime.
+
+All instruments are thread-safe: the job service's worker threads and the
+engine's query threads record concurrently.  A :class:`MetricsRegistry`
+names and owns instruments (get-or-create, type-checked); the process-wide
+:func:`global_registry` is what the shared tracer records into, mirroring
+the process-wide plan cache and worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge for levels")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins level measurement (also supports inc/dec)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class Histogram:
+    """A bounded-window distribution with exact lifetime totals.
+
+    Percentiles are computed over the most recent ``window`` observations
+    (a ring buffer — old samples age out, so p99 tracks *current* latency
+    rather than averaging over the process lifetime), while ``count`` /
+    ``sum`` / ``min`` / ``max`` stay exact over every observation ever made.
+    """
+
+    __slots__ = ("_window", "_values", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError("histogram window must be positive")
+        self._window = int(window)
+        self._values: deque[float] = deque(maxlen=self._window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._values.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall time of its block."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        """Totals plus windowed percentiles (empty histograms report zeros)."""
+        with self._lock:
+            window = sorted(self._values)
+            count, total = self._count, self._sum
+            minimum, maximum = self._min, self._max
+        if not count:
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        return {
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count,
+            "p50": _percentile(window, 0.50),
+            "p95": _percentile(window, 0.95),
+            "p99": _percentile(window, 0.99),
+        }
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Asking for an existing name returns the same instrument (so concurrent
+    recorders share one counter); asking for a name registered as a
+    different kind raises — silent kind aliasing would corrupt snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(self, name: str, window: int = 1024) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(window))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __iter__(self) -> Iterator[tuple[str, object]]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return iter(items)
+
+    def snapshot(self) -> dict:
+        """One nested dict per instrument kind, ready for rendering/export."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name, instrument in self:
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: Process-wide registry shared by every tracer/service not given its own —
+#: mirrors the shared plan cache and worker pool.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _GLOBAL_REGISTRY

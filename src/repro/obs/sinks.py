@@ -1,0 +1,166 @@
+"""Trace sinks: where finished query spans go.
+
+Three consumers cover the serving tier's forensic needs:
+
+* :class:`TraceRingBuffer` — the last N finished traces, in memory, for
+  interactive inspection (``session.simulations.recent_traces()``) and for
+  the process-backed batch tier, which drains each worker process's ring
+  and ships the traces back to the parent on chunk join;
+* :class:`JsonlTraceSink` — one JSON object per line appended to a file
+  (``REPRO_TRACE_JSONL=path``), the bulk-export format offline analysis
+  tooling reads;
+* :class:`SlowQueryLog` — threshold-gated capture of *whole* slow queries:
+  the span tree plus an EXPLAIN-style plan snapshot rendered lazily (the
+  plan provider callable only runs when the threshold actually trips, so
+  fast queries never pay for plan rendering).
+
+All sinks are thread-safe and bounded; a sink failure must never fail the
+query that produced the trace (export errors are counted, not raised).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+
+class TraceRingBuffer:
+    """The most recent finished traces, oldest evicted first.
+
+    Entries are finished :class:`~.tracing.Span` objects for local traces
+    (the tracer defers dict serialization to read time) or plain dicts for
+    traces merged in from worker processes; readers must handle both.
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen < 1:
+            raise ValueError("ring buffer needs room for at least one trace")
+        self.maxlen = int(maxlen)
+        self._traces: deque[dict] = deque(maxlen=self.maxlen)
+        self._lock = threading.Lock()
+        self.appended = 0
+
+    def append(self, trace: dict) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            self.appended += 1
+
+    def snapshot(self) -> list[dict]:
+        """The buffered traces, oldest first (the buffer keeps them)."""
+        with self._lock:
+            return list(self._traces)
+
+    def drain(self) -> list[dict]:
+        """Pop and return every buffered trace (the process-tier join path)."""
+        with self._lock:
+            traces = list(self._traces)
+            self._traces.clear()
+            return traces
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonlTraceSink:
+    """Append each trace as one JSON line to a file.
+
+    The file handle is opened lazily and kept open; writes are serialized
+    under a lock and flushed per trace (a crashed process loses at most the
+    line being written).  Unserializable attribute values degrade to their
+    ``repr`` instead of failing the export.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = None
+        self._lock = threading.Lock()
+        self.written = 0
+        self.errors = 0
+
+    def write(self, trace: dict) -> None:
+        try:
+            line = json.dumps(trace, default=repr, separators=(",", ":"))
+            with self._lock:
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                self.written += 1
+        except Exception:
+            with self._lock:
+                self.errors += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"path": self.path, "written": self.written, "errors": self.errors}
+
+
+class SlowQueryLog:
+    """Threshold-gated capture of slow queries with their plan snapshots.
+
+    ``offer`` is called with every finished query span; spans at or above
+    ``threshold_s`` are captured as ``{sql, seconds, rows, trace, plan}``
+    entries in a bounded deque.  The plan snapshot comes from the span's
+    lazily attached provider (see :attr:`~.tracing.Span.plan_provider`), so
+    rendering cost is only paid for queries that are already slow.
+    """
+
+    def __init__(self, threshold_s: float = 0.25, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log needs room for at least one entry")
+        self.threshold_s = float(threshold_s)
+        self.capacity = int(capacity)
+        self._entries: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self.captured = 0
+
+    def offer(self, span) -> bool:
+        """Capture the span if it is slow enough; returns True when captured."""
+        duration = span.duration_s
+        if duration < self.threshold_s:
+            return False
+        plan: list[str] = []
+        provider = getattr(span, "plan_provider", None)
+        if provider is not None:
+            try:
+                plan = list(provider())
+            except Exception:
+                plan = ["<plan snapshot failed>"]
+        entry = {
+            "sql": span.attrs.get("sql", ""),
+            "seconds": duration,
+            "rows": span.attrs.get("rows"),
+            "cache": span.attrs.get("cache"),
+            "trace": span.to_dict(),
+            "plan": plan,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self.captured += 1
+        return True
+
+    def entries(self) -> list[dict]:
+        """Captured slow queries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "threshold_s": self.threshold_s,
+                "capacity": self.capacity,
+                "captured": self.captured,
+                "size": len(self._entries),
+            }

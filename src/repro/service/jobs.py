@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import pickle
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
@@ -38,6 +40,8 @@ from typing import Iterator, Mapping, Sequence
 from ..backends import available_backends
 from ..core.circuit import QuantumCircuit
 from ..errors import QymeraError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import drain_shared_traces, maybe_span, shared_tracer, tracing_env_enabled
 from ..output.result import SimulationResult
 from ..simulators import available_simulators
 from ..simulators.base import BaseSimulator
@@ -133,17 +137,27 @@ def _process_method_key(method: str, options: Mapping[str, object]) -> tuple[str
     return method, rendered
 
 
+#: Traces shipped back per process-tier chunk: enough for forensics on the
+#: chunk that just ran, bounded so a wide sweep never floods the pickle pipe.
+_CHUNK_TRACE_LIMIT = 8
+
+
 def _execute_grid_chunk(
     method: str,
     options: dict,
     circuit: "QuantumCircuit",
     points: list[dict],
-) -> list["SimulationResult"]:
+) -> tuple[list["SimulationResult"], dict]:
     """Worker-process entry point: compile once, execute one grid chunk.
 
     Runs in a spawned worker with no shared state; everything it needs
     (method name, options, circuit template, parameter points) arrives
-    pickled, and the per-point results are pickled back.
+    pickled, and the per-point results are pickled back together with the
+    worker's observability snapshot: its pid, the warm engine's unified
+    ``engine_stats()`` (when the method exposes one), and — when tracing is
+    enabled in the worker (``REPRO_TRACE`` travels through the inherited
+    environment) — the traces its shared ring collected for this chunk.
+    The parent merges these into the job's metadata on chunk join.
     """
     key = _process_method_key(method, options)
     engine = _PROCESS_METHODS.get(key)
@@ -151,7 +165,18 @@ def _execute_grid_chunk(
         engine = make_method(method, **options)
         _PROCESS_METHODS[key] = engine
     executable = engine.compile(circuit)
-    return [executable.bind(point).execute() for point in points]
+    results = [executable.bind(point).execute() for point in points]
+    worker_stats: dict = {"pid": os.getpid(), "points": len(points)}
+    stats_fn = getattr(engine, "engine_stats", None)
+    if stats_fn is not None:
+        try:
+            worker_stats["engine"] = stats_fn()
+        except Exception:  # noqa: BLE001 — diagnostics must not fail the chunk
+            pass
+    traces = drain_shared_traces(_CHUNK_TRACE_LIMIT)
+    if traces:
+        worker_stats["traces"] = traces
+    return results, worker_stats
 
 
 class EnginePool:
@@ -172,6 +197,11 @@ class EnginePool:
         self.max_idle_per_key = int(max_idle_per_key)
         self._created = 0
         self._reused = 0
+        #: Keys that have leased at least once: a later acquire finding their
+        #: idle list empty means concurrent jobs are competing for the same
+        #: (method, options) engines — the lease-contention signal.
+        self._keys_seen: set[tuple] = set()
+        self._contended = 0
 
     def acquire(self, method: str, options: Mapping[str, object]) -> tuple[tuple, BaseSimulator]:
         """Lease an instance for one job; returns ``(key, instance)``."""
@@ -180,7 +210,11 @@ class EnginePool:
             idle = self._idle.get(key)
             if idle:
                 self._reused += 1
+                self._keys_seen.add(key)
                 return key, idle.pop()
+            if key in self._keys_seen:
+                self._contended += 1
+            self._keys_seen.add(key)
         instance = make_method(method, **options)
         with self._lock:
             self._created += 1
@@ -202,7 +236,12 @@ class EnginePool:
             idle: dict[str, int] = {}
             for (method, _fingerprint), instances in self._idle.items():
                 idle[method] = idle.get(method, 0) + len(instances)
-            return {"created": self._created, "reused": self._reused, "idle": idle}
+            return {
+                "created": self._created,
+                "reused": self._reused,
+                "contended": self._contended,
+                "idle": idle,
+            }
 
 
 @dataclass
@@ -248,6 +287,14 @@ class JobHandle:
         self._error: BaseException | None = None
         self._cancel_requested = False
         self._future: Future | None = None
+        #: Observability side-channel: the worker attaches execution metadata
+        #: here (per-worker-process engine stats and traces for process-tier
+        #: sweeps) before the terminal transition; read it after ``done``.
+        self.metadata: dict = {}
+        self._submitted_at = time.monotonic()
+        #: Set by the owning service at submit; JobHandles built directly
+        #: (tests, embedding) stay metrics-free.
+        self._metrics: "MetricsRegistry | None" = None
 
     # -------------------------------------------------------------- queries
 
@@ -348,9 +395,28 @@ class JobHandle:
         with self._condition:
             if self._status in _TERMINAL:
                 return
+            previous = self._status
             self._status = status
             self._error = error
             self._condition.notify_all()
+        # Metrics bookkeeping outside the condition lock: the terminal guard
+        # above already guarantees each transition is recorded exactly once.
+        metrics = self._metrics
+        if metrics is None:
+            return
+        if status == JOB_RUNNING:
+            metrics.gauge("jobs.queue_depth").dec()
+            metrics.gauge("jobs.running").inc()
+            metrics.histogram("jobs.queue_wait_seconds").observe(
+                time.monotonic() - self._submitted_at
+            )
+        elif status in _TERMINAL:
+            if previous == JOB_QUEUED:
+                # Cancelled while still queued: it never became "running".
+                metrics.gauge("jobs.queue_depth").dec()
+            else:
+                metrics.gauge("jobs.running").dec()
+            metrics.counter(f"jobs.{status}").inc()
 
     def _push_result(self, result: SimulationResult) -> None:
         with self._condition:
@@ -396,6 +462,13 @@ class JobService:
         Grid points per process-tier chunk (default: grid split evenly, two
         chunks per worker, so chunk completions stream results back while
         later chunks still run).
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` service-level instruments
+        record into — queue depth and queue-wait, jobs running, per-tier
+        execute latency (p50/p95/p99), terminal counters (done / error /
+        cancelled).  One service-owned registry by default; pass
+        :func:`repro.obs.global_registry` to fold these into the
+        process-wide snapshot.
     """
 
     def __init__(
@@ -405,6 +478,7 @@ class JobService:
         max_retained_jobs: int | None = 256,
         process_workers: int | None = None,
         process_chunk_points: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise QymeraError("JobService needs at least one worker")
@@ -419,6 +493,7 @@ class JobService:
         self.process_workers = process_workers
         self.process_chunk_points = process_chunk_points
         self.pool = pool if pool is not None else EnginePool()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
         self._jobs: dict[int, JobHandle] = {}
@@ -447,7 +522,10 @@ class JobService:
             self._evict_terminal_locked()
             job_id = next(self._ids)
             handle = JobHandle(job_id, request)
+            handle._metrics = self.metrics
             self._jobs[job_id] = handle
+            self.metrics.counter("jobs.submitted").inc()
+            self.metrics.gauge("jobs.queue_depth").inc()
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers, thread_name_prefix="qymera-job"
@@ -488,7 +566,8 @@ class JobService:
         # a terminal state, or result()/stream() callers block forever.
         if request.param_grid is not None and self._use_process_tier(request):
             try:
-                self._run_grid_in_processes(handle, request)
+                with self.metrics.histogram("jobs.process_tier_seconds").time():
+                    self._run_grid_in_processes(handle, request)
             except Exception as exc:
                 handle._transition(JOB_ERROR, exc)
             return
@@ -498,15 +577,21 @@ class JobService:
             handle._transition(JOB_ERROR, exc)
             return
         try:
-            executable = engine.compile(request.circuit)
-            if request.param_grid is not None:
-                for point in request.param_grid:
-                    if handle._cancelled:
-                        handle._transition(JOB_CANCELLED)
-                        return
-                    handle._push_result(executable.bind(point).execute())
-            else:
-                handle._push_result(executable.bind(request.params or {}).execute())
+            # When tracing is on (REPRO_TRACE or an engine-level tracer), the
+            # job span becomes the root this thread's compile/query spans
+            # nest under; with tracing off it is a no-op context.
+            with self.metrics.histogram("jobs.thread_tier_seconds").time(), maybe_span(
+                "job", job_id=handle.job_id, method=request.method
+            ):
+                executable = engine.compile(request.circuit)
+                if request.param_grid is not None:
+                    for point in request.param_grid:
+                        if handle._cancelled:
+                            handle._transition(JOB_CANCELLED)
+                            return
+                        handle._push_result(executable.bind(point).execute())
+                else:
+                    handle._push_result(executable.bind(request.params or {}).execute())
             handle._transition(JOB_DONE)
         except Exception as exc:
             handle._transition(JOB_ERROR, exc)
@@ -585,13 +670,40 @@ class JobService:
                         pending.cancel()
                     handle._transition(JOB_CANCELLED)
                     return
-                for result in future.result():
+                results, worker_stats = future.result()
+                self._merge_worker_stats(handle, worker_stats)
+                for result in results:
                     handle._push_result(result)
             handle._transition(JOB_DONE)
         except Exception as exc:
             for pending in futures:
                 pending.cancel()
             handle._transition(JOB_ERROR, exc)
+
+    def _merge_worker_stats(self, handle: JobHandle, worker_stats: dict) -> None:
+        """Fold one chunk's worker-process snapshot into the job metadata.
+
+        Per worker pid the job keeps the *latest* engine-stats snapshot
+        (counters are cumulative in the worker, so the last chunk's snapshot
+        subsumes earlier ones) and accumulates the points it executed.
+        Worker traces are appended to the parent's shared ring when tracing
+        is enabled here too, so ``recent_traces()`` in the parent shows
+        process-tier executions next to local ones.
+        """
+        pid = worker_stats.get("pid")
+        tier = handle.metadata.setdefault("process_tier", {"workers": {}})
+        worker = tier["workers"].setdefault(pid, {"points": 0, "chunks": 0})
+        worker["points"] += int(worker_stats.get("points", 0))
+        worker["chunks"] += 1
+        if "engine" in worker_stats:
+            worker["engine"] = worker_stats["engine"]
+        traces = worker_stats.get("traces") or []
+        if traces:
+            self.metrics.counter("jobs.worker_traces").inc(len(traces))
+            if tracing_env_enabled():
+                ring = shared_tracer().ring
+                for trace in traces:
+                    ring.append(trace)
 
     # --------------------------------------------------------------- queries
 
@@ -633,7 +745,12 @@ class JobService:
                 "points": self._process_points,
                 "fallbacks": self._process_fallbacks,
             }
-        return {"jobs": by_status, "pool": self.pool.stats(), "process_tier": process_tier}
+        return {
+            "jobs": by_status,
+            "pool": self.pool.stats(),
+            "process_tier": process_tier,
+            "metrics": self.metrics.snapshot(),
+        }
 
     # -------------------------------------------------------------- lifetime
 

@@ -186,8 +186,11 @@ class SimulationPanel:
         return backend.explain_circuit(circuit, analyze=analyze)
 
     def engine_stats(self, method: str = "memdb", **options) -> dict:
-        """Plan-cache + optimizer statistics of a pooled backend instance.
+        """Unified engine statistics of a pooled backend instance.
 
+        Returns the versioned schema from :mod:`repro.obs.schema` —
+        ``plan_cache``, ``optimizer``, ``adaptive``, ``parallel``,
+        ``storage`` and ``tracing`` sections under one ``schema_version``.
         The ``optimizer`` block includes the ``adaptive`` feedback-loop
         state: re-plans requested, correction factors learned from observed
         actual-vs-estimated cardinalities, and the most recent trigger
@@ -197,6 +200,20 @@ class SimulationPanel:
         if not isinstance(backend, MemDBBackend):
             raise QymeraError(f"engine statistics are not exposed by method {method!r}")
         return backend.engine_stats()
+
+    def recent_traces(self, **options) -> list[dict]:
+        """Recent query span trees of the pooled memdb backend (needs tracing on)."""
+        backend = self._pooled_method("memdb", options)
+        if not isinstance(backend, MemDBBackend):
+            raise QymeraError("query traces are only available on the memdb backend")
+        return backend.recent_traces()
+
+    def slow_queries(self, **options) -> list[dict]:
+        """Slow-query log entries of the pooled memdb backend (needs tracing on)."""
+        backend = self._pooled_method("memdb", options)
+        if not isinstance(backend, MemDBBackend):
+            raise QymeraError("the slow-query log is only available on the memdb backend")
+        return backend.slow_queries()
 
     def adaptive_stats(self, **options) -> dict:
         """The memdb adaptive re-optimization state of the pooled backend."""

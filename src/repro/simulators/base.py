@@ -29,6 +29,7 @@ from typing import Iterable, Mapping
 
 from ..core.circuit import QuantumCircuit
 from ..errors import ResourceLimitExceeded, SimulationError
+from ..obs.tracing import maybe_span
 from ..output.result import SimulationResult, SparseState
 
 
@@ -261,7 +262,10 @@ class BaseSimulator(ABC):
         subsequent :meth:`Executable.bind`.
         """
         started = time.perf_counter()
-        artifact = self._compile(circuit)
+        with maybe_span(
+            "compile", method=self.name, circuit=circuit.name, gates=circuit.size()
+        ):
+            artifact = self._compile(circuit)
         return Executable(self, circuit, artifact, compile_time_s=time.perf_counter() - started)
 
     def run(self, circuit: QuantumCircuit, initial_state: SparseState | None = None) -> SimulationResult:
@@ -293,7 +297,16 @@ class BaseSimulator(ABC):
             )
         stats = EvolutionStats()
         started = time.perf_counter()
-        state = self._evolve_compiled(executable, circuit, initial_state, stats)
+        with maybe_span(
+            "simulate",
+            method=self.name,
+            circuit=circuit.name,
+            qubits=circuit.num_qubits,
+            execution=executable.executions + 1,
+        ) as span:
+            state = self._evolve_compiled(executable, circuit, initial_state, stats)
+            if span is not None:
+                span.set(peak_rows=stats.peak_rows)
         elapsed = time.perf_counter() - started
         metadata = {"measured_qubits": circuit.measured_qubits()}
         metadata.update(stats.extras)

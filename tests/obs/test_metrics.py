@@ -1,0 +1,149 @@
+"""Tests for the metrics registry: counters, gauges, histograms, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increment(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_snapshot_of_known_values(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 100.0
+        # Nearest-rank over a sorted window: round(f * (n-1)) indexes in.
+        assert snapshot["p50"] == 51.0
+        assert snapshot["p95"] == 95.0
+        assert snapshot["p99"] == 99.0
+        assert snapshot["sum"] == pytest.approx(5050.0)
+        assert snapshot["mean"] == pytest.approx(50.5)
+
+    def test_empty_snapshot_is_all_zeros(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] == 0.0
+        assert snapshot["sum"] == 0.0
+
+    def test_window_is_bounded_but_lifetime_totals_are_exact(self):
+        histogram = Histogram(window=16)
+        for value in range(1000):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1000
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 999.0
+        # Percentiles come from the recent window only (the last 16 samples).
+        assert snapshot["p50"] >= 984.0
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            Histogram(window=0)
+
+    def test_time_context_manager_observes_once(self):
+        histogram = Histogram()
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.snapshot()["min"] >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs.done").inc(3)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("latency").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"jobs.done": 3}
+        assert snapshot["gauges"] == {"queue.depth": 2}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+    def test_concurrent_updates_lose_nothing(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+
+        def work() -> None:
+            counter = registry.counter("stress.counter")
+            histogram = registry.histogram("stress.hist")
+            gauge = registry.gauge("stress.gauge")
+            for step in range(per_thread):
+                counter.inc()
+                histogram.observe(float(step))
+                gauge.inc()
+                gauge.dec()
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("stress.counter").value == threads_n * per_thread
+        assert registry.histogram("stress.hist").count == threads_n * per_thread
+        assert registry.gauge("stress.gauge").value == 0
+
+    def test_concurrent_get_or_create_same_name(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work() -> None:
+            barrier.wait()
+            seen.append(registry.counter("race"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
