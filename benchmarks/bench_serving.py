@@ -1,0 +1,284 @@
+"""Serving-tier benchmark: fair-scheduling isolation and journal replay.
+
+Two acceptance gates over `service/server/`:
+
+* **fair-scheduling isolation** — a light interactive tenant's p99 latency
+  under saturated mixed traffic (a batch tenant flooding grid sweeps) must
+  stay within 2x of its unloaded p99 when the weighted-fair scheduler with
+  an in-flight quota isolates the tenants; the FIFO baseline (the plain
+  JobService thread-pool queue) under the same flood must show >= 5x
+  degradation — proving the scheduler is what buys the isolation, not slack
+  in the workload.
+* **journal replay** — a server killed (SIGKILL) mid-sweep and restarted
+  over the same journal re-enqueues only the grid points that have no
+  ``point`` record: zero already-completed points are recomputed, and after
+  the resumed run every journaled job has a terminal record (zero dropped
+  records).
+
+Both run over the real HTTP front end / real process boundary — the load
+generator speaks ``http.client``, the kill is a real ``SIGKILL``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+from repro.bench.loadgen import BatchFlood, InteractiveLoad, ServingClient, percentile, run_mixed_load
+from repro.bench.report import tenant_table
+from repro.circuits import ghz_circuit, hardware_efficient_ansatz
+from repro.service import JobService
+from repro.service.server import FairScheduler, JobJournal, JobServer, ServerThread, TenantQuota
+
+from conftest import emit
+
+_REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: Mixed-load shape: the light tenant's probe circuit and the batch sweep.
+#: The sweep template is a 4-qubit ry ansatz — its parameters are plain
+#: ``Parameter`` objects, so the request survives the JSON wire/journal
+#: round trip (QAOA's 2*gamma expressions would not).
+_LIGHT_JOBS = 12
+_FLOOD_JOBS = 12
+_PARAMS = [f"theta[{i}]" for i in range(8)]
+_GRID = [{name: round(0.15 * k, 3) for name in _PARAMS} for k in range(1, 5)]
+
+#: Acceptance thresholds from the issue.
+FAIR_P99_MAX_RATIO = 2.0
+FIFO_P99_MIN_RATIO = 5.0
+
+#: p99 over a 12-job closed loop is effectively the max of the batch, so a
+#: single OS-scheduling blip can double it. Each phase is therefore measured
+#: as the median p99 of independent rounds (each on a fresh server).
+_ROUNDS = 3
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _sweep_circuit():
+    return hardware_efficient_ansatz(4, reps=1, rotation_gates=("ry",))
+
+
+def _interactive(client: ServingClient, jobs: int = _LIGHT_JOBS) -> InteractiveLoad:
+    return InteractiveLoad(client, ghz_circuit(3), tenant="interactive", jobs=jobs)
+
+
+def _flood(client: ServingClient) -> BatchFlood:
+    return BatchFlood(client, _sweep_circuit(), tenant="batch", param_grid=_GRID, jobs=_FLOOD_JOBS)
+
+
+def _warmup(client: ServingClient) -> None:
+    """Absorb engine construction / plan-compile cold starts before timing."""
+    _interactive(client, jobs=2).run()
+
+
+def _measure_unloaded() -> list[float]:
+    """The light tenant alone on a fair-scheduled server: the baseline p99."""
+    service = JobService(max_workers=2, scheduler=FairScheduler())
+    try:
+        with ServerThread(JobServer(service)) as (host, port):
+            client = ServingClient(host, port)
+            _warmup(client)
+            return _interactive(client).run()
+    finally:
+        service.shutdown(wait=True, drain_timeout=30.0)
+
+
+def _measure_fair_loaded() -> dict:
+    """Mixed traffic with the weighted-fair scheduler isolating the tenants."""
+    scheduler = FairScheduler()
+    scheduler.configure("batch", TenantQuota(max_in_flight=1))
+    service = JobService(max_workers=2, scheduler=scheduler)
+    try:
+        with ServerThread(JobServer(service)) as (host, port):
+            client = ServingClient(host, port)
+            _warmup(client)
+            interactive = _interactive(client)
+            summary = run_mixed_load(client, interactive, [_flood(client)])
+            return {
+                "latencies": list(interactive.latencies),
+                "summary": summary,
+                "table": tenant_table(service.metrics.snapshot()),
+            }
+    finally:
+        service.shutdown(wait=True, drain_timeout=120.0)
+
+
+def _measure_fifo_loaded() -> dict:
+    """The same mixed traffic against the plain FIFO thread-pool queue."""
+    service = JobService(max_workers=2)
+    try:
+        with ServerThread(JobServer(service)) as (host, port):
+            client = ServingClient(host, port)
+            _warmup(client)
+            interactive = _interactive(client)
+            flood = _flood(client)
+            # Pre-flood so the FIFO backlog exists before the first probe
+            # (open-loop submission is near-instant; no race on "saturated").
+            flood.run()
+            started = time.monotonic()
+            interactive.run()
+            return {
+                "latencies": interactive.latencies,
+                "flood_submitted": len(flood.submitted_ids),
+                "wall_s": time.monotonic() - started,
+            }
+    finally:
+        service.shutdown(wait=True, drain_timeout=120.0)
+
+
+def test_fair_scheduling_protects_light_tenant(results_dir):
+    unloaded_runs = [_measure_unloaded() for _ in range(_ROUNDS)]
+    for run in unloaded_runs:
+        assert len(run) == _LIGHT_JOBS, "unloaded probe jobs failed"
+    unloaded_p99 = _median([percentile(run, 0.99) for run in unloaded_runs])
+
+    fair_runs = [_measure_fair_loaded() for _ in range(_ROUNDS)]
+    for run in fair_runs:
+        assert run["latencies"], "no interactive jobs completed under fair scheduling"
+    fair_p99 = _median([percentile(run["latencies"], 0.99) for run in fair_runs])
+    fair_table = fair_runs[-1]["table"]
+    summary = fair_runs[-1]["summary"]
+
+    fifo_runs = [_measure_fifo_loaded() for _ in range(_ROUNDS)]
+    for run in fifo_runs:
+        assert run["latencies"], "no interactive jobs completed under FIFO"
+    fifo_p99 = _median([percentile(run["latencies"], 0.99) for run in fifo_runs])
+
+    fair_ratio = fair_p99 / unloaded_p99
+    fifo_ratio = fifo_p99 / unloaded_p99
+    report = {
+        "rounds": _ROUNDS,
+        "unloaded_p99_s": round(unloaded_p99, 4),
+        "fair_p99_s": round(fair_p99, 4),
+        "fifo_p99_s": round(fifo_p99, 4),
+        "fair_ratio": round(fair_ratio, 2),
+        "fifo_ratio": round(fifo_ratio, 2),
+        "flood_jobs": summary["flood_submitted"],
+        "flood_points_each": len(_GRID),
+    }
+    (results_dir / "serving_fairness.json").write_text(json.dumps(report, indent=2))
+    emit(
+        "serving: light-tenant p99 under batch flood",
+        fair_table
+        + f"\nunloaded p99 {unloaded_p99 * 1e3:.1f}ms | "
+        f"fair {fair_p99 * 1e3:.1f}ms ({fair_ratio:.2f}x) | "
+        f"fifo {fifo_p99 * 1e3:.1f}ms ({fifo_ratio:.2f}x)",
+    )
+
+    assert fair_ratio <= FAIR_P99_MAX_RATIO, (
+        f"fair scheduling did not protect the light tenant: p99 {fair_p99:.3f}s is "
+        f"{fair_ratio:.2f}x the unloaded {unloaded_p99:.3f}s (gate: <= {FAIR_P99_MAX_RATIO}x)"
+    )
+    assert fifo_ratio >= FIFO_P99_MIN_RATIO, (
+        f"the FIFO baseline shows only {fifo_ratio:.2f}x degradation — the flood is "
+        f"not saturating the queue, so the fairness comparison proves nothing"
+    )
+
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys, time
+    from repro.circuits import hardware_efficient_ansatz
+    from repro.service import JobService
+    from repro.service.server import JobJournal
+
+    journal_path, kill_after = sys.argv[1], int(sys.argv[2])
+    names = [f"theta[{i}]" for i in range(8)]
+    grid = [{name: round(0.15 * k, 3) for name in names} for k in range(1, 7)]
+    service = JobService(max_workers=1, journal=JobJournal(journal_path))
+    handle = service.submit(
+        circuit=hardware_efficient_ansatz(4, reps=1, rotation_gates=("ry",)),
+        method="memdb",
+        param_grid=grid,
+        tenant="sweeper",
+    )
+    deadline = time.monotonic() + 120.0
+    while handle.poll()["completed_points"] < kill_after:
+        if time.monotonic() > deadline:
+            sys.exit(3)
+        time.sleep(0.005)
+    os.kill(os.getpid(), signal.SIGKILL)
+    """
+)
+
+_KILL_AFTER_POINTS = 2
+_REPLAY_GRID_POINTS = 6
+
+
+def _journal_point_counts(path: Path) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for line in path.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("event") == "point":
+            counts[record["job_id"]] = counts.get(record["job_id"], 0) + 1
+    return counts
+
+
+def test_journal_replay_recomputes_no_completed_points(tmp_path, results_dir):
+    journal_path = tmp_path / "jobs.journal"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(journal_path), str(_KILL_AFTER_POINTS)],
+        env=env,
+        timeout=180,
+    )
+    assert child.returncode == -signal.SIGKILL, (
+        f"the sweep child was supposed to die by SIGKILL mid-sweep, exited {child.returncode}"
+    )
+
+    completed_before = _journal_point_counts(journal_path)
+    assert completed_before, "the killed sweep journaled no completed points"
+    (original_id, prefix), = completed_before.items()
+    assert prefix >= _KILL_AFTER_POINTS
+
+    journal = JobJournal(journal_path)
+    plans = journal.replay_plan()
+    assert len(plans) == 1 and plans[0]["job_id"] == original_id
+    assert plans[0]["skip_points"] == prefix
+    assert len(plans[0]["request"].param_grid) == _REPLAY_GRID_POINTS - prefix
+
+    service = JobService(max_workers=1, journal=journal)
+    try:
+        resumed = service.replay_journal()
+        assert len(resumed) == 1
+        results = resumed[0].result(timeout=120)
+    finally:
+        service.shutdown(wait=True, drain_timeout=60.0)
+
+    # Zero recomputation: the resumed job ran exactly the missing suffix.
+    recomputed = _journal_point_counts(journal_path)[resumed[0].job_id]
+    assert recomputed == len(results) == _REPLAY_GRID_POINTS - prefix
+    assert _journal_point_counts(journal_path)[original_id] == prefix
+
+    # Zero dropped records: every journaled job now has a terminal record.
+    reread = JobJournal(journal_path)
+    assert reread.incomplete() == []
+    original = reread.final_status(original_id)
+    assert original["status"] == "cancelled" and "superseded" in original["error"]
+    assert reread.final_status(resumed[0].job_id)["status"] == "done"
+
+    report = {
+        "grid_points": _REPLAY_GRID_POINTS,
+        "completed_before_kill": prefix,
+        "recomputed_after_replay": recomputed,
+        "original_job": original,
+    }
+    (results_dir / "serving_replay.json").write_text(json.dumps(report, indent=2))
+    emit(
+        "serving: journal replay after SIGKILL",
+        json.dumps(report, indent=2),
+    )

@@ -1,0 +1,247 @@
+"""HTTP load generator for the serving tier (stdlib ``http.client``).
+
+Drives a running :class:`~repro.service.server.http.JobServer` the way real
+traffic would — over the wire, concurrently, per tenant — and reports
+per-tenant latency distributions.  Two client shapes cover the serving
+benchmark's mixed-traffic scenario:
+
+* **interactive**: submit one single-point job, poll until terminal, record
+  the end-to-end latency (what a human at a notebook experiences);
+* **batch**: submit grid sweeps back-to-back without waiting (what a
+  parameter-sweep pipeline does to the queue).
+
+:class:`ServingClient` is also the minimal Python client for the HTTP API
+(used by ``examples/serve.py``); it deliberately sticks to the stdlib so
+the serving tier's whole story adds zero dependencies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Mapping, Sequence
+
+from ..errors import BenchmarkError
+from ..io.json_io import circuit_to_dict
+
+
+class ServingClient:
+    """Thin blocking client for the serving tier's HTTP/JSON API."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------- endpoints
+
+    def submit(
+        self,
+        circuit,
+        method: str = "memdb",
+        tenant: str = "default",
+        params: Mapping[str, float] | None = None,
+        param_grid: Sequence[Mapping[str, float]] | None = None,
+        options: Mapping[str, object] | None = None,
+        tag: str = "",
+    ) -> tuple[int, dict]:
+        """POST /v1/jobs; returns (http_status, body) without raising on 429."""
+        payload: dict = {
+            "circuit": circuit_to_dict(circuit),
+            "method": method,
+            "tenant": tenant,
+            "tag": tag,
+        }
+        if params is not None:
+            payload["params"] = dict(params)
+        if param_grid is not None:
+            payload["param_grid"] = [dict(point) for point in param_grid]
+        if options:
+            payload["options"] = dict(options)
+        return self._request("POST", "/v1/jobs", payload)
+
+    def poll(self, job_id: int) -> tuple[int, dict]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: int) -> tuple[int, dict]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def stats(self) -> dict:
+        status, document = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise BenchmarkError(f"/v1/stats returned {status}: {document}")
+        return document
+
+    def stream(self, job_id: int, timeout: float = 300.0) -> list[dict]:
+        """GET /v1/jobs/{id}/stream: drain the chunked NDJSON to a list."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/stream?timeout={timeout}")
+            response = connection.getresponse()
+            records = []
+            for line in response.read().decode("utf-8").splitlines():
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+            return records
+        finally:
+            connection.close()
+
+    def wait(self, job_id: int, timeout: float = 120.0, interval: float = 0.01) -> dict:
+        """Poll until the job is terminal (or journal-answered); returns the body."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, document = self.poll(job_id)
+            if status == 410 or document.get("status") in ("done", "error", "cancelled"):
+                return document
+            if time.monotonic() > deadline:
+                raise BenchmarkError(f"job {job_id} still {document.get('status')!r} after {timeout}s")
+            time.sleep(interval)
+
+
+class InteractiveLoad:
+    """Closed-loop interactive tenant: submit one job, wait, measure, repeat."""
+
+    def __init__(
+        self,
+        client: ServingClient,
+        circuit,
+        tenant: str,
+        method: str = "memdb",
+        jobs: int = 20,
+        timeout: float = 120.0,
+    ) -> None:
+        self.client = client
+        self.circuit = circuit
+        self.tenant = tenant
+        self.method = method
+        self.jobs = int(jobs)
+        self.timeout = float(timeout)
+        self.latencies: list[float] = []
+        self.rejected = 0
+        self.errors = 0
+
+    def run(self) -> list[float]:
+        for _ in range(self.jobs):
+            started = time.monotonic()
+            status, body = self.client.submit(self.circuit, method=self.method, tenant=self.tenant)
+            if status == 429:
+                self.rejected += 1
+                time.sleep(min(1.0, float(body.get("retry_after", 0.1))))
+                continue
+            if status != 202:
+                self.errors += 1
+                continue
+            final = self.client.wait(body["job_id"], timeout=self.timeout)
+            if final.get("status") == "done":
+                self.latencies.append(time.monotonic() - started)
+            else:
+                self.errors += 1
+        return self.latencies
+
+
+class BatchFlood:
+    """Open-loop batch tenant: pour grid sweeps at the queue without waiting."""
+
+    def __init__(
+        self,
+        client: ServingClient,
+        circuit,
+        tenant: str,
+        param_grid: Sequence[Mapping[str, float]],
+        method: str = "memdb",
+        jobs: int = 50,
+        interval: float = 0.0,
+    ) -> None:
+        self.client = client
+        self.circuit = circuit
+        self.tenant = tenant
+        self.param_grid = list(param_grid)
+        self.method = method
+        self.jobs = int(jobs)
+        self.interval = float(interval)
+        self.submitted_ids: list[int] = []
+        self.rejected = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> list[int]:
+        for _ in range(self.jobs):
+            if self._stop.is_set():
+                break
+            status, body = self.client.submit(
+                self.circuit, method=self.method, tenant=self.tenant, param_grid=self.param_grid
+            )
+            if status == 202:
+                self.submitted_ids.append(body["job_id"])
+            elif status == 429:
+                self.rejected += 1
+                time.sleep(min(0.5, float(body.get("retry_after", 0.05))))
+            if self.interval:
+                time.sleep(self.interval)
+        return self.submitted_ids
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (raises on empty input)."""
+    if not values:
+        raise BenchmarkError("no samples to take a percentile of")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def run_mixed_load(
+    client: ServingClient,
+    interactive: InteractiveLoad,
+    floods: Sequence[BatchFlood],
+) -> dict:
+    """Run batch floods concurrently with the interactive loop.
+
+    The floods start first (saturating the queue), the interactive tenant
+    runs its full closed loop, then the floods are stopped.  Returns the
+    interactive latency summary plus flood accounting.
+    """
+    threads = [threading.Thread(target=flood.run, daemon=True) for flood in floods]
+    for thread in threads:
+        thread.start()
+    try:
+        latencies = interactive.run()
+    finally:
+        for flood in floods:
+            flood.stop()
+        for thread in threads:
+            thread.join(timeout=30.0)
+    summary = {
+        "interactive_jobs": len(latencies),
+        "interactive_rejected": interactive.rejected,
+        "interactive_errors": interactive.errors,
+        "flood_submitted": sum(len(flood.submitted_ids) for flood in floods),
+        "flood_rejected": sum(flood.rejected for flood in floods),
+    }
+    if latencies:
+        summary.update(
+            {
+                "p50_s": percentile(latencies, 0.50),
+                "p99_s": percentile(latencies, 0.99),
+                "mean_s": sum(latencies) / len(latencies),
+            }
+        )
+    return summary

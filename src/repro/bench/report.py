@@ -174,6 +174,66 @@ def metrics_table(snapshot: dict) -> str:
     return comparison_table(rows, columns=["kind", "name", "stat", "value"])
 
 
+def tenant_table(snapshot: dict) -> str:
+    """Render per-tenant serving metrics from a :meth:`MetricsRegistry.snapshot`.
+
+    The serving tier publishes ``tenant.<name>.<instrument>`` counters and
+    gauges (submitted/rejected/done/error/cancelled, queued, in_flight) plus
+    a ``tenant.<name>.latency_seconds`` histogram; this collates them into
+    one row per tenant so fairness reads at a glance — two tenants with
+    wildly different submit counts should still show comparable latency
+    percentiles under weighted-fair scheduling.
+    """
+    if not snapshot:
+        raise BenchmarkError("empty metrics snapshot")
+    tenants: dict[str, dict[str, object]] = defaultdict(dict)
+
+    def tenant_key(name: str) -> tuple[str, str] | None:
+        if not name.startswith("tenant."):
+            return None
+        remainder = name[len("tenant."):]
+        tenant, _, instrument = remainder.rpartition(".")
+        if not tenant or not instrument:
+            return None
+        return tenant, instrument
+
+    for name, value in snapshot.get("counters", {}).items():
+        parsed = tenant_key(name)
+        if parsed:
+            tenants[parsed[0]][parsed[1]] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        parsed = tenant_key(name)
+        if parsed:
+            tenants[parsed[0]][parsed[1]] = value
+    for name, summary in snapshot.get("histograms", {}).items():
+        parsed = tenant_key(name)
+        if parsed and parsed[1] == "latency_seconds":
+            tenant = tenants[parsed[0]]
+            tenant["latency_p50_s"] = summary.get("p50")
+            tenant["latency_p99_s"] = summary.get("p99")
+    if not tenants:
+        raise BenchmarkError("metrics snapshot contains no tenant.* instruments")
+    columns = [
+        "tenant",
+        "submitted",
+        "rejected",
+        "done",
+        "error",
+        "cancelled",
+        "queued",
+        "in_flight",
+        "latency_p50_s",
+        "latency_p99_s",
+    ]
+    rows = []
+    for tenant in sorted(tenants):
+        row: dict[str, object] = {"tenant": tenant}
+        for column in columns[1:]:
+            row[column] = tenants[tenant].get(column, 0)
+        rows.append(row)
+    return comparison_table(rows, columns=columns)
+
+
 def trace_tree_table(trace: dict, max_depth: int | None = None) -> str:
     """Render one query trace (a :meth:`Span.to_dict` tree) as indented text.
 

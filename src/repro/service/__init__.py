@@ -1,4 +1,5 @@
-"""End-to-end session facade (the programmatic web UI) and the job service."""
+"""End-to-end session facade (the programmatic web UI), the job service,
+and the multi-tenant serving tier (:mod:`repro.service.server`)."""
 
 from .jobs import (
     EnginePool,

@@ -202,11 +202,15 @@ class EnginePool:
         #: (method, options) engines — the lease-contention signal.
         self._keys_seen: set[tuple] = set()
         self._contended = 0
+        self._closed = False
+        self._discarded_on_close = 0
 
     def acquire(self, method: str, options: Mapping[str, object]) -> tuple[tuple, BaseSimulator]:
         """Lease an instance for one job; returns ``(key, instance)``."""
         key = (method, options_fingerprint(options))
         with self._lock:
+            if self._closed:
+                raise QymeraError("the engine pool has been closed")
             idle = self._idle.get(key)
             if idle:
                 self._reused += 1
@@ -221,11 +225,36 @@ class EnginePool:
         return key, instance
 
     def release(self, key: tuple, instance: BaseSimulator) -> None:
-        """Return a leased instance so later jobs can reuse its warm state."""
+        """Return a leased instance so later jobs can reuse its warm state.
+
+        After :meth:`close` the instance is discarded instead of pooled, so
+        a job racing a shutdown can always release its lease without
+        resurrecting idle state the closer believed gone — leases never
+        leak, they just stop being reusable.
+        """
         with self._lock:
+            if self._closed:
+                self._discarded_on_close += 1
+                return
             idle = self._idle.setdefault(key, [])
             if len(idle) < self.max_idle_per_key:
                 idle.append(instance)
+
+    def close(self) -> None:
+        """Stop leasing: drops all idle instances, rejects new acquires.
+
+        In-flight leases stay valid — their release lands in the discard
+        path above.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._discarded_on_close += sum(len(instances) for instances in self._idle.values())
+            self._idle.clear()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def stats(self) -> dict:
         """Pool counters: instances created, leases served from idle, idle sizes.
@@ -240,6 +269,8 @@ class EnginePool:
                 "created": self._created,
                 "reused": self._reused,
                 "contended": self._contended,
+                "closed": self._closed,
+                "discarded_on_close": self._discarded_on_close,
                 "idle": idle,
             }
 
@@ -259,10 +290,15 @@ class JobRequest:
     params: Mapping[str, float] | None = None
     param_grid: Sequence[Mapping[str, float]] | None = None
     tag: str = ""
+    #: Who submitted this job.  The serving tier's fair scheduler queues and
+    #: meters per tenant; the default tenant keeps library use single-party.
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.params is not None and self.param_grid is not None:
             raise QymeraError("pass either params (one point) or param_grid (a sweep), not both")
+        if not self.tenant:
+            raise QymeraError("tenant must be a non-empty string")
 
     @property
     def total_points(self) -> int:
@@ -295,6 +331,16 @@ class JobHandle:
         #: Set by the owning service at submit; JobHandles built directly
         #: (tests, embedding) stay metrics-free.
         self._metrics: "MetricsRegistry | None" = None
+        #: Serving-tier hooks, set by the owning service at submit: the
+        #: durable journal lifecycle records land through ``_journal``;
+        #: ``_tenant_prefix`` namespaces per-tenant instruments; the fair
+        #: scheduler's DRR accounting reads ``_cost_units``; and
+        #: ``_on_queue_cancel`` lets :meth:`cancel` pull a still-queued
+        #: handle back out of the scheduler before it ever gets a future.
+        self._journal = None
+        self._tenant_prefix: str | None = None
+        self._cost_units = 1.0
+        self._on_queue_cancel = None
 
     # -------------------------------------------------------------- queries
 
@@ -317,10 +363,20 @@ class JobHandle:
                 "method": self.request.method,
                 "circuit": self.request.circuit.name,
                 "tag": self.request.tag,
+                "tenant": self.request.tenant,
                 "completed_points": len(self._results),
                 "total_points": self.request.total_points,
                 "error": str(self._error) if self._error is not None else "",
             }
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state; True when it did.
+
+        Unlike :meth:`result` this never raises — it is the drain primitive
+        shutdown and load generators use.
+        """
+        with self._condition:
+            return self._condition.wait_for(lambda: self._status in _TERMINAL, timeout=timeout)
 
     # -------------------------------------------------------------- results
 
@@ -384,6 +440,14 @@ class JobHandle:
                 return False
             self._cancel_requested = True
             future = self._future
+        if future is None and self._on_queue_cancel is not None:
+            # Scheduler-queued handle with no future yet: pull it out of the
+            # fair queue.  A dispatch racing this returns False from the
+            # removal and the worker honors _cancel_requested instead.
+            if self._on_queue_cancel(self):
+                self._transition(JOB_CANCELLED)
+                return True
+            return False
         if future is not None and future.cancel():
             self._transition(JOB_CANCELLED)
             return True
@@ -399,29 +463,63 @@ class JobHandle:
             self._status = status
             self._error = error
             self._condition.notify_all()
-        # Metrics bookkeeping outside the condition lock: the terminal guard
-        # above already guarantees each transition is recorded exactly once.
+        # Journal and metrics bookkeeping outside the condition lock: the
+        # terminal guard above already guarantees each transition is recorded
+        # exactly once.
+        journal = self._journal
+        if journal is not None:
+            try:
+                if status == JOB_RUNNING:
+                    journal.record_started(self.job_id)
+                elif status in _TERMINAL:
+                    journal.record_terminal(
+                        self.job_id, status, error=str(error) if error is not None else ""
+                    )
+            except Exception:  # noqa: BLE001 — a full disk must not hang result() callers
+                if self._metrics is not None:
+                    self._metrics.counter("journal.write_errors").inc()
         metrics = self._metrics
         if metrics is None:
             return
+        prefix = self._tenant_prefix
         if status == JOB_RUNNING:
             metrics.gauge("jobs.queue_depth").dec()
             metrics.gauge("jobs.running").inc()
             metrics.histogram("jobs.queue_wait_seconds").observe(
                 time.monotonic() - self._submitted_at
             )
+            if prefix is not None:
+                metrics.gauge(f"{prefix}queued").dec()
+                metrics.gauge(f"{prefix}in_flight").inc()
         elif status in _TERMINAL:
             if previous == JOB_QUEUED:
                 # Cancelled while still queued: it never became "running".
                 metrics.gauge("jobs.queue_depth").dec()
+                if prefix is not None:
+                    metrics.gauge(f"{prefix}queued").dec()
             else:
                 metrics.gauge("jobs.running").dec()
+                if prefix is not None:
+                    metrics.gauge(f"{prefix}in_flight").dec()
+                    metrics.histogram(f"{prefix}latency_seconds").observe(
+                        time.monotonic() - self._submitted_at
+                    )
             metrics.counter(f"jobs.{status}").inc()
+            if prefix is not None:
+                metrics.counter(f"{prefix}{status}").inc()
 
     def _push_result(self, result: SimulationResult) -> None:
         with self._condition:
             self._results.append(result)
+            index = len(self._results) - 1
             self._condition.notify_all()
+        journal = self._journal
+        if journal is not None:
+            try:
+                journal.record_point(self.job_id, index)
+            except Exception:  # noqa: BLE001 — a full disk must not hang stream() callers
+                if self._metrics is not None:
+                    self._metrics.counter("journal.write_errors").inc()
 
     @property
     def _cancelled(self) -> bool:
@@ -479,6 +577,9 @@ class JobService:
         process_workers: int | None = None,
         process_chunk_points: int | None = None,
         metrics: MetricsRegistry | None = None,
+        scheduler=None,
+        admission=None,
+        journal=None,
     ) -> None:
         if max_workers < 1:
             raise QymeraError("JobService needs at least one worker")
@@ -488,16 +589,37 @@ class JobService:
             raise QymeraError("process_workers must be positive when given")
         if process_chunk_points is not None and process_chunk_points < 1:
             raise QymeraError("process_chunk_points must be positive when given")
+        if admission is not None and scheduler is None:
+            raise QymeraError("admission control needs a scheduler (it prices the fair queue)")
         self.max_workers = int(max_workers)
         self.max_retained_jobs = max_retained_jobs
         self.process_workers = process_workers
         self.process_chunk_points = process_chunk_points
+        self._owns_pool = pool is None
         self.pool = pool if pool is not None else EnginePool()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Serving-tier collaborators (see repro.service.server): a
+        #: FairScheduler replaces the executor's FIFO with per-tenant DRR
+        #: queues fed by a dispatcher thread; an AdmissionController prices
+        #: submits against the queued backlog; a JobJournal makes every
+        #: lifecycle edge durable and replayable.
+        self.scheduler = scheduler
+        self.admission = admission
+        self.journal = journal
         self._executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._dispatch_stop = threading.Event()
+        self._inflight = threading.Semaphore(self.max_workers)
         self._jobs: dict[int, JobHandle] = {}
-        self._ids = itertools.count(1)
+        start_id = 1
+        if journal is not None:
+            # Never reuse a job id a previous incarnation journaled: the
+            # journal is one append-only history across restarts.
+            entries = journal.entries()
+            if entries:
+                start_id = max(entry.job_id for entry in entries) + 1
+        self._ids = itertools.count(start_id)
         self._lock = threading.Lock()
         self._closed = False
         self._process_chunks = 0
@@ -516,6 +638,30 @@ class JobService:
             request = JobRequest(**kwargs)
         elif kwargs:
             raise QymeraError("pass either a JobRequest or keyword fields, not both")
+        return self._submit_request(request)
+
+    def _submit_request(self, request: JobRequest, resumed_from: int | None = None) -> JobHandle:
+        # Admission control prices the submit against the fair queue's
+        # backlog *before* a handle exists — a rejected submit burns no job
+        # id and leaves no journal record.  Replayed jobs skip it: they were
+        # admitted by a previous incarnation.
+        cost = 1.0
+        if self.admission is not None and resumed_from is None:
+            decision = self.admission.assess(
+                request, self.scheduler.queued_cost(), self.scheduler.queued_jobs()
+            )
+            cost = decision.cost
+            if decision.action != "admit":
+                self.metrics.counter("jobs.rejected").inc()
+                self.metrics.counter(f"tenant.{request.tenant}.rejected").inc()
+                from .server.admission import AdmissionRejected
+
+                raise AdmissionRejected(
+                    f"admission control rejected the submit ({decision.reason}; "
+                    f"cost {decision.cost:.1f} units)",
+                    retry_after=decision.retry_after,
+                    reason=decision.reason,
+                )
         with self._lock:
             if self._closed:
                 raise QymeraError("the job service has been shut down")
@@ -523,15 +669,101 @@ class JobService:
             job_id = next(self._ids)
             handle = JobHandle(job_id, request)
             handle._metrics = self.metrics
+            handle._tenant_prefix = f"tenant.{request.tenant}."
             self._jobs[job_id] = handle
-            self.metrics.counter("jobs.submitted").inc()
-            self.metrics.gauge("jobs.queue_depth").inc()
+        # Journal before enqueueing: once the scheduler can dispatch the
+        # handle, every lifecycle edge must already have somewhere durable
+        # to land.
+        if self.journal is not None:
+            handle._journal = self.journal
+            self.journal.record_submitted(job_id, request, resumed_from=resumed_from)
+        if self.scheduler is not None:
+            try:
+                self.scheduler.submit(handle, cost=cost)
+            except QymeraError as exc:
+                # Quota-rejected: the handle never escaped, drop it so the
+                # id neither lingers in lookups nor counts as accepted, and
+                # close its journal entry so replay never resurrects it.
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+                if self.journal is not None:
+                    try:
+                        self.journal.record_terminal(job_id, JOB_CANCELLED, error=f"quota: {exc}")
+                    except Exception:  # noqa: BLE001
+                        self.metrics.counter("journal.write_errors").inc()
+                self.metrics.counter("jobs.rejected").inc()
+                self.metrics.counter(f"tenant.{request.tenant}.rejected").inc()
+                raise
+            handle._on_queue_cancel = self.scheduler.remove
+        self.metrics.counter("jobs.submitted").inc()
+        self.metrics.gauge("jobs.queue_depth").inc()
+        self.metrics.counter(f"tenant.{request.tenant}.submitted").inc()
+        self.metrics.gauge(f"tenant.{request.tenant}.queued").inc()
+        with self._lock:
+            if self._closed:
+                # Shutdown raced the submit: withdraw cleanly (and close the
+                # journal entry so replay does not resurrect it).
+                self._jobs.pop(job_id, None)
+                if self.scheduler is not None:
+                    self.scheduler.remove(handle)
+                handle._transition(JOB_CANCELLED)
+                raise QymeraError("the job service has been shut down")
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers, thread_name_prefix="qymera-job"
                 )
-            handle._future = self._executor.submit(self._run_job, handle)
+            if self.scheduler is None:
+                handle._future = self._executor.submit(self._run_job, handle)
+            elif self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, name="qymera-dispatch", daemon=True
+                )
+                self._dispatcher.start()
         return handle
+
+    def _dispatch_loop(self) -> None:
+        """Feed the executor from the fair scheduler, one slot per worker.
+
+        The semaphore caps outstanding futures at ``max_workers``, so the
+        executor's internal FIFO never grows a backlog of its own — ordering
+        decisions stay with the scheduler, right up to the moment a worker
+        is actually free.
+        """
+        while True:
+            handle = self.scheduler.next_job(timeout=0.25)
+            if handle is None:
+                if self._dispatch_stop.is_set():
+                    return
+                continue
+            self._inflight.acquire()
+            with self._lock:
+                executor = self._executor
+            if executor is None:
+                # Shut down between pick and dispatch: the drain path owns
+                # queued handles, this one is ours to finalize.
+                self._inflight.release()
+                self.scheduler.on_finish(handle)
+                handle._transition(JOB_CANCELLED)
+                continue
+            with handle._condition:
+                already_cancelled = handle._cancel_requested
+            if already_cancelled:
+                self._inflight.release()
+                self.scheduler.on_finish(handle)
+                handle._transition(JOB_CANCELLED)
+                continue
+            future = executor.submit(self._run_scheduled, handle)
+            with handle._condition:
+                handle._future = future
+
+    def _run_scheduled(self, handle: JobHandle) -> None:
+        try:
+            self._run_job(handle)
+        finally:
+            self.scheduler.on_finish(handle)
+            self._inflight.release()
+            if self.admission is not None:
+                self.admission.observe_served(handle._cost_units)
 
     def _evict_terminal_locked(self) -> None:
         """Drop the oldest finished handles beyond ``max_retained_jobs``."""
@@ -548,7 +780,13 @@ class JobService:
                 excess -= 1
 
     def purge(self) -> int:
-        """Drop every finished handle now; returns how many were removed."""
+        """Drop every finished handle now; returns how many were removed.
+
+        Only *terminal* handles are ever dropped — queued and running jobs
+        survive any purge by construction (same guarantee as the per-submit
+        retention eviction).  When the service has a journal, purged jobs
+        remain answerable through :meth:`final_status`.
+        """
         with self._lock:
             terminal = [job_id for job_id, handle in self._jobs.items() if handle.status() in _TERMINAL]
             for job_id in terminal:
@@ -714,6 +952,47 @@ class JobService:
                 raise QymeraError(f"no job with id {job_id}")
             return self._jobs[job_id]
 
+    def final_status(self, job_id: int) -> dict | None:
+        """Journal-backed answer for a job whose handle is gone.
+
+        Retention eviction and :meth:`purge` drop terminal handles, but the
+        journal remembers their final state: this returns it (status,
+        completed points, error) or ``None`` when no journal is attached or
+        the id was never journaled.  The HTTP front end renders the
+        difference as ``410 Gone`` (known, pruned) vs ``404`` (never seen).
+        """
+        if self.journal is None:
+            return None
+        return self.journal.final_status(job_id)
+
+    def replay_journal(self) -> list[JobHandle]:
+        """Re-enqueue every incomplete job the journal recorded.
+
+        Called once at startup by a restarted server: grid jobs resume at
+        their first unfinished point (the journal's ``point`` records prove
+        what is already computed), single-point jobs re-run whole.  Returns
+        the new handles, linked to their originals via the journal's
+        ``resumed_from`` field.  Jobs whose payload was not serializable are
+        counted in ``jobs.replay_skipped`` and left terminal-less in the
+        old journal generation.
+        """
+        if self.journal is None:
+            raise QymeraError("replay needs a journal-backed service")
+        handles = []
+        for plan in self.journal.replay_plan():
+            if plan["request"] is None:
+                self.metrics.counter("jobs.replay_skipped").inc()
+                continue
+            handle = self._submit_request(plan["request"], resumed_from=plan["job_id"])
+            # Close the original entry so a second restart replays the
+            # resumed job's own journal state, not the stale original again.
+            self.journal.record_terminal(
+                plan["job_id"], JOB_CANCELLED, error=f"superseded by replay job {handle.job_id}"
+            )
+            handles.append(handle)
+            self.metrics.counter("jobs.replayed").inc()
+        return handles
+
     def poll(self, job_id: int) -> dict:
         """Progress snapshot of one job (see :meth:`JobHandle.poll`)."""
         return self.job(job_id).poll()
@@ -745,27 +1024,69 @@ class JobService:
                 "points": self._process_points,
                 "fallbacks": self._process_fallbacks,
             }
-        return {
+        stats = {
             "jobs": by_status,
             "pool": self.pool.stats(),
             "process_tier": process_tier,
             "metrics": self.metrics.snapshot(),
         }
+        if self.scheduler is not None:
+            stats["scheduler"] = self.scheduler.snapshot()
+        if self.admission is not None:
+            stats["admission"] = self.admission.stats()
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        return stats
 
     # -------------------------------------------------------------- lifetime
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running jobs."""
+    def shutdown(self, wait: bool = True, drain_timeout: float | None = None) -> None:
+        """Stop accepting work and wind the service down in order.
+
+        Queued (never-started) jobs are cancelled immediately; running jobs
+        drain — forever with ``wait=True`` and no deadline, or up to
+        ``drain_timeout`` seconds, after which they get a cancel request
+        (grid jobs stop at their next point boundary) and the executor
+        teardown collects them.  The journal is flushed after the last
+        lifecycle record, and a service-owned engine pool is closed so a
+        release racing the shutdown discards its lease instead of leaking
+        it into a pool nobody drains.
+        """
         with self._lock:
             executor = self._executor
             process_executor = self._process_executor
             self._executor = None
             self._process_executor = None
             self._closed = True
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+        if self.scheduler is not None:
+            self._dispatch_stop.set()
+            for handle in self.scheduler.drain():
+                handle._transition(JOB_CANCELLED)
+            self.scheduler.close()
+            if dispatcher is not None:
+                dispatcher.join(timeout=10.0)
+        if wait:
+            deadline = None if drain_timeout is None else time.monotonic() + drain_timeout
+            for handle in self.jobs():
+                if deadline is None:
+                    handle.wait(None)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not handle.wait(remaining):
+                    handle.cancel()
         if executor is not None:
             executor.shutdown(wait=wait)
         if process_executor is not None:
             process_executor.shutdown(wait=wait)
+        if self.journal is not None:
+            try:
+                self.journal.flush()
+            except Exception:  # noqa: BLE001 — shutdown must complete regardless
+                self.metrics.counter("journal.write_errors").inc()
+        if self._owns_pool:
+            self.pool.close()
 
     def __enter__(self) -> "JobService":
         return self

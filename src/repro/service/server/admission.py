@@ -1,0 +1,237 @@
+"""Cost-model-backed admission control: queue when fair, reject before melting.
+
+Quotas (scheduler.py) protect tenants from each other; admission control
+protects the *service* from its aggregate backlog.  Every submit is priced
+in cost units by a :class:`CostEstimator` — grid jobs cost their full fan
+out — and compared against the cost already queued: under the ceiling the
+job is admitted into the fair queue, over it the submit is rejected with a
+``retry_after`` derived from the observed service rate, so clients back
+off instead of piling onto a melting server.
+
+For memdb-backed jobs the default estimator is genuinely optimizer-backed:
+the circuit is translated to its CTE chain once per structure, parsed with
+the engine's parser, and priced by the optimizer's
+:class:`~repro.backends.memdb.optimizer.cost.CostModel` cardinality
+estimates (``estimate_select_input_rows`` per block, CTE outputs chained
+via ``set_derived_rows`` exactly like the planner does).  Structures are
+memoized, so pricing a sweep's thousandth submit is a dict lookup.  Other
+methods — and any translation/parse failure — fall back to a structural
+estimate (gates x points, scaled by state width).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...errors import QymeraError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..jobs import JobRequest
+
+#: Admission outcomes.
+ADMIT = "admit"
+REJECT = "reject"
+
+
+class AdmissionRejected(QymeraError):
+    """The service declined a submit; carries the client's backoff hint."""
+
+    def __init__(self, message: str, retry_after: float = 1.0, reason: str = "overload") -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    action: str
+    cost: float
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+class StructuralCostEstimator:
+    """Method-agnostic cost proxy: work scales with gates, points and width."""
+
+    def estimate(self, request: "JobRequest") -> float:
+        circuit = request.circuit
+        gates = max(1, len(circuit.instructions))
+        # Wide circuits touch exponentially more state rows; clamp the
+        # exponent so a 30-qubit submit prices as "very expensive", not inf.
+        width_factor = 1.0 + min(circuit.num_qubits, 16) / 8.0
+        return float(request.total_points) * gates * width_factor
+
+
+class MemdbCostEstimator(StructuralCostEstimator):
+    """Optimizer-backed pricing for memdb jobs, structural fallback otherwise.
+
+    One circuit *structure* (the translated CTE text — parameter values do
+    not change it) is priced once and memoized; the estimate sums
+    ``log2(1 + estimated_input_rows)`` per block — the same quantity EXPLAIN
+    prints as ``est_rows``, log-scaled because UES upper bounds compound
+    multiplicatively over a deep CTE chain (a 30-block chain estimates
+    astronomically many rows; what admission needs is a monotone, bounded
+    work ranking, which the per-block log sum is).
+    """
+
+    def __init__(self, max_cached_structures: int = 256) -> None:
+        self._max_cached = int(max_cached_structures)
+        self._cache: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._plan_priced = 0
+        self._fallbacks = 0
+
+    def estimate(self, request: "JobRequest") -> float:
+        if request.method != "memdb":
+            return super().estimate(request)
+        per_point = self._per_point_units(request)
+        if per_point is None:
+            with self._lock:
+                self._fallbacks += 1
+            return super().estimate(request)
+        return per_point * float(request.total_points)
+
+    def _per_point_units(self, request: "JobRequest") -> float | None:
+        try:
+            from ...backends.memdb_backend import MemDBBackend
+
+            translation = MemDBBackend(**dict(request.options)).translate(request.circuit)
+            query = translation.cte_query(pretty=False)
+        except Exception:
+            return None
+        with self._lock:
+            cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        units = self._price_query(query)
+        if units is None:
+            return None
+        with self._lock:
+            if len(self._cache) >= self._max_cached:
+                self._cache.clear()
+            self._cache[query] = units
+            self._plan_priced += 1
+        return units
+
+    def _price_query(self, query: str) -> float | None:
+        try:
+            from ...backends.memdb.ast_nodes import Select, WithSelect
+            from ...backends.memdb.optimizer.cost import CostModel
+            from ...backends.memdb.parser import parse_one
+
+            statement = parse_one(query)
+            model = CostModel()
+            units = 0.0
+            if isinstance(statement, WithSelect):
+                for cte in statement.ctes:
+                    units += math.log2(1.0 + model.estimate_select_input_rows(cte.query))
+                    model.set_derived_rows(cte.name, model.estimate_select_rows(cte.query))
+                units += math.log2(1.0 + model.estimate_select_input_rows(statement.query))
+            elif isinstance(statement, Select):
+                units = math.log2(1.0 + model.estimate_select_input_rows(statement))
+            else:
+                return None
+            return max(1.0, units)
+        except Exception:
+            return None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "estimator": "memdb-cost-model",
+                "structures_cached": len(self._cache),
+                "plan_priced": self._plan_priced,
+                "fallbacks": self._fallbacks,
+            }
+
+
+class AdmissionController:
+    """Decides admit-vs-reject per submit against the queued-cost ceiling.
+
+    Parameters
+    ----------
+    max_queued_cost:
+        Total cost units allowed to wait in the fair queues; a submit that
+        would push the backlog past this is rejected.  ``None`` disables
+        cost-based rejection (quotas still apply).
+    max_queued_jobs:
+        Coarse job-count ceiling on the backlog, independent of cost.
+    estimator:
+        Prices each request; defaults to :class:`MemdbCostEstimator`.
+    min_retry_after:
+        Floor for the backoff hint returned with rejections.
+    """
+
+    def __init__(
+        self,
+        max_queued_cost: float | None = None,
+        max_queued_jobs: int | None = None,
+        estimator: StructuralCostEstimator | None = None,
+        min_retry_after: float = 0.25,
+    ) -> None:
+        if max_queued_cost is not None and max_queued_cost <= 0:
+            raise QymeraError("max_queued_cost must be positive when given")
+        if max_queued_jobs is not None and max_queued_jobs < 1:
+            raise QymeraError("max_queued_jobs must be positive when given")
+        self.max_queued_cost = max_queued_cost
+        self.max_queued_jobs = max_queued_jobs
+        self.estimator = estimator if estimator is not None else MemdbCostEstimator()
+        self.min_retry_after = float(min_retry_after)
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+        self._served_cost = 0.0
+        self._service_started = time.monotonic()
+
+    def assess(self, request: "JobRequest", queued_cost: float, queued_jobs: int) -> AdmissionDecision:
+        """Price the request and decide against the current backlog."""
+        cost = self.estimator.estimate(request)
+        if self.max_queued_jobs is not None and queued_jobs >= self.max_queued_jobs:
+            retry = self._retry_after(queued_cost)
+            with self._lock:
+                self._rejected += 1
+            return AdmissionDecision(REJECT, cost, reason="queue full", retry_after=retry)
+        if self.max_queued_cost is not None and queued_cost + cost > self.max_queued_cost:
+            retry = self._retry_after(queued_cost + cost - self.max_queued_cost)
+            with self._lock:
+                self._rejected += 1
+            return AdmissionDecision(REJECT, cost, reason="cost ceiling", retry_after=retry)
+        with self._lock:
+            self._admitted += 1
+        return AdmissionDecision(ADMIT, cost)
+
+    def observe_served(self, cost: float) -> None:
+        """Record completed work so ``retry_after`` tracks real throughput."""
+        with self._lock:
+            self._served_cost += max(0.0, float(cost))
+
+    def _retry_after(self, excess_cost: float) -> float:
+        """Backoff hint: how long draining ``excess_cost`` should take.
+
+        Uses the observed lifetime service rate (cost units per second); a
+        cold controller falls back to the floor.
+        """
+        with self._lock:
+            elapsed = max(1e-6, time.monotonic() - self._service_started)
+            rate = self._served_cost / elapsed
+        if rate <= 0:
+            return max(self.min_retry_after, 1.0)
+        return max(self.min_retry_after, excess_cost / rate)
+
+    def stats(self) -> dict:
+        with self._lock:
+            stats = {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "served_cost": round(self._served_cost, 6),
+                "max_queued_cost": self.max_queued_cost,
+                "max_queued_jobs": self.max_queued_jobs,
+            }
+        estimator_stats = getattr(self.estimator, "stats", None)
+        if estimator_stats is not None:
+            stats["estimator"] = estimator_stats()
+        return stats

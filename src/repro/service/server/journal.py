@@ -1,0 +1,334 @@
+"""Durable append-only job journal (JSONL) with restart replay.
+
+The serving tier's durability story is one file of one-line JSON records:
+every job the service accepts appends a ``submitted`` record carrying the
+full request payload (circuit document, method, options, parameter grid,
+tenant, and a content fingerprint), every lifecycle edge appends a
+``started`` / ``point`` / terminal record, and a restarted server calls
+:meth:`JobJournal.replay_plan` to find the jobs that never reached a
+terminal state — re-enqueueing only the grid points that have no ``point``
+record yet, so completed work is never recomputed.
+
+Appends happen under one lock in arrival order, so the journal is also the
+ground truth for the "zero dropped records" serving invariant: after a
+clean shutdown every ``submitted`` id has a matching terminal record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ...errors import QymeraError
+from ...io.json_io import circuit_from_dict, circuit_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..jobs import JobRequest
+
+#: Journal record events.
+EVENT_SUBMITTED = "submitted"
+EVENT_STARTED = "started"
+EVENT_POINT = "point"
+EVENT_DONE = "done"
+EVENT_ERROR = "error"
+EVENT_CANCELLED = "cancelled"
+
+_TERMINAL_EVENTS = frozenset({EVENT_DONE, EVENT_ERROR, EVENT_CANCELLED})
+
+
+def request_fingerprint(payload: dict) -> str:
+    """Content hash of a serialized request (stable across restarts)."""
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def serialize_request(request: "JobRequest") -> dict | None:
+    """Render a :class:`JobRequest` as a replayable JSON document.
+
+    Returns ``None`` when the request cannot survive a JSON round trip
+    (non-JSON-able options, circuits with compound parameter expressions):
+    such jobs are journaled with ``payload: null`` — their lifecycle is
+    still auditable, they just cannot be re-enqueued by replay.
+    """
+    try:
+        payload = {
+            "circuit": circuit_to_dict(request.circuit),
+            "method": request.method,
+            "options": dict(request.options),
+            "params": dict(request.params) if request.params is not None else None,
+            "param_grid": (
+                [dict(point) for point in request.param_grid]
+                if request.param_grid is not None
+                else None
+            ),
+            "tag": request.tag,
+            "tenant": request.tenant,
+        }
+        json.dumps(payload)  # options may hold arbitrary objects
+    except (TypeError, ValueError, QymeraError):
+        return None
+    return payload
+
+
+def deserialize_request(payload: dict) -> "JobRequest":
+    """Rebuild a :class:`JobRequest` from a journaled payload."""
+    from ..jobs import JobRequest  # deferred: jobs.py imports this module
+
+    return JobRequest(
+        circuit=circuit_from_dict(payload["circuit"]),
+        method=payload.get("method", "memdb"),
+        options=payload.get("options") or {},
+        params=payload.get("params"),
+        param_grid=payload.get("param_grid"),
+        tag=payload.get("tag", ""),
+        tenant=payload.get("tenant", "default"),
+    )
+
+
+class JournalEntry:
+    """Folded per-job state reconstructed from a journal scan."""
+
+    __slots__ = ("job_id", "tenant", "fingerprint", "status", "completed_points",
+                 "total_points", "payload", "error", "resumed_from")
+
+    def __init__(self, job_id: int) -> None:
+        self.job_id = job_id
+        self.tenant = "default"
+        self.fingerprint = ""
+        self.status = "submitted"
+        self.completed_points = 0
+        self.total_points = 1
+        self.payload: dict | None = None
+        self.error = ""
+        self.resumed_from: int | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL_EVENTS
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "completed_points": self.completed_points,
+            "total_points": self.total_points,
+            "error": self.error,
+            "replayable": self.payload is not None,
+        }
+
+
+class JobJournal:
+    """Append-only JSONL journal of every job lifecycle edge.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) on first append.  An existing
+        file is scanned once at construction so :meth:`final_status` can
+        answer for jobs from previous incarnations immediately.
+    fsync:
+        When True every terminal record is fsynced — survives the *host*
+        dying, at a per-job syscall cost.  The default flushes Python's
+        buffer per record (survives the process dying), which is the
+        mid-sweep-kill contract the replay test exercises.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._file = None
+        self._entries: dict[int, JournalEntry] = {}
+        self._records_written = 0
+        if self.path.exists():
+            for record in self._scan():
+                self._fold(record)
+
+    # ----------------------------------------------------------- appending
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(json.dumps(record, default=repr) + "\n")
+            self._file.flush()
+            if self.fsync and record.get("event") in _TERMINAL_EVENTS:
+                os.fsync(self._file.fileno())
+            self._records_written += 1
+            self._fold(record)
+
+    def record_submitted(
+        self, job_id: int, request: "JobRequest", resumed_from: int | None = None
+    ) -> str:
+        """Journal an accepted job; returns its request fingerprint."""
+        payload = serialize_request(request)
+        fingerprint = request_fingerprint(payload) if payload is not None else ""
+        record = {
+            "event": EVENT_SUBMITTED,
+            "job_id": job_id,
+            "tenant": request.tenant,
+            "fingerprint": fingerprint,
+            "total_points": request.total_points,
+            "payload": payload,
+            "ts": time.time(),
+        }
+        if resumed_from is not None:
+            record["resumed_from"] = resumed_from
+        self._append(record)
+        return fingerprint
+
+    def record_started(self, job_id: int) -> None:
+        self._append({"event": EVENT_STARTED, "job_id": job_id, "ts": time.time()})
+
+    def record_point(self, job_id: int, index: int) -> None:
+        """One grid point finished (``index`` is its position in the grid)."""
+        self._append({"event": EVENT_POINT, "job_id": job_id, "index": index, "ts": time.time()})
+
+    def record_terminal(self, job_id: int, status: str, error: str = "") -> None:
+        if status not in _TERMINAL_EVENTS:
+            raise QymeraError(f"{status!r} is not a terminal journal event")
+        record = {"event": status, "job_id": job_id, "ts": time.time()}
+        if error:
+            record["error"] = error
+        self._append(record)
+
+    # ------------------------------------------------------------- folding
+
+    def _fold(self, record: dict) -> None:
+        event = record.get("event")
+        job_id = record.get("job_id")
+        if event is None or job_id is None:
+            return
+        entry = self._entries.get(job_id)
+        if entry is None:
+            entry = self._entries[job_id] = JournalEntry(int(job_id))
+        if event == EVENT_SUBMITTED:
+            entry.tenant = record.get("tenant", "default")
+            entry.fingerprint = record.get("fingerprint", "")
+            entry.total_points = int(record.get("total_points", 1))
+            entry.payload = record.get("payload")
+            entry.resumed_from = record.get("resumed_from")
+        elif event == EVENT_STARTED:
+            entry.status = EVENT_STARTED
+        elif event == EVENT_POINT:
+            entry.completed_points += 1
+        elif event in _TERMINAL_EVENTS:
+            entry.status = event
+            entry.error = record.get("error", "")
+
+    def _scan(self) -> Iterator[dict]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line is expected after a hard kill; every
+                    # complete record before it is still recovered.
+                    continue
+
+    # ------------------------------------------------------------- queries
+
+    def entries(self) -> list[JournalEntry]:
+        """Folded per-job states, submission order."""
+        with self._lock:
+            return [self._entries[job_id] for job_id in sorted(self._entries)]
+
+    def final_status(self, job_id: int) -> dict | None:
+        """Last known state of a job, or ``None`` if this journal never saw it.
+
+        This is what lets the HTTP layer answer ``410 Gone`` (with the final
+        status) for handles the service has pruned, instead of ``404``.
+        """
+        with self._lock:
+            entry = self._entries.get(job_id)
+            return entry.to_dict() if entry is not None else None
+
+    def incomplete(self) -> list[JournalEntry]:
+        """Jobs with no terminal record (crashed or killed mid-flight)."""
+        return [entry for entry in self.entries() if not entry.terminal]
+
+    def replay_plan(self) -> list[dict]:
+        """What a restarted server should re-enqueue.
+
+        One plan per incomplete *replayable* job: the rebuilt
+        :class:`JobRequest` narrowed to the grid points that have no
+        ``point`` record (grid jobs complete in order on both tiers, so the
+        completed prefix length identifies them), plus bookkeeping for the
+        ``resumed_from`` journal link.  Jobs whose payload was not
+        serializable are reported with ``request=None`` so callers can log
+        the loss instead of silently dropping it.
+        """
+        plans = []
+        for entry in self.incomplete():
+            if entry.payload is None:
+                plans.append({
+                    "job_id": entry.job_id,
+                    "request": None,
+                    "skip_points": entry.completed_points,
+                    "reason": "payload was not serializable",
+                })
+                continue
+            request = deserialize_request(entry.payload)
+            skip = entry.completed_points
+            if request.param_grid is not None and skip:
+                remaining = list(request.param_grid)[skip:]
+                if not remaining:
+                    # Every point finished but the terminal record was lost
+                    # to the kill: nothing to recompute.
+                    continue
+                request.param_grid = remaining
+            plans.append({
+                "job_id": entry.job_id,
+                "request": request,
+                "skip_points": skip,
+                "reason": "",
+            })
+        return plans
+
+    def stats(self) -> dict:
+        with self._lock:
+            entries = list(self._entries.values())
+            written = self._records_written
+        by_status: dict[str, int] = {}
+        for entry in entries:
+            by_status[entry.status] = by_status.get(entry.status, 0) + 1
+        return {
+            "path": str(self.path),
+            "records_written": written,
+            "jobs": len(entries),
+            "by_status": by_status,
+            "incomplete": sum(1 for entry in entries if not entry.terminal),
+        }
+
+    # ------------------------------------------------------------ lifetime
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,190 @@
+"""Graceful-shutdown and engine-pool lease tests for the serving tier.
+
+The serving contract under shutdown: queued jobs are cancelled, running
+jobs get the drain deadline then a cancel request, the journal ends with a
+terminal record for every submitted id, and EnginePool leases never leak —
+a job racing the close always gets to release (the release lands in the
+discard path), and acquire-after-close fails loudly instead of minting
+instances nobody will reap.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.circuits import ghz_circuit, hardware_efficient_ansatz
+from repro.errors import QymeraError
+from repro.service import EnginePool, JobService
+from repro.service.server import FairScheduler, JobJournal, ShardedEnginePool
+
+_PARAMS = [f"theta[{i}]" for i in range(6)]
+_LONG_GRID = [{name: round(0.02 * k, 3) for name in _PARAMS} for k in range(1, 41)]
+
+
+def _ansatz():
+    return hardware_efficient_ansatz(3, rotation_gates=("ry",))
+
+
+class TestEnginePoolClose:
+    def test_release_after_close_discards_instead_of_pooling(self):
+        pool = EnginePool()
+        key, instance = pool.acquire("statevector", {})
+        pool.close()
+        pool.release(key, instance)  # must not raise, must not resurrect idle
+        stats = pool.stats()
+        assert stats["closed"] is True
+        assert stats["idle"] == {} or not any(stats["idle"].values())
+        assert stats["discarded_on_close"] == 1
+
+    def test_acquire_after_close_raises(self):
+        pool = EnginePool()
+        pool.close()
+        with pytest.raises(QymeraError):
+            pool.acquire("statevector", {})
+
+    def test_close_drops_idle_and_is_idempotent(self):
+        pool = EnginePool()
+        key, instance = pool.acquire("statevector", {})
+        pool.release(key, instance)
+        pool.close()
+        pool.close()
+        assert pool.stats()["discarded_on_close"] == 1
+
+    def test_concurrent_acquire_release_racing_close_never_leaks(self):
+        """Stress the lease contract: N threads lease/release while the pool
+        closes mid-flight.  Every lease must end released-or-discarded and
+        no thread may die on anything but the documented closed error."""
+        pool = EnginePool(max_idle_per_key=2)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+        leases = {"taken": 0, "returned": 0}
+        lock = threading.Lock()
+
+        def worker():
+            while not stop.is_set():
+                try:
+                    key, instance = pool.acquire("statevector", {})
+                except QymeraError:
+                    return  # pool closed: the only acceptable refusal
+                except BaseException as exc:  # noqa: BLE001 — recorded for the assert
+                    failures.append(exc)
+                    return
+                with lock:
+                    leases["taken"] += 1
+                pool.release(key, instance)
+                with lock:
+                    leases["returned"] += 1
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        pool.close()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not failures
+        assert all(not thread.is_alive() for thread in threads)
+        # Every taken lease came back (released or discarded-on-close).
+        assert leases["taken"] == leases["returned"]
+        assert not any(pool.stats()["idle"].values())
+
+    def test_sharded_pool_close_covers_every_shard(self):
+        pool = ShardedEnginePool(shards=3)
+        lease_key, instance = pool.acquire("statevector", {})
+        pool.close()
+        pool.release(lease_key, instance)  # discard path, no raise
+        with pytest.raises(QymeraError):
+            pool.acquire("statevector", {})
+        stats = pool.stats()
+        assert stats["closed"] is True
+        assert stats["discarded_on_close"] == 1
+
+
+class TestGracefulShutdown:
+    def test_shutdown_cancels_queued_and_journals_everything(self, tmp_path):
+        scheduler = FairScheduler()
+        journal_path = tmp_path / "j.journal"
+        service = JobService(
+            max_workers=1, scheduler=scheduler, journal=JobJournal(journal_path)
+        )
+        # One long sweep occupies the worker; the rest are queued.
+        handles = [
+            service.submit(circuit=_ansatz(), method="memdb", param_grid=_LONG_GRID)
+        ]
+        handles.extend(
+            service.submit(circuit=ghz_circuit(2), method="statevector")
+            for _ in range(5)
+        )
+        service.shutdown(wait=True, drain_timeout=0.5)
+        for handle in handles:
+            assert handle.status() in ("done", "cancelled", "error")
+        # Zero dropped records: every submitted id reached a terminal record.
+        journal = JobJournal(journal_path)
+        assert len(journal.entries()) == len(handles)
+        assert journal.incomplete() == []
+
+    def test_drain_deadline_bounds_shutdown_of_a_running_sweep(self):
+        service = JobService(max_workers=1, scheduler=FairScheduler())
+        handle = service.submit(circuit=_ansatz(), method="memdb", param_grid=_LONG_GRID)
+        # Let it start, then shut down with a short drain window.
+        deadline = time.monotonic() + 10.0
+        while handle.status() == "queued" and time.monotonic() < deadline:
+            time.sleep(0.005)
+        started = time.monotonic()
+        service.shutdown(wait=True, drain_timeout=0.25)
+        elapsed = time.monotonic() - started
+        assert elapsed < 8.0, f"shutdown took {elapsed:.1f}s against a 0.25s drain deadline"
+        assert handle.status() in ("cancelled", "done")
+        if handle.status() == "cancelled":
+            assert handle.poll()["completed_points"] < len(_LONG_GRID)
+
+    def test_submits_racing_shutdown_never_strand_a_job(self, tmp_path):
+        journal_path = tmp_path / "j.journal"
+        service = JobService(
+            max_workers=2, scheduler=FairScheduler(), journal=JobJournal(journal_path)
+        )
+        accepted: list = []
+        lock = threading.Lock()
+
+        def submitter():
+            for _ in range(20):
+                try:
+                    handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+                except QymeraError:
+                    return  # service closed: the documented refusal
+                with lock:
+                    accepted.append(handle)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        service.shutdown(wait=True, drain_timeout=5.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert all(not thread.is_alive() for thread in threads)
+        # Every accepted handle reached a terminal state...
+        for handle in accepted:
+            assert handle.status() in ("done", "cancelled", "error")
+        # ...and the journal agrees (no stranded incomplete entries).
+        journal = JobJournal(journal_path)
+        assert journal.incomplete() == []
+
+    def test_shutdown_closes_an_owned_pool(self):
+        service = JobService(max_workers=1)
+        handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+        handle.result(timeout=30)
+        pool = service.pool
+        service.shutdown(wait=True)
+        assert pool.closed is True
+
+    def test_shutdown_leaves_a_shared_pool_open(self):
+        shared = EnginePool()
+        service = JobService(max_workers=1, pool=shared)
+        handle = service.submit(circuit=ghz_circuit(2), method="statevector")
+        handle.result(timeout=30)
+        service.shutdown(wait=True)
+        assert shared.closed is False
+        shared.close()

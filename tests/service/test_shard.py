@@ -1,0 +1,106 @@
+"""Tests for consistent-hash engine-pool sharding and the tenant report table."""
+
+import pytest
+
+from repro.errors import BenchmarkError, QymeraError
+from repro.bench import tenant_table
+from repro.circuits import ghz_circuit
+from repro.service import JobService
+from repro.service.server import ConsistentHashRing, ShardedEnginePool
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic(self):
+        ring = ConsistentHashRing(4)
+        again = ConsistentHashRing(4)
+        for key in ("memdb|()", "statevector|()", "sparse|(('threshold', 0.1),)"):
+            assert ring.node_for(key) == again.node_for(key)
+
+    def test_keys_spread_across_nodes(self):
+        ring = ConsistentHashRing(4, replicas=128)
+        owners = {ring.node_for(f"key:{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_resize_moves_a_minority_of_keys(self):
+        """The consistent-hashing property: going 4 -> 5 nodes remaps only a
+        fraction of keys, not (n-1)/n of them like modulo hashing would."""
+        keys = [f"key:{i}" for i in range(1000)]
+        before = ConsistentHashRing(4, replicas=128)
+        after = ConsistentHashRing(5, replicas=128)
+        moved = sum(1 for key in keys if before.node_for(key) != after.node_for(key))
+        assert moved < 500  # ~1/5 expected; far below the 4/5 modulo would move
+
+    def test_validates_arguments(self):
+        with pytest.raises(QymeraError):
+            ConsistentHashRing(0)
+        with pytest.raises(QymeraError):
+            ConsistentHashRing(2, replicas=0)
+
+
+class TestShardedEnginePool:
+    def test_same_workload_shape_lands_on_the_same_shard(self):
+        pool = ShardedEnginePool(shards=4)
+        first = pool.shard_for("memdb", {})
+        assert all(pool.shard_for("memdb", {}) == first for _ in range(5))
+        key_a, engine_a = pool.acquire("memdb", {})
+        pool.release(key_a, engine_a)
+        key_b, engine_b = pool.acquire("memdb", {})
+        assert key_b == key_a  # same shard, same inner key...
+        assert engine_b is engine_a  # ...and the warm engine is re-leased
+        pool.release(key_b, engine_b)
+        pool.close()
+
+    def test_distinct_options_may_route_to_distinct_shards(self):
+        pool = ShardedEnginePool(shards=8, replicas=128)
+        shards = {
+            pool.shard_for("memdb", {"optimize": flag}) for flag in (True, False)
+        } | {pool.shard_for(method, {}) for method in ("memdb", "statevector", "sparse")}
+        assert len(shards) > 1
+        pool.close()
+
+    def test_stats_roll_up_counts_all_shards(self):
+        pool = ShardedEnginePool(shards=2)
+        key, engine = pool.acquire("statevector", {})
+        pool.release(key, engine)
+        key, engine = pool.acquire("statevector", {})
+        pool.release(key, engine)
+        stats = pool.stats()
+        assert stats["created"] == 1 and stats["reused"] == 1
+        assert len(stats["shards"]) == 2
+        pool.close()
+
+    def test_drop_in_for_job_service(self):
+        service = JobService(max_workers=2, pool=ShardedEnginePool(shards=2))
+        try:
+            handle = service.submit(circuit=ghz_circuit(3), method="memdb")
+            result = handle.result(timeout=30)
+            assert result.state.num_nonzero == 2
+            assert service.stats()["pool"]["created"] >= 1
+        finally:
+            service.shutdown(wait=True)
+            service.pool.close()
+
+
+class TestTenantTable:
+    def test_collates_per_tenant_instruments(self):
+        service = JobService(max_workers=2)
+        try:
+            for tenant in ("alice", "bob", "alice"):
+                service.submit(
+                    circuit=ghz_circuit(2), method="statevector", tenant=tenant
+                ).result(timeout=30)
+            table = tenant_table(service.metrics.snapshot())
+        finally:
+            service.shutdown(wait=True)
+        assert "alice" in table and "bob" in table
+        lines = [line for line in table.splitlines() if line.startswith("alice")]
+        (alice_row,) = lines
+        cells = [cell.strip() for cell in alice_row.split("|")]
+        assert cells[1] == "2"  # submitted
+        assert cells[3] == "2"  # done
+
+    def test_rejects_snapshots_without_tenants(self):
+        with pytest.raises(BenchmarkError):
+            tenant_table({"counters": {"jobs.done": 3}, "gauges": {}, "histograms": {}})
+        with pytest.raises(BenchmarkError):
+            tenant_table({})
