@@ -86,6 +86,47 @@ class CaseExpression(Expression):
 
 
 @dataclass(frozen=True)
+class FrameBound:
+    """One endpoint of a ROWS frame.
+
+    ``kind`` is one of ``unbounded_preceding``, ``preceding``, ``current``,
+    ``following`` or ``unbounded_following``; ``offset`` is set only for the
+    bounded ``preceding`` / ``following`` kinds.
+    """
+
+    kind: str
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The ``OVER (...)`` clause of a window function.
+
+    ``frame`` is None for the SQL default frame (with ORDER BY: RANGE
+    UNBOUNDED PRECEDING .. CURRENT ROW including peers; without: the whole
+    partition).
+    """
+
+    partition_by: tuple[Expression, ...] = ()
+    order_by: tuple["OrderItem", ...] = ()
+    frame: Optional[tuple[FrameBound, FrameBound]] = None
+
+
+@dataclass(frozen=True)
+class WindowFunction(Expression):
+    """``fn(args) OVER (PARTITION BY ... ORDER BY ... [ROWS ...])``.
+
+    Deliberately distinct from :class:`FunctionCall` so aggregate detection
+    and rewrite rules never mistake a window call for a plain aggregate.
+    """
+
+    name: str
+    arguments: tuple[Expression, ...]
+    spec: WindowSpec
+    is_star: bool = False
+
+
+@dataclass(frozen=True)
 class IsNull(Expression):
     """``expr IS [NOT] NULL``."""
 
@@ -173,19 +214,35 @@ class Select:
 
 
 @dataclass(frozen=True)
+class CompoundSelect:
+    """``select UNION [ALL] select`` — only valid as a CTE body.
+
+    In a ``WITH RECURSIVE`` entry, ``left`` is the base term and ``right``
+    the recursive term; in a plain CTE the two branches are simply
+    concatenated (with duplicate elimination for ``UNION``).
+    """
+
+    left: Select
+    right: Select
+    all: bool = False
+
+
+@dataclass(frozen=True)
 class CommonTableExpression:
-    """One ``name AS (SELECT ...)`` entry of a WITH clause."""
+    """One ``name [(col, ...)] AS (SELECT ...)`` entry of a WITH clause."""
 
     name: str
-    query: Select
+    query: Select | CompoundSelect
+    columns: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
 class WithSelect:
-    """``WITH cte [, cte ...] SELECT ...``."""
+    """``WITH [RECURSIVE] cte [, cte ...] SELECT ...``."""
 
     ctes: tuple[CommonTableExpression, ...]
     query: Select
+    recursive: bool = False
 
 
 @dataclass(frozen=True)

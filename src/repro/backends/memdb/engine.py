@@ -43,7 +43,12 @@ from .ast_nodes import (
     UnaryOp,
     WithSelect,
 )
-from .executor import ExpressionEvaluator, QueryResult, SelectExecutor
+from .executor import (
+    DEFAULT_RECURSION_LIMIT,
+    ExpressionEvaluator,
+    QueryResult,
+    SelectExecutor,
+)
 from .optimizer import (
     ActualRun,
     Optimizer,
@@ -469,8 +474,15 @@ class MemDatabase:
         enable_dict_encoding: bool | None = None,
         enable_tracing: bool | None = None,
         tracer: Tracer | None = None,
+        recursion_limit: int | None = None,
     ) -> None:
         self._tables: dict[str, Table] = {}
+        #: Iteration cap for WITH RECURSIVE fixpoints (interpreter and
+        #: compiled plans share it); a diverging UNION ALL raises instead of
+        #: hanging once the cap is reached.
+        self.recursion_limit = (
+            DEFAULT_RECURSION_LIMIT if recursion_limit is None else int(recursion_limit)
+        )
         self.enable_dict_encoding = (
             dict_encoding_default() if enable_dict_encoding is None else bool(enable_dict_encoding)
         )
@@ -939,7 +951,13 @@ class MemDatabase:
         if isinstance(plan, CompiledCreateTableAs):
             return self._run_compiled_create(plan, trace=trace, pool=pool, tracer=tracer)
         return self._materialize(
-            *plan.execute(self._tables, trace=trace, pool=pool, tracer=tracer)
+            *plan.execute(
+                self._tables,
+                trace=trace,
+                pool=pool,
+                tracer=tracer,
+                recursion_limit=self.recursion_limit,
+            )
         )
 
     # ------------------------------------------------- adaptive re-planning
@@ -949,7 +967,12 @@ class MemDatabase:
         """Label -> Select for every traced block of a plannable statement."""
         query = statement.query if isinstance(statement, CreateTableAs) else statement
         if isinstance(query, WithSelect):
-            blocks = {cte.name: cte.query for cte in query.ctes}
+            # UNION [ALL] (possibly recursive) CTE bodies are not single
+            # Selects; adaptive feedback re-plans them on a misestimate but
+            # never records a shape correction for them.
+            blocks = {
+                cte.name: cte.query for cte in query.ctes if isinstance(cte.query, Select)
+            }
             blocks["main"] = query.query
             return blocks
         if isinstance(query, Select):
@@ -1083,7 +1106,7 @@ class MemDatabase:
     # --------------------------------------------------------------- handlers
 
     def _run_query(self, statement: Select | WithSelect) -> QueryResult:
-        executor = SelectExecutor(self._tables)
+        executor = SelectExecutor(self._tables, recursion_limit=self.recursion_limit)
         names, columns = executor.execute(statement)
         return self._materialize(names, columns)
 
@@ -1109,7 +1132,13 @@ class MemDatabase:
     ) -> QueryResult:
         if plan.name in self._tables:
             raise SQLExecutionError(f"table {plan.name!r} already exists")
-        names, columns = plan.script.execute(self._tables, trace=trace, pool=pool, tracer=tracer)
+        names, columns = plan.script.execute(
+            self._tables,
+            trace=trace,
+            pool=pool,
+            tracer=tracer,
+            recursion_limit=self.recursion_limit,
+        )
         self._tables[plan.name] = Table(
             plan.name,
             {name: columns[name] for name in names},
@@ -1131,7 +1160,7 @@ class MemDatabase:
     def _create_table_as(self, statement: CreateTableAs) -> QueryResult:
         if statement.name in self._tables:
             raise SQLExecutionError(f"table {statement.name!r} already exists")
-        executor = SelectExecutor(self._tables)
+        executor = SelectExecutor(self._tables, recursion_limit=self.recursion_limit)
         names, columns = executor.execute(statement.query)
         self._tables[statement.name] = Table(
             statement.name,
@@ -1230,6 +1259,7 @@ class MemDatabase:
             self._tables,
             trace=lambda label, rows: cardinalities.append((label, rows)),
             pool=self.worker_pool(),
+            recursion_limit=self.recursion_limit,
         )
         rowcount = len(next(iter(columns.values()))) if columns else 0
         return cardinalities, rowcount

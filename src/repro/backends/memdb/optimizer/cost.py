@@ -43,6 +43,7 @@ import math
 from ..ast_nodes import (
     BinaryOp,
     ColumnRef,
+    CompoundSelect,
     Expression,
     InList,
     IsNull,
@@ -52,7 +53,7 @@ from ..ast_nodes import (
     TableSource,
     UnaryOp,
 )
-from ..executor import limit_bounds
+from ..executor import _self_reference_count, limit_bounds, select_has_windows
 from ..table import Table
 from .rewrite import column_refs, contains_aggregate, split_conjuncts
 from .stats import StatisticsCatalog, TableStats
@@ -70,6 +71,11 @@ TOPK_ROW_COST = 1.0
 #: much as scanning this many rows serially.  The serial-vs-parallel
 #: break-even follows as ``rows / workers + OVERHEAD < rows``.
 PARALLEL_OVERHEAD_ROWS = 16_384.0
+#: Assumed fixpoint depth of a recursive CTE when no better information is
+#: available — hierarchical workloads (trees with ~branching^depth fan-out)
+#: converge within a handful of levels, and UES-style pessimism on the
+#: per-step bound already guards the product against blow-ups.
+RECURSIVE_FIXPOINT_ITERATIONS = 8.0
 
 
 def _conjunct_shape(conjunct: Expression) -> str:
@@ -115,6 +121,10 @@ def select_shape(select: Select) -> str:
         parts.append(f"group:{len(select.group_by)}")
     if select.distinct:
         parts.append("distinct")
+    if select_has_windows(select):
+        # Windowed and plain projections of the same scan are different
+        # physical shapes; corrections learned on one must not leak.
+        parts.append("window")
     return "|".join(parts)
 
 
@@ -422,6 +432,10 @@ class CostModel:
             return select, None
         if any(join.kind != "inner" for join in select.joins):
             return select, None
+        if select_has_windows(select):
+            # Tie-breaking inside window partitions follows the stable sort
+            # of the *input* order, which a join reorder would change.
+            return select, None
         all_bindings = [select.source.binding] + [join.source.binding for join in select.joins]
         if len(set(all_bindings)) != len(all_bindings):
             return select, None  # self-join reuses a binding; attribution is ambiguous
@@ -543,6 +557,28 @@ class CostModel:
             rows *= self._statistics.correction(select.source.name, select_shape(select))
         return rows
 
+    def compound_cte_estimate(self, name: str, compound: CompoundSelect, recursive: bool) -> float:
+        """Cardinality heuristic for a ``UNION [ALL]`` CTE body.
+
+        The base term estimates normally; the recursive term is estimated
+        with the CTE's own name bound to the base estimate (its frontier is
+        at most the previous step's output) and, when it genuinely
+        self-references, multiplied by the assumed fixpoint depth.  The
+        total is registered as the CTE's derived cardinality so downstream
+        blocks see it.
+        """
+        base = self.estimate_select_rows(compound.left)
+        self.set_derived_rows(name, max(1.0, base))
+        step = self.estimate_select_rows(compound.right)
+        iterations = (
+            RECURSIVE_FIXPOINT_ITERATIONS
+            if recursive and _self_reference_count(compound.right, name)
+            else 1.0
+        )
+        total = base + step * iterations
+        self.set_derived_rows(name, total)
+        return total
+
     def _group_estimate(self, select: Select, input_rows: float) -> float:
         if not select.group_by:
             return 1.0
@@ -659,6 +695,15 @@ class CostModel:
         dispatch-and-merge overhead is charged per block.
         """
         workers = self.parallel_workers
+        if select_has_windows(select):
+            # The window operator is a single sort-once pass over every
+            # partition; morsel-splitting it would tear partitions apart.
+            return ParallelDecision(
+                eligible=False,
+                use_parallel=False,
+                workers=workers,
+                reason="window functions execute serially (partition-wide sort)",
+            )
         if not self.enable_parallel or workers < 2:
             reason = "parallel execution disabled" if not self.enable_parallel else "single worker"
             return ParallelDecision(eligible=False, use_parallel=False, workers=workers, reason=reason)

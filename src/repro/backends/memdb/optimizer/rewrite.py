@@ -36,6 +36,7 @@ from ..ast_nodes import (
     CaseExpression,
     ColumnRef,
     CommonTableExpression,
+    CompoundSelect,
     CreateTableAs,
     Expression,
     FunctionCall,
@@ -50,9 +51,11 @@ from ..ast_nodes import (
     Statement,
     TableSource,
     UnaryOp,
+    WindowFunction,
+    WindowSpec,
     WithSelect,
 )
-from ..executor import column_refs, contains_aggregate, item_output_name
+from ..executor import column_refs, contains_aggregate, item_output_name, select_has_windows
 from ..table import Table
 
 _INT64_MIN = -(2**63)
@@ -82,6 +85,19 @@ def transform_expression(
         rebuilt = replace(
             expression,
             arguments=tuple(transform_expression(a, fn) for a in expression.arguments),
+        )
+    elif isinstance(expression, WindowFunction):
+        rebuilt = replace(
+            expression,
+            arguments=tuple(transform_expression(a, fn) for a in expression.arguments),
+            spec=WindowSpec(
+                tuple(transform_expression(e, fn) for e in expression.spec.partition_by),
+                tuple(
+                    replace(item, expression=transform_expression(item.expression, fn))
+                    for item in expression.spec.order_by
+                ),
+                expression.spec.frame,
+            ),
         )
     elif isinstance(expression, CaseExpression):
         rebuilt = CaseExpression(
@@ -338,7 +354,13 @@ def referenced_stored_tables(query: Select | WithSelect) -> set[str]:
         return names
     cte_names: set[str] = set()
     for cte in query.ctes:
-        from_select(cte.query, cte_names)
+        if isinstance(cte.query, CompoundSelect):
+            # The recursive term's self-reference resolves to the CTE's own
+            # frontier, never to a stored table — shadow it.
+            from_select(cte.query.left, cte_names)
+            from_select(cte.query.right, cte_names | {cte.name})
+        else:
+            from_select(cte.query, cte_names)
         cte_names.add(cte.name)
     from_select(query.query, cte_names)
     return names
@@ -401,13 +423,19 @@ def push_predicates_into_scans(
 
 
 def _cte_is_filter_transparent(select: Select) -> bool:
-    """Can a predicate on this CTE's output move into its WHERE clause?"""
+    """Can a predicate on this CTE's output move into its WHERE clause?
+
+    Window functions block the move: their partitions and frames are built
+    from the body's *unfiltered* rows, so filtering earlier would change
+    every rank / running total the consumer then filters on.
+    """
     return not (
         select.group_by
         or select.having is not None
         or select.distinct
         or select.limit is not None
         or select.offset is not None
+        or select_has_windows(select)
         or any(
             not isinstance(item.expression, Star) and contains_aggregate(item.expression)
             for item in select.items
@@ -643,7 +671,13 @@ def prune_cte_projections(statement: WithSelect) -> tuple[WithSelect, int]:
 
 
 def _cte_is_inlinable(select: Select) -> bool:
-    """Inlinable = a plain projection/filter over exactly one table."""
+    """Inlinable = a plain projection/filter over exactly one table.
+
+    Bodies with window functions never inline: splicing a window expression
+    into a consumer's WHERE/GROUP BY would move it out of the SELECT list
+    (illegal), and even a projection splice would re-scope its partitions
+    to the consumer's joined/filtered rows.
+    """
     return (
         select.source is not None
         and not select.joins
@@ -655,6 +689,7 @@ def _cte_is_inlinable(select: Select) -> bool:
         and not select.order_by
         and select.source.filter is None
         and select_output_names(select) is not None
+        and not select_has_windows(select)
         and not any(contains_aggregate(item.expression) for item in select.items)
     )
 
@@ -939,6 +974,31 @@ def rewrite_query(
     log = RewriteLog()
 
     if isinstance(query, WithSelect):
+        if query.recursive or any(
+            isinstance(cte.query, CompoundSelect) or cte.columns for cte in query.ctes
+        ):
+            # Recursive / UNION-bodied / column-aliased WITH clauses only get
+            # constant folding: the structural rules (inlining, pushdown,
+            # pruning) all assume single-Select bodies whose output names are
+            # their item names, and a recursive term's self-reference must
+            # never be rewritten into a scan of a stored table.
+            new_ctes = []
+            for cte in query.ctes:
+                if isinstance(cte.query, CompoundSelect):
+                    left, left_folds = fold_select(cte.query.left)
+                    right, right_folds = fold_select(cte.query.right)
+                    log.constant_folds += left_folds + right_folds
+                    body: Select | CompoundSelect = CompoundSelect(
+                        left, right, cte.query.all
+                    )
+                else:
+                    body, folds = fold_select(cte.query)
+                    log.constant_folds += folds
+                new_ctes.append(CommonTableExpression(cte.name, body, cte.columns))
+            folded_main, folds = fold_select(query.query)
+            log.constant_folds += folds
+            return WithSelect(tuple(new_ctes), folded_main, query.recursive), log
+
         new_ctes = []
         for cte in query.ctes:
             folded, folds = fold_select(cte.query)

@@ -25,12 +25,14 @@ from .ast_nodes import (
     ColumnDefinition,
     ColumnRef,
     CommonTableExpression,
+    CompoundSelect,
     CreateTable,
     CreateTableAs,
     Delete,
     DropTable,
     Explain,
     Expression,
+    FrameBound,
     FunctionCall,
     InList,
     Insert,
@@ -44,6 +46,8 @@ from .ast_nodes import (
     Statement,
     TableSource,
     UnaryOp,
+    WindowFunction,
+    WindowSpec,
     WithSelect,
 )
 from .tokenizer import END, IDENTIFIER, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING, Token, tokenize
@@ -135,18 +139,32 @@ class Parser:
 
     def _parse_with_select(self) -> WithSelect:
         self._expect(KEYWORD, "with")
+        recursive = bool(self._accept(KEYWORD, "recursive"))
         ctes: list[CommonTableExpression] = []
         while True:
             name = self._expect(IDENTIFIER).text
+            columns: list[str] = []
+            if self._accept(PUNCT, "("):
+                columns.append(self._expect(IDENTIFIER).text)
+                while self._accept(PUNCT, ","):
+                    columns.append(self._expect(IDENTIFIER).text)
+                self._expect(PUNCT, ")")
             self._expect(KEYWORD, "as")
             self._expect(PUNCT, "(")
-            query = self._parse_select()
+            query: Select | CompoundSelect = self._parse_select()
+            if self._check(KEYWORD, "union"):
+                self._advance()
+                union_all = bool(self._accept(KEYWORD, "all"))
+                right = self._parse_select()
+                if self._check(KEYWORD, "union"):
+                    raise SQLParseError("CTE bodies support a single UNION [ALL]")
+                query = CompoundSelect(query, right, all=union_all)
             self._expect(PUNCT, ")")
-            ctes.append(CommonTableExpression(name, query))
+            ctes.append(CommonTableExpression(name, query, tuple(columns)))
             if not self._accept(PUNCT, ","):
                 break
         query = self._parse_select()
-        return WithSelect(tuple(ctes), query)
+        return WithSelect(tuple(ctes), query, recursive=recursive)
 
     def _parse_select(self) -> Select:
         self._expect(KEYWORD, "select")
@@ -484,17 +502,27 @@ class Parser:
                 name = self._advance().text
                 self._advance()  # (
                 distinct = bool(self._accept(KEYWORD, "distinct"))
+                is_star = False
+                arguments: list[Expression] = []
                 if self._check(OPERATOR, "*"):
                     self._advance()
-                    self._expect(PUNCT, ")")
-                    return FunctionCall(name.lower(), (), is_star=True, distinct=distinct)
-                arguments: list[Expression] = []
-                if not self._check(PUNCT, ")"):
+                    is_star = True
+                elif not self._check(PUNCT, ")"):
                     arguments.append(self._parse_expression())
                     while self._accept(PUNCT, ","):
                         arguments.append(self._parse_expression())
                 self._expect(PUNCT, ")")
-                return FunctionCall(name.lower(), tuple(arguments), distinct=distinct)
+                if self._check(KEYWORD, "over"):
+                    self._advance()
+                    if distinct:
+                        raise SQLParseError("DISTINCT is not supported in window functions")
+                    spec = self._parse_window_spec()
+                    return WindowFunction(
+                        name.lower(), tuple(arguments), spec, is_star=is_star
+                    )
+                return FunctionCall(
+                    name.lower(), tuple(arguments), is_star=is_star, distinct=distinct
+                )
             # Qualified or bare column reference.
             name = self._advance().text
             if self._accept(PUNCT, "."):
@@ -503,6 +531,49 @@ class Parser:
             return ColumnRef(name)
 
         raise SQLParseError(f"unexpected token {token.text!r} at offset {token.position}")
+
+    def _parse_window_spec(self) -> WindowSpec:
+        """``( [PARTITION BY exprs] [ORDER BY keys] [ROWS BETWEEN ... AND ...] )``."""
+        self._expect(PUNCT, "(")
+        partition: list[Expression] = []
+        if self._accept(KEYWORD, "partition"):
+            self._expect(KEYWORD, "by")
+            partition.append(self._parse_expression())
+            while self._accept(PUNCT, ","):
+                partition.append(self._parse_expression())
+        order: list[OrderItem] = []
+        if self._check(KEYWORD, "order"):
+            self._advance()
+            self._expect(KEYWORD, "by")
+            order.append(self._parse_order_item())
+            while self._accept(PUNCT, ","):
+                order.append(self._parse_order_item())
+        frame = None
+        if self._accept(KEYWORD, "rows"):
+            self._expect(KEYWORD, "between")
+            start = self._parse_frame_bound()
+            self._expect(KEYWORD, "and")
+            end = self._parse_frame_bound()
+            frame = (start, end)
+        self._expect(PUNCT, ")")
+        return WindowSpec(tuple(partition), tuple(order), frame)
+
+    def _parse_frame_bound(self) -> FrameBound:
+        if self._accept(KEYWORD, "unbounded"):
+            if self._accept(KEYWORD, "preceding"):
+                return FrameBound("unbounded_preceding")
+            self._expect(KEYWORD, "following")
+            return FrameBound("unbounded_following")
+        if self._accept(KEYWORD, "current"):
+            self._expect(KEYWORD, "row")
+            return FrameBound("current")
+        offset = self._parse_signed_int()
+        if offset < 0:
+            raise SQLParseError("window frame offsets must be non-negative")
+        if self._accept(KEYWORD, "preceding"):
+            return FrameBound("preceding", offset)
+        self._expect(KEYWORD, "following")
+        return FrameBound("following", offset)
 
     def _parse_case(self) -> CaseExpression:
         self._expect(KEYWORD, "case")

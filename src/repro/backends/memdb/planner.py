@@ -42,6 +42,7 @@ from .ast_nodes import (
     BinaryOp,
     CaseExpression,
     ColumnRef,
+    CompoundSelect,
     CreateTableAs,
     Expression,
     FunctionCall,
@@ -56,6 +57,7 @@ from .ast_nodes import (
     WithSelect,
 )
 from .executor import (
+    DEFAULT_RECURSION_LIMIT,
     ExpressionEvaluator,
     Frame,
     apply_filter,
@@ -66,8 +68,11 @@ from .executor import (
     join_indices,
     plain_projection,
     postprocess_select,
+    run_compound_cte,
     select_has_aggregates,
     split_join_condition,
+    validate_window_usage,
+    windowed_projection,
 )
 from .optimizer.cost import CostModel, FusionDecision, ParallelDecision, TopKDecision
 from .parallel import (
@@ -338,6 +343,7 @@ class CompiledQuery:
         "fused",
         "has_aggregates",
         "grouped",
+        "windowed",
         "fusion",
         "topk",
         "parallel",
@@ -347,6 +353,10 @@ class CompiledQuery:
         self.select = select
         self.has_aggregates = select_has_aggregates(select)
         self.grouped = bool(select.group_by) or self.has_aggregates
+        # Raises SQLExecutionError for invalid placements (windows outside
+        # the SELECT list, windows mixed with grouping) exactly like the
+        # interpreter would.
+        self.windowed = validate_window_usage(select, self.has_aggregates)
         self.fusion: FusionDecision | None = None
         model = cost if cost is not None else CostModel()
         self.topk: TopKDecision | None = model.topk_decision(select)
@@ -430,6 +440,10 @@ class CompiledQuery:
                     names, columns = aggregated
             if names is None:
                 names, columns = grouped_projection(select, frame, length)
+        elif self.windowed:
+            # Window blocks always run serially (their ParallelDecision
+            # declines): the sort-once kernels need the whole partition.
+            names, columns, frame = windowed_projection(select, frame, length)
         elif pool is not None:
             names, columns = parallel_plain_projection(select.items, frame, length, pool)
         else:
@@ -509,6 +523,10 @@ class CompiledQuery:
                 if names is None:
                     names, columns = grouped_projection(select, frame, length)
                 span.set(rows=len(columns[names[0]]) if names else 0)
+        elif self.windowed:
+            with tracer.span("operator", op="window", parallel=False) as span:
+                names, columns, frame = windowed_projection(select, frame, length)
+                span.set(rows=length)
         else:
             with tracer.span("operator", op="project", parallel=parallel) as span:
                 if pool is not None:
@@ -522,12 +540,98 @@ class CompiledQuery:
         )
 
 
+class CompiledCompoundCTE:
+    """A compiled ``UNION [ALL]`` CTE body — the recursive-fixpoint operator.
+
+    Holds one compiled plan per branch: ``base`` runs once, ``step`` runs
+    once per fixpoint iteration with the CTE's own name bound to the current
+    frontier (see :func:`~.executor.run_compound_cte`, which both the
+    interpreter and this operator share).  ``parallel`` is a declined
+    decision — iterations are inherently sequential, and each step is
+    usually tiny — so :meth:`CompiledScript.uses_parallel` and the block
+    spans keep working unchanged.  ``last_iterations`` records the most
+    recent execution's fixpoint depth for EXPLAIN ANALYZE.
+    """
+
+    __slots__ = ("name", "compound", "recursive", "alias_columns", "base", "step", "parallel", "last_iterations")
+
+    def __init__(
+        self,
+        name: str,
+        compound: CompoundSelect,
+        recursive: bool,
+        alias_columns: Sequence[str],
+        cost: CostModel | None = None,
+    ) -> None:
+        self.name = name
+        self.compound = compound
+        self.recursive = recursive
+        self.alias_columns = tuple(alias_columns)
+        self.base = CompiledQuery(compound.left, cost)
+        self.step = CompiledQuery(compound.right, cost)
+        self.parallel = ParallelDecision(
+            eligible=False,
+            use_parallel=False,
+            reason="recursive fixpoint iterates serially",
+        )
+        self.last_iterations = 0
+
+    def execute(
+        self,
+        resolve: Resolver,
+        observe=None,
+        pool: WorkerPool | None = None,
+        tracer=None,
+        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
+    ) -> tuple[list[str], dict[str, np.ndarray]]:
+        self.last_iterations = 0
+        iteration_box = [0]
+
+        def run_base() -> tuple[list[str], dict[str, np.ndarray]]:
+            return self.base.execute(resolve, pool=pool, tracer=tracer)
+
+        def run_step(frontier: Table | None) -> tuple[list[str], dict[str, np.ndarray]]:
+            if frontier is None:
+                step_resolve = resolve
+            else:
+                def step_resolve(name: str, frontier=frontier) -> Table:
+                    return frontier if name == self.name else resolve(name)
+            if tracer is not None and frontier is not None:
+                iteration_box[0] += 1
+                with tracer.span(
+                    "operator", op="recursive-step", iteration=iteration_box[0]
+                ) as span:
+                    names, columns = self.step.execute(step_resolve, pool=pool, tracer=tracer)
+                    span.set(rows=len(columns[names[0]]) if names else 0)
+                    return names, columns
+            return self.step.execute(step_resolve, pool=pool, tracer=tracer)
+
+        def note(iteration: int, _new_rows: int) -> None:
+            self.last_iterations = iteration
+
+        names, columns = run_compound_cte(
+            self.name,
+            self.compound,
+            self.recursive,
+            self.alias_columns,
+            run_base,
+            run_step,
+            recursion_limit=recursion_limit,
+            observe_iteration=note,
+        )
+        if observe is not None:
+            observe(len(columns[names[0]]) if names else 0)
+        return names, columns
+
+
 class CompiledScript:
     """A compiled ``WithSelect``: CTE plans executed in order, then the query."""
 
     __slots__ = ("ctes", "query")
 
-    def __init__(self, ctes: list[tuple[str, CompiledQuery]], query: CompiledQuery) -> None:
+    def __init__(
+        self, ctes: "list[tuple[str, CompiledQuery | CompiledCompoundCTE]]", query: CompiledQuery
+    ) -> None:
         self.ctes = ctes
         self.query = query
 
@@ -543,6 +647,7 @@ class CompiledScript:
         trace: Callable[[str, int], None] | None = None,
         pool: WorkerPool | None = None,
         tracer=None,
+        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
     ) -> tuple[list[str], dict[str, np.ndarray]]:
         """Run CTEs then the main query against a table catalog.
 
@@ -569,17 +674,24 @@ class CompiledScript:
         observed: list[int] = []
         observe = observed.append if (trace is not None or tracer is not None) else None
         for name, plan in self.ctes:
+            extra = (
+                {"recursion_limit": recursion_limit}
+                if isinstance(plan, CompiledCompoundCTE)
+                else {}
+            )
             if tracer is not None:
                 with tracer.span(
                     "block", block=name, parallel=plan.parallel.use_parallel
                 ) as span:
                     names, columns = plan.execute(
-                        resolve, observe=observe, pool=pool, tracer=tracer
+                        resolve, observe=observe, pool=pool, tracer=tracer, **extra
                     )
                     ctes[name] = Table(name, {column: columns[column] for column in names})
                     span.attrs["rows"] = observed[-1] if observed else ctes[name].num_rows
+                    if isinstance(plan, CompiledCompoundCTE):
+                        span.attrs["iterations"] = plan.last_iterations
             else:
-                names, columns = plan.execute(resolve, observe=observe, pool=pool)
+                names, columns = plan.execute(resolve, observe=observe, pool=pool, **extra)
                 ctes[name] = Table(name, {column: columns[column] for column in names})
             if trace is not None:
                 trace(name, observed[-1] if observed else ctes[name].num_rows)
@@ -679,7 +791,23 @@ def _compile_select(select: Select, cost: CostModel | None = None) -> CompiledQu
 def _compile_script(query: Select | WithSelect, cost: CostModel | None = None) -> CompiledScript:
     """Compile a query (with any CTEs) into one executable script."""
     if isinstance(query, WithSelect):
-        ctes = [(cte.name, _compile_select(cte.query, cost)) for cte in query.ctes]
+        ctes: list[tuple[str, CompiledQuery | CompiledCompoundCTE]] = []
+        for cte in query.ctes:
+            if isinstance(cte.query, CompoundSelect):
+                ctes.append(
+                    (
+                        cte.name,
+                        CompiledCompoundCTE(
+                            cte.name, cte.query, query.recursive, cte.columns, cost
+                        ),
+                    )
+                )
+            elif cte.columns:
+                # The interpreter handles the output-column rename; rare
+                # enough that a compiled fast path is not worth mirroring.
+                raise PlanNotSupported("CTE column alias list")
+            else:
+                ctes.append((cte.name, _compile_select(cte.query, cost)))
         return CompiledScript(ctes, _compile_select(query.query, cost))
     return CompiledScript([], _compile_select(query, cost))
 

@@ -1,0 +1,261 @@
+"""Recursive CTE semantics: fixpoint termination, caps, and SQLite parity.
+
+``WITH RECURSIVE`` evaluates breadth-first: UNION deduplicates across
+iterations (so cyclic graphs terminate once the frontier stops producing
+new rows), while UNION ALL keeps every row and terminates only when the
+recursive term goes empty — unbounded recursions must die at the engine's
+iteration cap with a diagnosable error, not hang.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.backends.memdb import MemDatabase
+from repro.backends.memdb.engine import PlanCache
+from repro.errors import SQLExecutionError, SQLParseError
+
+_GRAPH_DDL = [
+    "CREATE TABLE edges (src BIGINT NOT NULL, dst BIGINT NOT NULL)",
+    # 1 -> 2 -> 3 -> 4 -> 2: a cycle, plus a disconnected edge 7 -> 8.
+    "INSERT INTO edges (src, dst) VALUES (1, 2), (2, 3), (3, 4), (4, 2), (7, 8)",
+]
+
+_REACH_SQL = (
+    "WITH RECURSIVE reach(node) AS ("
+    "SELECT 1 UNION SELECT e.dst FROM edges AS e JOIN reach AS r ON e.src = r.node"
+    ") SELECT node FROM reach ORDER BY node"
+)
+
+
+def _engines():
+    return {
+        "optimizer": MemDatabase(plan_cache=PlanCache(maxsize=8)),
+        "plain": MemDatabase(plan_cache=PlanCache(maxsize=8), enable_optimizer=False),
+    }
+
+
+class TestTermination:
+    @pytest.mark.parametrize("flavor", ["optimizer", "plain"])
+    def test_union_dedup_terminates_on_cycles(self, flavor):
+        engine = _engines()[flavor]
+        for statement in _GRAPH_DDL:
+            engine.execute(statement)
+        reference = sqlite3.connect(":memory:")
+        for statement in _GRAPH_DDL:
+            reference.execute(statement)
+        expected = reference.execute(_REACH_SQL).fetchall()
+        assert [tuple(row) for row in engine.execute(_REACH_SQL).rows] == expected
+        assert [row[0] for row in engine.execute(_REACH_SQL).rows] == [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("flavor", ["optimizer", "plain"])
+    def test_union_all_unbounded_hits_iteration_cap(self, flavor):
+        engine = _engines()[flavor]
+        with pytest.raises(SQLExecutionError) as excinfo:
+            engine.execute(
+                "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c) "
+                "SELECT count(*) FROM c"
+            )
+        message = str(excinfo.value)
+        assert "iteration limit" in message and "1000" in message and "'c'" in message
+        assert "UNION" in message  # the error suggests the fix
+
+    def test_union_all_bounded_stops_before_cap(self):
+        db = MemDatabase()
+        rows = db.execute(
+            "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c WHERE n < 500) "
+            "SELECT count(*) AS k FROM c"
+        ).rows
+        assert rows == [(500,)]
+
+    def test_recursion_limit_knob(self):
+        db = MemDatabase(recursion_limit=7)
+        with pytest.raises(SQLExecutionError, match=r"\(7\)"):
+            db.execute(
+                "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c) "
+                "SELECT count(*) FROM c"
+            )
+        # Within the lowered cap, recursion still works.
+        rows = db.execute(
+            "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c WHERE n < 5) "
+            "SELECT count(*) AS k FROM c"
+        ).rows
+        assert rows == [(5,)]
+
+    def test_union_dedups_base_rows_too(self):
+        db = MemDatabase()
+        for statement in _GRAPH_DDL:
+            db.execute(statement)
+        rows = db.execute(
+            "WITH RECURSIVE reach(node) AS ("
+            "SELECT src FROM edges WHERE src = 4 "
+            "UNION SELECT e.dst FROM edges AS e JOIN reach AS r ON e.src = r.node"
+            ") SELECT node FROM reach ORDER BY node"
+        ).rows
+        assert [row[0] for row in rows] == [2, 3, 4]
+
+
+class TestValidation:
+    @pytest.fixture()
+    def db(self):
+        engine = MemDatabase()
+        for statement in _GRAPH_DDL:
+            engine.execute(statement)
+        return engine
+
+    def test_self_reference_requires_recursive_keyword(self, db):
+        with pytest.raises(SQLExecutionError, match="WITH RECURSIVE"):
+            db.execute(
+                "WITH c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c WHERE n < 3) "
+                "SELECT n FROM c"
+            )
+
+    def test_base_term_may_not_self_reference(self, db):
+        with pytest.raises(SQLExecutionError, match="base term"):
+            db.execute(
+                "WITH RECURSIVE c(n) AS (SELECT n FROM c UNION ALL SELECT 1) SELECT n FROM c"
+            )
+
+    def test_recursive_term_may_reference_itself_only_once(self, db):
+        with pytest.raises(SQLExecutionError, match="only once"):
+            db.execute(
+                "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL "
+                "SELECT a.n FROM c AS a JOIN c AS b ON a.n = b.n) SELECT n FROM c"
+            )
+
+    def test_recursive_term_may_not_aggregate(self, db):
+        with pytest.raises(SQLExecutionError, match="aggregates"):
+            db.execute(
+                "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT max(n) FROM c) "
+                "SELECT n FROM c"
+            )
+
+    def test_alias_arity_mismatch(self, db):
+        with pytest.raises(SQLExecutionError, match="column"):
+            db.execute(
+                "WITH RECURSIVE c(n, m) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c WHERE n < 3) "
+                "SELECT n FROM c"
+            )
+
+    def test_cte_body_supports_single_union_only(self, db):
+        with pytest.raises(SQLParseError, match="single UNION"):
+            db.execute(
+                "WITH RECURSIVE c(n) AS (SELECT 1 UNION SELECT 2 UNION SELECT 3) SELECT n FROM c"
+            )
+
+
+class TestParity:
+    """Handwritten recursive shapes vs sqlite3 (fuzzer covers the breadth)."""
+
+    _QUERIES = [
+        _REACH_SQL,
+        # Depth-tracked reachability (UNION ALL bounded by depth).
+        "WITH RECURSIVE walk(node, depth) AS ("
+        "SELECT 1, 0 UNION ALL "
+        "SELECT e.dst, w.depth + 1 FROM edges AS e JOIN walk AS w ON e.src = w.node "
+        "WHERE w.depth < 6"
+        ") SELECT node, depth FROM walk ORDER BY depth, node",
+        # Fibonacci-style accumulator.
+        "WITH RECURSIVE f(a, b) AS (SELECT 0, 1 UNION ALL SELECT b, a + b FROM f WHERE b < 100) "
+        "SELECT a, b FROM f ORDER BY a",
+        # Non-recursive compound body (plain UNION of two terms).
+        "WITH u(v) AS (SELECT 1 UNION SELECT 2) SELECT v FROM u ORDER BY v",
+        "WITH u(v) AS (SELECT 3 UNION ALL SELECT 3) SELECT v FROM u ORDER BY v",
+        # Recursive CTE consumed by a window function.
+        "WITH RECURSIVE c(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM c WHERE n < 8) "
+        "SELECT n, sum(n) OVER (ORDER BY n) AS s, row_number() OVER (ORDER BY n DESC) AS rn "
+        "FROM c ORDER BY n",
+    ]
+
+    @pytest.mark.parametrize("flavor", ["optimizer", "plain"])
+    def test_recursive_queries_match_sqlite(self, flavor):
+        engine = _engines()[flavor]
+        reference = sqlite3.connect(":memory:")
+        for statement in _GRAPH_DDL:
+            engine.execute(statement)
+            reference.execute(statement)
+        for sql in self._QUERIES:
+            expected = [tuple(row) for row in reference.execute(sql).fetchall()]
+            for _attempt in ("cold", "warm"):
+                actual = [
+                    tuple(
+                        float(value) if isinstance(value, float) else value for value in row
+                    )
+                    for row in engine.execute(sql).rows
+                ]
+                normalized_expected = [
+                    tuple(
+                        float(value) if isinstance(value, (int, float)) else value
+                        for value in row
+                    )
+                    for row in expected
+                ]
+                normalized_actual = [
+                    tuple(
+                        float(value) if isinstance(value, (int, float)) else value
+                        for value in row
+                    )
+                    for row in actual
+                ]
+                assert normalized_actual == normalized_expected, sql
+
+    def test_create_table_as_recursive(self):
+        db = MemDatabase()
+        for statement in _GRAPH_DDL:
+            db.execute(statement)
+        db.execute(f"CREATE TABLE closure AS {_REACH_SQL}")
+        assert [row[0] for row in db.execute("SELECT node FROM closure ORDER BY node").rows] == [
+            1,
+            2,
+            3,
+            4,
+        ]
+
+    def test_explain_analyze_reports_iterations(self):
+        db = MemDatabase()
+        for statement in _GRAPH_DDL:
+            db.execute(statement)
+        plan = "\n".join(row[0] for row in db.execute(f"EXPLAIN ANALYZE {_REACH_SQL}").rows)
+        assert "recursive-fixpoint (UNION" in plan
+        assert "iterations=" in plan and "iterations=0" not in plan
+
+    def test_obs_spans_cover_recursive_iterations_and_windows(self):
+        # Traced execution wraps each fixpoint step (and the window stage)
+        # in operator spans under the owning block.
+        from repro.obs import MetricsRegistry, SlowQueryLog, TraceRingBuffer, Tracer
+
+        tracer = Tracer(
+            registry=MetricsRegistry(), ring=TraceRingBuffer(64), slow_log=SlowQueryLog(threshold_s=10.0)
+        )
+        db = MemDatabase(plan_cache=PlanCache(maxsize=8), tracer=tracer)
+        for statement in _GRAPH_DDL:
+            db.execute(statement)
+        tracer.ring.drain()
+
+        db.execute(_REACH_SQL)
+        root = tracer.recent_traces()[-1]
+        execute = next(c for c in root["children"] if c["name"] == "execute")
+        blocks = [c for c in execute["children"] if c["name"] == "block"]
+        operator_ops = [
+            c["attrs"].get("op")
+            for block in blocks
+            for c in block["children"]
+            if c["name"] == "operator"
+        ]
+        steps = [op for op in operator_ops if op == "recursive-step"]
+        assert len(steps) >= 2  # one span per fixpoint iteration
+
+        db.execute(
+            "SELECT src, row_number() OVER (PARTITION BY src ORDER BY dst) AS rn "
+            "FROM edges ORDER BY src, rn"
+        )
+        root = tracer.recent_traces()[-1]
+        execute = next(c for c in root["children"] if c["name"] == "execute")
+        blocks = [c for c in execute["children"] if c["name"] == "block"]
+        window_ops = [
+            c
+            for block in blocks
+            for c in block["children"]
+            if c["name"] == "operator" and c["attrs"].get("op") == "window"
+        ]
+        assert window_ops and window_ops[0]["attrs"].get("rows") == 5
