@@ -56,7 +56,7 @@ def _warm_database(tracer: Tracer | None) -> tuple[MemDatabase, str]:
     return database, query
 
 
-def _paired_rounds(runs: list) -> list[list[float]]:
+def _paired_rounds(runs: list, rounds_count: int = _ROUNDS, per_round: int = _QUERIES_PER_ROUND) -> list[list[float]]:
     """Per-round times for every configuration, rounds interleaved.
 
     Interleaving matters: host speed drifts over seconds (frequency
@@ -83,14 +83,14 @@ def _paired_rounds(runs: list) -> list[list[float]]:
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for round_index in range(_ROUNDS):
+        for round_index in range(rounds_count):
             times = [0.0] * len(runs)
             offset = round_index % len(runs)
             for position in range(len(runs)):
                 index = (position + offset) % len(runs)
                 run = runs[index]
                 started = time.perf_counter()
-                for _ in range(_QUERIES_PER_ROUND):
+                for _ in range(per_round):
                     run()
                 times[index] = time.perf_counter() - started
             rounds.append(times)
@@ -161,6 +161,82 @@ def test_observability_overhead_gates(results_dir):
         f"enabled-mode tracing costs {enabled_overhead:+.2%} over the disabled path "
         f"(gate: {_ENABLED_OVERHEAD_LIMIT:.0%})"
     )
+
+
+#: Serving-path gate: end-to-end HTTP submit+wait with full request tracing
+#: (sample_rate=1.0, every span recorded and sealed) must cost at most 5%
+#: over the identical stack with tracing off.  Fewer rounds than the engine
+#: gate — each round is several full HTTP round trips, so the per-round
+#: time is milliseconds and the paired ratio is already stable.
+_SERVING_ROUNDS = 10
+_SERVING_JOBS_PER_ROUND = 3
+_SERVING_OVERHEAD_LIMIT = 0.05
+
+
+def test_serving_tracing_overhead_gate(results_dir):
+    """Sampled request tracing adds <= 5% p50 to HTTP submit+wait latency."""
+    from repro.bench.loadgen import ServingClient
+    from repro.circuits import ghz_circuit
+    from repro.service.server import ServerThread, TenantQuota, build_server
+
+    circuit = ghz_circuit(3)
+    untraced = build_server(max_workers=2, tracing=False)
+    traced = build_server(
+        max_workers=2,
+        tracing=True,
+        default_quota=TenantQuota(sample_rate=1.0),
+        slow_threshold_s=60.0,
+    )
+    try:
+        with ServerThread(untraced) as (host_u, port_u), ServerThread(traced) as (host_t, port_t):
+            clients = [ServingClient(host_u, port_u), ServingClient(host_t, port_t)]
+
+            def make_run(client: ServingClient):
+                def run() -> None:
+                    status, body = client.submit(circuit, method="memdb", tenant="bench")
+                    assert status == 202, body
+                    final = client.wait(body["job_id"], timeout=60.0, interval=0.002)
+                    assert final.get("status") == "done", final
+                return run
+
+            runs = [make_run(client) for client in clients]
+            for run in runs:  # warm engines, plan caches, HTTP path
+                for _ in range(3):
+                    run()
+            rounds = _paired_rounds(
+                runs, rounds_count=_SERVING_ROUNDS, per_round=_SERVING_JOBS_PER_ROUND
+            )
+        untraced_s = _median([times[0] for times in rounds])
+        traced_s = _median([times[1] for times in rounds])
+        overhead = _median(
+            [(times[1] - _ABS_SLACK_S) / times[0] for times in rounds]
+        ) - 1.0
+        store = traced.service.tracer.request_store
+        store_stats = store.stats()
+        emit(
+            "serving-path tracing overhead (median of %d paired rounds x %d jobs)"
+            % (_SERVING_ROUNDS, _SERVING_JOBS_PER_ROUND),
+            "\n".join(
+                [
+                    f"untraced submit+wait:  {untraced_s * 1e3:9.3f} ms/round median",
+                    f"traced submit+wait:    {traced_s * 1e3:9.3f} ms/round median  "
+                    f"({overhead:+.2%} vs untraced, gate {_SERVING_OVERHEAD_LIMIT:.0%})",
+                    f"traces retained:       {store_stats['retained']}",
+                ]
+            ),
+        )
+        expected = 3 + _SERVING_ROUNDS * _SERVING_JOBS_PER_ROUND
+        assert store_stats["retained"] >= expected, (
+            f"traced server retained {store_stats['retained']} traces, "
+            f"expected at least {expected} — the traced side never actually traced"
+        )
+        assert overhead <= _SERVING_OVERHEAD_LIMIT, (
+            f"request tracing costs {overhead:+.2%} on HTTP submit+wait "
+            f"(gate: {_SERVING_OVERHEAD_LIMIT:.0%})"
+        )
+    finally:
+        traced.service.shutdown(wait=False)
+        untraced.service.shutdown(wait=False)
 
 
 def test_annotate_current_is_cheap_when_off():

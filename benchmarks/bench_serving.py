@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.bench.loadgen import BatchFlood, InteractiveLoad, ServingClient, percentile, run_mixed_load
 from repro.bench.report import tenant_table
 from repro.circuits import ghz_circuit, hardware_efficient_ansatz
+from repro.obs import MetricsRegistry, RequestTraceStore, Tracer
 from repro.service import JobService
 from repro.service.server import FairScheduler, JobJournal, JobServer, ServerThread, TenantQuota
 
@@ -93,11 +94,35 @@ def _measure_unloaded() -> list[float]:
         service.shutdown(wait=True, drain_timeout=30.0)
 
 
+def _traced_service(**service_kwargs) -> tuple[JobService, RequestTraceStore]:
+    """A JobService with full request tracing (every submit sampled)."""
+    metrics = MetricsRegistry()
+    store = RequestTraceStore(capacity=512, slow_threshold_s=3600.0)
+    tracer = Tracer(registry=metrics, request_store=store)
+    return JobService(metrics=metrics, tracer=tracer, **service_kwargs), store
+
+
+def _queue_wait_attribution(store: RequestTraceStore, tenant: str) -> dict:
+    """Per-tenant queue-wait seconds read off the sealed trace breakdowns."""
+    waits = [
+        summary["breakdown"]["queue_wait_s"]
+        for summary in store.query(tenant=tenant, limit=500)
+        if "breakdown" in summary
+    ]
+    if not waits:
+        return {"requests": 0}
+    return {
+        "requests": len(waits),
+        "mean_s": sum(waits) / len(waits),
+        "p99_s": percentile(waits, 0.99),
+    }
+
+
 def _measure_fair_loaded() -> dict:
     """Mixed traffic with the weighted-fair scheduler isolating the tenants."""
     scheduler = FairScheduler()
     scheduler.configure("batch", TenantQuota(max_in_flight=1))
-    service = JobService(max_workers=2, scheduler=scheduler)
+    service, store = _traced_service(max_workers=2, scheduler=scheduler)
     try:
         with ServerThread(JobServer(service)) as (host, port):
             client = ServingClient(host, port)
@@ -108,6 +133,11 @@ def _measure_fair_loaded() -> dict:
                 "latencies": list(interactive.latencies),
                 "summary": summary,
                 "table": tenant_table(service.metrics.snapshot()),
+                "queue_wait": {
+                    tenant: _queue_wait_attribution(store, tenant)
+                    for tenant in ("interactive", "batch")
+                },
+                "metrics_text": client.metrics_text(),
             }
     finally:
         service.shutdown(wait=True, drain_timeout=120.0)
@@ -115,7 +145,7 @@ def _measure_fair_loaded() -> dict:
 
 def _measure_fifo_loaded() -> dict:
     """The same mixed traffic against the plain FIFO thread-pool queue."""
-    service = JobService(max_workers=2)
+    service, store = _traced_service(max_workers=2)
     try:
         with ServerThread(JobServer(service)) as (host, port):
             client = ServingClient(host, port)
@@ -131,6 +161,10 @@ def _measure_fifo_loaded() -> dict:
                 "latencies": interactive.latencies,
                 "flood_submitted": len(flood.submitted_ids),
                 "wall_s": time.monotonic() - started,
+                "queue_wait": {
+                    tenant: _queue_wait_attribution(store, tenant)
+                    for tenant in ("interactive", "batch")
+                },
             }
     finally:
         service.shutdown(wait=True, drain_timeout=120.0)
@@ -156,6 +190,35 @@ def test_fair_scheduling_protects_light_tenant(results_dir):
 
     fair_ratio = fair_p99 / unloaded_p99
     fifo_ratio = fifo_p99 / unloaded_p99
+
+    # Queue-wait attribution from the sealed request traces: the isolation
+    # the latency ratios show should be visible *as queue time* — under
+    # FIFO the probe's requests sit behind the flood's backlog, under fair
+    # scheduling they do not.
+    fair_wait = fair_runs[-1]["queue_wait"]
+    fifo_wait = fifo_runs[-1]["queue_wait"]
+    assert fair_wait["interactive"]["requests"] > 0, "no traced interactive requests (fair)"
+    assert fifo_wait["interactive"]["requests"] > 0, "no traced interactive requests (fifo)"
+    assert (
+        fifo_wait["interactive"]["mean_s"] > fair_wait["interactive"]["mean_s"]
+    ), (
+        f"trace queue-wait attribution contradicts the latency gate: FIFO mean "
+        f"{fifo_wait['interactive']['mean_s']:.4f}s <= fair "
+        f"{fair_wait['interactive']['mean_s']:.4f}s"
+    )
+
+    # One /v1/metrics scrape from the loaded fair run: the exposition must
+    # be structurally valid Prometheus text with per-tenant series.
+    metrics_text = fair_runs[-1]["metrics_text"]
+    assert metrics_text.endswith("\n")
+    for line in metrics_text.splitlines():
+        assert line.startswith("#") or " " in line, f"malformed exposition line: {line!r}"
+    for tenant in ("interactive", "batch"):
+        assert f'repro_tenant_latency_seconds{{tenant="{tenant}"' in metrics_text, (
+            f"/v1/metrics is missing the per-tenant latency series for {tenant!r}"
+        )
+    assert "repro_http_route_latency_seconds" in metrics_text
+
     report = {
         "rounds": _ROUNDS,
         "unloaded_p99_s": round(unloaded_p99, 4),
@@ -165,6 +228,8 @@ def test_fair_scheduling_protects_light_tenant(results_dir):
         "fifo_ratio": round(fifo_ratio, 2),
         "flood_jobs": summary["flood_submitted"],
         "flood_points_each": len(_GRID),
+        "queue_wait_fair": fair_wait,
+        "queue_wait_fifo": fifo_wait,
     }
     (results_dir / "serving_fairness.json").write_text(json.dumps(report, indent=2))
     emit(
@@ -172,7 +237,10 @@ def test_fair_scheduling_protects_light_tenant(results_dir):
         fair_table
         + f"\nunloaded p99 {unloaded_p99 * 1e3:.1f}ms | "
         f"fair {fair_p99 * 1e3:.1f}ms ({fair_ratio:.2f}x) | "
-        f"fifo {fifo_p99 * 1e3:.1f}ms ({fifo_ratio:.2f}x)",
+        f"fifo {fifo_p99 * 1e3:.1f}ms ({fifo_ratio:.2f}x)"
+        + "\nqueue-wait (interactive): fair mean "
+        f"{fair_wait['interactive'].get('mean_s', 0.0) * 1e3:.1f}ms | fifo mean "
+        f"{fifo_wait['interactive'].get('mean_s', 0.0) * 1e3:.1f}ms",
     )
 
     assert fair_ratio <= FAIR_P99_MAX_RATIO, (

@@ -35,12 +35,20 @@ class ServingClient:
         self.port = int(port)
         self.timeout = float(timeout)
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, dict]:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            merged = {"Content-Type": "application/json"} if body else {}
+            if headers:
+                merged.update(headers)
+            connection.request(method, path, body=body, headers=merged)
             response = connection.getresponse()
             raw = response.read()
             document = json.loads(raw.decode("utf-8")) if raw else {}
@@ -59,8 +67,14 @@ class ServingClient:
         param_grid: Sequence[Mapping[str, float]] | None = None,
         options: Mapping[str, object] | None = None,
         tag: str = "",
+        traceparent: str | None = None,
     ) -> tuple[int, dict]:
-        """POST /v1/jobs; returns (http_status, body) without raising on 429."""
+        """POST /v1/jobs; returns (http_status, body) without raising on 429.
+
+        ``traceparent`` (a W3C ``00-{trace}-{span}-{flags}`` string) makes
+        the submit join an existing distributed trace instead of letting
+        the server mint one.
+        """
         payload: dict = {
             "circuit": circuit_to_dict(circuit),
             "method": method,
@@ -73,7 +87,8 @@ class ServingClient:
             payload["param_grid"] = [dict(point) for point in param_grid]
         if options:
             payload["options"] = dict(options)
-        return self._request("POST", "/v1/jobs", payload)
+        headers = {"traceparent": traceparent} if traceparent else None
+        return self._request("POST", "/v1/jobs", payload, headers=headers)
 
     def poll(self, job_id: int) -> tuple[int, dict]:
         return self._request("GET", f"/v1/jobs/{job_id}")
@@ -86,6 +101,35 @@ class ServingClient:
         if status != 200:
             raise BenchmarkError(f"/v1/stats returned {status}: {document}")
         return document
+
+    def trace(self, job_id: int) -> tuple[int, dict]:
+        """GET /v1/traces/{job_id}: one request's assembled span tree."""
+        return self._request("GET", f"/v1/traces/{job_id}")
+
+    def traces(self, tenant: str | None = None, slow: bool = False, limit: int = 50) -> dict:
+        """GET /v1/traces: recent trace summaries plus the slow-request log."""
+        query = [f"limit={int(limit)}"]
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if slow:
+            query.append("slow=1")
+        status, document = self._request("GET", "/v1/traces?" + "&".join(query))
+        if status != 200:
+            raise BenchmarkError(f"/v1/traces returned {status}: {document}")
+        return document
+
+    def metrics_text(self) -> str:
+        """GET /v1/metrics: the raw Prometheus text exposition."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise BenchmarkError(f"/v1/metrics returned {response.status}")
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
 
     def stream(self, job_id: int, timeout: float = 300.0) -> list[dict]:
         """GET /v1/jobs/{id}/stream: drain the chunked NDJSON to a list."""

@@ -1,6 +1,6 @@
 """Trace sinks: where finished query spans go.
 
-Three consumers cover the serving tier's forensic needs:
+Four consumers cover the serving tier's forensic needs:
 
 * :class:`TraceRingBuffer` — the last N finished traces, in memory, for
   interactive inspection (``session.simulations.recent_traces()``) and for
@@ -12,7 +12,12 @@ Three consumers cover the serving tier's forensic needs:
 * :class:`SlowQueryLog` — threshold-gated capture of *whole* slow queries:
   the span tree plus an EXPLAIN-style plan snapshot rendered lazily (the
   plan provider callable only runs when the threshold actually trips, so
-  fast queries never pay for plan rendering).
+  fast queries never pay for plan rendering);
+* :class:`RequestTraceStore` — request-indexed span storage for the
+  distributed-tracing surface: every span a request produced (ingress
+  root, admission, queue wait, job, engine queries — across threads and
+  worker processes) lands here keyed by ``trace_id``, and
+  ``GET /v1/traces/{job_id}`` assembles them into one connected tree.
 
 All sinks are thread-safe and bounded; a sink failure must never fail the
 query that produced the trace (export errors are counted, not raised).
@@ -20,6 +25,7 @@ query that produced the trace (export errors are counted, not raised).
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 from collections import deque
@@ -163,4 +169,244 @@ class SlowQueryLog:
                 "capacity": self.capacity,
                 "captured": self.captured,
                 "size": len(self._entries),
+            }
+
+
+class RequestTraceStore:
+    """Request-indexed span storage: one entry per trace id, assembled on read.
+
+    Spans arrive flat — synthesized serving-stage dicts from the job
+    service, dispatched root trees from tracers, worker-process traces
+    merged on chunk join — each carrying ``trace_id`` / ``span_id`` /
+    ``parent_span_id``.  :meth:`assemble` stitches them into a single tree
+    under the request's root span at read time, so recording stays O(1)
+    appends on the serving path.
+
+    Retention is decided at :meth:`seal`: a request is kept when it was
+    head-sampled, ended in error, or ran slower than ``slow_threshold_s``
+    (the "always sample errors and stragglers" upgrade); everything else is
+    discarded so an unsampled steady state costs a short-lived dict entry
+    per request.  Sealed slow requests additionally land in a per-tenant
+    slow-request log with a queue-wait / admission / execute breakdown.
+    """
+
+    def __init__(self, capacity: int = 256, slow_threshold_s: float = 1.0,
+                 slow_log_capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("trace store needs room for at least one request")
+        self.capacity = int(capacity)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._entries: dict[str, dict] = {}
+        self._by_job: dict[int, str] = {}
+        self._slow: deque[dict] = deque(maxlen=int(slow_log_capacity))
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.sealed = 0
+        self.retained = 0
+        self.discarded = 0
+        #: Spans that arrived for a trace id the store no longer (or never)
+        #: tracked — a cancelled job's engine span landing after its
+        #: unsampled entry was discarded, for example.
+        self.late_spans = 0
+
+    # ------------------------------------------------------------ recording
+
+    def open(self, context, tenant: str = "default") -> None:
+        """Start tracking one request (called at ingress/submit)."""
+        with self._lock:
+            self._entries[context.trace_id] = {
+                "trace_id": context.trace_id,
+                "root_span_id": context.span_id,
+                "tenant": tenant,
+                "sampled": bool(context.sampled),
+                "job_id": None,
+                "status": "open",
+                "duration_s": None,
+                "spans": [],
+            }
+            self._evict_locked()
+
+    def record(self, span: dict) -> None:
+        """Add one finished span (a dict carrying ``trace_id``) to its request."""
+        trace_id = span.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                self.late_spans += 1
+                return
+            entry["spans"].append(span)
+            self.recorded += 1
+
+    def bind_job(self, trace_id: str, job_id: int) -> None:
+        """Index the request under the job id the service assigned it."""
+        with self._lock:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                return
+            entry["job_id"] = job_id
+            self._by_job[job_id] = trace_id
+
+    def seal(self, trace_id: str, status: str, duration_s: float) -> bool:
+        """Close one request and decide retention; True when it was kept."""
+        with self._lock:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                return False
+            entry["status"] = status
+            entry["duration_s"] = float(duration_s)
+            slow = duration_s >= self.slow_threshold_s
+            keep = entry["sampled"] or status in ("error", "rejected") or slow
+            self.sealed += 1
+            breakdown = self._breakdown_locked(entry)
+            if slow:
+                self._slow.append(breakdown)
+            if not keep:
+                del self._entries[trace_id]
+                if entry["job_id"] is not None:
+                    self._by_job.pop(entry["job_id"], None)
+                self.discarded += 1
+                return False
+            entry["breakdown"] = breakdown
+            self.retained += 1
+            return True
+
+    def _breakdown_locked(self, entry: dict) -> dict:
+        """Per-stage durations for the slow-request log (seconds)."""
+        stages = {}
+        for span in entry["spans"]:
+            name = span.get("name")
+            if name in ("admission", "queue_wait", "job", "request"):
+                stages[name] = stages.get(name, 0.0) + float(span.get("duration_s", 0.0))
+        return {
+            "trace_id": entry["trace_id"],
+            "job_id": entry["job_id"],
+            "tenant": entry["tenant"],
+            "status": entry["status"],
+            "total_s": entry["duration_s"],
+            "admission_s": stages.get("admission", 0.0),
+            "queue_wait_s": stages.get("queue_wait", 0.0),
+            "execute_s": stages.get("job", 0.0),
+        }
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            oldest_id = next(iter(self._entries))
+            oldest = self._entries.pop(oldest_id)
+            if oldest["job_id"] is not None:
+                self._by_job.pop(oldest["job_id"], None)
+
+    # -------------------------------------------------------------- queries
+
+    def assemble(self, trace_id: str) -> dict | None:
+        """The request's spans stitched into one tree, or None when unknown.
+
+        Every recorded span is a subtree (engine traces arrive with their
+        structural children intact); subtree roots attach to whichever
+        recorded span their ``parent_span_id`` names.  Spans whose parent
+        was never recorded (sampling raced a discard, a worker died mid
+        chunk) attach under the root and are marked ``orphan`` rather than
+        dropped — a partial trace that admits it is partial beats a clean
+        lie.  Sibling order is by start time; worker-process clocks are not
+        comparable with the parent's, so cross-process order is cosmetic.
+        """
+        with self._lock:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                return None
+            spans = copy.deepcopy(entry["spans"])
+            root_span_id = entry["root_span_id"]
+            summary = {
+                "trace_id": entry["trace_id"],
+                "job_id": entry["job_id"],
+                "tenant": entry["tenant"],
+                "status": entry["status"],
+                "duration_s": entry["duration_s"],
+                "sampled": entry["sampled"],
+            }
+            if "breakdown" in entry:
+                summary["breakdown"] = dict(entry["breakdown"])
+        index = {span["span_id"]: span for span in spans if span.get("span_id")}
+        root = index.get(root_span_id)
+        for span in spans:
+            if span is root:
+                continue
+            parent = index.get(span.get("parent_span_id"))
+            if parent is not None and parent is not span:
+                parent["children"].append(span)
+            elif root is not None:
+                span.setdefault("attrs", {})["orphan"] = True
+                root["children"].append(span)
+        if root is not None:
+            pending = [root]
+            while pending:
+                node = pending.pop()
+                node["children"].sort(key=lambda child: child.get("start_s", 0.0))
+                pending.extend(node["children"])
+        summary["root"] = root
+        summary["partial"] = root is None or any(
+            span.get("attrs", {}).get("orphan") for span in spans
+        )
+        return summary
+
+    def for_job(self, job_id: int) -> dict | None:
+        """Assembled trace looked up by job id."""
+        with self._lock:
+            trace_id = self._by_job.get(job_id)
+        return self.assemble(trace_id) if trace_id is not None else None
+
+    def trace_id_for_job(self, job_id: int) -> str | None:
+        with self._lock:
+            return self._by_job.get(job_id)
+
+    def query(self, tenant: str | None = None, slow: bool = False,
+              limit: int = 50) -> list[dict]:
+        """Summaries of retained requests, newest first."""
+        with self._lock:
+            entries = list(self._entries.values())
+        summaries = []
+        for entry in reversed(entries):
+            if entry["status"] == "open":
+                continue
+            if tenant is not None and entry["tenant"] != tenant:
+                continue
+            if slow and (entry["duration_s"] or 0.0) < self.slow_threshold_s:
+                continue
+            summary = {
+                "trace_id": entry["trace_id"],
+                "job_id": entry["job_id"],
+                "tenant": entry["tenant"],
+                "status": entry["status"],
+                "duration_s": entry["duration_s"],
+                "sampled": entry["sampled"],
+                "spans": len(entry["spans"]),
+            }
+            if "breakdown" in entry:
+                summary["breakdown"] = dict(entry["breakdown"])
+            summaries.append(summary)
+            if len(summaries) >= limit:
+                break
+        return summaries
+
+    def slow_requests(self, tenant: str | None = None) -> list[dict]:
+        """The per-tenant slow-request log, oldest first, with breakdowns."""
+        with self._lock:
+            entries = list(self._slow)
+        if tenant is not None:
+            entries = [entry for entry in entries if entry["tenant"] == tenant]
+        return entries
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "slow_threshold_s": self.slow_threshold_s,
+                "tracked": len(self._entries),
+                "recorded_spans": self.recorded,
+                "sealed": self.sealed,
+                "retained": self.retained,
+                "discarded": self.discarded,
+                "late_spans": self.late_spans,
+                "slow_logged": len(self._slow),
             }

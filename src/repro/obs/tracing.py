@@ -33,10 +33,11 @@ adds a JSON-lines export sink.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from typing import Callable, Iterator, Optional
 
 from .metrics import MetricsRegistry, global_registry
@@ -66,6 +67,136 @@ def tracing_env_enabled() -> bool | None:
     return raw.strip().lower() in _TRUE_VALUES
 
 
+# ---------------------------------------------------------------------------
+# Trace identity: W3C-traceparent-style ids shared across threads/processes
+# ---------------------------------------------------------------------------
+
+#: Span ids are a random per-process prefix plus a cheap counter: unique
+#: across the worker processes of one serving tier without an os.urandom
+#: syscall per span (ids are minted once per request plus once per root
+#: span, but the prefix also keeps replayed/forked id streams disjoint).
+_ID_PREFIX = os.urandom(4).hex()
+_ID_COUNTER = itertools.count(1)
+
+
+def next_span_id() -> str:
+    """A fresh 16-hex-char span id, unique within and across processes."""
+    return f"{_ID_PREFIX}{next(_ID_COUNTER) & 0xFFFFFFFF:08x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (random, W3C traceparent width)."""
+    return os.urandom(16).hex()
+
+
+class TraceContext:
+    """The identity one request carries through the serving stack.
+
+    Minted at HTTP ingress (or at submit for library callers), serialized
+    into worker-process chunks, and persisted in the journal so replayed
+    jobs keep their lineage.  ``span_id`` names the request's *root* span;
+    spans recorded for the request parent to it (directly or transitively).
+    ``sampled`` is the head-based sampling decision — serving-layer spans
+    are always recorded (they are a handful of dict writes), but engine
+    execution only opens spans when the request is sampled.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "sampled", "started_s")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str | None = None,
+        parent_span_id: str | None = None,
+        sampled: bool = True,
+        started_s: float | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id if span_id is not None else next_span_id()
+        self.parent_span_id = parent_span_id
+        self.sampled = bool(sampled)
+        self.started_s = started_s if started_s is not None else time.perf_counter()
+
+    @classmethod
+    def generate(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new trace rooted here (no upstream parent)."""
+        return cls(new_trace_id(), sampled=sampled)
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext | None":
+        """Adopt an incoming ``traceparent`` header, or None when malformed.
+
+        The caller becomes a child of the upstream span: the header's span
+        id is recorded as ``parent_span_id`` and a fresh local root span id
+        is minted.  The upstream sampled flag (bit 0 of the flags byte) is
+        honored as this request's head-sampling decision.
+        """
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16 or len(flags) != 2:
+            return None
+        try:
+            flag_bits = int(flags, 16)
+            int(trace_id, 16)
+            int(span_id, 16)
+        except ValueError:
+            return None
+        if version == "ff" or trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id, parent_span_id=span_id, sampled=bool(flag_bits & 0x01))
+
+    def to_traceparent(self) -> str:
+        """This context rendered as an outgoing ``traceparent`` header."""
+        return f"00-{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    def child(self) -> "TraceContext":
+        """A context for work nested under this one (same trace, new span)."""
+        return TraceContext(
+            self.trace_id,
+            parent_span_id=self.span_id,
+            sampled=self.sampled,
+            started_s=self.started_s,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r}, "
+            f"sampled={self.sampled})"
+        )
+
+
+def span_record(
+    name: str,
+    *,
+    trace_id: str,
+    span_id: str | None = None,
+    parent_span_id: str | None = None,
+    start_s: float,
+    end_s: float | None = None,
+    attrs: dict | None = None,
+) -> dict:
+    """A finished span as a plain dict, for stages timed without a Span.
+
+    The serving tier synthesizes admission / queue-wait / request-root spans
+    from timestamps it already holds (the wait happened before any worker
+    thread ran); this renders them in exactly the shape
+    :meth:`Span.to_dict` produces so trace assembly treats both alike.
+    """
+    end = end_s if end_s is not None else time.perf_counter()
+    return {
+        "name": name,
+        "start_s": start_s,
+        "duration_s": max(0.0, end - start_s),
+        "attrs": dict(attrs) if attrs else {},
+        "children": [],
+        "trace_id": trace_id,
+        "span_id": span_id if span_id is not None else next_span_id(),
+        "parent_span_id": parent_span_id,
+    }
+
+
 class Span:
     """One timed node of a trace tree.
 
@@ -76,7 +207,8 @@ class Span:
     for plan rendering.
     """
 
-    __slots__ = ("name", "attrs", "children", "start_s", "end_s", "plan_provider", "_tracer", "_parent")
+    __slots__ = ("name", "attrs", "children", "start_s", "end_s", "plan_provider",
+                 "trace_id", "span_id", "parent_span_id", "_tracer", "_parent")
 
     def __init__(self, name: str, attrs: dict | None = None, tracer: "Tracer | None" = None) -> None:
         self.name = name
@@ -88,6 +220,12 @@ class Span:
         self.start_s = time.perf_counter()
         self.end_s: float | None = None
         self.plan_provider: Callable[[], list[str]] | None = None
+        #: Distributed-trace identity: set on root spans opened while a
+        #: :class:`TraceContext` is active on this thread; nested spans stay
+        #: id-less (their position in ``children`` is identity enough).
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_span_id: str | None = None
         self._tracer = tracer
         self._parent: Span | None = None
 
@@ -105,6 +243,15 @@ class Span:
             parent = stack[-1]
             self._parent = parent
             parent.children.append(self)
+        else:
+            # A root: adopt the thread's active request context (if any) so
+            # this tree carries its trace identity — the cross-thread /
+            # cross-process link the serving tier assembles request trees by.
+            context = getattr(_ACTIVE, "context", None)
+            if context is not None:
+                self.trace_id = context.trace_id
+                self.parent_span_id = context.span_id
+                self.span_id = next_span_id()
         stack.append(self)
         self.start_s = time.perf_counter()
         return self
@@ -157,13 +304,18 @@ class Span:
 
     def to_dict(self) -> dict:
         """A JSON-ready rendering of the subtree (durations in seconds)."""
-        return {
+        rendered = {
             "name": self.name,
             "start_s": self.start_s,
             "duration_s": self.duration_s,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            rendered["trace_id"] = self.trace_id
+            rendered["span_id"] = self.span_id
+            rendered["parent_span_id"] = self.parent_span_id
+        return rendered
 
     def __repr__(self) -> str:
         return f"Span({self.name!r}, {self.duration_s * 1000:.3f}ms, attrs={self.attrs})"
@@ -180,6 +332,28 @@ def current_span() -> Span | None:
     """The innermost active span on this thread, or None."""
     stack = getattr(_ACTIVE, "spans", None)
     return stack[-1] if stack else None
+
+
+def current_context() -> TraceContext | None:
+    """The request context active on this thread, or None."""
+    return getattr(_ACTIVE, "context", None)
+
+
+@contextmanager
+def activate_context(context: TraceContext | None):
+    """Make ``context`` the thread's active request identity for a block.
+
+    Root spans opened inside the block adopt the context's trace id and
+    parent to its root span — this is how a job worker thread (or a spawned
+    worker process) joins the trace the HTTP ingress started.  Nesting
+    restores the previous context on exit; ``None`` deactivates.
+    """
+    previous = getattr(_ACTIVE, "context", None)
+    _ACTIVE.context = context
+    try:
+        yield context
+    finally:
+        _ACTIVE.context = previous
 
 
 def annotate_current(key: str, amount: float = 1) -> None:
@@ -214,14 +388,20 @@ class Tracer:
         ring: TraceRingBuffer | None = None,
         sinks: tuple | list = (),
         slow_log: SlowQueryLog | None = None,
+        request_store=None,
     ) -> None:
         self.registry = registry
         self.ring = ring if ring is not None else TraceRingBuffer()
         self.sinks = list(sinks)
         self.slow_log = slow_log
+        #: Optional :class:`~.sinks.RequestTraceStore`: root spans that carry
+        #: a trace id (i.e. were opened under an active request context) are
+        #: also indexed there for ``/v1/traces`` assembly.
+        self.request_store = request_store
         self._lock = threading.Lock()
         self.traces = 0
         self.spans = 0
+        self.traces_dropped = 0
 
     # ---------------------------------------------------------------- spans
 
@@ -276,6 +456,8 @@ class Tracer:
                 trace = span.to_dict()
                 for sink in self.sinks:
                     sink.write(trace)
+            if self.request_store is not None and span.trace_id is not None:
+                self.request_store.record(span.to_dict())
 
     # ---------------------------------------------------------------- stats
 
@@ -300,13 +482,16 @@ class Tracer:
     def stats(self) -> dict:
         """Tracer activity counters plus per-sink state."""
         with self._lock:
-            traces, spans = self.traces, self.spans
+            traces, spans, dropped = self.traces, self.spans, self.traces_dropped
         stats = {
             "enabled": True,
             "traces": traces,
             "spans": spans,
+            "traces_dropped": dropped,
             "ring_size": len(self.ring) if self.ring is not None else 0,
         }
+        if self.request_store is not None:
+            stats["request_store"] = self.request_store.stats()
         if self.slow_log is not None:
             stats["slow_queries"] = self.slow_log.stats()
         if self.sinks:
@@ -363,15 +548,36 @@ def drain_shared_traces(limit: int | None = None) -> list[dict]:
     The process-backed batch tier calls this inside each worker process so
     chunk results carry the traces produced while executing them; draining
     (not snapshotting) keeps a chunk's traces from being shipped twice.
+    Traces beyond ``limit`` are dropped — counted, not silent: see
+    :func:`drain_shared_traces_counted` for the count.
+    """
+    traces, _dropped = drain_shared_traces_counted(limit)
+    return traces
+
+
+def drain_shared_traces_counted(limit: int | None = None) -> tuple[list[dict], int]:
+    """Like :func:`drain_shared_traces` but also reports how many traces the
+    ``limit`` truncated.
+
+    The dropped count is accumulated on the shared tracer (visible in its
+    ``stats()`` as ``traces_dropped``) *and* returned, so a worker process
+    can ship it to the parent inside the chunk's observability snapshot.
     """
     with _SHARED_TRACER_LOCK:
         tracer = _SHARED_TRACER
     if tracer is None or tracer.ring is None:
-        return []
+        return [], 0
     traces = tracer.ring.drain()
+    dropped = 0
     if limit is not None and len(traces) > limit:
+        dropped = len(traces) - limit
         traces = traces[-limit:]
-    return [trace.to_dict() if isinstance(trace, Span) else trace for trace in traces]
+        with tracer._lock:
+            tracer.traces_dropped += dropped
+    return (
+        [trace.to_dict() if isinstance(trace, Span) else trace for trace in traces],
+        dropped,
+    )
 
 
 def maybe_span(name: str, **attrs: object):

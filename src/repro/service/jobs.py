@@ -31,9 +31,11 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import random
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
@@ -41,7 +43,15 @@ from ..backends import available_backends
 from ..core.circuit import QuantumCircuit
 from ..errors import QymeraError
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import drain_shared_traces, maybe_span, shared_tracer, tracing_env_enabled
+from ..obs.tracing import (
+    TraceContext,
+    activate_context,
+    drain_shared_traces_counted,
+    maybe_span,
+    shared_tracer,
+    span_record,
+    tracing_env_enabled,
+)
 from ..output.result import SimulationResult
 from ..simulators import available_simulators
 from ..simulators.base import BaseSimulator
@@ -147,6 +157,7 @@ def _execute_grid_chunk(
     options: dict,
     circuit: "QuantumCircuit",
     points: list[dict],
+    trace: tuple[str, str] | None = None,
 ) -> tuple[list["SimulationResult"], dict]:
     """Worker-process entry point: compile once, execute one grid chunk.
 
@@ -158,24 +169,45 @@ def _execute_grid_chunk(
     enabled in the worker (``REPRO_TRACE`` travels through the inherited
     environment) — the traces its shared ring collected for this chunk.
     The parent merges these into the job's metadata on chunk join.
+
+    ``trace`` is the request's serialized identity, ``(trace_id,
+    job_span_id)``: activating it as this worker's context makes every root
+    span the chunk produces carry the trace id and parent to the job span
+    the parent process opened, so the merged traces stitch into one request
+    tree instead of arriving as anonymous islands.
     """
     key = _process_method_key(method, options)
     engine = _PROCESS_METHODS.get(key)
     if engine is None:
         engine = make_method(method, **options)
         _PROCESS_METHODS[key] = engine
-    executable = engine.compile(circuit)
-    results = [executable.bind(point).execute() for point in points]
+    context = TraceContext(trace[0], span_id=trace[1]) if trace is not None else None
+    with activate_context(context):
+        if context is not None:
+            # A traced request: open a chunk root against the worker's
+            # shared tracer even without REPRO_TRACE — it adopts the
+            # activated context, so the engine's compile/query spans nest
+            # under it and the whole subtree ships home with trace identity.
+            chunk_span = shared_tracer().span("chunk", pid=os.getpid(), points=len(points))
+        else:
+            chunk_span = nullcontext(None)
+        with chunk_span:
+            executable = engine.compile(circuit)
+            results = [executable.bind(point).execute() for point in points]
     worker_stats: dict = {"pid": os.getpid(), "points": len(points)}
+    # Drain before the engine-stats snapshot so the snapshot's tracing
+    # section already reflects any traces the chunk limit just dropped.
+    traces, dropped = drain_shared_traces_counted(_CHUNK_TRACE_LIMIT)
+    if traces:
+        worker_stats["traces"] = traces
+    if dropped:
+        worker_stats["traces_dropped"] = dropped
     stats_fn = getattr(engine, "engine_stats", None)
     if stats_fn is not None:
         try:
             worker_stats["engine"] = stats_fn()
         except Exception:  # noqa: BLE001 — diagnostics must not fail the chunk
             pass
-    traces = drain_shared_traces(_CHUNK_TRACE_LIMIT)
-    if traces:
-        worker_stats["traces"] = traces
     return results, worker_stats
 
 
@@ -293,6 +325,10 @@ class JobRequest:
     #: Who submitted this job.  The serving tier's fair scheduler queues and
     #: meters per tenant; the default tenant keeps library use single-party.
     tenant: str = "default"
+    #: Distributed-trace identity (set by the HTTP ingress from the request's
+    #: ``traceparent``, by journal replay from the persisted trace id, or
+    #: minted at submit when the service has a tracer and none was given).
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if self.params is not None and self.param_grid is not None:
@@ -341,6 +377,15 @@ class JobHandle:
         self._tenant_prefix: str | None = None
         self._cost_units = 1.0
         self._on_queue_cancel = None
+        #: Tracing hooks, set by the owning service at submit: the request's
+        #: TraceContext, the service callback that seals its trace-store
+        #: entry on the terminal transition, the scheduler's enqueue
+        #: timestamp (perf_counter) and DRR round count for the queue-wait
+        #: span's attribution.
+        self._trace: "TraceContext | None" = None
+        self._trace_seal = None
+        self._enqueued_pc: float | None = None
+        self._drr_rounds = 0
 
     # -------------------------------------------------------------- queries
 
@@ -478,6 +523,14 @@ class JobHandle:
             except Exception:  # noqa: BLE001 — a full disk must not hang result() callers
                 if self._metrics is not None:
                     self._metrics.counter("journal.write_errors").inc()
+        if status in _TERMINAL and self._trace_seal is not None:
+            # Seal before the metrics observations below so the moment an
+            # exemplar becomes visible on /v1/stats its trace is already
+            # assembled and queryable on /v1/traces.
+            try:
+                self._trace_seal(self, status)
+            except Exception:  # noqa: BLE001 — tracing must not fail the job
+                pass
         metrics = self._metrics
         if metrics is None:
             return
@@ -501,8 +554,14 @@ class JobHandle:
                 metrics.gauge("jobs.running").dec()
                 if prefix is not None:
                     metrics.gauge(f"{prefix}in_flight").dec()
+                    trace = self._trace
+                    exemplar = (
+                        {"trace_id": trace.trace_id, "job_id": self.job_id}
+                        if trace is not None
+                        else None
+                    )
                     metrics.histogram(f"{prefix}latency_seconds").observe(
-                        time.monotonic() - self._submitted_at
+                        time.monotonic() - self._submitted_at, exemplar=exemplar
                     )
             metrics.counter(f"jobs.{status}").inc()
             if prefix is not None:
@@ -580,6 +639,7 @@ class JobService:
         scheduler=None,
         admission=None,
         journal=None,
+        tracer=None,
     ) -> None:
         if max_workers < 1:
             raise QymeraError("JobService needs at least one worker")
@@ -606,6 +666,12 @@ class JobService:
         self.scheduler = scheduler
         self.admission = admission
         self.journal = journal
+        #: Optional :class:`~repro.obs.Tracer` for request-scoped tracing:
+        #: job spans open against it (engine spans nest under them on the
+        #: same thread), and when it carries a ``request_store`` the service
+        #: records admission / queue-wait / request-root spans there and
+        #: seals each request's entry on its terminal transition.
+        self.tracer = tracer
         self._executor: ThreadPoolExecutor | None = None
         self._process_executor: ProcessPoolExecutor | None = None
         self._dispatcher: threading.Thread | None = None
@@ -625,6 +691,7 @@ class JobService:
         self._process_chunks = 0
         self._process_points = 0
         self._process_fallbacks = 0
+        self._worker_traces_dropped = 0
 
     # ------------------------------------------------------------ submission
 
@@ -640,7 +707,24 @@ class JobService:
             raise QymeraError("pass either a JobRequest or keyword fields, not both")
         return self._submit_request(request)
 
+    def _trace_store(self):
+        """The tracer's request store, or None when tracing is not wired."""
+        return self.tracer.request_store if self.tracer is not None else None
+
     def _submit_request(self, request: JobRequest, resumed_from: int | None = None) -> JobHandle:
+        # Trace identity first: the ingress (or replay) may have attached
+        # one; a library submit against a traced service mints its own here,
+        # head-sampled at the tenant's configured rate.
+        trace = request.trace
+        store = self._trace_store()
+        if trace is None and store is not None:
+            rate = 1.0 if self.scheduler is None else self.scheduler.sample_rate(request.tenant)
+            trace = request.trace = TraceContext.generate(sampled=random.random() < rate)
+        if trace is not None and store is not None:
+            store.open(trace, tenant=request.tenant)
+        else:
+            # No store to seal into: don't carry half-wired tracing state.
+            store = None
         # Admission control prices the submit against the fair queue's
         # backlog *before* a handle exists — a rejected submit burns no job
         # id and leaves no journal record.  Replayed jobs skip it: they were
@@ -651,9 +735,25 @@ class JobService:
                 request, self.scheduler.queued_cost(), self.scheduler.queued_jobs()
             )
             cost = decision.cost
+            if store is not None:
+                assessed = time.perf_counter()
+                store.record(span_record(
+                    "admission",
+                    trace_id=trace.trace_id,
+                    parent_span_id=trace.span_id,
+                    start_s=assessed - decision.elapsed_s,
+                    end_s=assessed,
+                    attrs={
+                        "action": decision.action,
+                        "cost_units": round(decision.cost, 3),
+                        "reason": decision.reason,
+                    },
+                ))
             if decision.action != "admit":
                 self.metrics.counter("jobs.rejected").inc()
                 self.metrics.counter(f"tenant.{request.tenant}.rejected").inc()
+                if store is not None:
+                    self._seal_rejected(trace, request, decision.reason)
                 from .server.admission import AdmissionRejected
 
                 raise AdmissionRejected(
@@ -671,12 +771,23 @@ class JobService:
             handle._metrics = self.metrics
             handle._tenant_prefix = f"tenant.{request.tenant}."
             self._jobs[job_id] = handle
+        handle._enqueued_pc = time.perf_counter()
+        if trace is not None:
+            handle._trace = trace
+            if store is not None:
+                handle._trace_seal = self._seal_trace
+                store.bind_job(trace.trace_id, job_id)
         # Journal before enqueueing: once the scheduler can dispatch the
         # handle, every lifecycle edge must already have somewhere durable
         # to land.
         if self.journal is not None:
             handle._journal = self.journal
-            self.journal.record_submitted(job_id, request, resumed_from=resumed_from)
+            self.journal.record_submitted(
+                job_id,
+                request,
+                resumed_from=resumed_from,
+                trace_id=trace.trace_id if trace is not None else "",
+            )
         if self.scheduler is not None:
             try:
                 self.scheduler.submit(handle, cost=cost)
@@ -693,6 +804,8 @@ class JobService:
                         self.metrics.counter("journal.write_errors").inc()
                 self.metrics.counter("jobs.rejected").inc()
                 self.metrics.counter(f"tenant.{request.tenant}.rejected").inc()
+                if store is not None:
+                    self._seal_rejected(trace, request, "quota")
                 raise
             handle._on_queue_cancel = self.scheduler.remove
         self.metrics.counter("jobs.submitted").inc()
@@ -720,6 +833,111 @@ class JobService:
                 )
                 self._dispatcher.start()
         return handle
+
+    # ----------------------------------------------------- request tracing
+
+    def _seal_rejected(self, trace: TraceContext, request: JobRequest, reason: str) -> None:
+        """Close a rejected submit's trace: root span + terminal seal."""
+        store = self._trace_store()
+        if store is None:
+            return
+        now = time.perf_counter()
+        store.record(span_record(
+            "request",
+            trace_id=trace.trace_id,
+            span_id=trace.span_id,
+            parent_span_id=trace.parent_span_id,
+            start_s=trace.started_s,
+            end_s=now,
+            attrs={"tenant": request.tenant, "method": request.method,
+                   "status": "rejected", "reason": reason},
+        ))
+        store.seal(trace.trace_id, "rejected", now - trace.started_s)
+
+    def _seal_trace(self, handle: JobHandle, status: str) -> None:
+        """Terminal-transition hook: record the request root span and seal.
+
+        The root span covers submit-to-terminal, so every child recorded for
+        the request (admission, queue wait, job, engine queries) nests
+        inside its interval — the non-overlapping-parent property the trace
+        tests assert.
+        """
+        trace = handle._trace
+        store = self._trace_store()
+        if trace is None or store is None:
+            return
+        now = time.perf_counter()
+        store.record(span_record(
+            "request",
+            trace_id=trace.trace_id,
+            span_id=trace.span_id,
+            parent_span_id=trace.parent_span_id,
+            start_s=trace.started_s,
+            end_s=now,
+            attrs={
+                "job_id": handle.job_id,
+                "tenant": handle.request.tenant,
+                "method": handle.request.method,
+                "status": status,
+                "sampled": trace.sampled,
+            },
+        ))
+        store.seal(trace.trace_id, status, now - trace.started_s)
+
+    def _record_queue_wait(self, handle: JobHandle) -> None:
+        """Render the enqueue->dispatch gap as the request's queue-wait span."""
+        trace = handle._trace
+        store = self._trace_store()
+        if trace is None or store is None or handle._enqueued_pc is None:
+            return
+        now = time.perf_counter()
+        attrs: dict = {
+            "tenant": handle.request.tenant,
+            "cost_units": round(handle._cost_units, 3),
+        }
+        if handle._drr_rounds:
+            attrs["drr_rounds"] = handle._drr_rounds
+        store.record(span_record(
+            "queue_wait",
+            trace_id=trace.trace_id,
+            parent_span_id=trace.span_id,
+            start_s=handle._enqueued_pc,
+            end_s=now,
+            attrs=attrs,
+        ))
+
+    @contextmanager
+    def _job_span(self, handle: JobHandle):
+        """The job's execution span, joined to its request trace when sampled.
+
+        Untraced requests keep the old behavior (``maybe_span``: nest under
+        whatever is active, or root against the env tracer).  Traced,
+        *sampled* requests activate their context and open the span against
+        the service tracer (falling back to the env-shared one), so the job
+        tree carries the trace id and parents under the request root.
+        Traced-but-unsampled requests skip execution spans entirely — that
+        is the head-sampling saving.
+        """
+        request = handle.request
+        trace = handle._trace
+        if trace is None:
+            with maybe_span("job", job_id=handle.job_id, method=request.method) as span:
+                yield span
+            return
+        if not trace.sampled:
+            yield None
+            return
+        tracer = self.tracer
+        if tracer is None and tracing_env_enabled():
+            tracer = shared_tracer()
+        if tracer is None:
+            yield None
+            return
+        with activate_context(trace):
+            with tracer.span(
+                "job", job_id=handle.job_id, method=request.method, tenant=request.tenant
+            ) as span:
+                yield span
 
     def _dispatch_loop(self) -> None:
         """Feed the executor from the fair scheduler, one slot per worker.
@@ -797,6 +1015,7 @@ class JobService:
         if handle._cancelled:
             handle._transition(JOB_CANCELLED)
             return
+        self._record_queue_wait(handle)
         handle._transition(JOB_RUNNING)
         request = handle.request
         # Any escape — QymeraError or not (bad constructor kwargs raise
@@ -804,8 +1023,13 @@ class JobService:
         # a terminal state, or result()/stream() callers block forever.
         if request.param_grid is not None and self._use_process_tier(request):
             try:
-                with self.metrics.histogram("jobs.process_tier_seconds").time():
-                    self._run_grid_in_processes(handle, request)
+                with self.metrics.histogram("jobs.process_tier_seconds").time(), \
+                        self._job_span(handle) as job_span:
+                    finished = self._run_grid_in_processes(handle, request, job_span)
+                # The DONE transition happens *after* the job span closes so
+                # the sealed trace already contains the complete span tree.
+                if finished:
+                    handle._transition(JOB_DONE)
             except Exception as exc:
                 handle._transition(JOB_ERROR, exc)
             return
@@ -815,12 +1039,12 @@ class JobService:
             handle._transition(JOB_ERROR, exc)
             return
         try:
-            # When tracing is on (REPRO_TRACE or an engine-level tracer), the
-            # job span becomes the root this thread's compile/query spans
-            # nest under; with tracing off it is a no-op context.
-            with self.metrics.histogram("jobs.thread_tier_seconds").time(), maybe_span(
-                "job", job_id=handle.job_id, method=request.method
-            ):
+            # When tracing is on (a request trace, REPRO_TRACE, or an
+            # engine-level tracer), the job span becomes the root this
+            # thread's compile/query spans nest under; with tracing off it
+            # is a no-op context.
+            with self.metrics.histogram("jobs.thread_tier_seconds").time(), \
+                    self._job_span(handle):
                 executable = engine.compile(request.circuit)
                 if request.param_grid is not None:
                     for point in request.param_grid:
@@ -875,7 +1099,7 @@ class JobService:
                 )
             return self._process_executor
 
-    def _run_grid_in_processes(self, handle: JobHandle, request: JobRequest) -> None:
+    def _run_grid_in_processes(self, handle: JobHandle, request: JobRequest, job_span=None) -> bool:
         """Fan a sweep grid out over the process pool, streaming in order.
 
         The grid is split into contiguous chunks; each worker process
@@ -884,6 +1108,11 @@ class JobService:
         submission order so per-point results stream back to ``stream()``
         callers in grid order; cancellation takes effect at the next chunk
         boundary.
+
+        Returns True when every chunk completed (caller transitions DONE
+        after the job span closes), False after a cancellation (already
+        transitioned here).  Exceptions propagate after cancelling pending
+        chunks.
         """
         executor = self._acquire_process_executor()
         points = [dict(point) for point in request.param_grid or []]
@@ -894,8 +1123,18 @@ class JobService:
             chunk_size = max(1, -(-len(points) // (workers * 2)))
         chunks = [points[start : start + chunk_size] for start in range(0, len(points), chunk_size)]
         options = dict(request.options)
+        # Ship the trace identity with each chunk so worker-side spans carry
+        # the request's trace id and parent under the job span; fall back to
+        # the request root when the job span itself was not traced.
+        trace_arg = None
+        if job_span is not None and getattr(job_span, "trace_id", None):
+            trace_arg = (job_span.trace_id, job_span.span_id)
+        elif handle._trace is not None and handle._trace.sampled:
+            trace_arg = (handle._trace.trace_id, handle._trace.span_id)
         futures = [
-            executor.submit(_execute_grid_chunk, request.method, options, request.circuit, chunk)
+            executor.submit(
+                _execute_grid_chunk, request.method, options, request.circuit, chunk, trace_arg
+            )
             for chunk in chunks
         ]
         with self._lock:
@@ -907,16 +1146,16 @@ class JobService:
                     for pending in futures:
                         pending.cancel()
                     handle._transition(JOB_CANCELLED)
-                    return
+                    return False
                 results, worker_stats = future.result()
                 self._merge_worker_stats(handle, worker_stats)
                 for result in results:
                     handle._push_result(result)
-            handle._transition(JOB_DONE)
-        except Exception as exc:
+            return True
+        except Exception:
             for pending in futures:
                 pending.cancel()
-            handle._transition(JOB_ERROR, exc)
+            raise
 
     def _merge_worker_stats(self, handle: JobHandle, worker_stats: dict) -> None:
         """Fold one chunk's worker-process snapshot into the job metadata.
@@ -935,9 +1174,32 @@ class JobService:
         worker["chunks"] += 1
         if "engine" in worker_stats:
             worker["engine"] = worker_stats["engine"]
+        dropped = int(worker_stats.get("traces_dropped", 0))
+        if dropped:
+            # Workers cap the traces they ship per chunk; surface the
+            # truncation everywhere a reader might otherwise assume the
+            # trace set is complete.
+            tier["traces_dropped"] = tier.get("traces_dropped", 0) + dropped
+            with self._lock:
+                self._worker_traces_dropped += dropped
+            self.metrics.counter("jobs.worker_traces_dropped").inc(dropped)
+            tracer = self.tracer
+            if tracer is None and tracing_env_enabled():
+                tracer = shared_tracer()
+            if tracer is not None:
+                with tracer._lock:
+                    tracer.traces_dropped += dropped
         traces = worker_stats.get("traces") or []
         if traces:
             self.metrics.counter("jobs.worker_traces").inc(len(traces))
+            store = self._trace_store()
+            for trace in traces:
+                # perf_counter() is not comparable across processes, so tag
+                # each shipped span tree with its origin pid — trace readers
+                # only assert timing monotonicity within one process.
+                trace.setdefault("attrs", {})["worker_pid"] = pid
+                if store is not None and trace.get("trace_id"):
+                    store.record(trace)
             if tracing_env_enabled():
                 ring = shared_tracer().ring
                 for trace in traces:
@@ -983,6 +1245,11 @@ class JobService:
             if plan["request"] is None:
                 self.metrics.counter("jobs.replay_skipped").inc()
                 continue
+            if plan.get("trace_id") and self._trace_store() is not None:
+                # Re-adopt the original submit's trace id (fresh root span
+                # id): the replayed job's spans join the original request's
+                # trace, preserving lineage across the restart.
+                plan["request"].trace = TraceContext(plan["trace_id"], sampled=True)
             handle = self._submit_request(plan["request"], resumed_from=plan["job_id"])
             # Close the original entry so a second restart replays the
             # resumed job's own journal state, not the stale original again.
@@ -1023,6 +1290,7 @@ class JobService:
                 "chunks": self._process_chunks,
                 "points": self._process_points,
                 "fallbacks": self._process_fallbacks,
+                "traces_dropped": self._worker_traces_dropped,
             }
         stats = {
             "jobs": by_status,
@@ -1036,6 +1304,8 @@ class JobService:
             stats["admission"] = self.admission.stats()
         if self.journal is not None:
             stats["journal"] = self.journal.stats()
+        if self.tracer is not None:
+            stats["tracing"] = self.tracer.stats()
         return stats
 
     # -------------------------------------------------------------- lifetime

@@ -13,14 +13,22 @@ Composes the four serving subsystems into one deployable unit:
 * :mod:`.shard` — consistent-hash sharded engine pools keeping warm plan
   caches warm per shard.
 
-:func:`build_server` wires a production-shaped stack; each piece also
-composes individually with a plain :class:`~repro.service.jobs.JobService`.
+:func:`build_server` wires a production-shaped stack — including request
+tracing: a :class:`~repro.obs.sinks.RequestTraceStore` behind a
+:class:`~repro.obs.tracing.Tracer`, so every sampled submit's span tree is
+queryable at ``/v1/traces/{job_id}`` and ``/v1/metrics`` exposes the
+latency histograms whose p99 exemplars point back into it.  Each piece
+also composes individually with a plain
+:class:`~repro.service.jobs.JobService`.
 """
 
 from __future__ import annotations
 
 import os
 
+from ...obs.metrics import MetricsRegistry
+from ...obs.sinks import RequestTraceStore
+from ...obs.tracing import Tracer, shared_tracer, tracing_env_enabled
 from ..jobs import JobService
 from .admission import (
     AdmissionController,
@@ -65,6 +73,9 @@ def build_server(
     default_quota: TenantQuota | None = None,
     process_workers: int | None = None,
     replay: bool = True,
+    tracing: bool = True,
+    trace_capacity: int = 256,
+    slow_threshold_s: float = 1.0,
     **service_kwargs,
 ) -> JobServer:
     """Assemble the full serving stack and return the (unstarted) server.
@@ -76,6 +87,12 @@ def build_server(
     the journal's incomplete jobs are re-enqueued before the server ever
     accepts traffic.  Start it with ``await server.start()`` /
     ``serve_forever()``, or synchronously via :class:`ServerThread`.
+
+    With ``tracing=True`` (the default) the service gets a tracer backed by
+    a :class:`~repro.obs.sinks.RequestTraceStore` of ``trace_capacity``
+    requests (slow threshold ``slow_threshold_s``); when ``REPRO_TRACE`` is
+    already on, the process-shared tracer is reused so engine-level spans
+    and request spans land in one place.
     """
     journal = JobJournal(journal_path) if journal_path is not None else None
     scheduler = FairScheduler(default_quota=default_quota)
@@ -84,6 +101,18 @@ def build_server(
         max_queued_jobs=max_queued_jobs,
         estimator=MemdbCostEstimator(),
     )
+    metrics = service_kwargs.pop("metrics", None) or MetricsRegistry()
+    tracer = service_kwargs.pop("tracer", None)
+    if tracer is None and tracing:
+        store = RequestTraceStore(
+            capacity=trace_capacity, slow_threshold_s=slow_threshold_s
+        )
+        if tracing_env_enabled():
+            tracer = shared_tracer()
+            if tracer.request_store is None:
+                tracer.request_store = store
+        else:
+            tracer = Tracer(registry=metrics, request_store=store)
     service = JobService(
         max_workers=max_workers,
         pool=ShardedEnginePool(shards=shards),
@@ -91,6 +120,8 @@ def build_server(
         admission=admission,
         journal=journal,
         process_workers=process_workers,
+        metrics=metrics,
+        tracer=tracer,
         **service_kwargs,
     )
     # The sharded pool exists only for this service: close it on shutdown

@@ -52,6 +52,9 @@ class AdmissionDecision:
     cost: float
     reason: str = ""
     retry_after: float = 0.0
+    #: How long pricing + the admit/reject decision took — rendered as the
+    #: request's ``admission`` span by the tracing layer.
+    elapsed_s: float = 0.0
 
 
 class StructuralCostEstimator:
@@ -188,21 +191,34 @@ class AdmissionController:
         self._service_started = time.monotonic()
 
     def assess(self, request: "JobRequest", queued_cost: float, queued_jobs: int) -> AdmissionDecision:
-        """Price the request and decide against the current backlog."""
+        """Price the request and decide against the current backlog.
+
+        The decision carries its own wall time (``elapsed_s``): pricing may
+        translate + parse + cost-model a never-seen circuit structure, and
+        the tracing layer attributes that to the request as an ``admission``
+        span rather than letting it hide inside end-to-end latency.
+        """
+        started = time.perf_counter()
         cost = self.estimator.estimate(request)
         if self.max_queued_jobs is not None and queued_jobs >= self.max_queued_jobs:
             retry = self._retry_after(queued_cost)
             with self._lock:
                 self._rejected += 1
-            return AdmissionDecision(REJECT, cost, reason="queue full", retry_after=retry)
+            return AdmissionDecision(
+                REJECT, cost, reason="queue full", retry_after=retry,
+                elapsed_s=time.perf_counter() - started,
+            )
         if self.max_queued_cost is not None and queued_cost + cost > self.max_queued_cost:
             retry = self._retry_after(queued_cost + cost - self.max_queued_cost)
             with self._lock:
                 self._rejected += 1
-            return AdmissionDecision(REJECT, cost, reason="cost ceiling", retry_after=retry)
+            return AdmissionDecision(
+                REJECT, cost, reason="cost ceiling", retry_after=retry,
+                elapsed_s=time.perf_counter() - started,
+            )
         with self._lock:
             self._admitted += 1
-        return AdmissionDecision(ADMIT, cost)
+        return AdmissionDecision(ADMIT, cost, elapsed_s=time.perf_counter() - started)
 
     def observe_served(self, cost: float) -> None:
         """Record completed work so ``retry_after`` tracks real throughput."""

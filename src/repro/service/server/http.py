@@ -2,7 +2,7 @@
 
 A deliberately small HTTP/1.1 server on ``asyncio`` streams — no
 third-party web framework, matching the repo's no-new-dependencies rule —
-exposing the serving tier's five endpoints::
+exposing the serving tier's endpoints::
 
     POST   /v1/jobs            submit  {tenant, circuit, method, options,
                                         params | param_grid, tag}
@@ -12,12 +12,25 @@ exposing the serving tier's five endpoints::
     GET    /v1/stats            service + scheduler + admission + journal
                                 stats (the versioned engine_stats()/metrics
                                 schema)
+    GET    /v1/metrics          Prometheus text exposition of every service
+                                counter/gauge/histogram, p99 exemplars
+                                linking to traces
+    GET    /v1/traces/{job_id}  one request's assembled span tree
+    GET    /v1/traces           recent request traces (?tenant=, ?slow=1)
+                                plus the slow-request log
 
 Request handling never blocks the event loop: ``JobService`` calls —
 submit (journal append), result waits, cancellation — run on the loop's
 default thread-pool executor, and the stream endpoint pulls each next
 point through the executor too, writing it out as one chunk as soon as the
 worker produces it.
+
+Tracing starts here: a submit carrying a W3C ``traceparent`` header joins
+the caller's distributed trace (the ingress honors its sampling flag);
+otherwise the server mints a :class:`~repro.obs.tracing.TraceContext`
+head-sampled at the tenant's configured rate.  Responses echo
+``traceparent`` and error bodies carry the ``trace_id``, so a client can
+always quote the id that ``/v1/traces/{job_id}`` resolves.
 
 Admission rejections surface as ``429`` with both a ``Retry-After`` header
 and a JSON body; pruned-but-journaled jobs answer ``410 Gone`` carrying
@@ -28,11 +41,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
+import time
 from typing import TYPE_CHECKING
 
 from ...errors import CircuitFormatError, QymeraError
 from ...io.json_io import circuit_from_dict
+from ...obs.metrics import PROMETHEUS_CONTENT_TYPE, global_registry, prometheus_exposition
+from ...obs.tracing import TraceContext, new_trace_id, span_record
 from ..jobs import JobRequest, JobService
 from .admission import AdmissionRejected
 from .scheduler import QuotaExceeded
@@ -182,31 +199,58 @@ class JobServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, query, body, keep_alive = request
+                method, path, query, body, headers, keep_alive = request
                 with self._lock:
                     self._requests_served += 1
+                started = time.perf_counter()
+                route = self._route_family(path)
+                # Ingress trace identity: join the caller's trace when a
+                # valid traceparent arrived; reqinfo carries the id so every
+                # error body below can echo it.
+                context = TraceContext.from_traceparent(headers.get("traceparent", ""))
+                reqinfo = {"trace_id": context.trace_id if context is not None else ""}
+                status = 500
                 try:
-                    await self._dispatch(method, path, query, body, writer)
-                except _BadRequest as exc:
-                    await self._send_json(writer, 400, {"error": str(exc)})
-                except AdmissionRejected as exc:
-                    await self._send_json(
-                        writer,
-                        429,
-                        {"error": str(exc), "reason": exc.reason, "retry_after": exc.retry_after},
-                        headers={"Retry-After": f"{max(exc.retry_after, 0.0):.3f}"},
+                    status = await self._dispatch(
+                        method, path, query, body, context, reqinfo, writer
                     )
-                except QuotaExceeded as exc:
+                except _BadRequest as exc:
+                    status = 400
+                    await self._send_json(
+                        writer, 400, {"error": str(exc), **self._trace_ref(reqinfo)}
+                    )
+                except (AdmissionRejected, QuotaExceeded) as exc:
+                    status = 429
                     await self._send_json(
                         writer,
                         429,
-                        {"error": str(exc), "reason": exc.reason, "retry_after": exc.retry_after},
+                        {"error": str(exc), "reason": exc.reason,
+                         "retry_after": exc.retry_after, **self._trace_ref(reqinfo)},
                         headers={"Retry-After": f"{max(exc.retry_after, 0.0):.3f}"},
                     )
                 except QymeraError as exc:
-                    await self._send_json(writer, 500, {"error": str(exc)})
+                    status = 500
+                    await self._send_json(
+                        writer, 500,
+                        {"error": str(exc), "trace_id": self._error_trace_id(reqinfo)},
+                    )
                 except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the loop
-                    await self._send_json(writer, 500, {"error": f"internal error: {exc}"})
+                    status = 500
+                    await self._send_json(
+                        writer, 500,
+                        {"error": f"internal error: {exc}",
+                         "trace_id": self._error_trace_id(reqinfo)},
+                    )
+                metrics = self.service.metrics
+                metrics.counter("http.requests_total").inc()
+                if status >= 500:
+                    metrics.counter("http.errors_total").inc()
+                metrics.histogram(f"http.route.{route}.latency_seconds").observe(
+                    time.perf_counter() - started,
+                    exemplar=(
+                        {"trace_id": reqinfo["trace_id"]} if reqinfo["trace_id"] else None
+                    ),
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -238,8 +282,14 @@ class JobServer:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            # A garbage Content-Length used to escape as an unhandled
+            # ValueError and kill the connection task; treat it as a
+            # malformed request instead.
+            return None
+        if length > MAX_BODY_BYTES or length < 0:
             return None
         body = await reader.readexactly(length) if length else b""
         path, _, query_string = target.partition("?")
@@ -249,54 +299,124 @@ class JobServer:
                 key, _, value = pair.partition("=")
                 query[key] = value
         keep_alive = headers.get("connection", "").lower() != "close" and version.upper() != "HTTP/1.0"
-        return method.upper(), path, query, body, keep_alive
+        return method.upper(), path, query, body, headers, keep_alive
 
     # ------------------------------------------------------------ dispatching
 
-    async def _dispatch(self, method, path, query, body, writer) -> None:
+    @staticmethod
+    def _route_family(path: str) -> str:
+        """Normalized route label for per-route latency metrics."""
+        parts = [part for part in path.split("/") if part]
+        if parts[:1] != ["v1"] or len(parts) < 2:
+            return "other"
+        head = parts[1]
+        if head == "jobs":
+            if len(parts) == 2:
+                return "/v1/jobs"
+            if len(parts) == 3:
+                return "/v1/jobs/{id}"
+            if len(parts) == 4 and parts[3] == "stream":
+                return "/v1/jobs/{id}/stream"
+            return "other"
+        if head in ("stats", "metrics"):
+            return f"/v1/{head}"
+        if head == "traces":
+            return "/v1/traces" if len(parts) == 2 else "/v1/traces/{id}"
+        return "other"
+
+    def _trace_store(self):
+        tracer = self.service.tracer
+        return tracer.request_store if tracer is not None else None
+
+    def _sample_rate(self, tenant: str) -> float:
+        scheduler = self.service.scheduler
+        return 1.0 if scheduler is None else scheduler.sample_rate(tenant)
+
+    @staticmethod
+    def _trace_ref(reqinfo: dict) -> dict:
+        return {"trace_id": reqinfo["trace_id"]} if reqinfo["trace_id"] else {}
+
+    @staticmethod
+    def _error_trace_id(reqinfo: dict) -> str:
+        """The id a 500 body quotes — minted when the request had none.
+
+        A minted id resolves to no stored trace, but gives client and
+        server logs a shared correlation key for the failure.
+        """
+        if not reqinfo["trace_id"]:
+            reqinfo["trace_id"] = new_trace_id()
+        return reqinfo["trace_id"]
+
+    async def _dispatch(self, method, path, query, body, context, reqinfo, writer) -> int:
         parts = [part for part in path.split("/") if part]
         if parts[:1] != ["v1"]:
-            await self._send_json(writer, 404, {"error": f"unknown path {path!r}"})
-            return
+            return await self._send_json(writer, 404, {"error": f"unknown path {path!r}"})
         if parts == ["v1", "jobs"] and method == "POST":
-            await self._submit(body, writer)
-            return
+            return await self._submit(body, context, reqinfo, writer)
         if parts == ["v1", "stats"] and method == "GET":
-            await self._stats(writer)
-            return
+            return await self._stats(writer)
+        if parts == ["v1", "metrics"] and method == "GET":
+            return await self._metrics(writer)
+        if parts == ["v1", "traces"] and method == "GET":
+            return await self._traces_query(query, writer)
+        if len(parts) == 3 and parts[1] == "traces" and method == "GET":
+            return await self._trace_for_job(parts[2], writer)
         if len(parts) >= 3 and parts[1] == "jobs":
             try:
                 job_id = int(parts[2])
             except ValueError:
                 raise _BadRequest(f"job id must be an integer, got {parts[2]!r}")
             if len(parts) == 3 and method == "GET":
-                await self._poll(job_id, query, writer)
-                return
+                return await self._poll(job_id, query, writer)
             if len(parts) == 3 and method == "DELETE":
-                await self._cancel(job_id, writer)
-                return
+                return await self._cancel(job_id, writer)
             if len(parts) == 4 and parts[3] == "stream" and method == "GET":
-                await self._stream(job_id, query, writer)
-                return
-        await self._send_json(writer, 405 if parts[1:2] == ["jobs"] else 404,
-                              {"error": f"unsupported {method} {path}"})
+                return await self._stream(job_id, query, writer)
+        return await self._send_json(writer, 405 if parts[1:2] == ["jobs"] else 404,
+                                     {"error": f"unsupported {method} {path}"})
 
     # -------------------------------------------------------------- handlers
 
-    async def _submit(self, body: bytes, writer) -> None:
+    async def _submit(self, body: bytes, context, reqinfo, writer) -> int:
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise _BadRequest(f"invalid JSON body: {exc}") from exc
         request = parse_job_payload(payload)
+        # Attach trace identity before the service sees the request: a
+        # traceparent-derived context keeps the caller's sampling decision;
+        # otherwise mint one head-sampled at the tenant's rate.
+        trace = context
+        if trace is None and self._trace_store() is not None:
+            rate = self._sample_rate(request.tenant)
+            trace = TraceContext.generate(sampled=random.random() < rate)
+        if trace is not None:
+            request.trace = trace
+            reqinfo["trace_id"] = trace.trace_id
         loop = asyncio.get_running_loop()
         # submit() appends to the journal and may price the plan — off-loop.
         handle = await loop.run_in_executor(None, self.service.submit, request)
-        await self._send_json(
-            writer, 202, {"job_id": handle.job_id, "status": handle.status(), "tenant": request.tenant}
-        )
+        store = self._trace_store()
+        if trace is not None and store is not None:
+            # The ingress span: parse + admission + journal + enqueue, i.e.
+            # the synchronous slice of the request the HTTP thread observed.
+            store.record(span_record(
+                "ingress",
+                trace_id=trace.trace_id,
+                parent_span_id=trace.span_id,
+                start_s=trace.started_s,
+                attrs={"route": "/v1/jobs", "tenant": request.tenant},
+            ))
+        response = {
+            "job_id": handle.job_id, "status": handle.status(), "tenant": request.tenant,
+        }
+        response_headers = None
+        if trace is not None:
+            response["trace_id"] = trace.trace_id
+            response_headers = {"traceparent": trace.to_traceparent()}
+        return await self._send_json(writer, 202, response, headers=response_headers)
 
-    async def _poll(self, job_id: int, query, writer) -> None:
+    async def _poll(self, job_id: int, query, writer) -> int:
         loop = asyncio.get_running_loop()
         try:
             handle = self.service.job(job_id)
@@ -305,42 +425,39 @@ class JobServer:
             if final is not None:
                 final["error_detail"] = final.pop("error", "")
                 final["source"] = "journal"
-                await self._send_json(writer, 410, final)
-            else:
-                await self._send_json(writer, 404, {"error": f"no job with id {job_id}"})
-            return
+                return await self._send_json(writer, 410, final)
+            return await self._send_json(writer, 404, {"error": f"no job with id {job_id}"})
         snapshot = handle.poll()
         if snapshot["status"] == "done" and query.get("rows") == "1":
             results = await loop.run_in_executor(None, lambda: handle.result(timeout=0.0))
             if not isinstance(results, list):
                 results = [results]
             snapshot["results"] = [result.to_dict() for result in results]
-        await self._send_json(writer, 200, snapshot)
+        return await self._send_json(writer, 200, snapshot)
 
-    async def _cancel(self, job_id: int, writer) -> None:
+    async def _cancel(self, job_id: int, writer) -> int:
         loop = asyncio.get_running_loop()
         try:
             handle = self.service.job(job_id)
         except QymeraError:
             final = self.service.final_status(job_id)
             if final is not None:
-                await self._send_json(writer, 410, final)
-            else:
-                await self._send_json(writer, 404, {"error": f"no job with id {job_id}"})
-            return
+                return await self._send_json(writer, 410, final)
+            return await self._send_json(writer, 404, {"error": f"no job with id {job_id}"})
         cancelled = await loop.run_in_executor(None, handle.cancel)
-        await self._send_json(
+        return await self._send_json(
             writer, 200, {"job_id": job_id, "cancelled": cancelled, "status": handle.status()}
         )
 
-    async def _stream(self, job_id: int, query, writer) -> None:
+    async def _stream(self, job_id: int, query, writer) -> int:
         try:
             handle = self.service.job(job_id)
         except QymeraError:
             final = self.service.final_status(job_id)
             status = 410 if final is not None else 404
-            await self._send_json(writer, status, final or {"error": f"no job with id {job_id}"})
-            return
+            return await self._send_json(
+                writer, status, final or {"error": f"no job with id {job_id}"}
+            )
         loop = asyncio.get_running_loop()
         include_rows = query.get("rows") == "1"
         timeout = float(query.get("timeout", "300"))
@@ -378,12 +495,74 @@ class JobServer:
             # Terminating zero-length chunk ends the response.
             writer.write(b"0\r\n\r\n")
             await writer.drain()
+        return 200
 
-    async def _stats(self, writer) -> None:
+    async def _stats(self, writer) -> int:
         loop = asyncio.get_running_loop()
         stats = await loop.run_in_executor(None, self.service.stats)
         payload = {"schema_version": 1, "requests_served": self._requests_served, "service": stats}
-        await self._send_json(writer, 200, payload)
+        return await self._send_json(writer, 200, payload)
+
+    async def _metrics(self, writer) -> int:
+        """Prometheus text exposition of the process's metric registries.
+
+        The service registry is rendered after the global one, so a name
+        collision resolves in favor of the serving tier's numbers.
+        """
+        loop = asyncio.get_running_loop()
+
+        def render() -> str:
+            return prometheus_exposition(
+                global_registry().snapshot(), self.service.metrics.snapshot()
+            )
+
+        text = await loop.run_in_executor(None, render)
+        body = text.encode("utf-8")
+        await self._send_head(writer, 200, {
+            "Content-Type": PROMETHEUS_CONTENT_TYPE,
+            "Content-Length": str(len(body)),
+        })
+        writer.write(body)
+        await writer.drain()
+        return 200
+
+    async def _trace_for_job(self, job_part: str, writer) -> int:
+        try:
+            job_id = int(job_part)
+        except ValueError:
+            raise _BadRequest(f"job id must be an integer, got {job_part!r}")
+        store = self._trace_store()
+        if store is None:
+            return await self._send_json(
+                writer, 404, {"error": "request tracing is not enabled on this server"}
+            )
+        trace = store.for_job(job_id)
+        if trace is None:
+            return await self._send_json(
+                writer, 404,
+                {"error": f"no retained trace for job {job_id} "
+                          "(not sampled, evicted, or unknown id)"},
+            )
+        return await self._send_json(writer, 200, trace)
+
+    async def _traces_query(self, query, writer) -> int:
+        store = self._trace_store()
+        if store is None:
+            return await self._send_json(
+                writer, 404, {"error": "request tracing is not enabled on this server"}
+            )
+        tenant = query.get("tenant") or None
+        slow = query.get("slow") == "1"
+        try:
+            limit = max(1, int(query.get("limit", "50")))
+        except ValueError:
+            raise _BadRequest("'limit' must be an integer")
+        payload = {
+            "traces": store.query(tenant=tenant, slow=slow, limit=limit),
+            "slow_requests": store.slow_requests(tenant=tenant),
+            "store": store.stats(),
+        }
+        return await self._send_json(writer, 200, payload)
 
     # --------------------------------------------------------------- writing
 
@@ -394,7 +573,7 @@ class JobServer:
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
         await writer.drain()
 
-    async def _send_json(self, writer, status: int, payload: dict, headers: dict | None = None) -> None:
+    async def _send_json(self, writer, status: int, payload: dict, headers: dict | None = None) -> int:
         body = json.dumps(payload, default=repr).encode("utf-8")
         head = {
             "Content-Type": "application/json",
@@ -405,6 +584,7 @@ class JobServer:
         await self._send_head(writer, status, head)
         writer.write(body)
         await writer.drain()
+        return status
 
     async def _write_chunk(self, writer, text: str) -> None:
         data = text.encode("utf-8")

@@ -94,7 +94,7 @@ class JournalEntry:
     """Folded per-job state reconstructed from a journal scan."""
 
     __slots__ = ("job_id", "tenant", "fingerprint", "status", "completed_points",
-                 "total_points", "payload", "error", "resumed_from")
+                 "total_points", "payload", "error", "resumed_from", "trace_id")
 
     def __init__(self, job_id: int) -> None:
         self.job_id = job_id
@@ -106,6 +106,9 @@ class JournalEntry:
         self.payload: dict | None = None
         self.error = ""
         self.resumed_from: int | None = None
+        #: The distributed-trace id the original submit carried; a replayed
+        #: job re-adopts it so its spans join the original request's trace.
+        self.trace_id = ""
 
     @property
     def terminal(self) -> bool:
@@ -121,6 +124,7 @@ class JournalEntry:
             "total_points": self.total_points,
             "error": self.error,
             "replayable": self.payload is not None,
+            "trace_id": self.trace_id,
         }
 
 
@@ -166,9 +170,18 @@ class JobJournal:
             self._fold(record)
 
     def record_submitted(
-        self, job_id: int, request: "JobRequest", resumed_from: int | None = None
+        self,
+        job_id: int,
+        request: "JobRequest",
+        resumed_from: int | None = None,
+        trace_id: str = "",
     ) -> str:
-        """Journal an accepted job; returns its request fingerprint."""
+        """Journal an accepted job; returns its request fingerprint.
+
+        ``trace_id`` is the submit's distributed-trace identity: persisting
+        it here is what lets a journal-replayed job keep the lineage of the
+        request that originally created it.
+        """
         payload = serialize_request(request)
         fingerprint = request_fingerprint(payload) if payload is not None else ""
         record = {
@@ -180,6 +193,8 @@ class JobJournal:
             "payload": payload,
             "ts": time.time(),
         }
+        if trace_id:
+            record["trace_id"] = trace_id
         if resumed_from is not None:
             record["resumed_from"] = resumed_from
         self._append(record)
@@ -216,6 +231,7 @@ class JobJournal:
             entry.total_points = int(record.get("total_points", 1))
             entry.payload = record.get("payload")
             entry.resumed_from = record.get("resumed_from")
+            entry.trace_id = record.get("trace_id", "")
         elif event == EVENT_STARTED:
             entry.status = EVENT_STARTED
         elif event == EVENT_POINT:
@@ -277,6 +293,7 @@ class JobJournal:
                     "request": None,
                     "skip_points": entry.completed_points,
                     "reason": "payload was not serializable",
+                    "trace_id": entry.trace_id,
                 })
                 continue
             request = deserialize_request(entry.payload)
@@ -293,6 +310,7 @@ class JobJournal:
                 "request": request,
                 "skip_points": skip,
                 "reason": "",
+                "trace_id": entry.trace_id,
             })
         return plans
 

@@ -46,6 +46,10 @@ class TenantQuota:
 
     ``weight`` scales the tenant's DRR credit (2.0 = twice the service of a
     weight-1.0 tenant under saturation).  ``None`` limits are unlimited.
+    ``sample_rate`` is the tenant's head-based trace-sampling probability:
+    the fraction of this tenant's requests that record full execution spans
+    (errors and slow requests are always retained regardless — the rate
+    only gates the happy path's tracing cost).
     """
 
     weight: float = 1.0
@@ -53,6 +57,7 @@ class TenantQuota:
     max_queued: int | None = None
     rate: float | None = None
     burst: float | None = None
+    sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -65,6 +70,8 @@ class TenantQuota:
             raise QymeraError("rate must be positive when given")
         if self.burst is not None and self.burst <= 0:
             raise QymeraError("burst must be positive when given")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise QymeraError("sample_rate must be between 0 and 1")
 
 
 class TokenBucket:
@@ -107,7 +114,7 @@ class TokenBucket:
 
 class _TenantState:
     __slots__ = ("name", "quota", "queue", "deficit", "running", "bucket",
-                 "admitted", "rejected", "dispatched", "served_cost")
+                 "admitted", "rejected", "dispatched", "served_cost", "queue_wait_s")
 
     def __init__(self, name: str, quota: TenantQuota, clock: Callable[[], float]) -> None:
         self.name = name
@@ -124,6 +131,10 @@ class _TenantState:
         self.rejected = 0
         self.dispatched = 0
         self.served_cost = 0.0
+        #: Accumulated true queue wait (enqueue -> DRR pick) in seconds —
+        #: the per-tenant attribution the tracing layer's queue-wait spans
+        #: aggregate to.
+        self.queue_wait_s = 0.0
 
 
 class FairScheduler:
@@ -211,6 +222,11 @@ class FairScheduler:
                         reason="rate",
                     )
             handle._cost_units = max(0.0, float(cost)) or 1.0
+            # Queue-wait ground truth: perf_counter at enqueue, read back at
+            # DRR pick — the tracing layer renders the difference as the
+            # request's ``queue_wait`` span instead of inferring it from
+            # end-to-end latency.
+            handle._enqueued_pc = time.perf_counter()
             state.queue.append(handle)
             state.admitted += 1
             self._queued_cost += handle._cost_units
@@ -272,7 +288,7 @@ class FairScheduler:
         # Bounded rounds: each full pass adds >= quantum * min_weight to
         # every eligible deficit, so some head job gets funded; the bound
         # only guards against a pathological cost/quantum ratio.
-        for _ in range(1024):
+        for drr_round in range(1024):
             for _ in range(len(self._rotation)):
                 name = self._rotation[self._cursor % len(self._rotation)]
                 self._cursor = (self._cursor + 1) % len(self._rotation)
@@ -283,17 +299,14 @@ class FairScheduler:
                 head = state.queue[0]
                 if state.deficit >= head._cost_units:
                     state.deficit -= head._cost_units
-                    state.queue.pop(0)
-                    if not state.queue:
-                        state.deficit = 0.0
-                    state.running += 1
-                    state.dispatched += 1
-                    state.served_cost += head._cost_units
-                    self._queued_cost = max(0.0, self._queued_cost - head._cost_units)
-                    return head
+                    return self._dequeue_head_locked(state, drr_round + 1)
         # Fund the cheapest head directly rather than spinning forever.
         name = min(eligible, key=lambda n: self._tenants[n].queue[0]._cost_units)
         state = self._tenants[name]
+        return self._dequeue_head_locked(state, 1024)
+
+    def _dequeue_head_locked(self, state: _TenantState, drr_rounds: int) -> "JobHandle":
+        """Pop a funded head, attributing queue wait and DRR rounds to it."""
         head = state.queue.pop(0)
         if not state.queue:
             state.deficit = 0.0
@@ -301,6 +314,10 @@ class FairScheduler:
         state.dispatched += 1
         state.served_cost += head._cost_units
         self._queued_cost = max(0.0, self._queued_cost - head._cost_units)
+        enqueued = getattr(head, "_enqueued_pc", None)
+        if enqueued is not None:
+            state.queue_wait_s += max(0.0, time.perf_counter() - enqueued)
+        head._drr_rounds = drr_rounds
         return head
 
     def on_finish(self, handle: "JobHandle") -> None:
@@ -360,6 +377,18 @@ class FairScheduler:
         with self._condition:
             return sum(len(state.queue) for state in self._tenants.values())
 
+    def sample_rate(self, tenant: str) -> float:
+        """The head-based trace-sampling rate configured for ``tenant``.
+
+        Tenants without an explicit quota inherit the default quota's rate;
+        this is what the HTTP ingress consults when minting a fresh
+        :class:`~repro.obs.TraceContext` for an untraced inbound request.
+        """
+        with self._condition:
+            state = self._tenants.get(tenant)
+            quota = state.quota if state is not None else self.default_quota
+            return quota.sample_rate
+
     def snapshot(self) -> dict:
         """Per-tenant scheduling state for ``/v1/stats`` and reports."""
         with self._condition:
@@ -373,6 +402,8 @@ class FairScheduler:
                     "rejected": state.rejected,
                     "dispatched": state.dispatched,
                     "served_cost": round(state.served_cost, 6),
+                    "queue_wait_s": round(state.queue_wait_s, 6),
+                    "sample_rate": state.quota.sample_rate,
                     "tokens": round(state.bucket.tokens, 6) if state.bucket is not None else None,
                 }
                 for name, state in self._tenants.items()

@@ -1,0 +1,111 @@
+"""Tests for the Prometheus text exposition of the metrics registry."""
+
+import re
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    prometheus_exposition,
+)
+
+#: One exposition line: a comment, or ``name{labels} value``.
+_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|-?[0-9.e+-]+))$"
+)
+
+
+def _lines(text):
+    assert text.endswith("\n")
+    return [line for line in text.splitlines() if line]
+
+
+def test_every_line_is_valid_exposition_syntax():
+    registry = MetricsRegistry()
+    registry.counter("jobs.done").inc(3)
+    registry.gauge("jobs.queue_depth").set(2)
+    registry.histogram("tenant.acme.latency_seconds").observe(0.25)
+    registry.histogram("http.route./v1/jobs.latency_seconds").observe(
+        0.01, exemplar={"trace_id": "ab" * 16}
+    )
+    for line in _lines(prometheus_exposition(registry.snapshot())):
+        assert _LINE.match(line), f"invalid exposition line: {line!r}"
+
+
+def test_counters_get_total_suffix_and_type_line():
+    registry = MetricsRegistry()
+    registry.counter("jobs.submitted").inc(5)
+    lines = _lines(prometheus_exposition(registry.snapshot()))
+    assert "# TYPE repro_jobs_submitted_total counter" in lines
+    assert "repro_jobs_submitted_total 5" in lines
+
+
+def test_tenant_and_route_names_fold_into_labels():
+    registry = MetricsRegistry()
+    registry.counter("tenant.acme.jobs_done").inc()
+    registry.histogram("http.route./v1/jobs.latency_seconds").observe(0.5)
+    text = prometheus_exposition(registry.snapshot())
+    assert 'repro_tenant_jobs_done_total{tenant="acme"} 1' in text
+    assert 'repro_http_route_latency_seconds{route="/v1/jobs",quantile="0.5"}' in text
+
+
+def test_histograms_render_as_summaries():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("jobs.latency_seconds")
+    for value in (0.1, 0.2, 0.3, 0.5):
+        histogram.observe(value)
+    lines = _lines(prometheus_exposition(registry.snapshot()))
+    assert "# TYPE repro_jobs_latency_seconds summary" in lines
+    for quantile in ("0.5", "0.95", "0.99"):
+        assert any(
+            line.startswith(f'repro_jobs_latency_seconds{{quantile="{quantile}"}} ')
+            for line in lines
+        ), f"missing quantile {quantile}"
+    assert "repro_jobs_latency_seconds_sum 1.1" in lines
+    assert "repro_jobs_latency_seconds_count 4" in lines
+
+
+def test_exemplar_emitted_as_comment_next_to_its_series():
+    registry = MetricsRegistry()
+    registry.histogram("tenant.acme.latency_seconds").observe(
+        1.5, exemplar={"trace_id": "cd" * 16, "job_id": 9}
+    )
+    lines = _lines(prometheus_exposition(registry.snapshot()))
+    (exemplar_line,) = [line for line in lines if line.startswith("# exemplar ")]
+    assert 'repro_tenant_latency_seconds{tenant="acme",quantile="0.99"}' in exemplar_line
+    assert f"trace_id={'cd' * 16}" in exemplar_line
+    assert "job_id=9" in exemplar_line
+
+
+def test_exemplar_snapshot_tracks_the_tail_sample():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("x.latency_seconds")
+    for index in range(50):
+        histogram.observe(0.01, exemplar={"trace_id": f"fast{index}"})
+    histogram.observe(9.0, exemplar={"trace_id": "straggler"})
+    snapshot = histogram.snapshot()
+    assert snapshot["exemplar"]["trace_id"] == "straggler"
+    assert snapshot["exemplar"]["value"] == 9.0
+
+
+def test_later_snapshots_win_name_collisions():
+    first = MetricsRegistry()
+    first.counter("shared.counter").inc(1)
+    second = MetricsRegistry()
+    second.counter("shared.counter").inc(7)
+    text = prometheus_exposition(first.snapshot(), second.snapshot())
+    assert "repro_shared_counter_total 7" in text
+    assert "repro_shared_counter_total 1" not in text
+
+
+def test_metric_names_sanitized_and_label_values_escaped():
+    registry = MetricsRegistry()
+    registry.counter("weird-name.with spaces").inc()
+    registry.counter('tenant.ev"il\\corp.jobs').inc()
+    text = prometheus_exposition(registry.snapshot())
+    assert "repro_weird_name_with_spaces_total 1" in text
+    assert 'repro_tenant_jobs_total{tenant="ev\\"il\\\\corp"} 1' in text
+
+
+def test_content_type_is_classic_text():
+    assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE

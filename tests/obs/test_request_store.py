@@ -1,0 +1,196 @@
+"""Tests for the request trace store: retention policy, assembly, slow log."""
+
+import pytest
+
+from repro.obs.sinks import RequestTraceStore
+from repro.obs.tracing import TraceContext, span_record
+
+
+def _open_request(store, sampled=True, tenant="acme"):
+    """Open one request and record its root span; returns the context."""
+    context = TraceContext.generate(sampled=sampled)
+    store.open(context, tenant=tenant)
+    store.record(
+        span_record(
+            "request",
+            trace_id=context.trace_id,
+            span_id=context.span_id,
+            start_s=0.0,
+            end_s=0.05,
+            attrs={"tenant": tenant},
+        )
+    )
+    return context
+
+
+def _stage(context, name, start_s, end_s, parent=None):
+    return span_record(
+        name,
+        trace_id=context.trace_id,
+        parent_span_id=parent if parent is not None else context.span_id,
+        start_s=start_s,
+        end_s=end_s,
+    )
+
+
+class TestRetention:
+    def test_sampled_ok_request_is_retained(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True)
+        assert store.seal(context.trace_id, "done", 0.05) is True
+        assert store.assemble(context.trace_id) is not None
+        assert store.stats()["retained"] == 1
+
+    def test_unsampled_ok_request_is_discarded(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=False)
+        assert store.seal(context.trace_id, "done", 0.05) is False
+        assert store.assemble(context.trace_id) is None
+        stats = store.stats()
+        assert stats["discarded"] == 1
+        assert stats["retained"] == 0
+
+    @pytest.mark.parametrize("status", ["error", "rejected"])
+    def test_unsampled_failures_are_always_kept(self, status):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=False)
+        assert store.seal(context.trace_id, status, 0.01) is True
+        assembled = store.assemble(context.trace_id)
+        assert assembled["status"] == status
+        assert assembled["sampled"] is False
+
+    def test_unsampled_slow_request_kept_and_logged(self):
+        store = RequestTraceStore(slow_threshold_s=0.5)
+        context = _open_request(store, sampled=False, tenant="slowpoke")
+        store.record(_stage(context, "queue_wait", 0.0, 0.4))
+        store.record(_stage(context, "job", 0.4, 0.7))
+        assert store.seal(context.trace_id, "done", 0.7) is True
+        (logged,) = store.slow_requests(tenant="slowpoke")
+        assert logged["trace_id"] == context.trace_id
+        assert logged["queue_wait_s"] == pytest.approx(0.4)
+        assert logged["execute_s"] == pytest.approx(0.3)
+        assert logged["total_s"] == pytest.approx(0.7)
+        # Below-threshold requests never reach the slow log.
+        assert store.slow_requests(tenant="nobody") == []
+
+    def test_fast_request_stays_out_of_slow_log(self):
+        store = RequestTraceStore(slow_threshold_s=10.0)
+        context = _open_request(store, sampled=True)
+        store.seal(context.trace_id, "done", 0.01)
+        assert store.slow_requests() == []
+
+    def test_sealing_unknown_trace_is_a_noop(self):
+        store = RequestTraceStore()
+        assert store.seal("f" * 32, "done", 0.1) is False
+        assert store.stats()["sealed"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RequestTraceStore(capacity=0)
+
+
+class TestBreakdown:
+    def test_retained_request_carries_stage_breakdown(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True, tenant="acme")
+        store.record(_stage(context, "admission", 0.0, 0.01))
+        store.record(_stage(context, "queue_wait", 0.01, 0.11))
+        store.record(_stage(context, "job", 0.11, 0.31))
+        store.bind_job(context.trace_id, 7)
+        store.seal(context.trace_id, "done", 0.31)
+        breakdown = store.assemble(context.trace_id)["breakdown"]
+        assert breakdown["job_id"] == 7
+        assert breakdown["tenant"] == "acme"
+        assert breakdown["admission_s"] == pytest.approx(0.01)
+        assert breakdown["queue_wait_s"] == pytest.approx(0.10)
+        assert breakdown["execute_s"] == pytest.approx(0.20)
+        # query() summaries surface the same breakdown.
+        (summary,) = store.query(tenant="acme")
+        assert summary["breakdown"]["queue_wait_s"] == pytest.approx(0.10)
+
+
+class TestAssembly:
+    def test_spans_stitch_into_one_tree_under_the_root(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True)
+        job = _stage(context, "job", 0.02, 0.05)
+        store.record(job)
+        store.record(_stage(context, "queue_wait", 0.0, 0.02))
+        store.record(_stage(context, "chunk", 0.03, 0.04, parent=job["span_id"]))
+        store.seal(context.trace_id, "done", 0.05)
+        assembled = store.assemble(context.trace_id)
+        root = assembled["root"]
+        assert root["name"] == "request"
+        assert assembled["partial"] is False
+        # Siblings sort by start time; the chunk nests under the job span.
+        assert [child["name"] for child in root["children"]] == ["queue_wait", "job"]
+        (job_node,) = [c for c in root["children"] if c["name"] == "job"]
+        assert [child["name"] for child in job_node["children"]] == ["chunk"]
+
+    def test_orphan_spans_attach_to_root_and_mark_partial(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True)
+        orphan = _stage(context, "chunk", 0.01, 0.02, parent="dead" * 4)
+        store.record(orphan)
+        store.seal(context.trace_id, "done", 0.05)
+        assembled = store.assemble(context.trace_id)
+        assert assembled["partial"] is True
+        (child,) = assembled["root"]["children"]
+        assert child["attrs"]["orphan"] is True
+
+    def test_assemble_does_not_mutate_stored_spans(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True)
+        store.record(_stage(context, "job", 0.0, 0.01))
+        store.seal(context.trace_id, "done", 0.01)
+        first = store.assemble(context.trace_id)
+        second = store.assemble(context.trace_id)
+        assert first == second  # re-assembly from flat spans is idempotent
+
+
+class TestIndexesAndEviction:
+    def test_bind_job_enables_job_lookups(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=True)
+        store.bind_job(context.trace_id, 42)
+        store.seal(context.trace_id, "done", 0.01)
+        assert store.trace_id_for_job(42) == context.trace_id
+        assert store.for_job(42)["trace_id"] == context.trace_id
+        assert store.for_job(99) is None
+
+    def test_capacity_evicts_oldest_with_its_job_index(self):
+        store = RequestTraceStore(capacity=2)
+        contexts = []
+        for job_id in range(3):
+            context = _open_request(store)
+            store.bind_job(context.trace_id, job_id)
+            contexts.append(context)
+        assert store.assemble(contexts[0].trace_id) is None
+        assert store.trace_id_for_job(0) is None
+        assert store.assemble(contexts[2].trace_id) is not None
+
+    def test_late_spans_counted_not_stored(self):
+        store = RequestTraceStore()
+        context = _open_request(store, sampled=False)
+        store.seal(context.trace_id, "done", 0.01)  # discarded
+        store.record(_stage(context, "chunk", 0.0, 0.01))
+        assert store.stats()["late_spans"] == 1
+
+    def test_spans_without_trace_id_ignored(self):
+        store = RequestTraceStore()
+        store.record({"name": "stray"})
+        assert store.stats()["recorded_spans"] == 0
+
+
+class TestQuery:
+    def test_filters_by_tenant_and_slow_and_skips_open(self):
+        store = RequestTraceStore(slow_threshold_s=0.5)
+        fast = _open_request(store, tenant="a")
+        store.seal(fast.trace_id, "done", 0.1)
+        slow = _open_request(store, tenant="b")
+        store.seal(slow.trace_id, "done", 0.9)
+        _open_request(store, tenant="a")  # still open — never listed
+        assert {s["tenant"] for s in store.query()} == {"a", "b"}
+        assert [s["trace_id"] for s in store.query(tenant="a")] == [fast.trace_id]
+        assert [s["trace_id"] for s in store.query(slow=True)] == [slow.trace_id]
+        assert store.query(limit=1)[0]["trace_id"] == slow.trace_id  # newest first

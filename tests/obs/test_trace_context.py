@@ -1,0 +1,111 @@
+"""Tests for trace identity: traceparent parsing, context lineage, span records."""
+
+import pytest
+
+from repro.obs.tracing import TraceContext, new_trace_id, next_span_id, span_record
+
+
+class TestIdGeneration:
+    def test_trace_ids_are_32_hex_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 32
+            int(trace_id, 16)  # must parse as hex
+
+    def test_span_ids_are_16_hex_and_distinct(self):
+        ids = {next_span_id() for _ in range(64)}
+        assert len(ids) == 64
+        for span_id in ids:
+            assert len(span_id) == 16
+            int(span_id, 16)
+
+
+class TestTraceparent:
+    def test_round_trip_preserves_trace_and_parents_to_upstream_span(self):
+        upstream = TraceContext.generate()
+        parsed = TraceContext.from_traceparent(upstream.to_traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == upstream.trace_id
+        # The adopter becomes a *child* of the upstream span: same trace,
+        # fresh local root span, upstream span recorded as the parent.
+        assert parsed.parent_span_id == upstream.span_id
+        assert parsed.span_id != upstream.span_id
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_honored_and_re_emitted(self):
+        header = f"00-{'a' * 32}-{'b' * 16}-00"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.sampled is False
+        assert parsed.to_traceparent().endswith("-00")
+        sampled = TraceContext.from_traceparent(f"00-{'a' * 32}-{'b' * 16}-01")
+        assert sampled.sampled is True
+        assert sampled.to_traceparent().endswith("-01")
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "00",
+            f"00-{'a' * 32}-{'b' * 16}",  # three parts
+            f"00-{'a' * 32}-{'b' * 16}-01-extra",  # five parts
+            f"0-{'a' * 32}-{'b' * 16}-01",  # short version
+            f"00-{'a' * 31}-{'b' * 16}-01",  # short trace id
+            f"00-{'a' * 32}-{'b' * 15}-01",  # short span id
+            f"00-{'a' * 32}-{'b' * 16}-1",  # short flags
+            f"00-{'g' * 32}-{'b' * 16}-01",  # non-hex trace id
+            f"00-{'a' * 32}-{'z' * 16}-01",  # non-hex span id
+            f"00-{'a' * 32}-{'b' * 16}-zz",  # non-hex flags
+            f"ff-{'a' * 32}-{'b' * 16}-01",  # forbidden version
+            f"00-{'0' * 32}-{'b' * 16}-01",  # all-zero trace id
+            f"00-{'a' * 32}-{'0' * 16}-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_surrounding_whitespace_tolerated(self):
+        header = f"  00-{'a' * 32}-{'b' * 16}-01 \n"
+        assert TraceContext.from_traceparent(header) is not None
+
+
+class TestLineage:
+    def test_child_shares_trace_and_parents_here(self):
+        root = TraceContext.generate(sampled=False)
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+        assert child.sampled is False
+        assert child.started_s == root.started_s
+
+
+class TestSpanRecord:
+    def test_shape_matches_span_to_dict(self):
+        record = span_record(
+            "queue_wait",
+            trace_id="a" * 32,
+            parent_span_id="b" * 16,
+            start_s=1.0,
+            end_s=1.25,
+            attrs={"tenant": "acme"},
+        )
+        assert set(record) == {
+            "name", "start_s", "duration_s", "attrs", "children",
+            "trace_id", "span_id", "parent_span_id",
+        }
+        assert record["duration_s"] == pytest.approx(0.25)
+        assert record["children"] == []
+        assert record["attrs"] == {"tenant": "acme"}
+        assert len(record["span_id"]) == 16
+
+    def test_duration_clamped_non_negative(self):
+        record = span_record("x", trace_id="a" * 32, start_s=5.0, end_s=4.0)
+        assert record["duration_s"] == 0.0
+
+    def test_attrs_are_copied_not_aliased(self):
+        attrs = {"k": 1}
+        record = span_record("x", trace_id="a" * 32, start_s=0.0, end_s=0.0, attrs=attrs)
+        attrs["k"] = 2
+        assert record["attrs"]["k"] == 1
